@@ -1,0 +1,172 @@
+// Command wow is the forms workbench: it loads a SQL script and a form
+// definition file, opens windows, and drives them either from a keystroke
+// script (for repeatable demos) or from simple commands on standard input.
+// After every step it prints the composited screen, so it works over a plain
+// pipe as well as an interactive terminal.
+//
+// Usage:
+//
+//	wow -init schema.sql -forms app.fdl -open customer_card [-script "<F2>Boston<F4>"]
+//	wow -demo            # built-in order-processing demo
+//
+// Stdin commands (one per line) when no -script is given:
+//
+//	keys <script>     send keystrokes, e.g. "keys <F2>Boston<F4>"
+//	open <form>       open another window
+//	sql <statement>   run SQL directly
+//	screen            reprint the screen
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func main() {
+	initPath := flag.String("init", "", "SQL script creating and loading the database")
+	formsPath := flag.String("forms", "", "FDL file with the form definitions")
+	open := flag.String("open", "", "form to open at startup")
+	script := flag.String("script", "", "keystroke script to replay and exit")
+	demo := flag.Bool("demo", false, "run the built-in order-processing demo data")
+	ansi := flag.Bool("ansi", false, "render with ANSI escape sequences instead of plain text")
+	flag.Parse()
+
+	db := engine.OpenMemory()
+	session := db.Session()
+
+	var formSource string
+	switch {
+	case *demo:
+		if err := workload.Populate(db, workload.SmallSizes); err != nil {
+			fatal(err)
+		}
+		formSource = workload.StandardForms
+		if *open == "" {
+			*open = "customer_form"
+		}
+	default:
+		if *initPath != "" {
+			sqlBytes, err := os.ReadFile(*initPath)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := session.ExecuteScript(string(sqlBytes)); err != nil {
+				fatal(err)
+			}
+		}
+		if *formsPath == "" {
+			fatal(fmt.Errorf("either -forms or -demo is required"))
+		}
+		fdlBytes, err := os.ReadFile(*formsPath)
+		if err != nil {
+			fatal(err)
+		}
+		formSource = string(fdlBytes)
+	}
+
+	forms, err := core.NewCompiler(db).CompileSource(formSource)
+	if err != nil {
+		fatal(err)
+	}
+	byName := map[string]*core.Form{}
+	for _, f := range forms {
+		byName[f.Def.Name] = f
+	}
+
+	manager := core.NewManager(db, 100, 32)
+	if *open != "" {
+		form, ok := byName[strings.ToLower(*open)]
+		if !ok {
+			fatal(fmt.Errorf("no form named %q (have %s)", *open, strings.Join(formNames(byName), ", ")))
+		}
+		if _, err := manager.Open(form, 0, 0); err != nil {
+			fatal(err)
+		}
+	}
+
+	printScreen := func() {
+		if *ansi {
+			fmt.Print(manager.Screen().RenderANSI())
+		} else {
+			fmt.Println(manager.Screen().String())
+		}
+	}
+	printScreen()
+
+	if *script != "" {
+		if err := manager.HandleScript(*script); err != nil {
+			fatal(err)
+		}
+		printScreen()
+		return
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("wow> ")
+		if !scanner.Scan() {
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		command, rest, _ := strings.Cut(line, " ")
+		switch strings.ToLower(command) {
+		case "quit", "exit":
+			return
+		case "screen":
+			printScreen()
+		case "keys":
+			if err := manager.HandleScript(rest); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			printScreen()
+		case "open":
+			form, ok := byName[strings.ToLower(strings.TrimSpace(rest))]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "no form named %q\n", rest)
+				continue
+			}
+			if _, err := manager.Open(form, 0, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			printScreen()
+		case "sql":
+			res, err := session.Execute(rest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			if res.Message != "" {
+				fmt.Println(res.Message)
+			}
+			for _, row := range res.Rows {
+				fmt.Println(row.String())
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "commands: keys <script> | open <form> | sql <stmt> | screen | quit")
+		}
+	}
+}
+
+func formNames(byName map[string]*core.Form) []string {
+	var names []string
+	for name := range byName {
+		names = append(names, name)
+	}
+	return names
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wow:", err)
+	os.Exit(1)
+}

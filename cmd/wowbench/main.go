@@ -1,0 +1,47 @@
+// Command wowbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	wowbench -experiment=E1        # one experiment
+//	wowbench -experiment=all       # the whole suite (default)
+//	wowbench -scale=quick          # reduced sizes for a fast smoke run
+//
+// The experiment index (what each table/figure measures and which modules it
+// exercises) is in DESIGN.md; measured results are recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (E1..E8) or 'all'")
+	scale := flag.String("scale", "full", "workload scale: 'full' or 'quick'")
+	flag.Parse()
+
+	cfg := harness.Full
+	if strings.EqualFold(*scale, "quick") {
+		cfg = harness.Quick
+	}
+
+	ids := harness.Experiments
+	if !strings.EqualFold(*experiment, "all") {
+		ids = []string{strings.ToUpper(*experiment)}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := harness.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wowbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %s at scale %s)\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
+	}
+}

@@ -1,0 +1,131 @@
+// Command wowsql is the SQL shell over the engine: it reads statements
+// (from files given on the command line, or from standard input) and prints
+// results as aligned tables.
+//
+// Usage:
+//
+//	wowsql [-data file.db] [-wal file.wal] [script.sql ...]
+//
+// With no script arguments, statements are read from standard input, one per
+// line (or separated by semicolons).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "database file (default: in-memory)")
+	walPath := flag.String("wal", "", "write-ahead log file (default: in-memory)")
+	flag.Parse()
+
+	db, err := engine.Open(engine.Options{DataPath: *dataPath, WALPath: *walPath})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	session := db.Session()
+
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			script, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := runScript(session, string(script)); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	fmt.Println("wowsql — type SQL statements, end them with ';'. Ctrl-D to quit.")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var pending strings.Builder
+	for {
+		fmt.Print("wow> ")
+		if !scanner.Scan() {
+			break
+		}
+		pending.WriteString(scanner.Text())
+		pending.WriteByte('\n')
+		if !strings.Contains(scanner.Text(), ";") {
+			continue
+		}
+		if err := runScript(session, pending.String()); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		pending.Reset()
+	}
+}
+
+func runScript(session *engine.Session, script string) error {
+	results, err := session.ExecuteScript(script)
+	for _, res := range results {
+		printResult(res)
+	}
+	return err
+}
+
+func printResult(res *engine.Result) {
+	if res == nil {
+		return
+	}
+	if len(res.Columns) == 0 {
+		if res.Message != "" {
+			fmt.Println(res.Message)
+		}
+		return
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		rendered[r] = make([]string, len(row))
+		for i, v := range row {
+			rendered[r][i] = formatValue(v)
+			if len(rendered[r][i]) > widths[i] {
+				widths[i] = len(rendered[r][i])
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	printRow(res.Columns)
+	sep := make([]string, len(res.Columns))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	fmt.Println(strings.Join(sep, "-+-"))
+	for _, row := range rendered {
+		printRow(row)
+	}
+	fmt.Printf("(%d row(s))\n", len(res.Rows))
+}
+
+func formatValue(v types.Value) string {
+	if v.IsNull() {
+		return ""
+	}
+	return v.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wowsql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Quickstart: create a table, declare a form over it, open a window, insert a
+// few rows through the window, and query it by form — the whole public API in
+// thirty lines of real use.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+const schema = `
+CREATE TABLE people (
+	id INT PRIMARY KEY,
+	name TEXT NOT NULL,
+	city TEXT DEFAULT 'Boston',
+	phone TEXT
+);
+`
+
+const form = `
+form person_card on people
+  title "People"
+  key id
+  field id    width 6  label "Id"
+  field name  width 24 label "Name" required
+  field city  width 14 label "City"
+  field phone width 12 label "Phone"
+  order by name
+end
+`
+
+func main() {
+	// 1. Open an in-memory database and create the schema.
+	db := engine.OpenMemory()
+	if _, err := db.Session().ExecuteScript(schema); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Compile the form and open a window on it.
+	forms, err := core.NewCompiler(db).CompileSource(form)
+	if err != nil {
+		log.Fatal(err)
+	}
+	manager := core.NewManager(db, 90, 26)
+	window, err := manager.Open(forms[0], 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Insert rows through the window (exactly what a user typing into the
+	// form would cause).
+	people := []struct{ id, name, city, phone string }{
+		{"1", "Ada Lovelace", "London", "555-0100"},
+		{"2", "Edgar Codd", "San Jose", "555-0101"},
+		{"3", "Grace Hopper", "Arlington", "555-0102"},
+	}
+	for _, p := range people {
+		if err := window.BeginInsert(); err != nil {
+			log.Fatal(err)
+		}
+		must(window.SetFieldText("id", p.id))
+		must(window.SetFieldText("name", p.name))
+		must(window.SetFieldText("city", p.city))
+		must(window.SetFieldText("phone", p.phone))
+		if err := window.Save(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 4. Query by form: fill a pattern into the name field.
+	if err := window.Query(map[string]string{"name": "G%"}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query by form 'name: G%%' selected %d row(s)\n\n", window.RowCount())
+
+	// 5. Show the window as the user sees it.
+	if err := window.Query(nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(window.Screen().String())
+	fmt.Printf("window stats: %+v\n", window.Stats())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,385 @@
+// Package btree implements the ordered index structure the engine uses for
+// primary keys, UNIQUE constraints and secondary indexes: an in-memory B+tree
+// keyed by order-preserving byte strings (see types.EncodeKey) whose leaves
+// hold record identifiers.
+//
+// Leaves are chained, so range scans — the access path behind query-by-form
+// predicates such as "credit > 1000" and behind ordered browsing — walk the
+// leaf level without touching the interior. Deletion is implemented lazily:
+// entries are removed from leaves but nodes are not merged, which keeps the
+// tree correct (a standard trade-off for indexes that shrink rarely, as the
+// interactive workloads here do).
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// fanout is the maximum number of keys per node before it splits.
+const fanout = 64
+
+// ErrDuplicateKey is returned when inserting a key that already exists in a
+// unique index.
+var ErrDuplicateKey = errors.New("btree: duplicate key")
+
+// Tree is a B+tree from encoded keys to record identifiers.
+// It is safe for concurrent use; a single RWMutex guards the whole tree.
+type Tree struct {
+	mu     sync.RWMutex
+	root   node
+	unique bool
+	size   int // number of (key, rid) entries
+	height int
+}
+
+type node interface {
+	// isLeaf reports whether the node is a leaf.
+	isLeaf() bool
+}
+
+type leafNode struct {
+	keys [][]byte
+	// vals[i] holds every record with keys[i]; len(vals[i]) > 1 only in
+	// non-unique indexes.
+	vals [][]storage.RecordID
+	next *leafNode
+}
+
+func (*leafNode) isLeaf() bool { return true }
+
+type innerNode struct {
+	// keys[i] is the smallest key reachable through children[i+1];
+	// len(children) == len(keys)+1.
+	keys     [][]byte
+	children []node
+}
+
+func (*innerNode) isLeaf() bool { return false }
+
+// New creates an empty tree. A unique tree rejects duplicate keys.
+func New(unique bool) *Tree {
+	return &Tree{root: &leafNode{}, unique: unique, height: 1}
+}
+
+// Unique reports whether the tree enforces key uniqueness.
+func (t *Tree) Unique() bool { return t.unique }
+
+// Len returns the number of (key, record) entries in the tree.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Height returns the number of levels in the tree (1 for a single leaf).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// Insert adds (key, rid) to the tree. In a unique tree an existing key causes
+// ErrDuplicateKey; in a non-unique tree the rid is appended to the key's
+// posting list (inserting the same (key, rid) pair twice is a no-op).
+func (t *Tree) Insert(key []byte, rid storage.RecordID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := make([]byte, len(key))
+	copy(k, key)
+	promoted, right, err := t.insert(t.root, k, rid)
+	if err != nil {
+		return err
+	}
+	if right != nil {
+		t.root = &innerNode{keys: [][]byte{promoted}, children: []node{t.root, right}}
+		t.height++
+	}
+	return nil
+}
+
+// insert recurses into n. When n splits, it returns the key to promote and
+// the new right sibling.
+func (t *Tree) insert(n node, key []byte, rid storage.RecordID) (promoted []byte, right node, err error) {
+	switch n := n.(type) {
+	case *leafNode:
+		i, found := findKey(n.keys, key)
+		if found {
+			if t.unique {
+				return nil, nil, fmt.Errorf("%w: %q", ErrDuplicateKey, key)
+			}
+			for _, existing := range n.vals[i] {
+				if existing == rid {
+					return nil, nil, nil
+				}
+			}
+			n.vals[i] = append(n.vals[i], rid)
+			t.size++
+			return nil, nil, nil
+		}
+		n.keys = insertAt(n.keys, i, key)
+		n.vals = insertValsAt(n.vals, i, []storage.RecordID{rid})
+		t.size++
+		if len(n.keys) <= fanout {
+			return nil, nil, nil
+		}
+		// Split the leaf in half.
+		mid := len(n.keys) / 2
+		sibling := &leafNode{
+			keys: append([][]byte(nil), n.keys[mid:]...),
+			vals: append([][]storage.RecordID(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = sibling
+		return sibling.keys[0], sibling, nil
+
+	case *innerNode:
+		i, found := findKey(n.keys, key)
+		if found {
+			i++
+		}
+		promoted, right, err := t.insert(n.children[i], key, rid)
+		if err != nil || right == nil {
+			return nil, nil, err
+		}
+		n.keys = insertAt(n.keys, i, promoted)
+		n.children = insertChildAt(n.children, i+1, right)
+		if len(n.keys) <= fanout {
+			return nil, nil, nil
+		}
+		mid := len(n.keys) / 2
+		promote := n.keys[mid]
+		sibling := &innerNode{
+			keys:     append([][]byte(nil), n.keys[mid+1:]...),
+			children: append([]node(nil), n.children[mid+1:]...),
+		}
+		n.keys = n.keys[:mid:mid]
+		n.children = n.children[:mid+1 : mid+1]
+		return promote, sibling, nil
+	}
+	return nil, nil, fmt.Errorf("btree: unknown node type %T", n)
+}
+
+// Delete removes the entry (key, rid). It reports whether an entry was
+// removed. Nodes are not rebalanced.
+func (t *Tree) Delete(key []byte, rid storage.RecordID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf := t.findLeaf(key)
+	i, found := findKey(leaf.keys, key)
+	if !found {
+		return false
+	}
+	vals := leaf.vals[i]
+	for j, existing := range vals {
+		if existing == rid {
+			vals = append(vals[:j], vals[j+1:]...)
+			t.size--
+			if len(vals) == 0 {
+				leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+				leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+			} else {
+				leaf.vals[i] = vals
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Search returns the record identifiers stored under key, or nil when absent.
+func (t *Tree) Search(key []byte) []storage.RecordID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.findLeaf(key)
+	i, found := findKey(leaf.keys, key)
+	if !found {
+		return nil
+	}
+	out := make([]storage.RecordID, len(leaf.vals[i]))
+	copy(out, leaf.vals[i])
+	return out
+}
+
+// Contains reports whether the key exists in the tree.
+func (t *Tree) Contains(key []byte) bool {
+	return len(t.Search(key)) > 0
+}
+
+// findLeaf descends to the leaf that does or would contain key.
+func (t *Tree) findLeaf(key []byte) *leafNode {
+	n := t.root
+	for {
+		inner, ok := n.(*innerNode)
+		if !ok {
+			return n.(*leafNode)
+		}
+		i, found := findKey(inner.keys, key)
+		if found {
+			i++
+		}
+		n = inner.children[i]
+	}
+}
+
+// Entry is one (key, records) pair produced by a range scan.
+type Entry struct {
+	Key     []byte
+	Records []storage.RecordID
+}
+
+// Scan visits entries with low <= key < high in ascending key order and calls
+// fn for each; fn returning false stops the scan. A nil low starts at the
+// smallest key; a nil high scans to the end.
+func (t *Tree) Scan(low, high []byte, fn func(Entry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var leaf *leafNode
+	start := 0
+	if low == nil {
+		leaf = t.leftmostLeaf()
+	} else {
+		leaf = t.findLeaf(low)
+		start, _ = findKey(leaf.keys, low)
+	}
+	for leaf != nil {
+		for i := start; i < len(leaf.keys); i++ {
+			if high != nil && bytes.Compare(leaf.keys[i], high) >= 0 {
+				return
+			}
+			recs := make([]storage.RecordID, len(leaf.vals[i]))
+			copy(recs, leaf.vals[i])
+			if !fn(Entry{Key: leaf.keys[i], Records: recs}) {
+				return
+			}
+		}
+		leaf = leaf.next
+		start = 0
+	}
+}
+
+// ScanAll visits every entry in ascending key order.
+func (t *Tree) ScanAll(fn func(Entry) bool) { t.Scan(nil, nil, fn) }
+
+// Range collects every record identifier with low <= key < high, in key order.
+func (t *Tree) Range(low, high []byte) []storage.RecordID {
+	var out []storage.RecordID
+	t.Scan(low, high, func(e Entry) bool {
+		out = append(out, e.Records...)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest key in the tree, or nil when empty.
+func (t *Tree) Min() []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.leftmostLeaf()
+	for leaf != nil {
+		if len(leaf.keys) > 0 {
+			return leaf.keys[0]
+		}
+		leaf = leaf.next
+	}
+	return nil
+}
+
+func (t *Tree) leftmostLeaf() *leafNode {
+	n := t.root
+	for {
+		inner, ok := n.(*innerNode)
+		if !ok {
+			return n.(*leafNode)
+		}
+		n = inner.children[0]
+	}
+}
+
+// findKey binary-searches keys for key, returning the position where it is or
+// would be inserted, and whether it was found.
+func findKey(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(keys[mid], key) {
+		case 0:
+			return mid, true
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+func insertAt(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertValsAt(s [][]storage.RecordID, i int, v []storage.RecordID) [][]storage.RecordID {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertChildAt(s []node, i int, v node) []node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Validate checks structural invariants (key ordering within and across
+// leaves, child counts in inner nodes) and returns an error describing the
+// first violation. It exists for tests and the property-based suite.
+func (t *Tree) Validate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var prev []byte
+	count := 0
+	leaf := t.leftmostLeaf()
+	for leaf != nil {
+		for _, k := range leaf.keys {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				return fmt.Errorf("btree: keys out of order: %q before %q", prev, k)
+			}
+			prev = k
+			count++
+		}
+		leaf = leaf.next
+	}
+	keyCount := 0
+	t.ScanAll(func(Entry) bool { keyCount++; return true })
+	if keyCount != count {
+		return fmt.Errorf("btree: scan saw %d keys, leaf chain has %d", keyCount, count)
+	}
+	return validateNode(t.root)
+}
+
+func validateNode(n node) error {
+	inner, ok := n.(*innerNode)
+	if !ok {
+		return nil
+	}
+	if len(inner.children) != len(inner.keys)+1 {
+		return fmt.Errorf("btree: inner node has %d keys but %d children", len(inner.keys), len(inner.children))
+	}
+	for _, c := range inner.children {
+		if err := validateNode(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

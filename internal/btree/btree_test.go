@@ -1,0 +1,327 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func intKey(i int64) []byte { return types.EncodeKey(nil, types.NewInt(i)) }
+
+func rid(n int) storage.RecordID {
+	return storage.RecordID{Page: storage.PageID(n / 100), Slot: uint16(n % 100)}
+}
+
+func TestInsertSearchUnique(t *testing.T) {
+	tr := New(true)
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert(intKey(int64(i)), rid(i)); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Errorf("expected a multi-level tree, height = %d", tr.Height())
+	}
+	for i := 0; i < 1000; i++ {
+		got := tr.Search(intKey(int64(i)))
+		if len(got) != 1 || got[0] != rid(i) {
+			t.Fatalf("Search %d = %v", i, got)
+		}
+	}
+	if got := tr.Search(intKey(5000)); got != nil {
+		t.Errorf("Search missing = %v", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateKeyRejectedInUnique(t *testing.T) {
+	tr := New(true)
+	if err := tr.Insert(intKey(1), rid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(intKey(1), rid(2)); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("expected ErrDuplicateKey, got %v", err)
+	}
+	if !tr.Unique() {
+		t.Error("Unique() should be true")
+	}
+}
+
+func TestNonUniquePostingLists(t *testing.T) {
+	tr := New(false)
+	key := types.EncodeKey(nil, types.NewString("Boston"))
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert(key, rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same (key, rid) twice is a no-op.
+	if err := tr.Insert(key, rid(3)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10 {
+		t.Errorf("Len = %d, want 10", tr.Len())
+	}
+	got := tr.Search(key)
+	if len(got) != 10 {
+		t.Errorf("Search returned %d records", len(got))
+	}
+	if !tr.Contains(key) {
+		t.Error("Contains should be true")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(false)
+	for i := 0; i < 500; i++ {
+		_ = tr.Insert(intKey(int64(i)), rid(i))
+	}
+	for i := 0; i < 500; i += 2 {
+		if !tr.Delete(intKey(int64(i)), rid(i)) {
+			t.Fatalf("Delete %d returned false", i)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Errorf("Len after deletes = %d", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		found := len(tr.Search(intKey(int64(i)))) > 0
+		if found != (i%2 == 1) {
+			t.Errorf("key %d found=%v", i, found)
+		}
+	}
+	if tr.Delete(intKey(2), rid(2)) {
+		t.Error("deleting an absent entry should return false")
+	}
+	if tr.Delete(intKey(3), rid(999)) {
+		t.Error("deleting an absent rid should return false")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New(true)
+	for i := 0; i < 1000; i++ {
+		_ = tr.Insert(intKey(int64(i)), rid(i))
+	}
+	got := tr.Range(intKey(100), intKey(200))
+	if len(got) != 100 {
+		t.Fatalf("Range returned %d records, want 100", len(got))
+	}
+	for i, r := range got {
+		if r != rid(100+i) {
+			t.Errorf("Range[%d] = %v, want %v", i, r, rid(100+i))
+		}
+	}
+	// Open-ended scans.
+	if n := len(tr.Range(nil, intKey(10))); n != 10 {
+		t.Errorf("Range(nil, 10) = %d", n)
+	}
+	if n := len(tr.Range(intKey(990), nil)); n != 10 {
+		t.Errorf("Range(990, nil) = %d", n)
+	}
+	if n := len(tr.Range(nil, nil)); n != 1000 {
+		t.Errorf("Range(nil, nil) = %d", n)
+	}
+	// Early stop.
+	count := 0
+	tr.Scan(nil, nil, func(Entry) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop scanned %d", count)
+	}
+}
+
+func TestScanOrderIsSorted(t *testing.T) {
+	tr := New(true)
+	perm := rand.New(rand.NewSource(42)).Perm(2000)
+	for _, i := range perm {
+		if err := tr.Insert(intKey(int64(i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev []byte
+	tr.ScanAll(func(e Entry) bool {
+		if prev != nil && bytes.Compare(prev, e.Key) >= 0 {
+			t.Fatal("scan out of order")
+		}
+		prev = append(prev[:0], e.Key...)
+		return true
+	})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := New(true)
+	if tr.Min() != nil {
+		t.Error("Min of empty tree should be nil")
+	}
+	_ = tr.Insert(intKey(50), rid(50))
+	_ = tr.Insert(intKey(10), rid(10))
+	_ = tr.Insert(intKey(90), rid(90))
+	if !bytes.Equal(tr.Min(), intKey(10)) {
+		t.Error("Min should be the smallest key")
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New(false)
+	cities := []string{"Boston", "Austin", "Chicago", "Denver", "Austin", "Erie"}
+	for i, c := range cities {
+		if err := tr.Insert(types.EncodeKey(nil, types.NewString(c)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Search(types.EncodeKey(nil, types.NewString("Austin"))); len(got) != 2 {
+		t.Errorf("Austin posting list = %v", got)
+	}
+	// Range [B, D) should cover Boston and Chicago.
+	low := types.EncodeKey(nil, types.NewString("B"))
+	high := types.EncodeKey(nil, types.NewString("D"))
+	if got := tr.Range(low, high); len(got) != 2 {
+		t.Errorf("Range B-D = %v", got)
+	}
+}
+
+func TestPropertyMatchesSortedMap(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New(false)
+		ref := map[int64]int{}
+		for i, k := range keys {
+			_ = tr.Insert(intKey(int64(k)), rid(i))
+			ref[int64(k)]++
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		// Every reference key must be found with the right cardinality.
+		for k, n := range ref {
+			if len(tr.Search(intKey(k))) != n {
+				return false
+			}
+		}
+		// Full scan must be sorted and complete.
+		var sortedRef []int64
+		for k := range ref {
+			sortedRef = append(sortedRef, k)
+		}
+		sort.Slice(sortedRef, func(i, j int) bool { return sortedRef[i] < sortedRef[j] })
+		i := 0
+		okOrder := true
+		tr.ScanAll(func(e Entry) bool {
+			if i >= len(sortedRef) || !bytes.Equal(e.Key, intKey(sortedRef[i])) {
+				okOrder = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okOrder && i == len(sortedRef)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyInsertDeleteInverse(t *testing.T) {
+	f := func(keys []uint8) bool {
+		tr := New(false)
+		for i, k := range keys {
+			_ = tr.Insert(intKey(int64(k)), rid(i))
+		}
+		for i, k := range keys {
+			if !tr.Delete(intKey(int64(k)), rid(i)) {
+				return false
+			}
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeTreeHeightLogarithmic(t *testing.T) {
+	tr := New(true)
+	n := 100000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(intKey(int64(i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := tr.Height(); h > 5 {
+		t.Errorf("height %d too large for %d keys with fanout %d", h, n, fanout)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Insert(intKey(int64(i)), rid(i))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	tr := New(true)
+	for i := 0; i < 100000; i++ {
+		_ = tr.Insert(intKey(int64(i)), rid(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Search(intKey(int64(i%100000))) == nil {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkRangeScan100(b *testing.B) {
+	tr := New(true)
+	for i := 0; i < 100000; i++ {
+		_ = tr.Insert(intKey(int64(i)), rid(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64((i * 37) % 99900)
+		if got := tr.Range(intKey(lo), intKey(lo+100)); len(got) != 100 {
+			b.Fatalf("range returned %d", len(got))
+		}
+	}
+}
+
+func ExampleTree_Scan() {
+	tr := New(true)
+	for _, name := range []string{"ada", "bob", "cyd"} {
+		_ = tr.Insert(types.EncodeKey(nil, types.NewString(name)), storage.RecordID{})
+	}
+	tr.ScanAll(func(e Entry) bool {
+		fmt.Println(len(e.Records))
+		return true
+	})
+	// Output:
+	// 1
+	// 1
+	// 1
+}

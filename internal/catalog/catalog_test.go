@@ -1,0 +1,408 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func newTestCatalog() *Catalog {
+	return New(storage.NewBufferPool(storage.NewMemDiskManager(), 256))
+}
+
+func customerSchema() *Schema {
+	return types.NewSchema(
+		Column{Name: "id", Type: types.KindInt, PrimaryKey: true},
+		Column{Name: "name", Type: types.KindString, NotNull: true},
+		Column{Name: "city", Type: types.KindString},
+		Column{Name: "credit", Type: types.KindFloat},
+	)
+}
+
+func TestCreateGetDropTable(t *testing.T) {
+	c := newTestCatalog()
+	tbl, err := c.CreateTable("Customers", customerSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name() != "customers" {
+		t.Errorf("Name = %q", tbl.Name())
+	}
+	if !c.HasTable("CUSTOMERS") {
+		t.Error("HasTable should be case-insensitive")
+	}
+	got, err := c.GetTable("customers")
+	if err != nil || got != tbl {
+		t.Errorf("GetTable = %v, %v", got, err)
+	}
+	if _, err := c.CreateTable("customers", customerSchema()); err == nil {
+		t.Error("duplicate table should be rejected")
+	}
+	if names := c.TableNames(); len(names) != 1 || names[0] != "customers" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if err := c.DropTable("customers"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("customers"); err == nil {
+		t.Error("dropping a missing table should error")
+	}
+	if _, err := c.GetTable("customers"); err == nil {
+		t.Error("GetTable after drop should error")
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	c := newTestCatalog()
+	if _, err := c.CreateTable("", customerSchema()); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if _, err := c.CreateTable("t", types.NewSchema()); err == nil {
+		t.Error("empty schema should be rejected")
+	}
+	dup := types.NewSchema(
+		Column{Name: "a", Type: types.KindInt},
+		Column{Name: "A", Type: types.KindInt},
+	)
+	if _, err := c.CreateTable("t", dup); err == nil {
+		t.Error("duplicate column names should be rejected")
+	}
+}
+
+func TestPrimaryKeyIndexAutoCreated(t *testing.T) {
+	c := newTestCatalog()
+	tbl, _ := c.CreateTable("customers", customerSchema())
+	pk := tbl.PrimaryIndex()
+	if pk == nil || !pk.Unique || pk.Columns[0] != "id" {
+		t.Fatalf("PrimaryIndex = %+v", pk)
+	}
+	if len(tbl.Indexes()) != 1 {
+		t.Errorf("Indexes = %d", len(tbl.Indexes()))
+	}
+}
+
+func TestUniqueColumnIndexAutoCreated(t *testing.T) {
+	c := newTestCatalog()
+	schema := types.NewSchema(
+		Column{Name: "id", Type: types.KindInt, PrimaryKey: true},
+		Column{Name: "email", Type: types.KindString, Unique: true},
+	)
+	tbl, err := c.CreateTable("users", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Indexes()) != 2 {
+		t.Fatalf("expected 2 indexes, got %d", len(tbl.Indexes()))
+	}
+	if _, err := tbl.Insert(Tuple{types.NewInt(1), types.NewString("a@x.com")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Tuple{types.NewInt(2), types.NewString("a@x.com")}); !errors.Is(err, ErrUniqueViolation) {
+		t.Errorf("duplicate email: %v", err)
+	}
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	c := newTestCatalog()
+	tbl, _ := c.CreateTable("customers", customerSchema())
+	rid, err := tbl.Insert(Tuple{types.NewInt(1), types.NewString("Ada"), types.NewString("Boston"), types.NewFloat(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tbl.Get(rid)
+	if err != nil || row[1].Str() != "Ada" {
+		t.Fatalf("Get = %v, %v", row, err)
+	}
+	if tbl.RowCount() != 1 {
+		t.Errorf("RowCount = %d", tbl.RowCount())
+	}
+	v1 := tbl.Version()
+
+	newRID, err := tbl.Update(rid, Tuple{types.NewInt(1), types.NewString("Ada"), types.NewString("Chicago"), types.NewFloat(250)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ = tbl.Get(newRID)
+	if row[2].Str() != "Chicago" {
+		t.Errorf("after update: %v", row)
+	}
+	if tbl.Version() <= v1 {
+		t.Error("Version should increase on update")
+	}
+
+	if err := tbl.Delete(newRID); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 0 {
+		t.Errorf("RowCount after delete = %d", tbl.RowCount())
+	}
+	if _, err := tbl.Get(newRID); err == nil {
+		t.Error("Get after delete should fail")
+	}
+	if err := tbl.Delete(newRID); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestInsertConstraints(t *testing.T) {
+	c := newTestCatalog()
+	tbl, _ := c.CreateTable("customers", customerSchema())
+	ok := Tuple{types.NewInt(1), types.NewString("Ada"), types.NewString("Boston"), types.NewFloat(1)}
+	if _, err := tbl.Insert(ok); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate primary key.
+	if _, err := tbl.Insert(ok); !errors.Is(err, ErrUniqueViolation) {
+		t.Errorf("duplicate pk: %v", err)
+	}
+	// NULL in NOT NULL.
+	if _, err := tbl.Insert(Tuple{types.NewInt(2), types.Null(), types.Null(), types.Null()}); err == nil {
+		t.Error("NOT NULL violation should fail")
+	}
+	// Wrong arity.
+	if _, err := tbl.Insert(Tuple{types.NewInt(3)}); err == nil {
+		t.Error("arity violation should fail")
+	}
+	// Type coercion: string credit should coerce to float.
+	if _, err := tbl.Insert(Tuple{types.NewInt(4), types.NewString("Bo"), types.Null(), types.NewString("12.5")}); err != nil {
+		t.Errorf("coercible insert failed: %v", err)
+	}
+	if tbl.RowCount() != 2 {
+		t.Errorf("RowCount = %d, want 2", tbl.RowCount())
+	}
+}
+
+func TestUpdateUniqueViolationAndSelfUpdate(t *testing.T) {
+	c := newTestCatalog()
+	tbl, _ := c.CreateTable("customers", customerSchema())
+	rid1, _ := tbl.Insert(Tuple{types.NewInt(1), types.NewString("Ada"), types.Null(), types.Null()})
+	_, _ = tbl.Insert(Tuple{types.NewInt(2), types.NewString("Bob"), types.Null(), types.Null()})
+
+	// Changing id 1 -> 2 must violate the primary key.
+	if _, err := tbl.Update(rid1, Tuple{types.NewInt(2), types.NewString("Ada"), types.Null(), types.Null()}); !errors.Is(err, ErrUniqueViolation) {
+		t.Errorf("expected unique violation, got %v", err)
+	}
+	// Updating a row without changing its key must succeed (self-conflict must not trigger).
+	if _, err := tbl.Update(rid1, Tuple{types.NewInt(1), types.NewString("Ada Lovelace"), types.Null(), types.Null()}); err != nil {
+		t.Errorf("self update failed: %v", err)
+	}
+}
+
+func TestSecondaryIndexLifecycle(t *testing.T) {
+	c := newTestCatalog()
+	tbl, _ := c.CreateTable("customers", customerSchema())
+	for i := 0; i < 100; i++ {
+		city := "Boston"
+		if i%2 == 0 {
+			city = "Chicago"
+		}
+		_, err := tbl.Insert(Tuple{types.NewInt(int64(i)), types.NewString(fmt.Sprintf("c%d", i)), types.NewString(city), types.NewFloat(float64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx, err := c.CreateIndex("customers_city", "customers", []string{"city"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.LookupEqual(idx, types.NewString("Boston")); len(got) != 50 {
+		t.Errorf("backfilled index lookup = %d rows", len(got))
+	}
+	// New inserts must be reflected.
+	_, _ = tbl.Insert(Tuple{types.NewInt(1000), types.NewString("new"), types.NewString("Boston"), types.Null()})
+	if got := tbl.LookupEqual(idx, types.NewString("Boston")); len(got) != 51 {
+		t.Errorf("index after insert = %d rows", len(got))
+	}
+	// IndexOn finds it.
+	if tbl.IndexOn("city") != idx {
+		t.Error("IndexOn(city) should find the new index")
+	}
+	if tbl.IndexOn("name") != nil {
+		t.Error("IndexOn(name) should be nil")
+	}
+	// Duplicate index name rejected.
+	if _, err := c.CreateIndex("customers_city", "customers", []string{"name"}, false); err == nil {
+		t.Error("duplicate index name should fail")
+	}
+	// Unknown table / column.
+	if _, err := c.CreateIndex("x", "nope", []string{"city"}, false); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := c.CreateIndex("y", "customers", []string{"nope"}, false); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if err := c.DropIndex("customers_city"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("customers_city"); err == nil {
+		t.Error("dropping a missing index should fail")
+	}
+}
+
+func TestCreateUniqueIndexOverDuplicateDataFails(t *testing.T) {
+	c := newTestCatalog()
+	tbl, _ := c.CreateTable("customers", customerSchema())
+	_, _ = tbl.Insert(Tuple{types.NewInt(1), types.NewString("Ada"), types.NewString("Boston"), types.Null()})
+	_, _ = tbl.Insert(Tuple{types.NewInt(2), types.NewString("Bob"), types.NewString("Boston"), types.Null()})
+	if _, err := c.CreateIndex("city_unique", "customers", []string{"city"}, true); err == nil {
+		t.Error("unique index over duplicate data should fail")
+	}
+	// The failed index must not remain attached.
+	if tbl.IndexByName("city_unique") != nil {
+		t.Error("failed index should have been dropped")
+	}
+}
+
+func TestScanAndIterator(t *testing.T) {
+	c := newTestCatalog()
+	tbl, _ := c.CreateTable("customers", customerSchema())
+	for i := 0; i < 25; i++ {
+		_, _ = tbl.Insert(Tuple{types.NewInt(int64(i)), types.NewString("x"), types.Null(), types.Null()})
+	}
+	n := 0
+	if err := tbl.Scan(func(rid storage.RecordID, tuple Tuple) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Errorf("Scan saw %d rows", n)
+	}
+	it := tbl.Iterator()
+	m := 0
+	for {
+		_, _, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		m++
+	}
+	if m != 25 {
+		t.Errorf("Iterator saw %d rows", m)
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := newTestCatalog()
+	_, _ = c.CreateTable("customers", customerSchema())
+	v, err := c.CreateView("rich", "SELECT * FROM customers WHERE credit > 1000", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != "rich" {
+		t.Errorf("view name = %q", v.Name)
+	}
+	if !c.HasView("RICH") {
+		t.Error("HasView should be case-insensitive")
+	}
+	if _, err := c.CreateView("rich", "SELECT 1", nil); err == nil {
+		t.Error("duplicate view should fail")
+	}
+	if _, err := c.CreateView("customers", "SELECT 1", nil); err == nil {
+		t.Error("view with a table's name should fail")
+	}
+	if _, err := c.CreateTable("rich", customerSchema()); err == nil {
+		t.Error("table with a view's name should fail")
+	}
+	got, err := c.GetView("rich")
+	if err != nil || got.Query == "" {
+		t.Errorf("GetView = %v, %v", got, err)
+	}
+	if names := c.ViewNames(); len(names) != 1 {
+		t.Errorf("ViewNames = %v", names)
+	}
+	if err := c.DropView("rich"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropView("rich"); err == nil {
+		t.Error("dropping a missing view should fail")
+	}
+	if _, err := c.GetView("rich"); err == nil {
+		t.Error("GetView after drop should fail")
+	}
+}
+
+func TestForms(t *testing.T) {
+	c := newTestCatalog()
+	c.RegisterForm("CustomerCard", "form customer_card on customers ...")
+	f, err := c.GetForm("customercard")
+	if err != nil || f.Source == "" {
+		t.Fatalf("GetForm = %v, %v", f, err)
+	}
+	if _, err := c.GetForm("missing"); err == nil {
+		t.Error("missing form should error")
+	}
+	if names := c.FormNames(); len(names) != 1 {
+		t.Errorf("FormNames = %v", names)
+	}
+}
+
+func TestKeylessTableHasNoPrimaryIndex(t *testing.T) {
+	c := newTestCatalog()
+	schema := types.NewSchema(Column{Name: "note", Type: types.KindString})
+	tbl, err := c.CreateTable("notes", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.PrimaryIndex() != nil {
+		t.Error("keyless table should have no primary index")
+	}
+	if _, err := tbl.Insert(Tuple{types.NewString("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Tuple{types.NewString("hello")}); err != nil {
+		t.Error("duplicate rows are allowed without a key")
+	}
+}
+
+func TestIndexKeyForAndPositions(t *testing.T) {
+	c := newTestCatalog()
+	tbl, _ := c.CreateTable("customers", customerSchema())
+	idx, err := c.CreateIndex("by_city_name", "customers", []string{"city", "name"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := idx.ColumnPositions()
+	if len(pos) != 2 || pos[0] != 2 || pos[1] != 1 {
+		t.Errorf("ColumnPositions = %v", pos)
+	}
+	row := Tuple{types.NewInt(1), types.NewString("Ada"), types.NewString("Boston"), types.Null()}
+	key := idx.KeyFor(row)
+	want := types.EncodeKey(nil, types.NewString("Boston"), types.NewString("Ada"))
+	if string(key) != string(want) {
+		t.Error("KeyFor should encode columns in index order")
+	}
+	_ = tbl
+}
+
+func BenchmarkTableInsert(b *testing.B) {
+	c := newTestCatalog()
+	tbl, _ := c.CreateTable("customers", customerSchema())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := tbl.Insert(Tuple{types.NewInt(int64(i)), types.NewString("name"), types.NewString("city"), types.NewFloat(1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	c := newTestCatalog()
+	tbl, _ := c.CreateTable("customers", customerSchema())
+	for i := 0; i < 10000; i++ {
+		_, _ = tbl.Insert(Tuple{types.NewInt(int64(i)), types.NewString("n"), types.NewString("c"), types.NewFloat(1)})
+	}
+	pk := tbl.PrimaryIndex()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := tbl.LookupEqual(pk, types.NewInt(int64(i%10000))); len(got) != 1 {
+			b.Fatal("lookup failed")
+		}
+	}
+}

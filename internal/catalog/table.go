@@ -1,0 +1,356 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Re-export the value-model names the catalog's API is expressed in, so that
+// callers constructing schemas and tuples for catalog tables read naturally.
+type (
+	// Schema is the column layout of a table (alias of types.Schema).
+	Schema = types.Schema
+	// Column describes one table column (alias of types.Column).
+	Column = types.Column
+	// Tuple is one row of values (alias of types.Tuple).
+	Tuple = types.Tuple
+)
+
+// ErrUniqueViolation is returned when an insert or update would duplicate a
+// key in a unique index (including the primary key).
+var ErrUniqueViolation = errors.New("catalog: unique constraint violation")
+
+// Table is one base relation: a schema, a heap file holding the rows, and the
+// indexes kept consistent with it.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  *Schema
+	heap    *storage.HeapFile
+	indexes []*Index
+	// version increments on every committed mutation; the forms layer's
+	// window manager uses it to detect that windows over this table are stale.
+	version uint64
+}
+
+func newTable(name string, schema *Schema, pool *storage.BufferPool) *Table {
+	return &Table{name: name, schema: schema, heap: storage.NewHeapFile(pool)}
+}
+
+// Name returns the table's (lower-cased) name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table's schema. Callers must not modify it.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return t.heap.Count() }
+
+// Version returns the table's mutation counter. It increases on every
+// successful Insert, Update or Delete.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Indexes returns the table's indexes. Callers must not modify the slice.
+func (t *Table) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Index, len(t.indexes))
+	copy(out, t.indexes)
+	return out
+}
+
+// IndexByName returns the index with the given name, or nil.
+func (t *Table) IndexByName(name string) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, idx := range t.indexes {
+		if strings.EqualFold(idx.Name, name) {
+			return idx
+		}
+	}
+	return nil
+}
+
+// IndexOn returns an index whose leading column is the named column
+// (preferring one that covers exactly that column), or nil when none exists.
+// The planner uses it to pick access paths for single-column predicates.
+func (t *Table) IndexOn(column string) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var candidate *Index
+	for _, idx := range t.indexes {
+		if !strings.EqualFold(idx.Columns[0], column) {
+			continue
+		}
+		if len(idx.Columns) == 1 {
+			return idx
+		}
+		if candidate == nil {
+			candidate = idx
+		}
+	}
+	return candidate
+}
+
+// PrimaryIndex returns the primary-key index, or nil for keyless tables.
+func (t *Table) PrimaryIndex() *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, idx := range t.indexes {
+		if strings.HasSuffix(idx.Name, "_pkey") {
+			return idx
+		}
+	}
+	return nil
+}
+
+// createIndex registers an index over the named columns. The caller is
+// responsible for backfilling when the table already has rows.
+func (t *Table) createIndex(name string, columns []string, unique bool) (*Index, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("catalog: index %q needs at least one column", name)
+	}
+	for _, idx := range t.indexes {
+		if strings.EqualFold(idx.Name, name) {
+			return nil, fmt.Errorf("catalog: index %q already exists on table %q", name, t.name)
+		}
+	}
+	colIdx := make([]int, len(columns))
+	for i, col := range columns {
+		pos, err := t.schema.ColumnIndex(col)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: index %q: %w", name, err)
+		}
+		colIdx[i] = pos
+	}
+	idx := &Index{
+		Name:    name,
+		Table:   t.name,
+		Columns: append([]string(nil), columns...),
+		colIdx:  colIdx,
+		Unique:  unique,
+		Tree:    btree.New(unique),
+	}
+	t.indexes = append(t.indexes, idx)
+	return idx, nil
+}
+
+// backfillIndex inserts every existing row into the index.
+func (t *Table) backfillIndex(idx *Index) error {
+	return t.heap.Scan(func(rid storage.RecordID, record []byte) error {
+		tuple, err := types.DecodeTuple(record)
+		if err != nil {
+			return err
+		}
+		if err := idx.Tree.Insert(idx.KeyFor(tuple), rid); err != nil {
+			if errors.Is(err, btree.ErrDuplicateKey) {
+				return fmt.Errorf("%w: cannot create unique index %q: %v", ErrUniqueViolation, idx.Name, err)
+			}
+			return err
+		}
+		return nil
+	})
+}
+
+// dropIndex removes an index by name.
+func (t *Table) dropIndex(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, idx := range t.indexes {
+		if strings.EqualFold(idx.Name, name) {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Insert validates the tuple against the schema, enforces unique constraints,
+// appends the row and maintains every index. It returns the new row's
+// record identifier.
+func (t *Table) Insert(tuple Tuple) (storage.RecordID, error) {
+	validated, err := tuple.ValidateAgainst(t.schema)
+	if err != nil {
+		return storage.RecordID{}, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, idx := range t.indexes {
+		if idx.Unique && idx.Tree.Contains(idx.KeyFor(validated)) {
+			return storage.RecordID{}, fmt.Errorf("%w: duplicate value for %s(%s)",
+				ErrUniqueViolation, idx.Name, strings.Join(idx.Columns, ", "))
+		}
+	}
+	rid, err := t.heap.Insert(types.EncodeTuple(nil, validated))
+	if err != nil {
+		return storage.RecordID{}, err
+	}
+	for _, idx := range t.indexes {
+		if err := idx.Tree.Insert(idx.KeyFor(validated), rid); err != nil {
+			// Roll the row and earlier index entries back so the table and
+			// indexes stay consistent.
+			_ = t.heap.Delete(rid)
+			for _, undo := range t.indexes {
+				if undo == idx {
+					break
+				}
+				undo.Tree.Delete(undo.KeyFor(validated), rid)
+			}
+			return storage.RecordID{}, err
+		}
+	}
+	t.version++
+	return rid, nil
+}
+
+// Get returns the row at rid.
+func (t *Table) Get(rid storage.RecordID) (Tuple, error) {
+	record, err := t.heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	return types.DecodeTuple(record)
+}
+
+// Update replaces the row at rid with tuple, keeping every index consistent.
+// It returns the row's (possibly new) record identifier.
+func (t *Table) Update(rid storage.RecordID, tuple Tuple) (storage.RecordID, error) {
+	validated, err := tuple.ValidateAgainst(t.schema)
+	if err != nil {
+		return rid, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	oldRecord, err := t.heap.Get(rid)
+	if err != nil {
+		return rid, err
+	}
+	oldTuple, err := types.DecodeTuple(oldRecord)
+	if err != nil {
+		return rid, err
+	}
+	// Unique checks: only when the key actually changes.
+	for _, idx := range t.indexes {
+		if !idx.Unique {
+			continue
+		}
+		oldKey, newKey := idx.KeyFor(oldTuple), idx.KeyFor(validated)
+		if string(oldKey) != string(newKey) && idx.Tree.Contains(newKey) {
+			return rid, fmt.Errorf("%w: duplicate value for %s(%s)",
+				ErrUniqueViolation, idx.Name, strings.Join(idx.Columns, ", "))
+		}
+	}
+	newRID, err := t.heap.Update(rid, types.EncodeTuple(nil, validated))
+	if err != nil {
+		return rid, err
+	}
+	for _, idx := range t.indexes {
+		idx.Tree.Delete(idx.KeyFor(oldTuple), rid)
+		if err := idx.Tree.Insert(idx.KeyFor(validated), newRID); err != nil {
+			return newRID, err
+		}
+	}
+	t.version++
+	return newRID, nil
+}
+
+// Delete removes the row at rid and its index entries.
+func (t *Table) Delete(rid storage.RecordID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	record, err := t.heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	tuple, err := types.DecodeTuple(record)
+	if err != nil {
+		return err
+	}
+	if err := t.heap.Delete(rid); err != nil {
+		return err
+	}
+	for _, idx := range t.indexes {
+		idx.Tree.Delete(idx.KeyFor(tuple), rid)
+	}
+	t.version++
+	return nil
+}
+
+// Scan calls fn for every row in physical order. Mutating the table from
+// inside fn is not supported.
+func (t *Table) Scan(fn func(rid storage.RecordID, tuple Tuple) error) error {
+	return t.heap.Scan(func(rid storage.RecordID, record []byte) error {
+		tuple, err := types.DecodeTuple(record)
+		if err != nil {
+			return err
+		}
+		return fn(rid, tuple)
+	})
+}
+
+// Iterator returns a pull iterator over the table's rows.
+func (t *Table) Iterator() *TableIterator {
+	return &TableIterator{inner: t.heap.Iterator()}
+}
+
+// TableIterator yields decoded rows one at a time.
+type TableIterator struct {
+	inner *storage.HeapIterator
+}
+
+// Next returns the next row, or ok=false at the end.
+func (it *TableIterator) Next() (storage.RecordID, Tuple, bool, error) {
+	rid, record, ok, err := it.inner.Next()
+	if err != nil || !ok {
+		return rid, nil, false, err
+	}
+	tuple, err := types.DecodeTuple(record)
+	if err != nil {
+		return rid, nil, false, err
+	}
+	return rid, tuple, true, nil
+}
+
+// LookupEqual returns the record identifiers of rows whose indexed columns
+// equal the given values, using idx.
+func (t *Table) LookupEqual(idx *Index, values ...types.Value) []storage.RecordID {
+	return idx.Tree.Search(types.EncodeKey(nil, values...))
+}
+
+// Index is an ordered secondary (or primary) index over one or more columns
+// of a table.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	colIdx  []int
+	Unique  bool
+	Tree    *btree.Tree
+}
+
+// KeyFor computes the index key for a row of the owning table.
+func (idx *Index) KeyFor(tuple Tuple) []byte {
+	vals := make([]types.Value, len(idx.colIdx))
+	for i, pos := range idx.colIdx {
+		vals[i] = tuple[pos]
+	}
+	return types.EncodeKey(nil, vals...)
+}
+
+// ColumnPositions returns the schema positions of the indexed columns.
+func (idx *Index) ColumnPositions() []int {
+	out := make([]int, len(idx.colIdx))
+	copy(out, idx.colIdx)
+	return out
+}

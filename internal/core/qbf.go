@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// planBuilderFor returns a fresh planner over the database's catalog.
+func planBuilderFor(db *engine.Database) *plan.Builder {
+	return plan.NewBuilder(db.Catalog())
+}
+
+// Query-by-form
+//
+// In query mode the user types patterns directly into the form's fields and
+// presses the execute key; the window turns the filled-in fields into a
+// predicate. The pattern language is the one the early forms systems taught
+// their users:
+//
+//	Boston          equality (strings compare exactly)
+//	>1000, <=50     comparisons for numeric, date and text fields
+//	100..500        an inclusive range (BETWEEN)
+//	Bo%  _a_       LIKE patterns ('%' any run, '_' one character)
+//	null / not null IS NULL / IS NOT NULL
+//	<>Boston        not equal
+//
+// Patterns in several fields combine with AND.
+
+// BuildFieldPredicate converts one field's query pattern into an expression
+// over the form's schema, or nil when the pattern is blank.
+func BuildFieldPredicate(field *Field, pattern string) (sql.Expr, error) {
+	text := strings.TrimSpace(pattern)
+	if text == "" {
+		return nil, nil
+	}
+	if field.Column < 0 {
+		return nil, fmt.Errorf("core: field %q is computed and cannot be queried", field.Name())
+	}
+	column := &sql.ColumnRef{Name: field.Name()}
+
+	lower := strings.ToLower(text)
+	switch lower {
+	case "null", "=null":
+		return &sql.IsNullExpr{Operand: column}, nil
+	case "not null", "!null", "<>null":
+		return &sql.IsNullExpr{Operand: column, Negate: true}, nil
+	}
+
+	// Explicit comparison operator prefix.
+	for _, op := range []struct {
+		prefix string
+		op     sql.BinaryOp
+	}{
+		{">=", sql.OpGe}, {"<=", sql.OpLe}, {"<>", sql.OpNe}, {"!=", sql.OpNe},
+		{">", sql.OpGt}, {"<", sql.OpLt}, {"=", sql.OpEq},
+	} {
+		if strings.HasPrefix(text, op.prefix) {
+			value, err := patternValue(field, strings.TrimSpace(text[len(op.prefix):]))
+			if err != nil {
+				return nil, err
+			}
+			return &sql.BinaryExpr{Op: op.op, Left: column, Right: &sql.Literal{Value: value}}, nil
+		}
+	}
+
+	// Inclusive range "low..high".
+	if idx := strings.Index(text, ".."); idx > 0 {
+		lowText := strings.TrimSpace(text[:idx])
+		highText := strings.TrimSpace(text[idx+2:])
+		if lowText != "" && highText != "" {
+			low, err := patternValue(field, lowText)
+			if err != nil {
+				return nil, err
+			}
+			high, err := patternValue(field, highText)
+			if err != nil {
+				return nil, err
+			}
+			return &sql.BetweenExpr{
+				Operand: column,
+				Low:     &sql.Literal{Value: low},
+				High:    &sql.Literal{Value: high},
+			}, nil
+		}
+	}
+
+	// LIKE patterns for text fields.
+	if field.Kind == types.KindString && strings.ContainsAny(text, "%_") {
+		return &sql.BinaryExpr{Op: sql.OpLike, Left: column, Right: &sql.Literal{Value: types.NewString(text)}}, nil
+	}
+
+	// Plain equality.
+	value, err := patternValue(field, text)
+	if err != nil {
+		return nil, err
+	}
+	return &sql.BinaryExpr{Op: sql.OpEq, Left: column, Right: &sql.Literal{Value: value}}, nil
+}
+
+// patternValue parses the value part of a pattern in the field's domain.
+func patternValue(field *Field, text string) (types.Value, error) {
+	v, err := types.ParseAs(text, field.Kind)
+	if err != nil {
+		return types.Null(), fmt.Errorf("core: field %q: %v", field.Name(), err)
+	}
+	if v.IsNull() && text != "" {
+		return types.Null(), fmt.Errorf("core: field %q: %q is not a valid %s", field.Name(), text, field.Kind)
+	}
+	return v, nil
+}
+
+// BuildQBFPredicate combines the query patterns of several fields (keyed by
+// field name) into one predicate, or nil when every pattern is blank.
+func BuildQBFPredicate(form *Form, patterns map[string]string) (sql.Expr, error) {
+	var combined sql.Expr
+	// Iterate fields in definition order so the generated SQL is stable.
+	for _, field := range form.Fields {
+		pattern, ok := patterns[field.Name()]
+		if !ok {
+			continue
+		}
+		conjunct, err := BuildFieldPredicate(field, pattern)
+		if err != nil {
+			return nil, err
+		}
+		if conjunct == nil {
+			continue
+		}
+		if combined == nil {
+			combined = conjunct
+		} else {
+			combined = &sql.BinaryExpr{Op: sql.OpAnd, Left: combined, Right: conjunct}
+		}
+	}
+	return combined, nil
+}
+
+// Selectivity estimation is not needed: the window always materialises the
+// predicate's result through the engine, which picks the access path.

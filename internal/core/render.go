@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tui"
+)
+
+// Render repaints the window onto its own screen: the border and title, every
+// field with its label, embedded detail grids, and the status line. The
+// window manager composites the per-window screens onto the terminal.
+func (w *Window) Render() {
+	s := w.screen
+	before := s.CellsPainted()
+	s.Clear()
+
+	title := fmt.Sprintf("%s [%s]", w.form.Def.Title, w.mode)
+	s.DrawBox(0, 0, s.Height(), s.Width(), title, tui.StyleNone)
+
+	// Fields: label to the left of the value cell.
+	for i, field := range w.form.Fields {
+		row, col := field.Def.Row, field.Def.Col
+		label := field.Def.Label
+		labelCol := col - len(label) - 2
+		if labelCol < 1 {
+			labelCol = 1
+		}
+		s.DrawText(row, labelCol, label, tui.StyleNone)
+		tf := &tui.TextField{
+			Row:      row,
+			Col:      col,
+			Width:    field.Def.Width,
+			ReadOnly: field.Def.ReadOnly || field.Computed(),
+			Focused:  i == w.focus && w.mode != ModeBrowse,
+		}
+		tf.SetValue(w.FieldText(field))
+		tf.Draw(s)
+	}
+
+	// Embedded detail grids.
+	for i, link := range w.form.Details {
+		child := w.details[i]
+		if child == nil {
+			continue
+		}
+		w.renderDetail(s, link, child)
+	}
+
+	// Row position and status line.
+	position := "no rows"
+	if w.cursor >= 0 {
+		position = fmt.Sprintf("row %d of %d", w.cursor+1, len(w.rows))
+	}
+	s.DrawText(s.Height()-3, 2, position, tui.StyleDim)
+	bar := tui.StatusBar{Row: s.Height() - 2, Width: s.Width(), Text: " " + w.status, Error: w.statusError}
+	bar.Draw(s)
+
+	s.Flush()
+	w.stats.Repaints++
+	w.stats.CellsPainted += s.CellsPainted() - before
+}
+
+// renderDetail draws a detail link as a grid of the child window's rows,
+// showing the child's fields as columns.
+func (w *Window) renderDetail(s *tui.Screen, link *DetailLink, child *Window) {
+	grid := &tui.TableGrid{
+		Row:         link.Def.Row + 1,
+		Col:         link.Def.Col + 1,
+		VisibleRows: link.Def.Rows,
+		Selected:    child.cursor,
+		Focused:     false,
+	}
+	for _, field := range child.form.Fields {
+		grid.Columns = append(grid.Columns, tui.GridColumn{Title: field.Def.Label, Width: field.Def.Width})
+	}
+	for rowIdx := range child.rows {
+		savedCursor := child.cursor
+		child.cursor = rowIdx
+		var cells []string
+		for _, field := range child.form.Fields {
+			cells = append(cells, child.FieldText(field))
+		}
+		child.cursor = savedCursor
+		grid.Rows = append(grid.Rows, cells)
+	}
+	width := 2
+	for _, c := range grid.Columns {
+		width += c.Width + 1
+	}
+	s.DrawBox(link.Def.Row, link.Def.Col, link.Def.Rows+3, width+1, child.form.Def.Title, tui.StyleNone)
+	grid.Draw(s)
+}
+
+// HandleKey applies one keystroke to the window: the classic forms-system
+// keyboard model. It returns an error only for internal failures; user-level
+// problems (validation, constraint violations) land in the status line.
+func (w *Window) HandleKey(ev tui.Event) error {
+	w.stats.Keystrokes++
+	switch w.mode {
+	case ModeBrowse:
+		return w.handleBrowseKey(ev)
+	case ModeEdit, ModeInsert, ModeQuery:
+		return w.handleEntryKey(ev)
+	}
+	return nil
+}
+
+// HandleScript replays a keystroke script (see tui.ParseScript) through the
+// window, as the workload generator and the examples do.
+func (w *Window) HandleScript(script string) error {
+	events, err := tui.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if err := w.HandleKey(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Window) handleBrowseKey(ev tui.Event) error {
+	switch ev.Key {
+	case tui.KeyDown:
+		return w.NextRow()
+	case tui.KeyUp:
+		return w.PrevRow()
+	case tui.KeyPgDn:
+		return w.MoveCursor(w.pageSize())
+	case tui.KeyPgUp:
+		return w.MoveCursor(-w.pageSize())
+	case tui.KeyHome:
+		return w.FirstRow()
+	case tui.KeyEnd:
+		return w.LastRow()
+	case tui.KeyF2:
+		w.BeginQuery()
+		return nil
+	case tui.KeyF4:
+		// Execute an empty query: show everything.
+		w.BeginQuery()
+		if err := w.ExecuteQuery(); err != nil {
+			w.setError(err)
+		}
+		return nil
+	case tui.KeyF5:
+		if err := w.BeginInsert(); err != nil {
+			w.setError(err)
+			w.Render()
+		}
+		return nil
+	case tui.KeyF7:
+		if err := w.DeleteCurrent(); err != nil {
+			w.Render()
+		}
+		return nil
+	case tui.KeyTab:
+		w.focus = (w.focus + 1) % len(w.form.Fields)
+		w.Render()
+		return nil
+	case tui.KeyBackTab:
+		w.focus = (w.focus - 1 + len(w.form.Fields)) % len(w.form.Fields)
+		w.Render()
+		return nil
+	case tui.KeyEsc:
+		w.setStatus("")
+		w.Render()
+		return nil
+	case tui.KeyRune, tui.KeyBackspace:
+		// Typing in browse mode starts editing the current row at the
+		// focused field.
+		if err := w.BeginEdit(); err != nil {
+			w.setError(err)
+			w.Render()
+			return nil
+		}
+		return w.handleEntryKey(ev)
+	default:
+		return nil
+	}
+}
+
+func (w *Window) handleEntryKey(ev tui.Event) error {
+	field := w.form.Fields[w.focus]
+	editable := w.mode == ModeQuery || (!field.Def.ReadOnly && !field.Computed())
+	switch ev.Key {
+	case tui.KeyRune:
+		if !editable {
+			w.setStatus("field %s is read-only", field.Name())
+			w.Render()
+			return nil
+		}
+		w.buffer[field.Name()] += string(ev.Rune)
+		w.dirty = true
+		w.Render()
+	case tui.KeyBackspace:
+		if !editable {
+			return nil
+		}
+		text := w.buffer[field.Name()]
+		if len(text) > 0 {
+			w.buffer[field.Name()] = text[:len(text)-1]
+			w.dirty = true
+		}
+		w.Render()
+	case tui.KeyF3:
+		if editable {
+			w.buffer[field.Name()] = ""
+			w.Render()
+		}
+	case tui.KeyTab, tui.KeyEnter, tui.KeyDown:
+		w.focus = w.nextFocusable(w.focus, 1)
+		w.Render()
+	case tui.KeyBackTab, tui.KeyUp:
+		w.focus = w.nextFocusable(w.focus, -1)
+		w.Render()
+	case tui.KeyF4:
+		if w.mode == ModeQuery {
+			if err := w.ExecuteQuery(); err != nil {
+				w.setError(err)
+				w.Render()
+			}
+		}
+	case tui.KeyF6:
+		if w.mode == ModeQuery {
+			if err := w.ExecuteQuery(); err != nil {
+				w.setError(err)
+				w.Render()
+			}
+			return nil
+		}
+		if err := w.Save(); err != nil {
+			w.Render()
+		}
+	case tui.KeyEsc:
+		w.Cancel()
+	}
+	return nil
+}
+
+// nextFocusable cycles focus across fields that accept input in the current
+// mode.
+func (w *Window) nextFocusable(from, direction int) int {
+	n := len(w.form.Fields)
+	idx := from
+	for i := 0; i < n; i++ {
+		idx = (idx + direction + n) % n
+		field := w.form.Fields[idx]
+		if w.mode == ModeQuery {
+			if !field.Computed() {
+				return idx
+			}
+			continue
+		}
+		if !field.Def.ReadOnly && !field.Computed() {
+			return idx
+		}
+	}
+	return from
+}
+
+// pageSize is how many rows PgUp/PgDn move: the detail area height when the
+// form has one, otherwise a full "screenful" heuristic.
+func (w *Window) pageSize() int {
+	if len(w.form.Details) > 0 {
+		return w.form.Details[0].Def.Rows
+	}
+	size := w.form.Def.Height - 6
+	if size < 1 {
+		size = 1
+	}
+	return size
+}

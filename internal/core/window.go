@@ -1,0 +1,795 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/sql"
+	"repro/internal/tui"
+	"repro/internal/types"
+)
+
+// Mode is the interaction state of a window.
+type Mode int
+
+// Window modes.
+const (
+	// ModeBrowse navigates the current rows.
+	ModeBrowse Mode = iota
+	// ModeEdit changes the current row's fields.
+	ModeEdit
+	// ModeInsert builds a new row.
+	ModeInsert
+	// ModeQuery collects query-by-form patterns.
+	ModeQuery
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBrowse:
+		return "BROWSE"
+	case ModeEdit:
+		return "EDIT"
+	case ModeInsert:
+		return "INSERT"
+	case ModeQuery:
+		return "QUERY"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Stats counts what a window has done since it was opened. The experiment
+// harness reads these to report keystroke economy, repaint cost and query
+// counts.
+type Stats struct {
+	Keystrokes   uint64
+	Repaints     uint64
+	CellsPainted uint64
+	Queries      uint64
+	RowsFetched  uint64
+	Saves        uint64
+	Deletes      uint64
+	Refreshes    uint64
+}
+
+// Window is one open form: a viewport onto the rows of its relation that
+// currently satisfy the window's predicate, plus the edit state for changing
+// them. It is the runtime object the paper calls a "window on the world".
+type Window struct {
+	form    *Form
+	session *engine.Session
+	wm      *Manager
+	id      int
+
+	// OriginRow and OriginCol place the window on the composite screen.
+	OriginRow, OriginCol int
+
+	screen *tui.Screen
+
+	// Query state.
+	queryPatterns map[string]string
+	// linkFilter is the extra predicate a master imposes on its detail
+	// window (nil for top-level windows).
+	linkFilter sql.Expr
+	rows       []types.Tuple
+	cursor     int
+
+	// Edit state.
+	mode   Mode
+	focus  int
+	buffer map[string]string
+	dirty  bool
+
+	status      string
+	statusError bool
+	stats       Stats
+
+	// details are the child windows of this window's master/detail links,
+	// parallel to form.Details.
+	details []*Window
+
+	closed bool
+}
+
+// newWindow wires a window for a compiled form. Detail child windows are
+// created recursively, each with its own session on the same database.
+func newWindow(form *Form, session *engine.Session, wm *Manager, id int) *Window {
+	w := &Window{
+		form:          form,
+		session:       session,
+		wm:            wm,
+		id:            id,
+		screen:        tui.NewScreen(form.Def.Width, form.Def.Height),
+		queryPatterns: map[string]string{},
+		buffer:        map[string]string{},
+		cursor:        -1,
+	}
+	for range form.Details {
+		w.details = append(w.details, nil)
+	}
+	for i, link := range form.Details {
+		child := newWindow(link.Child, session.Database().Session(), wm, -1)
+		w.details[i] = child
+	}
+	return w
+}
+
+// Form returns the window's compiled form.
+func (w *Window) Form() *Form { return w.form }
+
+// ID returns the identifier the window manager assigned (or -1 for embedded
+// detail windows).
+func (w *Window) ID() int { return w.id }
+
+// Mode returns the window's interaction mode.
+func (w *Window) Mode() Mode { return w.mode }
+
+// Stats returns a copy of the window's counters.
+func (w *Window) Stats() Stats { return w.stats }
+
+// Screen exposes the window's drawing surface (its own buffer, composited by
+// the window manager).
+func (w *Window) Screen() *tui.Screen { return w.screen }
+
+// RowCount returns the number of rows currently in the window.
+func (w *Window) RowCount() int { return len(w.rows) }
+
+// Cursor returns the current row index (-1 when the window is empty).
+func (w *Window) Cursor() int { return w.cursor }
+
+// Status returns the window's status-line message.
+func (w *Window) Status() string { return w.status }
+
+// Detail returns the i'th detail child window.
+func (w *Window) Detail(i int) *Window {
+	if i < 0 || i >= len(w.details) {
+		return nil
+	}
+	return w.details[i]
+}
+
+// setStatus records a status-line message.
+func (w *Window) setStatus(format string, args ...interface{}) {
+	w.status = fmt.Sprintf(format, args...)
+	w.statusError = false
+}
+
+func (w *Window) setError(err error) {
+	w.status = err.Error()
+	w.statusError = true
+}
+
+// --- querying ---------------------------------------------------------------
+
+// buildQuery assembles the SELECT that fills the window: the form's static
+// filter, the current query-by-form predicate and the master/detail link
+// predicate ANDed together, with the form's declared ordering.
+func (w *Window) buildQuery() (string, error) {
+	var predicates []string
+	if w.form.FilterExpr != nil {
+		predicates = append(predicates, w.form.FilterExpr.String())
+	}
+	qbf, err := BuildQBFPredicate(w.form, w.queryPatterns)
+	if err != nil {
+		return "", err
+	}
+	if qbf != nil {
+		predicates = append(predicates, qbf.String())
+	}
+	if w.linkFilter != nil {
+		predicates = append(predicates, w.linkFilter.String())
+	}
+	var b strings.Builder
+	b.WriteString("SELECT * FROM ")
+	b.WriteString(w.form.Relation)
+	if len(predicates) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(predicates, " AND "))
+	}
+	if len(w.form.OrderBy) > 0 {
+		var keys []string
+		for _, o := range w.form.OrderBy {
+			key := o.Column
+			if o.Desc {
+				key += " DESC"
+			}
+			keys = append(keys, key)
+		}
+		b.WriteString(" ORDER BY ")
+		b.WriteString(strings.Join(keys, ", "))
+	}
+	return b.String(), nil
+}
+
+// Refresh re-runs the window's query, reloads its rows and repaints. The
+// cursor stays on the same position when possible.
+func (w *Window) Refresh() error {
+	query, err := w.buildQuery()
+	if err != nil {
+		w.setError(err)
+		return err
+	}
+	res, err := w.session.Query(query)
+	if err != nil {
+		w.setError(err)
+		return err
+	}
+	w.rows = res.Rows
+	w.stats.Queries++
+	w.stats.Refreshes++
+	w.stats.RowsFetched += uint64(len(res.Rows))
+	if w.cursor >= len(w.rows) {
+		w.cursor = len(w.rows) - 1
+	}
+	if w.cursor < 0 && len(w.rows) > 0 {
+		w.cursor = 0
+	}
+	if len(w.rows) == 0 {
+		w.cursor = -1
+	}
+	if err := w.syncDetails(); err != nil {
+		return err
+	}
+	w.Render()
+	return nil
+}
+
+// Query sets the window's query-by-form patterns programmatically (field name
+// to pattern text) and refreshes. An empty map clears the query.
+func (w *Window) Query(patterns map[string]string) error {
+	w.queryPatterns = map[string]string{}
+	for name, pattern := range patterns {
+		if _, ok := w.form.FieldByName(name); !ok {
+			return fmt.Errorf("core: form %q has no field %q", w.form.Def.Name, name)
+		}
+		w.queryPatterns[strings.ToLower(name)] = pattern
+	}
+	w.cursor = -1
+	return w.Refresh()
+}
+
+// SetLink constrains the window to rows whose column equals the given value;
+// master windows call it on their details as the cursor moves.
+func (w *Window) SetLink(column int, value types.Value) {
+	colName := w.form.Schema.Columns[column].Name
+	w.linkFilter = &sql.BinaryExpr{
+		Op:    sql.OpEq,
+		Left:  &sql.ColumnRef{Name: colName},
+		Right: &sql.Literal{Value: value},
+	}
+}
+
+// syncDetails points every detail window at the current master row and
+// refreshes it.
+func (w *Window) syncDetails() error {
+	if len(w.details) == 0 {
+		return nil
+	}
+	current, ok := w.CurrentRow()
+	for i, link := range w.form.Details {
+		child := w.details[i]
+		if child == nil {
+			continue
+		}
+		if !ok {
+			child.rows = nil
+			child.cursor = -1
+			continue
+		}
+		child.SetLink(link.ChildColumn, current[link.ParentColumn])
+		if err := child.Refresh(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CurrentRow returns the row under the cursor.
+func (w *Window) CurrentRow() (types.Tuple, bool) {
+	if w.cursor < 0 || w.cursor >= len(w.rows) {
+		return nil, false
+	}
+	return w.rows[w.cursor], true
+}
+
+// CurrentKey returns the key values of the current row (used to address it in
+// updates and deletes).
+func (w *Window) CurrentKey() (types.Tuple, bool) {
+	row, ok := w.CurrentRow()
+	if !ok {
+		return nil, false
+	}
+	if len(w.form.Key) == 0 {
+		return nil, false
+	}
+	key := make(types.Tuple, len(w.form.Key))
+	for i, pos := range w.form.Key {
+		key[i] = row[pos]
+	}
+	return key, true
+}
+
+// --- navigation ---------------------------------------------------------------
+
+// MoveCursor moves the cursor by delta rows, clamped to the result set, and
+// re-synchronises detail windows.
+func (w *Window) MoveCursor(delta int) error {
+	if len(w.rows) == 0 {
+		return nil
+	}
+	next := w.cursor + delta
+	if next < 0 {
+		next = 0
+	}
+	if next >= len(w.rows) {
+		next = len(w.rows) - 1
+	}
+	if next == w.cursor {
+		return nil
+	}
+	w.cursor = next
+	if err := w.syncDetails(); err != nil {
+		return err
+	}
+	w.Render()
+	return nil
+}
+
+// NextRow advances one row.
+func (w *Window) NextRow() error { return w.MoveCursor(1) }
+
+// PrevRow moves back one row.
+func (w *Window) PrevRow() error { return w.MoveCursor(-1) }
+
+// FirstRow jumps to the first row.
+func (w *Window) FirstRow() error { return w.MoveCursor(-len(w.rows)) }
+
+// LastRow jumps to the last row.
+func (w *Window) LastRow() error { return w.MoveCursor(len(w.rows)) }
+
+// --- field access and editing ------------------------------------------------
+
+// FieldText returns the text a field currently displays: the edit buffer in
+// edit, insert or query mode; otherwise the current row's (or computed) value.
+func (w *Window) FieldText(field *Field) string {
+	if w.mode != ModeBrowse {
+		if text, ok := w.buffer[field.Name()]; ok {
+			return text
+		}
+		if w.mode != ModeEdit {
+			return ""
+		}
+	}
+	row, ok := w.CurrentRow()
+	if !ok {
+		return ""
+	}
+	var v types.Value
+	if field.Computed() {
+		computed, err := field.Value.Eval(row)
+		if err != nil {
+			return "#ERR"
+		}
+		v = computed
+	} else {
+		v = row[field.Column]
+	}
+	if v.IsNull() {
+		return ""
+	}
+	text := v.String()
+	switch field.Def.Format {
+	case "upper":
+		text = strings.ToUpper(text)
+	case "lower":
+		text = strings.ToLower(text)
+	}
+	return text
+}
+
+// SetFieldText types a value into a field programmatically. In browse mode it
+// switches the window into edit mode over the current row first.
+func (w *Window) SetFieldText(name, text string) error {
+	field, ok := w.form.FieldByName(name)
+	if !ok {
+		return fmt.Errorf("core: form %q has no field %q", w.form.Def.Name, name)
+	}
+	if w.mode == ModeBrowse {
+		if err := w.BeginEdit(); err != nil {
+			return err
+		}
+	}
+	if w.mode != ModeQuery && (field.Def.ReadOnly || field.Computed()) {
+		return fmt.Errorf("core: field %q is read-only", name)
+	}
+	w.buffer[field.Name()] = text
+	w.dirty = true
+	return nil
+}
+
+// BeginEdit switches to edit mode over the current row, loading the edit
+// buffer from it.
+func (w *Window) BeginEdit() error {
+	if w.form.ReadOnly {
+		return fmt.Errorf("core: form %q is read-only (its view cannot be updated)", w.form.Def.Name)
+	}
+	if _, ok := w.CurrentRow(); !ok {
+		return fmt.Errorf("core: no current row to edit")
+	}
+	w.mode = ModeEdit
+	w.buffer = map[string]string{}
+	for _, field := range w.form.Fields {
+		if field.Computed() {
+			continue
+		}
+		w.buffer[field.Name()] = w.fieldTextFromRow(field)
+	}
+	w.dirty = false
+	w.setStatus("editing row %d of %d", w.cursor+1, len(w.rows))
+	w.Render()
+	return nil
+}
+
+func (w *Window) fieldTextFromRow(field *Field) string {
+	row, ok := w.CurrentRow()
+	if !ok || field.Column < 0 {
+		return ""
+	}
+	v := row[field.Column]
+	if v.IsNull() {
+		return ""
+	}
+	return v.String()
+}
+
+// BeginInsert switches to insert mode with an empty buffer pre-filled from
+// field defaults.
+func (w *Window) BeginInsert() error {
+	if w.form.ReadOnly {
+		return fmt.Errorf("core: form %q is read-only (its view cannot be updated)", w.form.Def.Name)
+	}
+	w.mode = ModeInsert
+	w.buffer = map[string]string{}
+	blank := make(types.Tuple, w.form.Schema.Len())
+	for i := range blank {
+		blank[i] = types.Null()
+	}
+	for _, field := range w.form.Fields {
+		if field.Default == nil || field.Computed() {
+			continue
+		}
+		if v, err := field.Default.Eval(blank); err == nil && !v.IsNull() {
+			w.buffer[field.Name()] = v.String()
+		}
+	}
+	w.focus = w.firstEditableField()
+	w.dirty = false
+	w.setStatus("inserting a new row; press F6 to save, ESC to cancel")
+	w.Render()
+	return nil
+}
+
+// BeginQuery switches to query-by-form mode with a blank buffer.
+func (w *Window) BeginQuery() {
+	w.mode = ModeQuery
+	w.buffer = map[string]string{}
+	w.focus = 0
+	w.setStatus("enter query patterns; press F4 to execute, ESC to cancel")
+	w.Render()
+}
+
+// ExecuteQuery leaves query mode and runs the patterns typed into the buffer.
+func (w *Window) ExecuteQuery() error {
+	if w.mode != ModeQuery {
+		return fmt.Errorf("core: the window is not in query mode")
+	}
+	patterns := map[string]string{}
+	for name, text := range w.buffer {
+		if strings.TrimSpace(text) != "" {
+			patterns[name] = text
+		}
+	}
+	w.mode = ModeBrowse
+	w.buffer = map[string]string{}
+	if err := w.Query(patterns); err != nil {
+		return err
+	}
+	w.setStatus("%d row(s) selected", len(w.rows))
+	w.Render()
+	return nil
+}
+
+// Cancel leaves edit, insert or query mode, discarding the buffer.
+func (w *Window) Cancel() {
+	w.mode = ModeBrowse
+	w.buffer = map[string]string{}
+	w.dirty = false
+	w.setStatus("cancelled")
+	w.Render()
+}
+
+// firstEditableField returns the first field that accepts input.
+func (w *Window) firstEditableField() int {
+	for i, field := range w.form.Fields {
+		if !field.Def.ReadOnly && !field.Computed() {
+			return i
+		}
+	}
+	return 0
+}
+
+// --- saving and deleting -------------------------------------------------------
+
+// candidateRow builds the full-width row the current buffer describes: for
+// updates it starts from the current row, for inserts from NULLs and
+// defaults. It is what validation rules and triggers are evaluated against.
+func (w *Window) candidateRow() (types.Tuple, error) {
+	var row types.Tuple
+	if w.mode == ModeInsert {
+		row = make(types.Tuple, w.form.Schema.Len())
+		for i := range row {
+			row[i] = types.Null()
+		}
+	} else {
+		current, ok := w.CurrentRow()
+		if !ok {
+			return nil, fmt.Errorf("core: no current row")
+		}
+		row = current.Clone()
+	}
+	for _, field := range w.form.Fields {
+		if field.Computed() {
+			continue
+		}
+		text, edited := w.buffer[field.Name()]
+		if !edited {
+			continue
+		}
+		v, err := types.ParseAs(text, field.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("core: field %q: %v", field.Name(), err)
+		}
+		row[field.Column] = v
+	}
+	// Defaults for inserts where nothing was typed.
+	if w.mode == ModeInsert {
+		for _, field := range w.form.Fields {
+			if field.Computed() || field.Default == nil || field.Column < 0 {
+				continue
+			}
+			if !row[field.Column].IsNull() {
+				continue
+			}
+			v, err := field.Default.Eval(row)
+			if err != nil {
+				return nil, fmt.Errorf("core: default for %q: %v", field.Name(), err)
+			}
+			row[field.Column] = v
+		}
+	}
+	return row, nil
+}
+
+// validate checks required fields, per-field validation rules and the form's
+// before-triggers for the given event against the candidate row.
+func (w *Window) validate(row types.Tuple, event string) error {
+	for _, field := range w.form.Fields {
+		if field.Computed() {
+			continue
+		}
+		value := row[field.Column]
+		if field.Def.Required && value.IsNull() {
+			return fmt.Errorf("core: field %q is required", field.Name())
+		}
+		if field.Validate != nil {
+			// SQL CHECK semantics: a rule that evaluates to NULL (because an
+			// operand is NULL) does not reject the row; only FALSE does.
+			result, err := field.Validate.Eval(row)
+			if err != nil {
+				return fmt.Errorf("core: validating %q: %v", field.Name(), err)
+			}
+			if !result.IsNull() && !(result.Kind() == types.KindBool && result.Bool()) {
+				msg := field.Def.Message
+				if msg == "" {
+					msg = fmt.Sprintf("value %q is not allowed for %s", value.String(), field.Name())
+				}
+				return fmt.Errorf("core: %s", msg)
+			}
+		}
+	}
+	return w.runTriggers("before", event, row)
+}
+
+// runTriggers evaluates the form's triggers for the given timing and event.
+func (w *Window) runTriggers(when, event string, row types.Tuple) error {
+	for _, trigger := range w.form.Triggers {
+		if trigger.Def.When != when || trigger.Def.Event != event {
+			continue
+		}
+		// As with field validation, a check that evaluates to NULL passes.
+		result, err := trigger.Check.Eval(row)
+		if err != nil {
+			return fmt.Errorf("core: trigger on %s %s: %v", when, event, err)
+		}
+		if !result.IsNull() && !(result.Kind() == types.KindBool && result.Bool()) {
+			msg := trigger.Def.Message
+			if msg == "" {
+				msg = fmt.Sprintf("%s %s is not allowed for this row", when, event)
+			}
+			return fmt.Errorf("core: %s", msg)
+		}
+	}
+	return nil
+}
+
+// Save writes the edit or insert buffer through the bound relation (via the
+// engine, so updatable-view translation and constraints apply), refreshes the
+// window and notifies the window manager so other windows on the same world
+// are refreshed too.
+func (w *Window) Save() error {
+	if w.form.ReadOnly {
+		return fmt.Errorf("core: form %q is read-only", w.form.Def.Name)
+	}
+	if w.mode != ModeEdit && w.mode != ModeInsert {
+		return fmt.Errorf("core: nothing to save (not editing)")
+	}
+	event := "update"
+	if w.mode == ModeInsert {
+		event = "insert"
+	}
+	row, err := w.candidateRow()
+	if err != nil {
+		w.setError(err)
+		return err
+	}
+	if err := w.validate(row, event); err != nil {
+		w.setError(err)
+		return err
+	}
+	var statement string
+	if w.mode == ModeInsert {
+		statement, err = w.insertStatement(row)
+	} else {
+		statement, err = w.updateStatement(row)
+	}
+	if err != nil {
+		w.setError(err)
+		return err
+	}
+	if statement == "" {
+		w.Cancel()
+		w.setStatus("no changes to save")
+		return nil
+	}
+	res, err := w.session.Execute(statement)
+	if err != nil {
+		w.setError(err)
+		return err
+	}
+	w.stats.Saves++
+	_ = w.runTriggers("after", event, row)
+	w.mode = ModeBrowse
+	w.buffer = map[string]string{}
+	w.dirty = false
+	w.setStatus("%d row(s) saved", res.RowsAffected)
+	if err := w.Refresh(); err != nil {
+		return err
+	}
+	w.notifyWrite()
+	return nil
+}
+
+// insertStatement builds the INSERT for the candidate row, supplying only the
+// form's bound columns.
+func (w *Window) insertStatement(row types.Tuple) (string, error) {
+	var cols, vals []string
+	for _, field := range w.form.Fields {
+		if field.Computed() {
+			continue
+		}
+		v := row[field.Column]
+		if v.IsNull() {
+			continue // let table defaults / NULL apply
+		}
+		cols = append(cols, w.form.Schema.Columns[field.Column].Name)
+		vals = append(vals, v.SQL())
+	}
+	if len(cols) == 0 {
+		return "", fmt.Errorf("core: the new row is empty")
+	}
+	return fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+		w.form.Relation, strings.Join(cols, ", "), strings.Join(vals, ", ")), nil
+}
+
+// updateStatement builds the UPDATE for the changed fields of the current
+// row, addressed by the form's key.
+func (w *Window) updateStatement(row types.Tuple) (string, error) {
+	current, ok := w.CurrentRow()
+	if !ok {
+		return "", fmt.Errorf("core: no current row")
+	}
+	if len(w.form.Key) == 0 {
+		return "", fmt.Errorf("core: form %q has no key; updates are not possible", w.form.Def.Name)
+	}
+	var sets []string
+	for _, field := range w.form.Fields {
+		if field.Computed() || field.Def.ReadOnly {
+			continue
+		}
+		if row[field.Column].Equal(current[field.Column]) {
+			continue
+		}
+		sets = append(sets, fmt.Sprintf("%s = %s", w.form.Schema.Columns[field.Column].Name, row[field.Column].SQL()))
+	}
+	if len(sets) == 0 {
+		return "", nil
+	}
+	where, err := w.keyPredicate(current)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("UPDATE %s SET %s WHERE %s", w.form.Relation, strings.Join(sets, ", "), where), nil
+}
+
+// keyPredicate renders "key1 = v1 AND key2 = v2" for the given row.
+func (w *Window) keyPredicate(row types.Tuple) (string, error) {
+	if len(w.form.Key) == 0 {
+		return "", fmt.Errorf("core: form %q has no key", w.form.Def.Name)
+	}
+	var parts []string
+	for _, pos := range w.form.Key {
+		v := row[pos]
+		if v.IsNull() {
+			return "", fmt.Errorf("core: key column %q is NULL", w.form.Schema.Columns[pos].Name)
+		}
+		parts = append(parts, fmt.Sprintf("%s = %s", w.form.Schema.Columns[pos].Name, v.SQL()))
+	}
+	return strings.Join(parts, " AND "), nil
+}
+
+// DeleteCurrent deletes the row under the cursor through the bound relation.
+func (w *Window) DeleteCurrent() error {
+	if w.form.ReadOnly {
+		return fmt.Errorf("core: form %q is read-only", w.form.Def.Name)
+	}
+	current, ok := w.CurrentRow()
+	if !ok {
+		return fmt.Errorf("core: no current row to delete")
+	}
+	if err := w.runTriggers("before", "delete", current); err != nil {
+		w.setError(err)
+		return err
+	}
+	where, err := w.keyPredicate(current)
+	if err != nil {
+		w.setError(err)
+		return err
+	}
+	res, err := w.session.Execute(fmt.Sprintf("DELETE FROM %s WHERE %s", w.form.Relation, where))
+	if err != nil {
+		w.setError(err)
+		return err
+	}
+	w.stats.Deletes++
+	_ = w.runTriggers("after", "delete", current)
+	w.setStatus("%d row(s) deleted", res.RowsAffected)
+	if err := w.Refresh(); err != nil {
+		return err
+	}
+	w.notifyWrite()
+	return nil
+}
+
+// notifyWrite tells the window manager this window changed its base table so
+// that other windows showing the same world refresh.
+func (w *Window) notifyWrite() {
+	if w.wm == nil || w.form.BaseTable == nil {
+		return
+	}
+	w.wm.PropagateChange(w.form.BaseTable.Name(), w)
+}
+
+// Computed reports whether the field is display-only.
+func (f *Field) Computed() bool { return f.Def.Computed }

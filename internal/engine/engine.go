@@ -1,0 +1,189 @@
+// Package engine ties the storage, catalog, SQL, planning, execution,
+// transaction and view layers together behind the two types the rest of the
+// system (the forms runtime, the tools, the examples) talks to: Database and
+// Session.
+//
+// A Database owns the buffer pool, catalog, write-ahead log and transaction
+// manager. A Session executes SQL statements — with autocommit or explicit
+// transactions — and is the unit a form window binds to.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Options configures Open.
+type Options struct {
+	// DataPath is the database file; empty keeps all pages in memory.
+	DataPath string
+	// WALPath is the write-ahead log file; empty keeps the log in memory
+	// only for the lifetime of the process (rollback still works).
+	WALPath string
+	// BufferPoolPages is the page cache size (default 1024 pages = 8 MiB).
+	BufferPoolPages int
+	// LockTimeout bounds how long a statement waits for a table lock before
+	// it is treated as deadlocked (default 500ms).
+	LockTimeout time.Duration
+	// DisableWAL turns logging off entirely (used by benchmarks that measure
+	// pure execution cost).
+	DisableWAL bool
+}
+
+// Database is one open database instance.
+type Database struct {
+	opts Options
+	disk storage.DiskManager
+	pool *storage.BufferPool
+	cat  *catalog.Catalog
+	wal  *txn.WAL
+	txns *txn.Manager
+}
+
+// Open creates or opens a database with the given options.
+func Open(opts Options) (*Database, error) {
+	if opts.BufferPoolPages <= 0 {
+		opts.BufferPoolPages = 1024
+	}
+	if opts.LockTimeout <= 0 {
+		opts.LockTimeout = 500 * time.Millisecond
+	}
+	var disk storage.DiskManager
+	var err error
+	if opts.DataPath == "" {
+		disk = storage.NewMemDiskManager()
+	} else {
+		disk, err = storage.OpenFileDiskManager(opts.DataPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pool := storage.NewBufferPool(disk, opts.BufferPoolPages)
+	cat := catalog.New(pool)
+
+	var wal *txn.WAL
+	var walRecords []txn.Record
+	if !opts.DisableWAL {
+		if opts.WALPath == "" {
+			wal = txn.NewWAL(&discardWriter{})
+		} else {
+			// Read any existing log first so committed work is replayed, then
+			// append to it.
+			if f, err := os.Open(opts.WALPath); err == nil {
+				walRecords, err = txn.ReadLog(f)
+				f.Close()
+				if err != nil {
+					return nil, fmt.Errorf("engine: reading wal: %w", err)
+				}
+			}
+			wal, err = txn.OpenWALFile(opts.WALPath)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	db := &Database{
+		opts: opts,
+		disk: disk,
+		pool: pool,
+		cat:  cat,
+		wal:  wal,
+		txns: txn.NewManager(wal, opts.LockTimeout),
+	}
+	if len(walRecords) > 0 {
+		if err := db.replay(walRecords); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// discardWriter is the sink for the in-memory WAL: the log exists so that
+// Txn undo information and commit records behave identically with and
+// without a file, but nothing is retained.
+type discardWriter struct{}
+
+func (*discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// OpenMemory opens an in-memory database with defaults, the configuration
+// every example and benchmark uses.
+func OpenMemory() *Database {
+	db, err := Open(Options{})
+	if err != nil {
+		// Only I/O can fail, and the memory configuration does none.
+		panic(fmt.Sprintf("engine: OpenMemory: %v", err))
+	}
+	return db
+}
+
+// replay recovers committed transactions from a previous run's log.
+func (db *Database) replay(records []txn.Record) error {
+	session := db.Session()
+	return txn.Recover(records, db.cat, func(ddl string) error {
+		_, err := session.Execute(ddl)
+		return err
+	})
+}
+
+// Close flushes dirty pages and closes the underlying files.
+func (db *Database) Close() error {
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil {
+			return err
+		}
+	}
+	return db.disk.Close()
+}
+
+// Catalog exposes the database's catalog (the forms layer resolves bindings
+// through it).
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Transactions exposes the transaction manager.
+func (db *Database) Transactions() *txn.Manager { return db.txns }
+
+// Pool exposes the buffer pool, mainly for its statistics.
+func (db *Database) Pool() *storage.BufferPool { return db.pool }
+
+// Session creates a new session. Sessions are cheap; each interactive window
+// or worker goroutine should own one. A Session must not be used from more
+// than one goroutine at a time.
+func (db *Database) Session() *Session {
+	return &Session{db: db}
+}
+
+// Stats summarises engine-level counters for the benchmark harness.
+type Stats struct {
+	Committed  uint64
+	Aborted    uint64
+	LockWaits  uint64
+	LockAborts uint64
+	WALWrites  uint64
+	BufferPool storage.BufferPoolStats
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (db *Database) Stats() Stats {
+	committed, aborted := db.txns.Stats()
+	waits, timeouts := db.txns.Locks().Stats()
+	var walWrites uint64
+	if db.wal != nil {
+		walWrites = db.wal.Writes()
+	}
+	return Stats{
+		Committed:  committed,
+		Aborted:    aborted,
+		LockWaits:  waits,
+		LockAborts: timeouts,
+		WALWrites:  walWrites,
+		BufferPool: db.pool.Stats(),
+	}
+}

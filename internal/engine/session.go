@@ -1,0 +1,627 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/view"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the result columns of a SELECT (nil for other statements).
+	Columns []string
+	// Rows holds the result rows of a SELECT.
+	Rows []types.Tuple
+	// RowsAffected counts the rows written by INSERT, UPDATE or DELETE.
+	RowsAffected int
+	// Message describes the effect of DDL and transaction-control statements.
+	Message string
+}
+
+// Session executes statements against a database, carrying the current
+// explicit transaction if one is open. It is not safe for concurrent use.
+type Session struct {
+	db      *Database
+	current *txn.Txn
+}
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.current != nil }
+
+// Database returns the database this session belongs to.
+func (s *Session) Database() *Database { return s.db }
+
+// Execute parses and runs a single SQL statement.
+func (s *Session) Execute(text string) (*Result, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecuteStmt(stmt)
+}
+
+// ExecuteScript runs a semicolon-separated script, stopping at the first
+// error. It returns one result per executed statement.
+func (s *Session) ExecuteScript(text string) ([]*Result, error) {
+	stmts, err := sql.ParseAll(text)
+	if err != nil {
+		return nil, err
+	}
+	var results []*Result
+	for _, stmt := range stmts {
+		res, err := s.ExecuteStmt(stmt)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// Query runs a statement that must be a SELECT.
+func (s *Session) Query(text string) (*Result, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.executeSelect(sel)
+}
+
+// ExecuteStmt runs an already-parsed statement.
+func (s *Session) ExecuteStmt(stmt sql.Statement) (*Result, error) {
+	switch stmt := stmt.(type) {
+	case *sql.SelectStmt:
+		return s.executeSelect(stmt)
+	case *sql.InsertStmt:
+		return s.executeInsert(stmt)
+	case *sql.UpdateStmt:
+		return s.executeUpdate(stmt)
+	case *sql.DeleteStmt:
+		return s.executeDelete(stmt)
+	case *sql.CreateTableStmt:
+		return s.executeCreateTable(stmt)
+	case *sql.CreateIndexStmt:
+		return s.executeCreateIndex(stmt)
+	case *sql.CreateViewStmt:
+		return s.executeCreateView(stmt)
+	case *sql.DropStmt:
+		return s.executeDrop(stmt)
+	case *sql.BeginStmt:
+		return s.executeBegin()
+	case *sql.CommitStmt:
+		return s.executeCommit()
+	case *sql.RollbackStmt:
+		return s.executeRollback()
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// --- transaction control -------------------------------------------------
+
+func (s *Session) executeBegin() (*Result, error) {
+	if s.current != nil {
+		return nil, fmt.Errorf("engine: a transaction is already open")
+	}
+	t, err := s.db.txns.Begin()
+	if err != nil {
+		return nil, err
+	}
+	s.current = t
+	return &Result{Message: "BEGIN"}, nil
+}
+
+func (s *Session) executeCommit() (*Result, error) {
+	if s.current == nil {
+		return nil, fmt.Errorf("engine: no transaction is open")
+	}
+	err := s.current.Commit()
+	s.current = nil
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: "COMMIT"}, nil
+}
+
+func (s *Session) executeRollback() (*Result, error) {
+	if s.current == nil {
+		return nil, fmt.Errorf("engine: no transaction is open")
+	}
+	err := s.current.Rollback()
+	s.current = nil
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: "ROLLBACK"}, nil
+}
+
+// writeTxn returns the transaction a data-modifying statement should run in
+// and whether it must be committed (autocommit) when the statement finishes.
+func (s *Session) writeTxn() (*txn.Txn, bool, error) {
+	if s.current != nil {
+		return s.current, false, nil
+	}
+	t, err := s.db.txns.Begin()
+	if err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+// finishWrite commits or rolls back an autocommit transaction depending on
+// the statement's outcome, and converts lock-timeout aborts of an explicit
+// transaction into a rolled-back session state.
+func (s *Session) finishWrite(t *txn.Txn, autocommit bool, execErr error) error {
+	if autocommit {
+		if execErr != nil {
+			_ = t.Rollback()
+			return execErr
+		}
+		return t.Commit()
+	}
+	return execErr
+}
+
+// --- DDL -------------------------------------------------------------------
+
+func (s *Session) executeCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
+	cols := make([]types.Column, len(stmt.Columns))
+	for i, def := range stmt.Columns {
+		kind, err := types.KindFromName(def.TypeName)
+		if err != nil {
+			return nil, err
+		}
+		col := types.Column{
+			Name:       def.Name,
+			Type:       kind,
+			PrimaryKey: def.PrimaryKey,
+			NotNull:    def.NotNull || def.PrimaryKey,
+			Unique:     def.Unique,
+		}
+		if def.Default != nil {
+			v, err := expr.CompileConst(def.Default)
+			if err != nil {
+				return nil, fmt.Errorf("engine: DEFAULT for %s: %w", def.Name, err)
+			}
+			cast, err := v.Cast(kind)
+			if err != nil {
+				return nil, fmt.Errorf("engine: DEFAULT for %s: %w", def.Name, err)
+			}
+			col.Default = &cast
+		}
+		cols[i] = col
+	}
+	if _, err := s.db.cat.CreateTable(stmt.Name, types.NewSchema(cols...)); err != nil {
+		return nil, err
+	}
+	if err := s.logDDL(stmt.String()); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("table %s created", strings.ToLower(stmt.Name))}, nil
+}
+
+func (s *Session) executeCreateIndex(stmt *sql.CreateIndexStmt) (*Result, error) {
+	if _, err := s.db.cat.CreateIndex(stmt.Name, stmt.Table, stmt.Columns, stmt.Unique); err != nil {
+		return nil, err
+	}
+	if err := s.logDDL(stmt.String()); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("index %s created", stmt.Name)}, nil
+}
+
+func (s *Session) executeCreateView(stmt *sql.CreateViewStmt) (*Result, error) {
+	// Validate the definition by planning it before registering.
+	queryText := stmt.Query.String()
+	if _, err := plan.NewBuilder(s.db.cat).Build(stmt.Query); err != nil {
+		return nil, fmt.Errorf("engine: view definition: %w", err)
+	}
+	if _, err := s.db.cat.CreateView(stmt.Name, queryText, stmt.Columns); err != nil {
+		return nil, err
+	}
+	if err := s.logDDL(stmt.String()); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("view %s created", strings.ToLower(stmt.Name))}, nil
+}
+
+func (s *Session) executeDrop(stmt *sql.DropStmt) (*Result, error) {
+	var err error
+	switch stmt.Object {
+	case "TABLE":
+		err = s.db.cat.DropTable(stmt.Name)
+	case "VIEW":
+		err = s.db.cat.DropView(stmt.Name)
+	case "INDEX":
+		err = s.db.cat.DropIndex(stmt.Name)
+	default:
+		err = fmt.Errorf("engine: cannot drop %s", stmt.Object)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.logDDL(stmt.String()); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("%s %s dropped", strings.ToLower(stmt.Object), strings.ToLower(stmt.Name))}, nil
+}
+
+// logDDL records a schema change in the WAL so that recovery rebuilds the
+// catalog. DDL is autocommitted in its own transaction.
+func (s *Session) logDDL(text string) error {
+	t, autocommit, err := s.writeTxn()
+	if err != nil {
+		return err
+	}
+	err = t.LogDDL(text)
+	return s.finishWrite(t, autocommit, err)
+}
+
+// --- SELECT ----------------------------------------------------------------
+
+func (s *Session) executeSelect(stmt *sql.SelectStmt) (*Result, error) {
+	// Inside an explicit transaction, reads take shared locks on the
+	// referenced base tables so the window contents cannot change under it.
+	if s.current != nil {
+		for _, ref := range stmt.From {
+			if s.db.cat.HasTable(ref.Name) {
+				if err := s.current.LockShared(strings.ToLower(ref.Name)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	node, err := plan.NewBuilder(s.db.cat).Build(stmt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(node)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Rows: res.Rows}
+	for _, col := range res.Schema.Columns {
+		out.Columns = append(out.Columns, col.Name)
+	}
+	return out, nil
+}
+
+// Plan builds (but does not run) the plan for a SELECT, for EXPLAIN-style
+// tooling and the planner-dependent experiments.
+func (s *Session) Plan(text string) (plan.Node, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	return plan.NewBuilder(s.db.cat).Build(sel)
+}
+
+// --- INSERT ------------------------------------------------------------------
+
+func (s *Session) executeInsert(stmt *sql.InsertStmt) (*Result, error) {
+	table, updatable, err := s.resolveWriteTarget(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	t, autocommit, err := s.writeTxn()
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	execErr := func() error {
+		for _, row := range stmt.Rows {
+			columns, values := stmt.Columns, row
+			if updatable != nil {
+				columns, values, err = updatable.TranslateInsert(stmt.Columns, row)
+				if err != nil {
+					return err
+				}
+			}
+			tuple, err := buildInsertTuple(table, columns, values)
+			if err != nil {
+				return err
+			}
+			if updatable != nil {
+				if err := updatable.CheckRow(table.Schema(), tuple); err != nil {
+					return err
+				}
+			}
+			if _, err := t.Insert(table, tuple); err != nil {
+				return err
+			}
+			affected++
+		}
+		return nil
+	}()
+	if err := s.finishWrite(t, autocommit, execErr); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: affected, Message: fmt.Sprintf("%d row(s) inserted", affected)}, nil
+}
+
+// buildInsertTuple evaluates the value expressions and arranges them into a
+// full-width tuple, filling omitted columns with their defaults (or NULL).
+func buildInsertTuple(table *catalog.Table, columns []string, values []sql.Expr) (types.Tuple, error) {
+	schema := table.Schema()
+	if len(columns) == 0 && len(values) != schema.Len() {
+		return nil, fmt.Errorf("engine: table %s has %d columns but %d values were supplied", table.Name(), schema.Len(), len(values))
+	}
+	if len(columns) > 0 && len(columns) != len(values) {
+		return nil, fmt.Errorf("engine: %d columns but %d values", len(columns), len(values))
+	}
+	tuple := make(types.Tuple, schema.Len())
+	for i, col := range schema.Columns {
+		if col.Default != nil {
+			tuple[i] = *col.Default
+		} else {
+			tuple[i] = types.Null()
+		}
+	}
+	evaluate := func(e sql.Expr) (types.Value, error) {
+		return expr.CompileConst(e)
+	}
+	if len(columns) == 0 {
+		for i, e := range values {
+			v, err := evaluate(e)
+			if err != nil {
+				return nil, err
+			}
+			tuple[i] = v
+		}
+		return tuple, nil
+	}
+	for i, name := range columns {
+		pos, err := schema.ColumnIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		v, err := evaluate(values[i])
+		if err != nil {
+			return nil, err
+		}
+		tuple[pos] = v
+	}
+	return tuple, nil
+}
+
+// --- UPDATE ------------------------------------------------------------------
+
+func (s *Session) executeUpdate(stmt *sql.UpdateStmt) (*Result, error) {
+	table, updatable, err := s.resolveWriteTarget(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	assignments := stmt.Assignments
+	where := stmt.Where
+	if updatable != nil {
+		if assignments, err = updatable.TranslateAssignments(stmt.Assignments); err != nil {
+			return nil, err
+		}
+		if where, err = updatable.TranslatePredicate(stmt.Where); err != nil {
+			return nil, err
+		}
+	}
+	schema := table.Schema()
+	type compiledAssignment struct {
+		pos   int
+		value *expr.Compiled
+	}
+	compiled := make([]compiledAssignment, len(assignments))
+	for i, a := range assignments {
+		pos, err := schema.ColumnIndex(a.Column)
+		if err != nil {
+			return nil, err
+		}
+		c, err := expr.Compile(a.Value, schema)
+		if err != nil {
+			return nil, fmt.Errorf("engine: SET %s: %w", a.Column, err)
+		}
+		compiled[i] = compiledAssignment{pos: pos, value: c}
+	}
+
+	targets, err := s.findTargets(table, where)
+	if err != nil {
+		return nil, err
+	}
+	t, autocommit, err := s.writeTxn()
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	execErr := func() error {
+		for _, target := range targets {
+			// Re-read inside the transaction: findTargets ran unlocked.
+			current, err := table.Get(target)
+			if err != nil {
+				if err == storage.ErrRecordNotFound {
+					continue
+				}
+				return err
+			}
+			next := current.Clone()
+			for _, a := range compiled {
+				v, err := a.value.Eval(current)
+				if err != nil {
+					return err
+				}
+				next[a.pos] = v
+			}
+			if updatable != nil {
+				if err := updatable.CheckRow(schema, next); err != nil {
+					return err
+				}
+			}
+			if _, err := t.Update(table, target, next); err != nil {
+				return err
+			}
+			affected++
+		}
+		return nil
+	}()
+	if err := s.finishWrite(t, autocommit, execErr); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: affected, Message: fmt.Sprintf("%d row(s) updated", affected)}, nil
+}
+
+// --- DELETE ------------------------------------------------------------------
+
+func (s *Session) executeDelete(stmt *sql.DeleteStmt) (*Result, error) {
+	table, updatable, err := s.resolveWriteTarget(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	where := stmt.Where
+	if updatable != nil {
+		if where, err = updatable.TranslatePredicate(stmt.Where); err != nil {
+			return nil, err
+		}
+	}
+	targets, err := s.findTargets(table, where)
+	if err != nil {
+		return nil, err
+	}
+	t, autocommit, err := s.writeTxn()
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	execErr := func() error {
+		for _, target := range targets {
+			if err := t.Delete(table, target); err != nil {
+				if err == storage.ErrRecordNotFound {
+					continue
+				}
+				return err
+			}
+			affected++
+		}
+		return nil
+	}()
+	if err := s.finishWrite(t, autocommit, execErr); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: affected, Message: fmt.Sprintf("%d row(s) deleted", affected)}, nil
+}
+
+// --- shared helpers ----------------------------------------------------------
+
+// resolveWriteTarget resolves the target of a DML statement: a base table
+// directly, or an updatable view with its translation.
+func (s *Session) resolveWriteTarget(name string) (*catalog.Table, *view.Updatable, error) {
+	if s.db.cat.HasTable(name) {
+		table, err := s.db.cat.GetTable(name)
+		return table, nil, err
+	}
+	if s.db.cat.HasView(name) {
+		def, err := s.db.cat.GetView(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		updatable, err := view.Analyze(def, s.db.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		table, err := s.db.cat.GetTable(updatable.BaseTable)
+		if err != nil {
+			return nil, nil, err
+		}
+		return table, updatable, nil
+	}
+	return nil, nil, fmt.Errorf("engine: no table or view named %q", name)
+}
+
+// findTargets returns the record ids of the rows satisfying where, using an
+// index when the predicate allows it (the same access-path rules the planner
+// applies to scans).
+func (s *Session) findTargets(table *catalog.Table, where sql.Expr) ([]storage.RecordID, error) {
+	schema := table.Schema()
+	var compiled *expr.Compiled
+	if where != nil {
+		c, err := expr.Compile(where, schema)
+		if err != nil {
+			return nil, err
+		}
+		compiled = c
+	}
+
+	// Index fast path: a conjunct of the form "col = literal" on an indexed
+	// column narrows the candidate set before filtering.
+	var candidates []storage.RecordID
+	usedIndex := false
+	if where != nil {
+		for _, conjunct := range splitAnd(where) {
+			bin, ok := conjunct.(*sql.BinaryExpr)
+			if !ok || bin.Op != sql.OpEq {
+				continue
+			}
+			ref, refOK := bin.Left.(*sql.ColumnRef)
+			lit, litOK := bin.Right.(*sql.Literal)
+			if !refOK || !litOK {
+				ref, refOK = bin.Right.(*sql.ColumnRef)
+				lit, litOK = bin.Left.(*sql.Literal)
+			}
+			if !refOK || !litOK {
+				continue
+			}
+			idx := table.IndexOn(ref.Name)
+			if idx == nil || len(idx.Columns) != 1 {
+				continue
+			}
+			candidates = table.LookupEqual(idx, lit.Value)
+			usedIndex = true
+			break
+		}
+	}
+
+	var out []storage.RecordID
+	if usedIndex {
+		for _, rid := range candidates {
+			tuple, err := table.Get(rid)
+			if err != nil {
+				continue
+			}
+			if compiled != nil {
+				ok, err := compiled.EvalBool(tuple)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, rid)
+		}
+		return out, nil
+	}
+	err := table.Scan(func(rid storage.RecordID, tuple types.Tuple) error {
+		if compiled != nil {
+			ok, err := compiled.EvalBool(tuple)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		out = append(out, rid)
+		return nil
+	})
+	return out, err
+}
+
+func splitAnd(e sql.Expr) []sql.Expr {
+	if bin, ok := e.(*sql.BinaryExpr); ok && bin.Op == sql.OpAnd {
+		return append(splitAnd(bin.Left), splitAnd(bin.Right)...)
+	}
+	return []sql.Expr{e}
+}

@@ -1,0 +1,167 @@
+// Package exec runs plan trees. Each plan node maps to a pull-style operator
+// (Open / Next / Close); Build compiles the expressions once and wires the
+// operators together, and Run drains the tree into a result set.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Operator is a pull-style iterator over tuples.
+type Operator interface {
+	// Schema describes the tuples the operator produces.
+	Schema() *types.Schema
+	// Open prepares the operator (and its inputs) for iteration.
+	Open() error
+	// Next returns the next tuple; ok is false when the input is exhausted.
+	Next() (tuple types.Tuple, ok bool, err error)
+	// Close releases any resources. It is safe to call after an error.
+	Close() error
+}
+
+// Build compiles a plan tree into an operator tree.
+func Build(node plan.Node) (Operator, error) {
+	switch n := node.(type) {
+	case *plan.ScanNode:
+		return newScanOperator(n)
+	case *plan.DerivedNode:
+		input, err := Build(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &derivedOperator{input: input, schema: n.Schema()}, nil
+	case *plan.FilterNode:
+		return newFilterOperator(n)
+	case *plan.JoinNode:
+		return newJoinOperator(n)
+	case *plan.ProjectNode:
+		return newProjectOperator(n)
+	case *plan.AggregateNode:
+		return newAggregateOperator(n)
+	case *plan.SortNode:
+		return newSortOperator(n)
+	case *plan.DistinctNode:
+		input, err := Build(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOperator{input: input}, nil
+	case *plan.LimitNode:
+		input, err := Build(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOperator{input: input, limit: n.Limit, offset: n.Offset}, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", node)
+	}
+}
+
+// Result is a fully materialised query result.
+type Result struct {
+	Schema *types.Schema
+	Rows   []types.Tuple
+}
+
+// Run builds, opens, drains and closes the plan in one call.
+func Run(node plan.Node) (*Result, error) {
+	op, err := Build(node)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	res := &Result{Schema: op.Schema()}
+	for {
+		tuple, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		res.Rows = append(res.Rows, tuple)
+	}
+}
+
+// derivedOperator renames its input's columns (a view used as a table); the
+// tuples pass through unchanged.
+type derivedOperator struct {
+	input  Operator
+	schema *types.Schema
+}
+
+func (o *derivedOperator) Schema() *types.Schema { return o.schema }
+func (o *derivedOperator) Open() error           { return o.input.Open() }
+func (o *derivedOperator) Close() error          { return o.input.Close() }
+func (o *derivedOperator) Next() (types.Tuple, bool, error) {
+	return o.input.Next()
+}
+
+// limitOperator applies OFFSET and LIMIT.
+type limitOperator struct {
+	input   Operator
+	limit   int64
+	offset  int64
+	skipped int64
+	emitted int64
+}
+
+func (o *limitOperator) Schema() *types.Schema { return o.input.Schema() }
+func (o *limitOperator) Open() error {
+	o.skipped, o.emitted = 0, 0
+	return o.input.Open()
+}
+func (o *limitOperator) Close() error { return o.input.Close() }
+
+func (o *limitOperator) Next() (types.Tuple, bool, error) {
+	for {
+		if o.limit >= 0 && o.emitted >= o.limit {
+			return nil, false, nil
+		}
+		tuple, ok, err := o.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if o.skipped < o.offset {
+			o.skipped++
+			continue
+		}
+		o.emitted++
+		return tuple, true, nil
+	}
+}
+
+// distinctOperator drops tuples it has already emitted, keyed by the tuple's
+// storage encoding.
+type distinctOperator struct {
+	input Operator
+	seen  map[string]bool
+}
+
+func (o *distinctOperator) Schema() *types.Schema { return o.input.Schema() }
+func (o *distinctOperator) Open() error {
+	o.seen = make(map[string]bool)
+	return o.input.Open()
+}
+func (o *distinctOperator) Close() error { return o.input.Close() }
+
+func (o *distinctOperator) Next() (types.Tuple, bool, error) {
+	for {
+		tuple, ok, err := o.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := string(types.EncodeTuple(nil, tuple))
+		if o.seen[key] {
+			continue
+		}
+		o.seen[key] = true
+		return tuple, true, nil
+	}
+}

@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// joinOperator implements nested-loop and hash joins (inner and left outer).
+// The right input is always materialised; interactive form queries join small
+// detail sets against indexed masters, so right-side materialisation is cheap.
+type joinOperator struct {
+	node        *plan.JoinNode
+	left, right Operator
+	schema      *types.Schema
+
+	on       *expr.Compiled // full condition (nested loop), compiled on joined schema
+	residual *expr.Compiled // extra condition after hash match
+	eqLeft   *expr.Compiled // hash key over left schema
+	eqRight  *expr.Compiled // hash key over right schema
+
+	rightRows  []types.Tuple
+	hashTable  map[uint64][]types.Tuple
+	current    types.Tuple // current left tuple
+	matches    []types.Tuple
+	matchPos   int
+	matchedAny bool
+	leftDone   bool
+}
+
+func newJoinOperator(n *plan.JoinNode) (*joinOperator, error) {
+	left, err := Build(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Build(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	op := &joinOperator{node: n, left: left, right: right, schema: n.Schema()}
+	if n.Strategy == plan.JoinHash {
+		if op.eqLeft, err = expr.Compile(n.EqLeft, left.Schema()); err != nil {
+			return nil, fmt.Errorf("exec: hash join left key: %w", err)
+		}
+		if op.eqRight, err = expr.Compile(n.EqRight, right.Schema()); err != nil {
+			return nil, fmt.Errorf("exec: hash join right key: %w", err)
+		}
+		if n.Residual != nil {
+			if op.residual, err = expr.Compile(n.Residual, n.Schema()); err != nil {
+				return nil, fmt.Errorf("exec: hash join residual: %w", err)
+			}
+		}
+	} else if n.On != nil {
+		if op.on, err = expr.Compile(n.On, n.Schema()); err != nil {
+			return nil, fmt.Errorf("exec: join condition: %w", err)
+		}
+	}
+	return op, nil
+}
+
+func (o *joinOperator) Schema() *types.Schema { return o.schema }
+
+func (o *joinOperator) Open() error {
+	o.current = nil
+	o.matches = nil
+	o.matchPos = 0
+	o.leftDone = false
+	o.rightRows = nil
+	o.hashTable = nil
+	if err := o.left.Open(); err != nil {
+		return err
+	}
+	if err := o.right.Open(); err != nil {
+		return err
+	}
+	// Materialise the right input once.
+	for {
+		tuple, ok, err := o.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		o.rightRows = append(o.rightRows, tuple)
+	}
+	if o.node.Strategy == plan.JoinHash {
+		o.hashTable = make(map[uint64][]types.Tuple, len(o.rightRows))
+		for _, row := range o.rightRows {
+			key, err := o.eqRight.Eval(row)
+			if err != nil {
+				return err
+			}
+			if key.IsNull() {
+				continue // NULL never equi-joins
+			}
+			h := key.Hash()
+			o.hashTable[h] = append(o.hashTable[h], row)
+		}
+	}
+	return nil
+}
+
+func (o *joinOperator) Close() error {
+	errL := o.left.Close()
+	errR := o.right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+func (o *joinOperator) Next() (types.Tuple, bool, error) {
+	for {
+		// Emit pending matches for the current left row.
+		if o.current != nil && o.matchPos < len(o.matches) {
+			rightRow := o.matches[o.matchPos]
+			o.matchPos++
+			joined := o.current.Concat(rightRow)
+			pass, err := o.checkJoined(joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if !pass {
+				continue
+			}
+			o.matchedAny = true
+			return joined, true, nil
+		}
+		// Finished the current left row: left-outer padding if it never matched.
+		if o.current != nil {
+			needPad := o.node.Outer && !o.matchedAny
+			leftRow := o.current
+			o.current = nil
+			if needPad {
+				pad := make(types.Tuple, len(o.schema.Columns)-len(leftRow))
+				for i := range pad {
+					pad[i] = types.Null()
+				}
+				return leftRow.Concat(pad), true, nil
+			}
+			continue
+		}
+		if o.leftDone {
+			return nil, false, nil
+		}
+		// Advance to the next left row and compute its candidate matches.
+		leftRow, ok, err := o.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			o.leftDone = true
+			continue
+		}
+		o.current = leftRow
+		o.matchedAny = false
+		o.matchPos = 0
+		if o.node.Strategy == plan.JoinHash {
+			key, err := o.eqLeft.Eval(leftRow)
+			if err != nil {
+				return nil, false, err
+			}
+			if key.IsNull() {
+				o.matches = nil
+			} else {
+				o.matches = o.hashTable[key.Hash()]
+			}
+		} else {
+			o.matches = o.rightRows
+		}
+	}
+}
+
+// checkJoined applies whichever condition remains for the joined row: the
+// full ON condition for nested-loop joins, hash-key equality plus residual
+// for hash joins (hash buckets may contain collisions).
+func (o *joinOperator) checkJoined(joined types.Tuple) (bool, error) {
+	if o.node.Strategy == plan.JoinHash {
+		leftKey, err := o.eqLeft.Eval(joined[:len(o.left.Schema().Columns)])
+		if err != nil {
+			return false, err
+		}
+		rightKey, err := o.eqRight.Eval(joined[len(o.left.Schema().Columns):])
+		if err != nil {
+			return false, err
+		}
+		if leftKey.IsNull() || rightKey.IsNull() || !leftKey.Equal(rightKey) {
+			return false, nil
+		}
+		if o.residual != nil {
+			return o.residual.EvalBool(joined)
+		}
+		return true, nil
+	}
+	if o.on != nil {
+		return o.on.EvalBool(joined)
+	}
+	return true, nil // cross join
+}

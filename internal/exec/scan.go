@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// scanOperator reads a base table sequentially or through an index,
+// applying the residual filter.
+type scanOperator struct {
+	node   *plan.ScanNode
+	filter *expr.Compiled
+
+	// Sequential scan state.
+	iter *catalog.TableIterator
+	// Index scan state: the record ids to fetch, in order.
+	rids []storage.RecordID
+	pos  int
+}
+
+func newScanOperator(n *plan.ScanNode) (*scanOperator, error) {
+	op := &scanOperator{node: n}
+	if n.Filter != nil {
+		compiled, err := expr.Compile(n.Filter, n.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("exec: scan filter: %w", err)
+		}
+		op.filter = compiled
+	}
+	return op, nil
+}
+
+func (o *scanOperator) Schema() *types.Schema { return o.node.Schema() }
+
+func (o *scanOperator) Open() error {
+	o.pos = 0
+	o.rids = nil
+	o.iter = nil
+	switch o.node.Access {
+	case plan.AccessSeqScan:
+		o.iter = o.node.Table.Iterator()
+	case plan.AccessIndexEq:
+		key := types.EncodeKey(nil, o.node.EqValue)
+		o.rids = o.node.Index.Tree.Search(key)
+	case plan.AccessIndexRange:
+		low, high := rangeKeys(o.node.Low, o.node.High)
+		o.rids = o.node.Index.Tree.Range(low, high)
+	default:
+		return fmt.Errorf("exec: unknown access kind %v", o.node.Access)
+	}
+	return nil
+}
+
+// rangeKeys converts plan bounds into the byte-key interval [low, high) the
+// B+tree scans. For a single-value key the only encoding equal to
+// EncodeKey(v) is v's own, so appending a zero byte moves a bound just past
+// all entries equal to v.
+func rangeKeys(low, high *plan.Bound) (lowKey, highKey []byte) {
+	if low != nil {
+		lowKey = types.EncodeKey(nil, low.Value)
+		if !low.Inclusive {
+			lowKey = append(lowKey, 0x00)
+		}
+	}
+	if high != nil {
+		highKey = types.EncodeKey(nil, high.Value)
+		if high.Inclusive {
+			highKey = append(highKey, 0x00)
+		}
+	}
+	return lowKey, highKey
+}
+
+func (o *scanOperator) Close() error { return nil }
+
+func (o *scanOperator) Next() (types.Tuple, bool, error) {
+	for {
+		var tuple types.Tuple
+		if o.iter != nil {
+			_, t, ok, err := o.iter.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
+			}
+			tuple = t
+		} else {
+			if o.pos >= len(o.rids) {
+				return nil, false, nil
+			}
+			rid := o.rids[o.pos]
+			o.pos++
+			t, err := o.node.Table.Get(rid)
+			if err != nil {
+				// The row may have been deleted between the index read and
+				// the fetch; skip it.
+				if err == storage.ErrRecordNotFound {
+					continue
+				}
+				return nil, false, err
+			}
+			tuple = t
+		}
+		if o.filter != nil {
+			ok, err := o.filter.EvalBool(tuple)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		return tuple, true, nil
+	}
+}
+
+// filterOperator applies a predicate above an arbitrary input.
+type filterOperator struct {
+	input Operator
+	cond  *expr.Compiled
+}
+
+func newFilterOperator(n *plan.FilterNode) (*filterOperator, error) {
+	input, err := Build(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	cond, err := expr.Compile(n.Cond, input.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("exec: filter: %w", err)
+	}
+	return &filterOperator{input: input, cond: cond}, nil
+}
+
+func (o *filterOperator) Schema() *types.Schema { return o.input.Schema() }
+func (o *filterOperator) Open() error           { return o.input.Open() }
+func (o *filterOperator) Close() error          { return o.input.Close() }
+
+func (o *filterOperator) Next() (types.Tuple, bool, error) {
+	for {
+		tuple, ok, err := o.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := o.cond.EvalBool(tuple)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return tuple, true, nil
+		}
+	}
+}
+
+// projectOperator computes the SELECT list.
+type projectOperator struct {
+	input  Operator
+	exprs  []*expr.Compiled
+	schema *types.Schema
+}
+
+func newProjectOperator(n *plan.ProjectNode) (*projectOperator, error) {
+	input, err := Build(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	op := &projectOperator{input: input, schema: n.Schema()}
+	for _, item := range n.Items {
+		c, err := expr.Compile(item.Expr, input.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("exec: projection %s: %w", item.Name, err)
+		}
+		op.exprs = append(op.exprs, c)
+	}
+	return op, nil
+}
+
+func (o *projectOperator) Schema() *types.Schema { return o.schema }
+func (o *projectOperator) Open() error           { return o.input.Open() }
+func (o *projectOperator) Close() error          { return o.input.Close() }
+
+func (o *projectOperator) Next() (types.Tuple, bool, error) {
+	tuple, ok, err := o.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(types.Tuple, len(o.exprs))
+	for i, e := range o.exprs {
+		v, err := e.Eval(tuple)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}

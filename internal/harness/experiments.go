@@ -1,0 +1,642 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// RunE1 — Table 1: form operation overhead versus the hand-written baseline.
+// The same four business operations (insert a customer, look one up by key,
+// change a credit limit, delete the customer) run once through a form window
+// and once through direct SQL.
+func RunE1(cfg Config) (*Table, error) {
+	env, err := newEnvironment(cfg.Sizes)
+	if err != nil {
+		return nil, err
+	}
+	_, window, err := env.openWindow("customer_form")
+	if err != nil {
+		return nil, err
+	}
+	app := baseline.New(env.db)
+	n := cfg.Operations
+	nextID := cfg.Sizes.Customers + 1
+
+	table := &Table{
+		ID:      "E1",
+		Title:   "Form operations vs hand-written SQL application (µs per operation)",
+		Columns: []string{"operation", "form µs/op", "baseline µs/op", "overhead"},
+		Notes: []string{
+			fmt.Sprintf("customers=%d, %d operations per cell; both paths share one engine", cfg.Sizes.Customers, n),
+		},
+	}
+
+	// Insert.
+	formInsert, err := timeIt(n, func(i int) error {
+		if err := window.BeginInsert(); err != nil {
+			return err
+		}
+		id := nextID + i
+		if err := window.SetFieldText("id", fmt.Sprintf("%d", id)); err != nil {
+			return err
+		}
+		if err := window.SetFieldText("name", "Form Customer"); err != nil {
+			return err
+		}
+		if err := window.SetFieldText("city", "Boston"); err != nil {
+			return err
+		}
+		return window.Save()
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseInsert, err := timeIt(n, func(i int) error {
+		return app.InsertCustomer(nextID+n+i, "Base Customer", "Boston", 0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	table.Rows = append(table.Rows, []string{"insert customer", us(formInsert), us(baseInsert), ratio(formInsert, baseInsert)})
+
+	// Lookup by key (query-by-form vs SELECT by primary key).
+	formLookup, err := timeIt(n, func(i int) error {
+		return window.Query(map[string]string{"id": fmt.Sprintf("%d", 1+i%cfg.Sizes.Customers)})
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseLookup, err := timeIt(n, func(i int) error {
+		_, err := app.LookupCustomer(1 + i%cfg.Sizes.Customers)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	table.Rows = append(table.Rows, []string{"lookup by key", us(formLookup), us(baseLookup), ratio(formLookup, baseLookup)})
+
+	// Update credit on the current row.
+	if err := window.Query(map[string]string{"id": "1"}); err != nil {
+		return nil, err
+	}
+	formUpdate, err := timeIt(n, func(i int) error {
+		if err := window.BeginEdit(); err != nil {
+			return err
+		}
+		if err := window.SetFieldText("credit", fmt.Sprintf("%d", 100+i)); err != nil {
+			return err
+		}
+		return window.Save()
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseUpdate, err := timeIt(n, func(i int) error {
+		return app.UpdateCredit(2, float64(100+i))
+	})
+	if err != nil {
+		return nil, err
+	}
+	table.Rows = append(table.Rows, []string{"update credit", us(formUpdate), us(baseUpdate), ratio(formUpdate, baseUpdate)})
+
+	// Delete (each path deletes rows it inserted itself).
+	formDelete, err := timeIt(n, func(i int) error {
+		if err := window.Query(map[string]string{"id": fmt.Sprintf("%d", nextID+i)}); err != nil {
+			return err
+		}
+		return window.DeleteCurrent()
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseDelete, err := timeIt(n, func(i int) error {
+		return app.DeleteCustomer(nextID + n + i)
+	})
+	if err != nil {
+		return nil, err
+	}
+	table.Rows = append(table.Rows, []string{"delete customer", us(formDelete), us(baseDelete), ratio(formDelete, baseDelete)})
+	return table, nil
+}
+
+// RunE2 — Table 2: query-by-form latency against predicate selectivity, with
+// the access path the planner chose for each pattern.
+func RunE2(cfg Config) (*Table, error) {
+	env, err := newEnvironment(cfg.Sizes)
+	if err != nil {
+		return nil, err
+	}
+	_, window, err := env.openWindow("customer_form")
+	if err != nil {
+		return nil, err
+	}
+	total := cfg.Sizes.Customers
+	cases := []struct {
+		label    string
+		patterns map[string]string
+		query    string // representative SQL for access-path reporting
+	}{
+		{"id = const (1 row)", map[string]string{"id": "17"}, "SELECT * FROM customers WHERE id = 17"},
+		{"city = const (~8%)", map[string]string{"city": workload.CityAt(0)}, fmt.Sprintf("SELECT * FROM customers WHERE city = '%s'", workload.CityAt(0))},
+		{"credit > 1800 (~10%)", map[string]string{"credit": ">1800"}, "SELECT * FROM customers WHERE credit > 1800"},
+		{"credit > 1000 (~50%)", map[string]string{"credit": ">1000"}, "SELECT * FROM customers WHERE credit > 1000"},
+		{"name like 'A%'", map[string]string{"name": "A%"}, "SELECT * FROM customers WHERE name LIKE 'A%'"},
+	}
+	reps := cfg.Operations / 5
+	if reps < 3 {
+		reps = 3
+	}
+	table := &Table{
+		ID:      "E2",
+		Title:   "Query-by-form latency vs selectivity (ms per query)",
+		Columns: []string{"pattern", "access path", "rows", "share", "ms/query"},
+		Notes:   []string{fmt.Sprintf("customers=%d; each pattern run %d times through the form window", total, reps)},
+	}
+	for _, c := range cases {
+		var rows int
+		avg, err := timeIt(reps, func(int) error {
+			if err := window.Query(c.patterns); err != nil {
+				return err
+			}
+			rows = window.RowCount()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		table.Rows = append(table.Rows, []string{
+			c.label,
+			accessPathOf(env.db, c.query),
+			fmt.Sprintf("%d", rows),
+			fmt.Sprintf("%.2f%%", 100*float64(rows)/float64(total)),
+			ms(avg),
+		})
+	}
+	return table, nil
+}
+
+// RunE3 — Figure 1: master/detail refresh latency as the number of detail
+// rows per master grows. A dedicated database is built so that each master
+// has exactly the wanted cardinality.
+func RunE3(cfg Config) (*Table, error) {
+	cardinalities := []int{1, 10, 100, 1000}
+	if cfg.Quick {
+		cardinalities = []int{1, 10, 50}
+	}
+	table := &Table{
+		ID:      "E3",
+		Title:   "Master/detail window: detail refresh cost vs detail cardinality",
+		Columns: []string{"detail rows per master", "ms/cursor move", "rows fetched"},
+		Notes:   []string{"each cursor move re-queries the detail window for the new master row"},
+	}
+	for _, k := range cardinalities {
+		db := engine.OpenMemory()
+		s := db.Session()
+		if _, err := s.ExecuteScript(workload.StandardSchema); err != nil {
+			return nil, err
+		}
+		// Two masters, each with k detail rows, so cursor moves alternate.
+		var rows []string
+		for id := 1; id <= 2; id++ {
+			rows = append(rows, fmt.Sprintf("(%d, 'Master %d', 'Boston', 100, '1983-01-01')", id, id))
+		}
+		if _, err := s.Execute("INSERT INTO customers (id, name, city, credit, since) VALUES " + strings.Join(rows, ", ")); err != nil {
+			return nil, err
+		}
+		var orderRows []string
+		orderID := 1
+		for master := 1; master <= 2; master++ {
+			for i := 0; i < k; i++ {
+				orderRows = append(orderRows, fmt.Sprintf("(%d, %d, '1983-02-01', %d)", orderID, master, i))
+				orderID++
+				if len(orderRows) == 200 {
+					if _, err := s.Execute("INSERT INTO orders (id, customer_id, placed, total) VALUES " + strings.Join(orderRows, ", ")); err != nil {
+						return nil, err
+					}
+					orderRows = orderRows[:0]
+				}
+			}
+		}
+		if len(orderRows) > 0 {
+			if _, err := s.Execute("INSERT INTO orders (id, customer_id, placed, total) VALUES " + strings.Join(orderRows, ", ")); err != nil {
+				return nil, err
+			}
+		}
+		forms, err := core.NewCompiler(db).CompileSource(workload.StandardForms)
+		if err != nil {
+			return nil, err
+		}
+		var customerForm *core.Form
+		for _, f := range forms {
+			if f.Def.Name == "customer_form" {
+				customerForm = f
+			}
+		}
+		m := core.NewManager(db, 100, 30)
+		w, err := m.Open(customerForm, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		reps := cfg.Operations
+		if reps > 200 {
+			reps = 200
+		}
+		before := w.Detail(0).Stats().RowsFetched
+		avg, err := timeIt(reps, func(i int) error {
+			if i%2 == 0 {
+				return w.LastRow()
+			}
+			return w.FirstRow()
+		})
+		if err != nil {
+			return nil, err
+		}
+		fetched := w.Detail(0).Stats().RowsFetched - before
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", k),
+			ms(avg),
+			fmt.Sprintf("%d", fetched),
+		})
+	}
+	return table, nil
+}
+
+// RunE4 — Figure 2: refresh propagation cost as more windows are open over
+// the same relation when one of them commits a change.
+func RunE4(cfg Config) (*Table, error) {
+	windowCounts := []int{1, 2, 4, 8, 16, 32}
+	if cfg.Quick {
+		windowCounts = []int{1, 2, 4, 8}
+	}
+	table := &Table{
+		ID:      "E4",
+		Title:   "Refresh propagation: commit latency vs number of open windows on the same table",
+		Columns: []string{"open windows", "ms/commit", "windows refreshed per commit"},
+		Notes:   []string{"window 0 commits a credit change; every other window shows a city's customers and is refreshed by the manager"},
+	}
+	for _, count := range windowCounts {
+		env, err := newEnvironment(cfg.Sizes)
+		if err != nil {
+			return nil, err
+		}
+		m := core.NewManager(env.db, 120, 40)
+		writer, err := m.Open(env.forms["customer_form"], 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < count; i++ {
+			w, err := m.Open(env.forms["customer_form"], 0, 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := w.Query(map[string]string{"city": workload.CityAt(i)}); err != nil {
+				return nil, err
+			}
+		}
+		m.Focus(writer)
+		if err := writer.Query(map[string]string{"id": "1"}); err != nil {
+			return nil, err
+		}
+		reps := cfg.Operations
+		if reps > 100 {
+			reps = 100
+		}
+		startRefreshed := m.WindowsRefreshed()
+		avg, err := timeIt(reps, func(i int) error {
+			if err := writer.BeginEdit(); err != nil {
+				return err
+			}
+			if err := writer.SetFieldText("credit", fmt.Sprintf("%d", 500+i)); err != nil {
+				return err
+			}
+			return writer.Save()
+		})
+		if err != nil {
+			return nil, err
+		}
+		refreshedPer := float64(m.WindowsRefreshed()-startRefreshed) / float64(reps)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", count),
+			ms(avg),
+			fmt.Sprintf("%.1f", refreshedPer),
+		})
+	}
+	return table, nil
+}
+
+// RunE5 — Table 3: updates through views versus direct base-table updates,
+// and the rejection of writes through non-updatable views.
+func RunE5(cfg Config) (*Table, error) {
+	env, err := newEnvironment(cfg.Sizes)
+	if err != nil {
+		return nil, err
+	}
+	s := env.db.Session()
+	n := cfg.Operations
+
+	// A target row that is visible in good_customers (credit >= 500).
+	if _, err := s.Execute("UPDATE customers SET credit = 900 WHERE id = 1"); err != nil {
+		return nil, err
+	}
+	direct, err := timeIt(n, func(i int) error {
+		_, err := s.Execute(fmt.Sprintf("UPDATE customers SET credit = %d WHERE id = 1", 600+i%100))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	throughView, err := timeIt(n, func(i int) error {
+		_, err := s.Execute(fmt.Sprintf("UPDATE good_customers SET credit = %d WHERE id = 1", 600+i%100))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	throughForm := time.Duration(0)
+	{
+		_, window, err := env.openWindow("good_customer_form")
+		if err != nil {
+			return nil, err
+		}
+		if err := window.Query(map[string]string{"id": "1"}); err != nil {
+			return nil, err
+		}
+		throughForm, err = timeIt(n, func(i int) error {
+			if err := window.BeginEdit(); err != nil {
+				return err
+			}
+			if err := window.SetFieldText("credit", fmt.Sprintf("%d", 600+i%100)); err != nil {
+				return err
+			}
+			return window.Save()
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Check-option rejections and non-updatable views.
+	rejected := 0
+	if _, err := s.Execute("UPDATE good_customers SET credit = 5 WHERE id = 1"); err != nil {
+		rejected++
+	}
+	if _, err := s.Execute("CREATE VIEW spend_summary AS SELECT customer_id, SUM(total) AS spent FROM orders GROUP BY customer_id"); err != nil {
+		return nil, err
+	}
+	if _, err := s.Execute("UPDATE spend_summary SET spent = 0 WHERE customer_id = 1"); err != nil {
+		rejected++
+	}
+	if _, err := s.Execute("INSERT INTO spend_summary VALUES (999, 1)"); err != nil {
+		rejected++
+	}
+
+	table := &Table{
+		ID:      "E5",
+		Title:   "Updates through views (µs per update)",
+		Columns: []string{"path", "µs/update", "vs direct"},
+		Notes: []string{
+			fmt.Sprintf("%d of 3 illegal writes were rejected (check option and non-updatable views)", rejected),
+		},
+	}
+	table.Rows = append(table.Rows, []string{"direct UPDATE on base table", us(direct), "1.00x"})
+	table.Rows = append(table.Rows, []string{"UPDATE through updatable view", us(throughView), ratio(throughView, direct)})
+	table.Rows = append(table.Rows, []string{"form window over the view", us(throughForm), ratio(throughForm, direct)})
+	return table, nil
+}
+
+// RunE6 — Figure 3: browsing cost. The window is opened over tables of
+// growing size; the figure reports the one-time query cost and the per-
+// keystroke scrolling cost (which should not depend on table size).
+func RunE6(cfg Config) (*Table, error) {
+	sizes := []int{1000, 10000, 100000}
+	if cfg.Quick {
+		sizes = []int{200, 1000, 5000}
+	}
+	table := &Table{
+		ID:      "E6",
+		Title:   "Browsing: initial query cost vs scrolling cost as the table grows",
+		Columns: []string{"orders rows", "open window ms", "µs/scroll keystroke", "cells painted/keystroke"},
+	}
+	for _, n := range sizes {
+		db := engine.OpenMemory()
+		if err := workload.Populate(db, workload.Sizes{Customers: 50, Orders: n, ItemsPerOrder: 1}); err != nil {
+			return nil, err
+		}
+		forms, err := core.NewCompiler(db).CompileSource(workload.StandardForms)
+		if err != nil {
+			return nil, err
+		}
+		var orderForm *core.Form
+		for _, f := range forms {
+			if f.Def.Name == "order_form" {
+				orderForm = f
+			}
+		}
+		m := core.NewManager(db, 100, 30)
+		openStart := time.Now()
+		w, err := m.Open(orderForm, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		openCost := time.Since(openStart)
+
+		scrolls := cfg.Operations * 4
+		if scrolls > n-2 {
+			scrolls = n - 2
+		}
+		if scrolls < 1 {
+			scrolls = 1
+		}
+		statsBefore := w.Stats()
+		avg, err := timeIt(scrolls, func(i int) error {
+			return w.NextRow()
+		})
+		if err != nil {
+			return nil, err
+		}
+		statsAfter := w.Stats()
+		cells := float64(statsAfter.CellsPainted-statsBefore.CellsPainted) / float64(scrolls)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", n),
+			ms(openCost),
+			us(avg),
+			fmt.Sprintf("%.0f", cells),
+		})
+	}
+	return table, nil
+}
+
+// RunE7 — Table 4: throughput and aborts with concurrent form sessions.
+// Each session owns its own window over the orders form and inserts orders;
+// all sessions write the same table, so table-granularity locking serialises
+// them and lock timeouts show up as aborts.
+func RunE7(cfg Config) (*Table, error) {
+	sessionCounts := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		sessionCounts = []int{1, 2, 4}
+	}
+	opsPerSession := cfg.Operations
+	if opsPerSession > 50 {
+		opsPerSession = 50
+	}
+	table := &Table{
+		ID:      "E7",
+		Title:   "Concurrent form sessions: committed writes per second and abort rate",
+		Columns: []string{"sessions", "commits/s", "aborts", "abort rate"},
+		Notes:   []string{fmt.Sprintf("each session performs %d order inserts through its own window", opsPerSession)},
+	}
+	for _, count := range sessionCounts {
+		env, err := newEnvironment(cfg.Sizes)
+		if err != nil {
+			return nil, err
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		commits, aborts := 0, 0
+		start := time.Now()
+		for sessionIdx := 0; sessionIdx < count; sessionIdx++ {
+			wg.Add(1)
+			go func(sessionIdx int) {
+				defer wg.Done()
+				m := core.NewManager(env.db, 100, 30)
+				w, err := m.Open(env.forms["order_form"], 0, 0)
+				if err != nil {
+					return
+				}
+				// Each clerk's window is scoped to one customer, as a real
+				// order-entry session would be, so refreshes stay small.
+				if err := w.Query(map[string]string{"customer_id": fmt.Sprintf("%d", 1+sessionIdx)}); err != nil {
+					return
+				}
+				base := 1000000 + sessionIdx*opsPerSession
+				localCommits, localAborts := 0, 0
+				for i := 0; i < opsPerSession; i++ {
+					err := func() error {
+						if err := w.BeginInsert(); err != nil {
+							return err
+						}
+						if err := w.SetFieldText("id", fmt.Sprintf("%d", base+i)); err != nil {
+							return err
+						}
+						if err := w.SetFieldText("customer_id", fmt.Sprintf("%d", 1+i%cfg.Sizes.Customers)); err != nil {
+							return err
+						}
+						if err := w.SetFieldText("total", "10"); err != nil {
+							return err
+						}
+						return w.Save()
+					}()
+					if err != nil {
+						localAborts++
+						w.Cancel()
+					} else {
+						localCommits++
+					}
+				}
+				mu.Lock()
+				commits += localCommits
+				aborts += localAborts
+				mu.Unlock()
+			}(sessionIdx)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		throughput := float64(commits) / elapsed.Seconds()
+		rate := float64(aborts) / float64(commits+aborts)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", count),
+			fmt.Sprintf("%.0f", throughput),
+			fmt.Sprintf("%d", aborts),
+			fmt.Sprintf("%.1f%%", 100*rate),
+		})
+	}
+	return table, nil
+}
+
+// RunE8 — Figure 4: interface economy. The same three business tasks are
+// carried out through the forms interface (keystrokes counted by the window)
+// and by typing the equivalent SQL (keystrokes equal to the statement text).
+func RunE8(cfg Config) (*Table, error) {
+	env, err := newEnvironment(cfg.Sizes)
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{
+		ID:      "E8",
+		Title:   "Keystrokes per business task: forms interface vs typed SQL",
+		Columns: []string{"task", "form keystrokes", "SQL keystrokes", "SQL/form"},
+	}
+
+	addRow := func(task string, formKeys, sqlKeys uint64) {
+		table.Rows = append(table.Rows, []string{
+			task,
+			fmt.Sprintf("%d", formKeys),
+			fmt.Sprintf("%d", sqlKeys),
+			fmt.Sprintf("%.1fx", float64(sqlKeys)/float64(formKeys)),
+		})
+	}
+
+	// Task 1: find the customers of a city and walk to the third page.
+	{
+		_, w, err := env.openWindow("customer_form")
+		if err != nil {
+			return nil, err
+		}
+		before := w.Stats().Keystrokes
+		if err := w.HandleScript(workload.CustomerLookupScript("Boston", 2)); err != nil {
+			return nil, err
+		}
+		app := baseline.New(env.db)
+		if _, err := app.CustomersInCity("Boston"); err != nil {
+			return nil, err
+		}
+		addRow("customer lookup by city", w.Stats().Keystrokes-before, app.KeystrokesTyped)
+	}
+
+	// Task 2: change a customer's credit limit.
+	{
+		_, w, err := env.openWindow("customer_form")
+		if err != nil {
+			return nil, err
+		}
+		if err := w.Query(map[string]string{"id": "7"}); err != nil {
+			return nil, err
+		}
+		before := w.Stats().Keystrokes
+		if err := w.HandleScript(workload.CreditChangeScript("1250")); err != nil {
+			return nil, err
+		}
+		app := baseline.New(env.db)
+		if err := app.UpdateCredit(7, 1250); err != nil {
+			return nil, err
+		}
+		addRow("change credit limit", w.Stats().Keystrokes-before, app.KeystrokesTyped)
+	}
+
+	// Task 3: enter a new order.
+	{
+		_, w, err := env.openWindow("order_form")
+		if err != nil {
+			return nil, err
+		}
+		before := w.Stats().Keystrokes
+		if err := w.HandleScript(workload.OrderEntryScript(900001, 3, "125.50")); err != nil {
+			return nil, err
+		}
+		if strings.Contains(w.Status(), "error") {
+			return nil, fmt.Errorf("harness: order entry failed: %s", w.Status())
+		}
+		app := baseline.New(env.db)
+		if err := app.PlaceOrder(900002, 3, 125.50); err != nil {
+			return nil, err
+		}
+		addRow("enter a new order", w.Stats().Keystrokes-before, app.KeystrokesTyped)
+	}
+	return table, nil
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunAllQuick runs every experiment at the reduced scale and sanity-checks
+// the shape of each table. It is the end-to-end smoke test for the whole
+// reproduction pipeline (workload → forms → engine → measurements).
+func TestRunAllQuick(t *testing.T) {
+	tables, err := RunAll(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(Experiments) {
+		t.Fatalf("tables = %d, want %d", len(tables), len(Experiments))
+	}
+	for i, table := range tables {
+		if table.ID != Experiments[i] {
+			t.Errorf("table %d id = %s", i, table.ID)
+		}
+		if len(table.Rows) == 0 || len(table.Columns) == 0 {
+			t.Errorf("%s is empty", table.ID)
+		}
+		text := table.String()
+		if !strings.Contains(text, table.ID) || !strings.Contains(text, table.Columns[0]) {
+			t.Errorf("%s renders badly:\n%s", table.ID, text)
+		}
+		for _, row := range table.Rows {
+			if len(row) != len(table.Columns) {
+				t.Errorf("%s has a ragged row: %v", table.ID, row)
+			}
+		}
+	}
+}
+
+// TestE1ShapeFormOverheadIsBounded checks the qualitative claim: the form
+// interface costs more than raw SQL but by a modest factor, not orders of
+// magnitude.
+func TestE1ShapeFormOverheadIsBounded(t *testing.T) {
+	table, err := RunE1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		ratioText := strings.TrimSuffix(row[3], "x")
+		ratio, err := strconv.ParseFloat(ratioText, 64)
+		if err != nil {
+			t.Fatalf("ratio %q", row[3])
+		}
+		if ratio > 100 {
+			t.Errorf("%s overhead %.1fx is implausibly high", row[0], ratio)
+		}
+	}
+}
+
+// TestE2ShapeSelectivityOrdering checks that the point lookup touches fewer
+// rows than the half-the-table predicate and that an index path is used for
+// the key lookup.
+func TestE2ShapeSelectivityOrdering(t *testing.T) {
+	table, err := RunE2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := table.Rows[0]
+	if first[1] != "index lookup" {
+		t.Errorf("key lookup access path = %q", first[1])
+	}
+	firstRows, _ := strconv.Atoi(first[2])
+	halfRows, _ := strconv.Atoi(table.Rows[3][2])
+	if firstRows >= halfRows {
+		t.Errorf("selectivity ordering wrong: %d vs %d", firstRows, halfRows)
+	}
+}
+
+// TestE4ShapeMoreWindowsMoreRefreshes checks that propagation work grows with
+// the number of open windows.
+func TestE4ShapeMoreWindowsMoreRefreshes(t *testing.T) {
+	table, err := RunE4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstRefreshed, _ := strconv.ParseFloat(table.Rows[0][2], 64)
+	lastRefreshed, _ := strconv.ParseFloat(table.Rows[len(table.Rows)-1][2], 64)
+	if lastRefreshed <= firstRefreshed {
+		t.Errorf("refreshes should grow with windows: %v vs %v", firstRefreshed, lastRefreshed)
+	}
+}
+
+// TestE8ShapeFormsNeedFewerKeystrokes checks the headline usability claim.
+func TestE8ShapeFormsNeedFewerKeystrokes(t *testing.T) {
+	table, err := RunE8(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		form, _ := strconv.Atoi(row[1])
+		sqlKeys, _ := strconv.Atoi(row[2])
+		if form <= 0 || sqlKeys <= 0 {
+			t.Errorf("%s has zero keystrokes: %v", row[0], row)
+		}
+		if form >= sqlKeys {
+			t.Errorf("%s: form (%d keys) should beat SQL (%d keys)", row[0], form, sqlKeys)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("E99", Quick); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

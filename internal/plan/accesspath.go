@@ -1,0 +1,247 @@
+package plan
+
+import (
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// chooseAccessPaths walks the plan tree and, for every ScanNode that has a
+// pushed-down filter, tries to convert part of that filter into an index
+// access path: an exact lookup for equality predicates on an indexed column,
+// or a range scan for inequality / BETWEEN predicates.
+//
+// The conjuncts an access path fully answers are removed from the residual
+// filter; everything else stays and is re-checked per row.
+func chooseAccessPaths(n Node) {
+	if n == nil {
+		return
+	}
+	if scan, ok := n.(*ScanNode); ok {
+		chooseScanAccess(scan)
+		return
+	}
+	for _, c := range n.Children() {
+		chooseAccessPaths(c)
+	}
+}
+
+func chooseScanAccess(scan *ScanNode) {
+	if scan.Filter == nil {
+		return
+	}
+	conjuncts := splitConjuncts(scan.Filter)
+
+	type rangeBounds struct {
+		low, high *Bound
+		consumed  []int
+	}
+
+	// First pass: look for an equality predicate on a single-column index —
+	// the cheapest access path.
+	for i, c := range conjuncts {
+		col, val, op, ok := constantComparison(c, scan)
+		if !ok || op != sql.OpEq {
+			continue
+		}
+		idx := scan.Table.IndexOn(col)
+		if idx == nil || len(idx.Columns) != 1 {
+			continue
+		}
+		scan.Access = AccessIndexEq
+		scan.Index = idx
+		scan.EqValue = val
+		scan.Filter = joinConjuncts(removeAt(conjuncts, []int{i}))
+		return
+	}
+
+	// Second pass: accumulate range bounds per indexed column and pick the
+	// column that consumes the most conjuncts.
+	best := map[string]*rangeBounds{}
+	for i, c := range conjuncts {
+		// BETWEEN gives both bounds at once.
+		if between, ok := c.(*sql.BetweenExpr); ok && !between.Negate {
+			col, okCol := scanColumn(between.Operand, scan)
+			if !okCol {
+				continue
+			}
+			low, okLow := literalValue(between.Low)
+			high, okHigh := literalValue(between.High)
+			if !okLow || !okHigh {
+				continue
+			}
+			b := best[col]
+			if b == nil {
+				b = &rangeBounds{}
+				best[col] = b
+			}
+			b.low = tightenLow(b.low, &Bound{Value: low, Inclusive: true})
+			b.high = tightenHigh(b.high, &Bound{Value: high, Inclusive: true})
+			b.consumed = append(b.consumed, i)
+			continue
+		}
+		col, val, op, ok := constantComparison(c, scan)
+		if !ok {
+			continue
+		}
+		b := best[col]
+		if b == nil {
+			b = &rangeBounds{}
+			best[col] = b
+		}
+		switch op {
+		case sql.OpGt:
+			b.low = tightenLow(b.low, &Bound{Value: val, Inclusive: false})
+		case sql.OpGe:
+			b.low = tightenLow(b.low, &Bound{Value: val, Inclusive: true})
+		case sql.OpLt:
+			b.high = tightenHigh(b.high, &Bound{Value: val, Inclusive: false})
+		case sql.OpLe:
+			b.high = tightenHigh(b.high, &Bound{Value: val, Inclusive: true})
+		default:
+			continue
+		}
+		b.consumed = append(b.consumed, i)
+	}
+
+	var bestCol string
+	var bestBounds *rangeBounds
+	for col, b := range best {
+		if scan.Table.IndexOn(col) == nil || len(scan.Table.IndexOn(col).Columns) != 1 {
+			continue
+		}
+		if b.low == nil && b.high == nil {
+			continue
+		}
+		if bestBounds == nil || len(b.consumed) > len(bestBounds.consumed) {
+			bestCol, bestBounds = col, b
+		}
+	}
+	if bestBounds == nil {
+		return
+	}
+	scan.Access = AccessIndexRange
+	scan.Index = scan.Table.IndexOn(bestCol)
+	scan.Low = bestBounds.low
+	scan.High = bestBounds.high
+	scan.Filter = joinConjuncts(removeAt(conjuncts, bestBounds.consumed))
+}
+
+// constantComparison matches conjuncts of the form "column OP literal" or
+// "literal OP column" (with the operator flipped) where column belongs to the
+// scan. It returns the bare column name, the literal value and the operator
+// normalised so the column is on the left.
+func constantComparison(e sql.Expr, scan *ScanNode) (col string, val types.Value, op sql.BinaryOp, ok bool) {
+	bin, isBin := e.(*sql.BinaryExpr)
+	if !isBin {
+		return "", types.Null(), 0, false
+	}
+	switch bin.Op {
+	case sql.OpEq, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+	default:
+		return "", types.Null(), 0, false
+	}
+	if c, okCol := scanColumn(bin.Left, scan); okCol {
+		if v, okVal := literalValue(bin.Right); okVal {
+			return c, v, bin.Op, true
+		}
+	}
+	if c, okCol := scanColumn(bin.Right, scan); okCol {
+		if v, okVal := literalValue(bin.Left); okVal {
+			return c, v, flipOp(bin.Op), true
+		}
+	}
+	return "", types.Null(), 0, false
+}
+
+func flipOp(op sql.BinaryOp) sql.BinaryOp {
+	switch op {
+	case sql.OpLt:
+		return sql.OpGt
+	case sql.OpLe:
+		return sql.OpGe
+	case sql.OpGt:
+		return sql.OpLt
+	case sql.OpGe:
+		return sql.OpLe
+	default:
+		return op
+	}
+}
+
+// scanColumn reports whether e is a reference to one of the scan's columns
+// and returns the bare column name.
+func scanColumn(e sql.Expr, scan *ScanNode) (string, bool) {
+	ref, ok := e.(*sql.ColumnRef)
+	if !ok {
+		return "", false
+	}
+	if ref.Table != "" && !strings.EqualFold(ref.Table, scan.Alias) && !strings.EqualFold(ref.Table, scan.Table.Name()) {
+		return "", false
+	}
+	if !scan.Table.Schema().HasColumn(ref.Name) {
+		return "", false
+	}
+	return ref.Name, true
+}
+
+// literalValue unwraps literal expressions, tolerating the typed value kinds
+// a form produces (strings for dates, etc.).
+func literalValue(e sql.Expr) (types.Value, bool) {
+	lit, ok := e.(*sql.Literal)
+	if !ok {
+		return types.Null(), false
+	}
+	return lit.Value, true
+}
+
+func removeAt(conjuncts []sql.Expr, drop []int) []sql.Expr {
+	dropSet := map[int]bool{}
+	for _, d := range drop {
+		dropSet[d] = true
+	}
+	var out []sql.Expr
+	for i, c := range conjuncts {
+		if !dropSet[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// tightenLow keeps the larger (stricter) of two lower bounds.
+func tightenLow(a, b *Bound) *Bound {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	cmp, err := a.Value.Compare(b.Value)
+	if err != nil {
+		return a
+	}
+	if cmp < 0 || (cmp == 0 && a.Inclusive && !b.Inclusive) {
+		return b
+	}
+	return a
+}
+
+// tightenHigh keeps the smaller (stricter) of two upper bounds.
+func tightenHigh(a, b *Bound) *Bound {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	cmp, err := a.Value.Compare(b.Value)
+	if err != nil {
+		return a
+	}
+	if cmp > 0 || (cmp == 0 && a.Inclusive && !b.Inclusive) {
+		return b
+	}
+	return a
+}

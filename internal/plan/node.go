@@ -1,0 +1,361 @@
+// Package plan turns parsed SELECT statements into executable plan trees:
+// it resolves table and view names through the catalog, expands views as
+// derived tables, pushes predicates down to scans, selects index access
+// paths, and decides join strategies. The exec package walks the resulting
+// tree and runs it.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Node is one operator in a plan tree.
+type Node interface {
+	// Schema describes the tuples the node produces.
+	Schema() *types.Schema
+	// Children returns the node's inputs (empty for leaves).
+	Children() []Node
+	// Explain renders one line describing the node, for EXPLAIN output and
+	// the planner tests.
+	Explain() string
+}
+
+// AccessKind says how a ScanNode reads its table.
+type AccessKind int
+
+// Access kinds.
+const (
+	AccessSeqScan AccessKind = iota
+	AccessIndexEq
+	AccessIndexRange
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessSeqScan:
+		return "seq scan"
+	case AccessIndexEq:
+		return "index lookup"
+	case AccessIndexRange:
+		return "index range scan"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// Bound is one end of an index range.
+type Bound struct {
+	Value     types.Value
+	Inclusive bool
+}
+
+// ScanNode reads a base table, optionally through an index, applying a
+// residual filter to each row.
+type ScanNode struct {
+	Table *catalog.Table
+	// Alias is the name columns are qualified with in this query.
+	Alias string
+	// Access describes the access path.
+	Access AccessKind
+	// Index is the chosen index for AccessIndexEq / AccessIndexRange.
+	Index *catalog.Index
+	// EqValue is the key value for AccessIndexEq.
+	EqValue types.Value
+	// Low and High bound an AccessIndexRange scan; either may be nil.
+	Low, High *Bound
+	// Filter is the residual predicate evaluated on each fetched row
+	// (already excludes whatever the access path guarantees).
+	Filter sql.Expr
+	schema *types.Schema
+}
+
+// Schema implements Node.
+func (n *ScanNode) Schema() *types.Schema { return n.schema }
+
+// Children implements Node.
+func (n *ScanNode) Children() []Node { return nil }
+
+// Explain implements Node.
+func (n *ScanNode) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scan %s", n.Table.Name())
+	if n.Alias != "" && n.Alias != n.Table.Name() {
+		fmt.Fprintf(&b, " AS %s", n.Alias)
+	}
+	fmt.Fprintf(&b, " (%s", n.Access)
+	if n.Index != nil {
+		fmt.Fprintf(&b, " on %s", n.Index.Name)
+	}
+	b.WriteString(")")
+	if n.Filter != nil {
+		fmt.Fprintf(&b, " filter %s", n.Filter.String())
+	}
+	return b.String()
+}
+
+// DerivedNode wraps a sub-plan (a view expansion) and renames its output
+// columns under an alias, exactly like a derived table.
+type DerivedNode struct {
+	Input  Node
+	Alias  string
+	schema *types.Schema
+}
+
+// Schema implements Node.
+func (n *DerivedNode) Schema() *types.Schema { return n.schema }
+
+// Children implements Node.
+func (n *DerivedNode) Children() []Node { return []Node{n.Input} }
+
+// Explain implements Node.
+func (n *DerivedNode) Explain() string { return fmt.Sprintf("Derived %s", n.Alias) }
+
+// FilterNode drops rows that do not satisfy Cond.
+type FilterNode struct {
+	Input Node
+	Cond  sql.Expr
+}
+
+// Schema implements Node.
+func (n *FilterNode) Schema() *types.Schema { return n.Input.Schema() }
+
+// Children implements Node.
+func (n *FilterNode) Children() []Node { return []Node{n.Input} }
+
+// Explain implements Node.
+func (n *FilterNode) Explain() string { return "Filter " + n.Cond.String() }
+
+// JoinStrategy selects the physical join algorithm.
+type JoinStrategy int
+
+// Join strategies.
+const (
+	JoinNestedLoop JoinStrategy = iota
+	JoinHash
+)
+
+func (s JoinStrategy) String() string {
+	if s == JoinHash {
+		return "hash"
+	}
+	return "nested loop"
+}
+
+// JoinNode combines two inputs. For JoinHash, EqLeft/EqRight are the
+// equi-join key expressions over the respective inputs; Residual holds any
+// remaining condition. Outer marks a LEFT join (unmatched left rows are
+// emitted padded with NULLs).
+type JoinNode struct {
+	Left, Right Node
+	Strategy    JoinStrategy
+	Outer       bool
+	// On is the full join condition (nil for a cross join).
+	On sql.Expr
+	// EqLeft / EqRight are set for hash joins.
+	EqLeft, EqRight sql.Expr
+	// Residual is the non-equi remainder of On for hash joins.
+	Residual sql.Expr
+	schema   *types.Schema
+}
+
+// Schema implements Node.
+func (n *JoinNode) Schema() *types.Schema { return n.schema }
+
+// Children implements Node.
+func (n *JoinNode) Children() []Node { return []Node{n.Left, n.Right} }
+
+// Explain implements Node.
+func (n *JoinNode) Explain() string {
+	kind := "Join"
+	if n.Outer {
+		kind = "LeftJoin"
+	}
+	out := fmt.Sprintf("%s (%s)", kind, n.Strategy)
+	if n.On != nil {
+		out += " on " + n.On.String()
+	}
+	return out
+}
+
+// ProjectItem is one output column of a projection.
+type ProjectItem struct {
+	Expr sql.Expr
+	Name string
+}
+
+// ProjectNode computes the SELECT list.
+type ProjectNode struct {
+	Input  Node
+	Items  []ProjectItem
+	schema *types.Schema
+}
+
+// Schema implements Node.
+func (n *ProjectNode) Schema() *types.Schema { return n.schema }
+
+// Children implements Node.
+func (n *ProjectNode) Children() []Node { return []Node{n.Input} }
+
+// Explain implements Node.
+func (n *ProjectNode) Explain() string {
+	names := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		names[i] = it.Name
+	}
+	return "Project " + strings.Join(names, ", ")
+}
+
+// AggFunc enumerates the supported aggregates.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggCountStar:
+		return "COUNT(*)"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// AggSpec is one aggregate computed by an AggregateNode.
+type AggSpec struct {
+	Func AggFunc
+	// Arg is the aggregated expression (nil for COUNT(*)).
+	Arg sql.Expr
+	// Name is the output column name (the original call's text).
+	Name string
+}
+
+// AggregateNode groups its input by the GroupBy expressions and computes the
+// aggregates per group. Its output schema is the group-by columns followed by
+// the aggregate columns.
+type AggregateNode struct {
+	Input   Node
+	GroupBy []ProjectItem
+	Aggs    []AggSpec
+	schema  *types.Schema
+}
+
+// Schema implements Node.
+func (n *AggregateNode) Schema() *types.Schema { return n.schema }
+
+// Children implements Node.
+func (n *AggregateNode) Children() []Node { return []Node{n.Input} }
+
+// Explain implements Node.
+func (n *AggregateNode) Explain() string {
+	var parts []string
+	for _, g := range n.GroupBy {
+		parts = append(parts, g.Name)
+	}
+	for _, a := range n.Aggs {
+		parts = append(parts, a.Name)
+	}
+	return "Aggregate " + strings.Join(parts, ", ")
+}
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Expr sql.Expr
+	Desc bool
+}
+
+// SortNode orders its input.
+type SortNode struct {
+	Input Node
+	Keys  []SortKey
+}
+
+// Schema implements Node.
+func (n *SortNode) Schema() *types.Schema { return n.Input.Schema() }
+
+// Children implements Node.
+func (n *SortNode) Children() []Node { return []Node{n.Input} }
+
+// Explain implements Node.
+func (n *SortNode) Explain() string {
+	keys := make([]string, len(n.Keys))
+	for i, k := range n.Keys {
+		keys[i] = k.Expr.String()
+		if k.Desc {
+			keys[i] += " DESC"
+		}
+	}
+	return "Sort " + strings.Join(keys, ", ")
+}
+
+// DistinctNode removes duplicate rows.
+type DistinctNode struct {
+	Input Node
+}
+
+// Schema implements Node.
+func (n *DistinctNode) Schema() *types.Schema { return n.Input.Schema() }
+
+// Children implements Node.
+func (n *DistinctNode) Children() []Node { return []Node{n.Input} }
+
+// Explain implements Node.
+func (n *DistinctNode) Explain() string { return "Distinct" }
+
+// LimitNode caps and offsets its input.
+type LimitNode struct {
+	Input  Node
+	Limit  int64 // -1 for no limit
+	Offset int64
+}
+
+// Schema implements Node.
+func (n *LimitNode) Schema() *types.Schema { return n.Input.Schema() }
+
+// Children implements Node.
+func (n *LimitNode) Children() []Node { return []Node{n.Input} }
+
+// Explain implements Node.
+func (n *LimitNode) Explain() string {
+	if n.Limit < 0 {
+		return fmt.Sprintf("Offset %d", n.Offset)
+	}
+	return fmt.Sprintf("Limit %d offset %d", n.Limit, n.Offset)
+}
+
+// Explain renders the whole plan tree, one node per line, children indented.
+func Explain(n Node) string {
+	var b strings.Builder
+	explainInto(&b, n, 0)
+	return b.String()
+}
+
+func explainInto(b *strings.Builder, n Node, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Explain())
+	b.WriteByte('\n')
+	for _, c := range n.Children() {
+		explainInto(b, c, depth+1)
+	}
+}

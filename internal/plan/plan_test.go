@@ -1,0 +1,339 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// newTestCatalog builds a catalog with customers and orders tables, indexes
+// on the keys and on customers.city, and a view over rich customers.
+func newTestCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New(storage.NewBufferPool(storage.NewMemDiskManager(), 512))
+	if _, err := cat.CreateTable("customers", types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt, PrimaryKey: true},
+		types.Column{Name: "name", Type: types.KindString, NotNull: true},
+		types.Column{Name: "city", Type: types.KindString},
+		types.Column{Name: "credit", Type: types.KindFloat},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateTable("orders", types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt, PrimaryKey: true},
+		types.Column{Name: "customer_id", Type: types.KindInt, NotNull: true},
+		types.Column{Name: "total", Type: types.KindFloat},
+		types.Column{Name: "placed", Type: types.KindDate},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateIndex("customers_city", "customers", []string{"city"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateIndex("orders_customer", "orders", []string{"customer_id"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateView("rich", "SELECT id, name, credit FROM customers WHERE credit > 1000", nil); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func buildPlan(t *testing.T, cat *catalog.Catalog, query string) Node {
+	t.Helper()
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	node, err := NewBuilder(cat).Build(sel)
+	if err != nil {
+		t.Fatalf("build %q: %v", query, err)
+	}
+	return node
+}
+
+func TestPlanSimpleSelect(t *testing.T) {
+	cat := newTestCatalog(t)
+	node := buildPlan(t, cat, "SELECT name, credit FROM customers")
+	exp := Explain(node)
+	if !strings.Contains(exp, "Project name, credit") || !strings.Contains(exp, "Scan customers (seq scan)") {
+		t.Errorf("plan:\n%s", exp)
+	}
+	schema := node.Schema()
+	if schema.Len() != 2 || schema.Columns[0].Name != "name" || schema.Columns[1].Type != types.KindFloat {
+		t.Errorf("schema = %v", schema)
+	}
+}
+
+func TestPlanStarExpansion(t *testing.T) {
+	cat := newTestCatalog(t)
+	node := buildPlan(t, cat, "SELECT * FROM customers")
+	if node.Schema().Len() != 4 {
+		t.Errorf("star schema = %v", node.Schema())
+	}
+	node2 := buildPlan(t, cat, "SELECT c.*, o.total FROM customers c, orders o")
+	if node2.Schema().Len() != 5 {
+		t.Errorf("qualified star schema = %v", node2.Schema())
+	}
+}
+
+func TestPlanIndexEquality(t *testing.T) {
+	cat := newTestCatalog(t)
+	node := buildPlan(t, cat, "SELECT * FROM customers WHERE id = 42")
+	exp := Explain(node)
+	if !strings.Contains(exp, "index lookup") || !strings.Contains(exp, "customers_pkey") {
+		t.Errorf("expected a primary key lookup:\n%s", exp)
+	}
+	// The equality must be consumed: no residual filter mentioning id.
+	if strings.Contains(exp, "filter") {
+		t.Errorf("equality should have been consumed by the index:\n%s", exp)
+	}
+}
+
+func TestPlanIndexEqualityReversedOperands(t *testing.T) {
+	cat := newTestCatalog(t)
+	exp := Explain(buildPlan(t, cat, "SELECT * FROM customers WHERE 42 = id"))
+	if !strings.Contains(exp, "index lookup") {
+		t.Errorf("literal = column should also use the index:\n%s", exp)
+	}
+}
+
+func TestPlanIndexRange(t *testing.T) {
+	cat := newTestCatalog(t)
+	exp := Explain(buildPlan(t, cat, "SELECT * FROM customers WHERE id > 10 AND id <= 20"))
+	if !strings.Contains(exp, "index range scan") {
+		t.Errorf("expected an index range scan:\n%s", exp)
+	}
+	exp2 := Explain(buildPlan(t, cat, "SELECT * FROM orders WHERE customer_id BETWEEN 5 AND 9"))
+	if !strings.Contains(exp2, "index range scan") || !strings.Contains(exp2, "orders_customer") {
+		t.Errorf("BETWEEN should use the secondary index:\n%s", exp2)
+	}
+}
+
+func TestPlanResidualFilterKept(t *testing.T) {
+	cat := newTestCatalog(t)
+	exp := Explain(buildPlan(t, cat, "SELECT * FROM customers WHERE city = 'Boston' AND credit > 100"))
+	// city = 'Boston' uses the index; credit > 100 must remain as a filter.
+	if !strings.Contains(exp, "index lookup") || !strings.Contains(exp, "credit") {
+		t.Errorf("residual predicate lost:\n%s", exp)
+	}
+}
+
+func TestPlanNoIndexMeansSeqScan(t *testing.T) {
+	cat := newTestCatalog(t)
+	exp := Explain(buildPlan(t, cat, "SELECT * FROM customers WHERE credit > 100"))
+	if !strings.Contains(exp, "seq scan") || strings.Contains(exp, "index") {
+		t.Errorf("unindexed predicate should be a filtered seq scan:\n%s", exp)
+	}
+}
+
+func TestPlanJoinHashSelection(t *testing.T) {
+	cat := newTestCatalog(t)
+	exp := Explain(buildPlan(t, cat, "SELECT c.name, o.total FROM customers c JOIN orders o ON o.customer_id = c.id"))
+	if !strings.Contains(exp, "Join (hash)") {
+		t.Errorf("equi-join should pick the hash strategy:\n%s", exp)
+	}
+}
+
+func TestPlanJoinNestedLoopForNonEqui(t *testing.T) {
+	cat := newTestCatalog(t)
+	exp := Explain(buildPlan(t, cat, "SELECT c.name FROM customers c JOIN orders o ON o.total > c.credit"))
+	if !strings.Contains(exp, "Join (nested loop)") {
+		t.Errorf("non-equi join should be a nested loop:\n%s", exp)
+	}
+}
+
+func TestPlanLeftJoin(t *testing.T) {
+	cat := newTestCatalog(t)
+	exp := Explain(buildPlan(t, cat, "SELECT c.name, o.total FROM customers c LEFT JOIN orders o ON o.customer_id = c.id"))
+	if !strings.Contains(exp, "LeftJoin") {
+		t.Errorf("left join missing:\n%s", exp)
+	}
+}
+
+func TestPlanPushdownThroughJoin(t *testing.T) {
+	cat := newTestCatalog(t)
+	node := buildPlan(t, cat, "SELECT c.name FROM customers c, orders o WHERE c.id = 5 AND o.total > 100 AND c.id = o.customer_id")
+	exp := Explain(node)
+	// c.id = 5 should be pushed to the customers scan (becoming an index
+	// lookup); o.total > 100 to the orders scan; the join predicate stays up.
+	if !strings.Contains(exp, "index lookup") {
+		t.Errorf("pushdown to index lookup failed:\n%s", exp)
+	}
+	if !strings.Contains(exp, "Scan orders AS o (seq scan) filter") {
+		t.Errorf("pushdown to orders failed:\n%s", exp)
+	}
+	if !strings.Contains(exp, "Filter") {
+		t.Errorf("join predicate should remain above the join:\n%s", exp)
+	}
+}
+
+func TestPlanNoPushdownUnderLeftJoinRightSide(t *testing.T) {
+	cat := newTestCatalog(t)
+	node := buildPlan(t, cat, "SELECT c.name FROM customers c LEFT JOIN orders o ON o.customer_id = c.id WHERE o.total > 100")
+	exp := Explain(node)
+	if !strings.Contains(exp, "Filter") {
+		t.Errorf("WHERE over the nullable side must not be pushed below the left join:\n%s", exp)
+	}
+	if strings.Contains(exp, "Scan orders AS o (seq scan) filter") {
+		t.Errorf("predicate wrongly pushed into the outer join's right side:\n%s", exp)
+	}
+}
+
+func TestPlanViewExpansion(t *testing.T) {
+	cat := newTestCatalog(t)
+	node := buildPlan(t, cat, "SELECT name FROM rich WHERE credit > 5000")
+	exp := Explain(node)
+	if !strings.Contains(exp, "Derived rich") || !strings.Contains(exp, "Scan customers") {
+		t.Errorf("view should expand to a derived scan of its base table:\n%s", exp)
+	}
+	if node.Schema().Columns[0].Name != "name" {
+		t.Errorf("schema = %v", node.Schema())
+	}
+}
+
+func TestPlanViewWithRenamedColumns(t *testing.T) {
+	cat := newTestCatalog(t)
+	if _, err := cat.CreateView("balances", "SELECT id, credit FROM customers", []string{"cust", "amount"}); err != nil {
+		t.Fatal(err)
+	}
+	node := buildPlan(t, cat, "SELECT cust, amount FROM balances")
+	if node.Schema().Columns[0].Name != "cust" || node.Schema().Columns[1].Name != "amount" {
+		t.Errorf("renamed view columns missing: %v", node.Schema())
+	}
+}
+
+func TestPlanRecursiveViewRejected(t *testing.T) {
+	cat := newTestCatalog(t)
+	// A view that references a second view which references the first.
+	if _, err := cat.CreateView("v1", "SELECT * FROM v2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateView("v2", "SELECT * FROM v1", nil); err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := sql.ParseSelect("SELECT * FROM v1")
+	if _, err := NewBuilder(cat).Build(sel); err == nil {
+		t.Error("recursive views must be rejected")
+	}
+}
+
+func TestPlanAggregate(t *testing.T) {
+	cat := newTestCatalog(t)
+	node := buildPlan(t, cat, "SELECT city, COUNT(*), AVG(credit) FROM customers GROUP BY city HAVING COUNT(*) > 1 ORDER BY COUNT(*) DESC")
+	exp := Explain(node)
+	if !strings.Contains(exp, "Aggregate") {
+		t.Errorf("aggregate node missing:\n%s", exp)
+	}
+	schema := node.Schema()
+	if schema.Len() != 3 {
+		t.Fatalf("schema = %v", schema)
+	}
+	if schema.Columns[1].Type != types.KindInt || schema.Columns[2].Type != types.KindFloat {
+		t.Errorf("aggregate types = %v", schema)
+	}
+}
+
+func TestPlanGlobalAggregate(t *testing.T) {
+	cat := newTestCatalog(t)
+	node := buildPlan(t, cat, "SELECT COUNT(*), MAX(credit) FROM customers")
+	if node.Schema().Len() != 2 {
+		t.Errorf("schema = %v", node.Schema())
+	}
+}
+
+func TestPlanAggregateErrors(t *testing.T) {
+	cat := newTestCatalog(t)
+	bad := []string{
+		"SELECT name, COUNT(*) FROM customers",                 // name not grouped
+		"SELECT * FROM customers GROUP BY city",                // star with group by
+		"SELECT city FROM customers HAVING COUNT(nosuch) > 1",  // unknown column in aggregate
+		"SELECT MAX(credit, id) FROM customers",                // arity
+		"SELECT city, SUM(*) FROM customers GROUP BY city",     // SUM(*)
+		"SELECT name FROM customers HAVING credit > 1",         // HAVING without aggregates
+	}
+	for _, q := range bad {
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := NewBuilder(cat).Build(sel); err == nil {
+			t.Errorf("Build(%q) should fail", q)
+		}
+	}
+}
+
+func TestPlanUnknownNamesRejected(t *testing.T) {
+	cat := newTestCatalog(t)
+	bad := []string{
+		"SELECT * FROM nosuch",
+		"SELECT nosuch FROM customers",
+		"SELECT name FROM customers WHERE nosuch = 1",
+		"SELECT name FROM customers ORDER BY nosuch",
+		"SELECT o.* FROM customers c",
+		"SELECT name FROM customers c JOIN orders o ON o.bogus = c.id",
+	}
+	for _, q := range bad {
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := NewBuilder(cat).Build(sel); err == nil {
+			t.Errorf("Build(%q) should fail", q)
+		}
+	}
+}
+
+func TestPlanOrderLimitDistinct(t *testing.T) {
+	cat := newTestCatalog(t)
+	exp := Explain(buildPlan(t, cat, "SELECT DISTINCT city FROM customers ORDER BY city LIMIT 5 OFFSET 2"))
+	for _, want := range []string{"Distinct", "Sort city", "Limit 5 offset 2"} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("missing %q in plan:\n%s", want, exp)
+		}
+	}
+}
+
+func TestPlanOrderByUnprojectedColumn(t *testing.T) {
+	cat := newTestCatalog(t)
+	// Ordering by a column that is not in the SELECT list forces the sort
+	// below the projection.
+	node := buildPlan(t, cat, "SELECT name FROM customers ORDER BY credit DESC")
+	exp := Explain(node)
+	if !strings.Contains(exp, "Sort credit DESC") {
+		t.Errorf("sort on unprojected column missing:\n%s", exp)
+	}
+	if node.Schema().Len() != 1 {
+		t.Errorf("projection width = %d", node.Schema().Len())
+	}
+}
+
+func TestPlanAliasedOrderBy(t *testing.T) {
+	cat := newTestCatalog(t)
+	node := buildPlan(t, cat, "SELECT credit * 2 AS doubled FROM customers ORDER BY doubled")
+	if !strings.Contains(Explain(node), "Sort doubled") {
+		t.Errorf("ordering by alias failed:\n%s", Explain(node))
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if AccessSeqScan.String() != "seq scan" || AccessIndexEq.String() != "index lookup" || AccessIndexRange.String() != "index range scan" {
+		t.Error("AccessKind.String wrong")
+	}
+}
+
+func TestExplainTreeShape(t *testing.T) {
+	cat := newTestCatalog(t)
+	exp := Explain(buildPlan(t, cat, "SELECT c.name FROM customers c JOIN orders o ON o.customer_id = c.id WHERE o.total > 10"))
+	lines := strings.Split(strings.TrimRight(exp, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Errorf("explain too shallow:\n%s", exp)
+	}
+	if !strings.HasPrefix(lines[0], "Project") {
+		t.Errorf("root should be the projection:\n%s", exp)
+	}
+}

@@ -1,0 +1,599 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmtNode()
+	// String renders the statement back to SQL (used for view definitions,
+	// logging, and the SQL shell's echo mode).
+	String() string
+}
+
+// ColumnDef is one column declaration in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	TypeName   string
+	PrimaryKey bool
+	NotNull    bool
+	Unique     bool
+	Default    Expr
+}
+
+// CreateTableStmt is CREATE TABLE name (columns...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON table (columns...).
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// CreateViewStmt is CREATE VIEW name [(columns)] AS select.
+type CreateViewStmt struct {
+	Name    string
+	Columns []string
+	Query   *SelectStmt
+}
+
+// DropStmt is DROP TABLE/VIEW/INDEX name.
+type DropStmt struct {
+	Object string // "TABLE", "VIEW" or "INDEX"
+	Name   string
+}
+
+// InsertStmt is INSERT INTO table [(columns)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// Assignment is one "column = expr" in UPDATE ... SET.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is UPDATE table SET assignments [WHERE cond].
+type UpdateStmt struct {
+	Table       string
+	Assignments []Assignment
+	Where       Expr
+}
+
+// DeleteStmt is DELETE FROM table [WHERE cond].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// SelectItem is one projection in the SELECT list: either a star ("*" or
+// "t.*") or an expression with an optional alias.
+type SelectItem struct {
+	Star      bool
+	StarTable string
+	Expr      Expr
+	Alias     string
+}
+
+// JoinType distinguishes how a table reference combines with the ones before it.
+type JoinType int
+
+// Join types.
+const (
+	JoinNone  JoinType = iota // first table in FROM
+	JoinCross                 // comma-separated table (condition in WHERE)
+	JoinInner                 // JOIN ... ON
+	JoinLeft                  // LEFT [OUTER] JOIN ... ON
+)
+
+func (j JoinType) String() string {
+	switch j {
+	case JoinNone:
+		return ""
+	case JoinCross:
+		return "CROSS JOIN"
+	case JoinInner:
+		return "JOIN"
+	case JoinLeft:
+		return "LEFT JOIN"
+	default:
+		return fmt.Sprintf("JoinType(%d)", int(j))
+	}
+}
+
+// TableRef is one entry in the FROM clause.
+type TableRef struct {
+	Name  string
+	Alias string
+	Join  JoinType
+	On    Expr // join condition for JoinInner/JoinLeft
+}
+
+// EffectiveName returns the alias if present, otherwise the table name.
+func (t TableRef) EffectiveName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int64
+	Offset   *int64
+}
+
+// BeginStmt is BEGIN [TRANSACTION].
+type BeginStmt struct{}
+
+// CommitStmt is COMMIT.
+type CommitStmt struct{}
+
+// RollbackStmt is ROLLBACK.
+type RollbackStmt struct{}
+
+func (*CreateTableStmt) stmtNode() {}
+func (*CreateIndexStmt) stmtNode() {}
+func (*CreateViewStmt) stmtNode()  {}
+func (*DropStmt) stmtNode()        {}
+func (*InsertStmt) stmtNode()      {}
+func (*UpdateStmt) stmtNode()      {}
+func (*DeleteStmt) stmtNode()      {}
+func (*SelectStmt) stmtNode()      {}
+func (*BeginStmt) stmtNode()       {}
+func (*CommitStmt) stmtNode()      {}
+func (*RollbackStmt) stmtNode()    {}
+
+// String implements Statement.
+func (s *CreateTableStmt) String() string {
+	var cols []string
+	for _, c := range s.Columns {
+		col := c.Name + " " + c.TypeName
+		if c.PrimaryKey {
+			col += " PRIMARY KEY"
+		}
+		if c.NotNull {
+			col += " NOT NULL"
+		}
+		if c.Unique {
+			col += " UNIQUE"
+		}
+		if c.Default != nil {
+			col += " DEFAULT " + c.Default.String()
+		}
+		cols = append(cols, col)
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s)", s.Name, strings.Join(cols, ", "))
+}
+
+// String implements Statement.
+func (s *CreateIndexStmt) String() string {
+	unique := ""
+	if s.Unique {
+		unique = "UNIQUE "
+	}
+	return fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", unique, s.Name, s.Table, strings.Join(s.Columns, ", "))
+}
+
+// String implements Statement.
+func (s *CreateViewStmt) String() string {
+	cols := ""
+	if len(s.Columns) > 0 {
+		cols = " (" + strings.Join(s.Columns, ", ") + ")"
+	}
+	return fmt.Sprintf("CREATE VIEW %s%s AS %s", s.Name, cols, s.Query.String())
+}
+
+// String implements Statement.
+func (s *DropStmt) String() string { return fmt.Sprintf("DROP %s %s", s.Object, s.Name) }
+
+// String implements Statement.
+func (s *InsertStmt) String() string {
+	cols := ""
+	if len(s.Columns) > 0 {
+		cols = " (" + strings.Join(s.Columns, ", ") + ")"
+	}
+	var rows []string
+	for _, row := range s.Rows {
+		var vals []string
+		for _, e := range row {
+			vals = append(vals, e.String())
+		}
+		rows = append(rows, "("+strings.Join(vals, ", ")+")")
+	}
+	return fmt.Sprintf("INSERT INTO %s%s VALUES %s", s.Table, cols, strings.Join(rows, ", "))
+}
+
+// String implements Statement.
+func (s *UpdateStmt) String() string {
+	var sets []string
+	for _, a := range s.Assignments {
+		sets = append(sets, a.Column+" = "+a.Value.String())
+	}
+	out := fmt.Sprintf("UPDATE %s SET %s", s.Table, strings.Join(sets, ", "))
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}
+
+// String implements Statement.
+func (s *DeleteStmt) String() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}
+
+// String implements Statement.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	var items []string
+	for _, it := range s.Items {
+		switch {
+		case it.Star && it.StarTable != "":
+			items = append(items, it.StarTable+".*")
+		case it.Star:
+			items = append(items, "*")
+		case it.Alias != "":
+			items = append(items, it.Expr.String()+" AS "+it.Alias)
+		default:
+			items = append(items, it.Expr.String())
+		}
+	}
+	b.WriteString(strings.Join(items, ", "))
+	for i, tr := range s.From {
+		switch {
+		case i == 0:
+			b.WriteString(" FROM " + tr.Name)
+		case tr.Join == JoinCross:
+			b.WriteString(", " + tr.Name)
+		default:
+			b.WriteString(" " + tr.Join.String() + " " + tr.Name)
+		}
+		if tr.Alias != "" {
+			b.WriteString(" " + tr.Alias)
+		}
+		if tr.On != nil {
+			b.WriteString(" ON " + tr.On.String())
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		var gs []string
+		for _, g := range s.GroupBy {
+			gs = append(gs, g.String())
+		}
+		b.WriteString(" GROUP BY " + strings.Join(gs, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		var os []string
+		for _, o := range s.OrderBy {
+			item := o.Expr.String()
+			if o.Desc {
+				item += " DESC"
+			}
+			os = append(os, item)
+		}
+		b.WriteString(" ORDER BY " + strings.Join(os, ", "))
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *s.Limit)
+	}
+	if s.Offset != nil {
+		fmt.Fprintf(&b, " OFFSET %d", *s.Offset)
+	}
+	return b.String()
+}
+
+// String implements Statement.
+func (*BeginStmt) String() string { return "BEGIN" }
+
+// String implements Statement.
+func (*CommitStmt) String() string { return "COMMIT" }
+
+// String implements Statement.
+func (*RollbackStmt) String() string { return "ROLLBACK" }
+
+// Expr is any expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Value types.Value
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpEq BinaryOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpLike
+)
+
+func (op BinaryOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpLike:
+		return "LIKE"
+	default:
+		return fmt.Sprintf("BinaryOp(%d)", int(op))
+	}
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op          BinaryOp
+	Left, Right Expr
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	OpNot UnaryOp = iota
+	OpNeg
+)
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op      UnaryOp
+	Operand Expr
+}
+
+// IsNullExpr is "expr IS [NOT] NULL".
+type IsNullExpr struct {
+	Operand Expr
+	Negate  bool
+}
+
+// BetweenExpr is "expr [NOT] BETWEEN low AND high".
+type BetweenExpr struct {
+	Operand   Expr
+	Low, High Expr
+	Negate    bool
+}
+
+// InExpr is "expr [NOT] IN (list...)".
+type InExpr struct {
+	Operand Expr
+	List    []Expr
+	Negate  bool
+}
+
+// FuncCall is a function or aggregate invocation. Star marks COUNT(*).
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+func (*ColumnRef) exprNode()   {}
+func (*Literal) exprNode()     {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*IsNullExpr) exprNode()  {}
+func (*BetweenExpr) exprNode() {}
+func (*InExpr) exprNode()      {}
+func (*FuncCall) exprNode()    {}
+
+// String implements Expr.
+func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+// String implements Expr.
+func (e *Literal) String() string { return e.Value.SQL() }
+
+// String implements Expr.
+func (e *BinaryExpr) String() string {
+	return "(" + e.Left.String() + " " + e.Op.String() + " " + e.Right.String() + ")"
+}
+
+// String implements Expr.
+func (e *UnaryExpr) String() string {
+	if e.Op == OpNot {
+		return "(NOT " + e.Operand.String() + ")"
+	}
+	return "(-" + e.Operand.String() + ")"
+}
+
+// String implements Expr.
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return "(" + e.Operand.String() + " IS NOT NULL)"
+	}
+	return "(" + e.Operand.String() + " IS NULL)"
+}
+
+// String implements Expr.
+func (e *BetweenExpr) String() string {
+	not := ""
+	if e.Negate {
+		not = "NOT "
+	}
+	return "(" + e.Operand.String() + " " + not + "BETWEEN " + e.Low.String() + " AND " + e.High.String() + ")"
+}
+
+// String implements Expr.
+func (e *InExpr) String() string {
+	var items []string
+	for _, it := range e.List {
+		items = append(items, it.String())
+	}
+	not := ""
+	if e.Negate {
+		not = "NOT "
+	}
+	return "(" + e.Operand.String() + " " + not + "IN (" + strings.Join(items, ", ") + "))"
+}
+
+// String implements Expr.
+func (e *FuncCall) String() string {
+	if e.Star {
+		return strings.ToUpper(e.Name) + "(*)"
+	}
+	var args []string
+	for _, a := range e.Args {
+		args = append(args, a.String())
+	}
+	return strings.ToUpper(e.Name) + "(" + strings.Join(args, ", ") + ")"
+}
+
+// IsAggregate reports whether the function name is one of the five SQL
+// aggregates the engine supports.
+func (e *FuncCall) IsAggregate() bool {
+	switch strings.ToUpper(e.Name) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	default:
+		return false
+	}
+}
+
+// WalkExpr calls fn on e and every sub-expression, depth first. fn returning
+// false prunes the walk below that node.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(e.Left, fn)
+		WalkExpr(e.Right, fn)
+	case *UnaryExpr:
+		WalkExpr(e.Operand, fn)
+	case *IsNullExpr:
+		WalkExpr(e.Operand, fn)
+	case *BetweenExpr:
+		WalkExpr(e.Operand, fn)
+		WalkExpr(e.Low, fn)
+		WalkExpr(e.High, fn)
+	case *InExpr:
+		WalkExpr(e.Operand, fn)
+		for _, item := range e.List {
+			WalkExpr(item, fn)
+		}
+	case *FuncCall:
+		for _, a := range e.Args {
+			WalkExpr(a, fn)
+		}
+	}
+}
+
+// ColumnsIn returns every distinct column reference in the expression, in
+// first-appearance order.
+func ColumnsIn(e Expr) []*ColumnRef {
+	var out []*ColumnRef
+	seen := map[string]bool{}
+	WalkExpr(e, func(node Expr) bool {
+		if c, ok := node.(*ColumnRef); ok {
+			key := strings.ToLower(c.String())
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, c)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// HasAggregate reports whether the expression contains an aggregate call.
+func HasAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(node Expr) bool {
+		if f, ok := node.(*FuncCall); ok && f.IsAggregate() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

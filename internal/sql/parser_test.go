@@ -1,0 +1,397 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func mustParse(t *testing.T, input string) Statement {
+	t.Helper()
+	stmt, err := Parse(input)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", input, err)
+	}
+	return stmt
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE customers (
+		id INT PRIMARY KEY,
+		name TEXT NOT NULL,
+		city TEXT DEFAULT 'Unknown',
+		credit FLOAT,
+		active BOOL UNIQUE,
+		since DATE
+	)`).(*CreateTableStmt)
+	if stmt.Name != "customers" || len(stmt.Columns) != 6 {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	if !stmt.Columns[0].PrimaryKey || !stmt.Columns[1].NotNull || !stmt.Columns[4].Unique {
+		t.Errorf("constraints wrong: %+v", stmt.Columns)
+	}
+	if stmt.Columns[2].Default == nil {
+		t.Error("DEFAULT not parsed")
+	}
+	if !strings.Contains(stmt.String(), "CREATE TABLE customers") {
+		t.Errorf("String = %q", stmt.String())
+	}
+}
+
+func TestParseCreateTableErrors(t *testing.T) {
+	bad := []string{
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (id BLOB)",
+		"CREATE TABLE (id INT)",
+		"CREATE UNIQUE TABLE t (id INT)",
+		"CREATE TABLE t (id INT",
+	}
+	for _, input := range bad {
+		if _, err := Parse(input); err == nil {
+			t.Errorf("Parse(%q) should fail", input)
+		}
+	}
+}
+
+func TestParseCreateIndexAndView(t *testing.T) {
+	idx := mustParse(t, "CREATE UNIQUE INDEX idx_city ON customers (city, name)").(*CreateIndexStmt)
+	if !idx.Unique || idx.Table != "customers" || len(idx.Columns) != 2 {
+		t.Errorf("idx = %+v", idx)
+	}
+	view := mustParse(t, "CREATE VIEW rich (id, who) AS SELECT id, name FROM customers WHERE credit > 1000").(*CreateViewStmt)
+	if view.Name != "rich" || len(view.Columns) != 2 || view.Query == nil {
+		t.Errorf("view = %+v", view)
+	}
+	if !strings.Contains(view.String(), "AS SELECT") {
+		t.Errorf("view String = %q", view.String())
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	for _, object := range []string{"TABLE", "VIEW", "INDEX"} {
+		stmt := mustParse(t, "DROP "+object+" foo").(*DropStmt)
+		if stmt.Object != object || stmt.Name != "foo" {
+			t.Errorf("drop = %+v", stmt)
+		}
+	}
+	if _, err := Parse("DROP DATABASE x"); err == nil {
+		t.Error("DROP DATABASE should fail")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt := mustParse(t, "INSERT INTO customers (id, name) VALUES (1, 'Ada'), (2, 'Bob')").(*InsertStmt)
+	if stmt.Table != "customers" || len(stmt.Columns) != 2 || len(stmt.Rows) != 2 {
+		t.Fatalf("insert = %+v", stmt)
+	}
+	lit := stmt.Rows[0][1].(*Literal)
+	if lit.Value.Str() != "Ada" {
+		t.Errorf("row value = %v", lit.Value)
+	}
+	// Without a column list.
+	stmt2 := mustParse(t, "INSERT INTO t VALUES (1, NULL, TRUE, -3.5)").(*InsertStmt)
+	if len(stmt2.Columns) != 0 || len(stmt2.Rows[0]) != 4 {
+		t.Errorf("insert2 = %+v", stmt2)
+	}
+	neg := stmt2.Rows[0][3].(*Literal)
+	if neg.Value.Float() != -3.5 {
+		t.Errorf("negative literal folded to %v", neg.Value)
+	}
+	if !strings.Contains(stmt.String(), "INSERT INTO customers") {
+		t.Errorf("String = %q", stmt.String())
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	up := mustParse(t, "UPDATE customers SET credit = credit + 100, city = 'NYC' WHERE id = 7").(*UpdateStmt)
+	if up.Table != "customers" || len(up.Assignments) != 2 || up.Where == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	if up.Assignments[0].Column != "credit" {
+		t.Errorf("assignment = %+v", up.Assignments[0])
+	}
+	del := mustParse(t, "DELETE FROM orders WHERE total < 10").(*DeleteStmt)
+	if del.Table != "orders" || del.Where == nil {
+		t.Errorf("delete = %+v", del)
+	}
+	del2 := mustParse(t, "DELETE FROM orders").(*DeleteStmt)
+	if del2.Where != nil {
+		t.Error("bare delete should have nil Where")
+	}
+	if !strings.Contains(up.String(), "UPDATE customers SET") || !strings.Contains(del.String(), "DELETE FROM orders") {
+		t.Error("String() round trips missing")
+	}
+}
+
+func TestParseSelectBasic(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM customers").(*SelectStmt)
+	if len(sel.Items) != 1 || !sel.Items[0].Star || len(sel.From) != 1 {
+		t.Fatalf("select = %+v", sel)
+	}
+	sel2 := mustParse(t, "SELECT c.id, c.name AS who, credit * 2 doubled FROM customers c").(*SelectStmt)
+	if len(sel2.Items) != 3 {
+		t.Fatalf("items = %+v", sel2.Items)
+	}
+	if sel2.Items[1].Alias != "who" || sel2.Items[2].Alias != "doubled" {
+		t.Errorf("aliases = %+v", sel2.Items)
+	}
+	if sel2.From[0].Alias != "c" {
+		t.Errorf("table alias = %+v", sel2.From[0])
+	}
+	if ref := sel2.Items[0].Expr.(*ColumnRef); ref.Table != "c" || ref.Name != "id" {
+		t.Errorf("qualified ref = %+v", ref)
+	}
+}
+
+func TestParseSelectStarTable(t *testing.T) {
+	sel := mustParse(t, "SELECT c.*, o.total FROM customers c, orders o").(*SelectStmt)
+	if !sel.Items[0].Star || sel.Items[0].StarTable != "c" {
+		t.Errorf("c.* = %+v", sel.Items[0])
+	}
+	if len(sel.From) != 2 || sel.From[1].Join != JoinCross {
+		t.Errorf("from = %+v", sel.From)
+	}
+}
+
+func TestParseSelectJoins(t *testing.T) {
+	sel := mustParse(t, `SELECT o.id, c.name FROM orders o
+		JOIN customers c ON o.customer_id = c.id
+		LEFT JOIN regions r ON c.region = r.id
+		WHERE o.total > 100`).(*SelectStmt)
+	if len(sel.From) != 3 {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	if sel.From[1].Join != JoinInner || sel.From[1].On == nil {
+		t.Errorf("inner join = %+v", sel.From[1])
+	}
+	if sel.From[2].Join != JoinLeft || sel.From[2].On == nil {
+		t.Errorf("left join = %+v", sel.From[2])
+	}
+	if sel.Where == nil {
+		t.Error("where missing")
+	}
+}
+
+func TestParseSelectGroupOrderLimit(t *testing.T) {
+	sel := mustParse(t, `SELECT city, COUNT(*), SUM(credit) FROM customers
+		WHERE credit IS NOT NULL
+		GROUP BY city
+		HAVING COUNT(*) > 2
+		ORDER BY city DESC, COUNT(*) ASC
+		LIMIT 10 OFFSET 5`).(*SelectStmt)
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Errorf("group/having = %+v", sel)
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || *sel.Limit != 10 || sel.Offset == nil || *sel.Offset != 5 {
+		t.Errorf("limit/offset = %v %v", sel.Limit, sel.Offset)
+	}
+	count := sel.Items[1].Expr.(*FuncCall)
+	if !count.Star || !count.IsAggregate() {
+		t.Errorf("COUNT(*) = %+v", count)
+	}
+	isNull := sel.Where.(*IsNullExpr)
+	if !isNull.Negate {
+		t.Errorf("IS NOT NULL = %+v", isNull)
+	}
+}
+
+func TestParseSelectDistinct(t *testing.T) {
+	sel := mustParse(t, "SELECT DISTINCT city FROM customers").(*SelectStmt)
+	if !sel.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	e, err := ParseExpr("a = 1 OR b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must parse as: a = 1 OR (b = 2 AND c = 3)
+	or := e.(*BinaryExpr)
+	if or.Op != OpOr {
+		t.Fatalf("top op = %v", or.Op)
+	}
+	and := or.Right.(*BinaryExpr)
+	if and.Op != OpAnd {
+		t.Errorf("right op = %v", and.Op)
+	}
+
+	e2, _ := ParseExpr("1 + 2 * 3")
+	add := e2.(*BinaryExpr)
+	if add.Op != OpAdd {
+		t.Fatalf("arith top = %v", add.Op)
+	}
+	if mul := add.Right.(*BinaryExpr); mul.Op != OpMul {
+		t.Errorf("arith right = %v", mul.Op)
+	}
+
+	e3, _ := ParseExpr("(1 + 2) * 3")
+	mul := e3.(*BinaryExpr)
+	if mul.Op != OpMul {
+		t.Errorf("parenthesised = %v", mul.Op)
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	cases := []string{
+		"credit BETWEEN 100 AND 200",
+		"credit NOT BETWEEN 100 AND 200",
+		"city IN ('Boston', 'Chicago')",
+		"city NOT IN ('Boston')",
+		"name LIKE 'A%'",
+		"name NOT LIKE 'A%'",
+		"NOT (a = 1)",
+		"balance IS NULL",
+		"balance IS NOT NULL",
+		"-credit + 5 > 0",
+		"total % 2 = 0",
+		"MIN(price) > 3",
+		"UPPER(name) = 'ADA'",
+	}
+	for _, input := range cases {
+		e, err := ParseExpr(input)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", input, err)
+			continue
+		}
+		if e.String() == "" {
+			t.Errorf("ParseExpr(%q) has empty String()", input)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"a +",
+		"a BETWEEN 1",
+		"a IN ()",
+		"a IN (1",
+		"(a = 1",
+		"SELECT",
+		"a = 1 extra garbage (",
+	}
+	for _, input := range bad {
+		if _, err := ParseExpr(input); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", input)
+		}
+	}
+}
+
+func TestParseTransactions(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*BeginStmt); !ok {
+		t.Error("BEGIN")
+	}
+	if _, ok := mustParse(t, "BEGIN TRANSACTION").(*BeginStmt); !ok {
+		t.Error("BEGIN TRANSACTION")
+	}
+	if _, ok := mustParse(t, "COMMIT").(*CommitStmt); !ok {
+		t.Error("COMMIT")
+	}
+	if _, ok := mustParse(t, "ROLLBACK").(*RollbackStmt); !ok {
+		t.Error("ROLLBACK")
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	script := `
+		CREATE TABLE t (id INT PRIMARY KEY);
+		INSERT INTO t VALUES (1);
+		SELECT * FROM t;
+	`
+	stmts, err := ParseAll(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("SELECT FROM WHERE")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line < 1 || pe.Col < 1 {
+		t.Errorf("position = %d:%d", pe.Line, pe.Col)
+	}
+	if !strings.Contains(pe.Error(), "line") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestParseSelectRoundTripThroughString(t *testing.T) {
+	inputs := []string{
+		"SELECT * FROM customers WHERE city = 'Boston' ORDER BY name LIMIT 5",
+		"SELECT city, COUNT(*) FROM customers GROUP BY city HAVING COUNT(*) > 1",
+		"SELECT o.id FROM orders o JOIN items i ON o.id = i.order_id WHERE i.qty > 2",
+		"SELECT DISTINCT name AS who FROM customers WHERE credit BETWEEN 1 AND 10",
+	}
+	for _, input := range inputs {
+		first := mustParse(t, input).(*SelectStmt)
+		second, err := Parse(first.String())
+		if err != nil {
+			t.Errorf("re-parse of %q (%q): %v", input, first.String(), err)
+			continue
+		}
+		if second.String() != first.String() {
+			t.Errorf("not a fixpoint: %q vs %q", first.String(), second.String())
+		}
+	}
+}
+
+func TestWalkAndColumnsIn(t *testing.T) {
+	e, _ := ParseExpr("a.x + b.y * 2 > c AND a.x < 10")
+	cols := ColumnsIn(e)
+	if len(cols) != 3 {
+		t.Errorf("ColumnsIn = %v", cols)
+	}
+	n := 0
+	WalkExpr(e, func(Expr) bool { n++; return true })
+	if n < 8 {
+		t.Errorf("WalkExpr visited %d nodes", n)
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	with, _ := ParseExpr("SUM(total) > 100")
+	without, _ := ParseExpr("total > 100")
+	if !HasAggregate(with) || HasAggregate(without) {
+		t.Error("HasAggregate misclassifies")
+	}
+}
+
+func TestLiteralParsing(t *testing.T) {
+	e, _ := ParseExpr("NULL")
+	if !e.(*Literal).Value.IsNull() {
+		t.Error("NULL literal")
+	}
+	e, _ = ParseExpr("TRUE")
+	if v := e.(*Literal).Value; v.Kind() != types.KindBool || !v.Bool() {
+		t.Error("TRUE literal")
+	}
+	e, _ = ParseExpr("3.25")
+	if v := e.(*Literal).Value; v.Kind() != types.KindFloat {
+		t.Error("float literal")
+	}
+}
+
+func BenchmarkParseSelect(b *testing.B) {
+	query := "SELECT c.name, o.total FROM customers c JOIN orders o ON o.customer_id = c.id WHERE o.total > 100 AND c.city = 'Boston' ORDER BY o.total DESC LIMIT 20"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages in memory in front of a DiskManager. Pages are
+// pinned while in use; unpinned pages are eligible for LRU eviction, with
+// dirty pages written back before reuse.
+//
+// All methods are safe for concurrent use; the pool takes a single mutex,
+// which is adequate for the session counts the experiments run (tens of
+// concurrent form sessions).
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     DiskManager
+	capacity int
+
+	frames map[PageID]*frame
+	lru    *list.List // of PageID, front = most recently used
+
+	// Stats are cumulative counters exposed for the benchmark harness.
+	stats BufferPoolStats
+}
+
+// BufferPoolStats counts buffer pool traffic.
+type BufferPoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Writes    uint64
+}
+
+type frame struct {
+	page    *Page
+	id      PageID
+	pins    int
+	dirty   bool
+	lruElem *list.Element
+}
+
+// NewBufferPool creates a pool caching up to capacity pages over disk.
+func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (bp *BufferPool) Stats() BufferPoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// NewPage allocates a fresh page on disk, pins it and returns it.
+func (bp *BufferPool) NewPage() (PageID, *Page, error) {
+	id, err := bp.disk.AllocatePage()
+	if err != nil {
+		return InvalidPageID, nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.ensureRoom(); err != nil {
+		return InvalidPageID, nil, err
+	}
+	f := &frame{page: NewPage(), id: id, pins: 1, dirty: true}
+	bp.frames[id] = f
+	return id, f.page, nil
+}
+
+// Fetch pins page id and returns it, reading it from disk on a miss.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		f.pins++
+		if f.lruElem != nil {
+			bp.lru.Remove(f.lruElem)
+			f.lruElem = nil
+		}
+		return f.page, nil
+	}
+	bp.stats.Misses++
+	if err := bp.ensureRoom(); err != nil {
+		return nil, err
+	}
+	p := NewPage()
+	if err := bp.disk.ReadPage(id, p.Bytes()); err != nil {
+		return nil, err
+	}
+	bp.frames[id] = &frame{page: p, id: id, pins: 1}
+	return p, nil
+}
+
+// Unpin releases one pin on page id. dirty marks the page as modified so it
+// is written back before eviction.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of uncached page %d", id)
+	}
+	if f.pins <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins == 0 {
+		f.lruElem = bp.lru.PushFront(f.id)
+	}
+	return nil
+}
+
+// ensureRoom evicts the least recently used unpinned page if the pool is at
+// capacity. The caller must hold bp.mu.
+func (bp *BufferPool) ensureRoom() error {
+	if len(bp.frames) < bp.capacity {
+		return nil
+	}
+	elem := bp.lru.Back()
+	if elem == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.capacity)
+	}
+	id := elem.Value.(PageID)
+	f := bp.frames[id]
+	if f.dirty {
+		if err := bp.disk.WritePage(id, f.page.Bytes()); err != nil {
+			return err
+		}
+		bp.stats.Writes++
+	}
+	bp.lru.Remove(elem)
+	delete(bp.frames, id)
+	bp.stats.Evictions++
+	return nil
+}
+
+// FlushAll writes every dirty cached page back to disk.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, f := range bp.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := bp.disk.WritePage(id, f.page.Bytes()); err != nil {
+			return err
+		}
+		f.dirty = false
+		bp.stats.Writes++
+	}
+	return bp.disk.Sync()
+}
+
+// Capacity returns the pool's page capacity.
+func (bp *BufferPool) Capacity() int { return bp.capacity }

@@ -1,0 +1,264 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrRecordNotFound is returned by heap file reads of deleted or never-written
+// record identifiers.
+var ErrRecordNotFound = errors.New("storage: record not found")
+
+// HeapFile stores variable-length records in an unordered collection of
+// slotted pages and addresses them by RecordID. One heap file backs one
+// relation.
+//
+// A heap file owns a contiguous set of pages allocated from the shared buffer
+// pool's disk manager; it remembers its own page list so several heap files
+// can share one pool and one file.
+type HeapFile struct {
+	mu    sync.RWMutex
+	pool  *BufferPool
+	pages []PageID
+	// count caches the number of live records for O(1) cardinality estimates
+	// used by the planner and the forms layer's status line.
+	count int
+}
+
+// NewHeapFile creates an empty heap file over the buffer pool.
+func NewHeapFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool}
+}
+
+// Pool returns the buffer pool the heap file allocates from.
+func (h *HeapFile) Pool() *BufferPool { return h.pool }
+
+// Count returns the number of live records.
+func (h *HeapFile) Count() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.count
+}
+
+// NumPages returns the number of pages the heap file owns.
+func (h *HeapFile) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}
+
+// Insert stores record and returns its identifier. It tries the last page
+// first (the common append pattern) and allocates a new page when full.
+func (h *HeapFile) Insert(record []byte) (RecordID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Try the most recently used pages first; scanning every page on every
+	// insert would be quadratic for large loads.
+	tryFrom := len(h.pages) - 2
+	if tryFrom < 0 {
+		tryFrom = 0
+	}
+	for i := tryFrom; i < len(h.pages); i++ {
+		id := h.pages[i]
+		page, err := h.pool.Fetch(id)
+		if err != nil {
+			return RecordID{}, err
+		}
+		slot, err := page.Insert(record)
+		if err == nil {
+			h.count++
+			return RecordID{Page: id, Slot: uint16(slot)}, h.pool.Unpin(id, true)
+		}
+		if unpinErr := h.pool.Unpin(id, false); unpinErr != nil {
+			return RecordID{}, unpinErr
+		}
+		if !errors.Is(err, ErrPageFull) {
+			return RecordID{}, err
+		}
+	}
+	id, page, err := h.pool.NewPage()
+	if err != nil {
+		return RecordID{}, err
+	}
+	h.pages = append(h.pages, id)
+	slot, err := page.Insert(record)
+	if err != nil {
+		_ = h.pool.Unpin(id, false)
+		return RecordID{}, fmt.Errorf("storage: record of %d bytes does not fit in an empty page: %w", len(record), err)
+	}
+	h.count++
+	return RecordID{Page: id, Slot: uint16(slot)}, h.pool.Unpin(id, true)
+}
+
+// Get returns a copy of the record at rid.
+func (h *HeapFile) Get(rid RecordID) ([]byte, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if !h.owns(rid.Page) {
+		return nil, ErrRecordNotFound
+	}
+	page, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := page.Get(int(rid.Slot))
+	if err != nil {
+		_ = h.pool.Unpin(rid.Page, false)
+		return nil, ErrRecordNotFound
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out, h.pool.Unpin(rid.Page, false)
+}
+
+// Update replaces the record at rid. When the new record no longer fits on
+// its page the record moves; the returned RecordID is its new address (equal
+// to rid when it did not move).
+func (h *HeapFile) Update(rid RecordID, record []byte) (RecordID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.owns(rid.Page) {
+		return rid, ErrRecordNotFound
+	}
+	page, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return rid, err
+	}
+	err = page.Update(int(rid.Slot), record)
+	switch {
+	case err == nil:
+		return rid, h.pool.Unpin(rid.Page, true)
+	case errors.Is(err, ErrPageFull):
+		// Relocate: delete here, insert elsewhere.
+		if delErr := page.Delete(int(rid.Slot)); delErr != nil {
+			_ = h.pool.Unpin(rid.Page, false)
+			return rid, delErr
+		}
+		if unpinErr := h.pool.Unpin(rid.Page, true); unpinErr != nil {
+			return rid, unpinErr
+		}
+		h.count-- // insertLocked will re-increment
+		h.mu.Unlock()
+		newRID, insErr := h.Insert(record)
+		h.mu.Lock()
+		return newRID, insErr
+	case errors.Is(err, ErrNoSuchSlot):
+		_ = h.pool.Unpin(rid.Page, false)
+		return rid, ErrRecordNotFound
+	default:
+		_ = h.pool.Unpin(rid.Page, false)
+		return rid, err
+	}
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(rid RecordID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.owns(rid.Page) {
+		return ErrRecordNotFound
+	}
+	page, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := page.Delete(int(rid.Slot)); err != nil {
+		_ = h.pool.Unpin(rid.Page, false)
+		return ErrRecordNotFound
+	}
+	h.count--
+	return h.pool.Unpin(rid.Page, true)
+}
+
+func (h *HeapFile) owns(id PageID) bool {
+	for _, p := range h.pages {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Scan calls fn for every live record in the heap file, in physical order.
+// The record slice passed to fn is a copy the callback may retain. Scanning
+// stops early if fn returns an error, which Scan then returns.
+func (h *HeapFile) Scan(fn func(rid RecordID, record []byte) error) error {
+	h.mu.RLock()
+	pages := make([]PageID, len(h.pages))
+	copy(pages, h.pages)
+	h.mu.RUnlock()
+	for _, id := range pages {
+		page, err := h.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		n := page.NumSlots()
+		for slot := 0; slot < n; slot++ {
+			raw, err := page.Get(slot)
+			if err != nil {
+				continue // tombstone
+			}
+			rec := make([]byte, len(raw))
+			copy(rec, raw)
+			if err := fn(RecordID{Page: id, Slot: uint16(slot)}, rec); err != nil {
+				_ = h.pool.Unpin(id, false)
+				return err
+			}
+		}
+		if err := h.pool.Unpin(id, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Iterator returns a pull-style iterator over the heap file, used by the
+// executor's sequential scan operator.
+func (h *HeapFile) Iterator() *HeapIterator {
+	h.mu.RLock()
+	pages := make([]PageID, len(h.pages))
+	copy(pages, h.pages)
+	h.mu.RUnlock()
+	return &HeapIterator{heap: h, pages: pages, slot: -1}
+}
+
+// HeapIterator walks a heap file record by record.
+type HeapIterator struct {
+	heap    *HeapFile
+	pages   []PageID
+	pageIdx int
+	slot    int
+}
+
+// Next returns the next live record, or ok=false when the scan is exhausted.
+// The returned record is a copy.
+func (it *HeapIterator) Next() (rid RecordID, record []byte, ok bool, err error) {
+	for it.pageIdx < len(it.pages) {
+		id := it.pages[it.pageIdx]
+		page, err := it.heap.pool.Fetch(id)
+		if err != nil {
+			return RecordID{}, nil, false, err
+		}
+		n := page.NumSlots()
+		for s := it.slot + 1; s < n; s++ {
+			raw, err := page.Get(s)
+			if err != nil {
+				continue
+			}
+			rec := make([]byte, len(raw))
+			copy(rec, raw)
+			it.slot = s
+			if unpinErr := it.heap.pool.Unpin(id, false); unpinErr != nil {
+				return RecordID{}, nil, false, unpinErr
+			}
+			return RecordID{Page: id, Slot: uint16(s)}, rec, true, nil
+		}
+		if unpinErr := it.heap.pool.Unpin(id, false); unpinErr != nil {
+			return RecordID{}, nil, false, unpinErr
+		}
+		it.pageIdx++
+		it.slot = -1
+	}
+	return RecordID{}, nil, false, nil
+}

@@ -1,0 +1,240 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageInsertGet(t *testing.T) {
+	p := NewPage()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte(""), []byte("gamma gamma gamma")}
+	slots := make([]int, len(recs))
+	for i, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+		slots[i] = s
+	}
+	for i, r := range recs {
+		got, err := p.Get(slots[i])
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, r) {
+			t.Errorf("Get %d = %q, want %q", i, got, r)
+		}
+	}
+	if p.LiveRecords() != len(recs) {
+		t.Errorf("LiveRecords = %d, want %d", p.LiveRecords(), len(recs))
+	}
+}
+
+func TestPageDelete(t *testing.T) {
+	p := NewPage()
+	s1, _ := p.Insert([]byte("one"))
+	s2, _ := p.Insert([]byte("two"))
+	if err := p.Delete(s1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := p.Get(s1); !errors.Is(err, ErrNoSuchSlot) {
+		t.Errorf("Get deleted slot: %v", err)
+	}
+	if err := p.Delete(s1); !errors.Is(err, ErrNoSuchSlot) {
+		t.Errorf("double Delete: %v", err)
+	}
+	if err := p.Delete(99); !errors.Is(err, ErrNoSuchSlot) {
+		t.Errorf("Delete bad slot: %v", err)
+	}
+	got, err := p.Get(s2)
+	if err != nil || !bytes.Equal(got, []byte("two")) {
+		t.Errorf("Get surviving record = %q, %v", got, err)
+	}
+	if p.LiveRecords() != 1 {
+		t.Errorf("LiveRecords = %d, want 1", p.LiveRecords())
+	}
+}
+
+func TestPageSlotReuse(t *testing.T) {
+	p := NewPage()
+	s1, _ := p.Insert([]byte("one"))
+	_ = p.Delete(s1)
+	s2, err := p.Insert([]byte("newcomer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1 {
+		t.Errorf("tombstoned slot should be reused: got %d, want %d", s2, s1)
+	}
+}
+
+func TestPageUpdateInPlaceAndGrow(t *testing.T) {
+	p := NewPage()
+	s, _ := p.Insert([]byte("0123456789"))
+	if err := p.Update(s, []byte("short")); err != nil {
+		t.Fatalf("shrink update: %v", err)
+	}
+	got, _ := p.Get(s)
+	if string(got) != "short" {
+		t.Errorf("after shrink: %q", got)
+	}
+	long := bytes.Repeat([]byte("x"), 500)
+	if err := p.Update(s, long); err != nil {
+		t.Fatalf("grow update: %v", err)
+	}
+	got, _ = p.Get(s)
+	if !bytes.Equal(got, long) {
+		t.Errorf("after grow: %d bytes", len(got))
+	}
+	if err := p.Update(42, []byte("x")); !errors.Is(err, ErrNoSuchSlot) {
+		t.Errorf("update bad slot: %v", err)
+	}
+}
+
+func TestPageFullAndCompaction(t *testing.T) {
+	p := NewPage()
+	rec := bytes.Repeat([]byte("a"), 1000)
+	var slots []int
+	for {
+		s, err := p.Insert(rec)
+		if err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) != 8 { // 8 * (1000+4) + header < 8192
+		t.Errorf("expected 8 records per page, got %d", len(slots))
+	}
+	// Delete every other record; compaction should then make room again.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < len(slots)/2; i++ {
+		if _, err := p.Insert(rec); err != nil {
+			t.Fatalf("insert after delete+compact %d: %v", i, err)
+		}
+	}
+	// Surviving originals must be intact after compaction moved them.
+	for i := 1; i < len(slots); i += 2 {
+		got, err := p.Get(slots[i])
+		if err != nil || !bytes.Equal(got, rec) {
+			t.Errorf("record %d corrupted after compaction", i)
+		}
+	}
+}
+
+func TestPageOversizeRecord(t *testing.T) {
+	p := NewPage()
+	if _, err := p.Insert(make([]byte, PageSize)); err == nil {
+		t.Error("a record larger than a page must be rejected")
+	}
+}
+
+func TestPageUpdateGrowRelocationNeeded(t *testing.T) {
+	p := NewPage()
+	small, _ := p.Insert([]byte("tiny"))
+	// Fill the page almost completely.
+	filler := bytes.Repeat([]byte("f"), 2000)
+	for {
+		if _, err := p.Insert(filler); err != nil {
+			break
+		}
+	}
+	big := bytes.Repeat([]byte("B"), 4000)
+	err := p.Update(small, big)
+	if !errors.Is(err, ErrPageFull) {
+		t.Fatalf("expected ErrPageFull, got %v", err)
+	}
+	// The original record must still be readable after the failed update.
+	got, err := p.Get(small)
+	if err != nil || string(got) != "tiny" {
+		t.Errorf("original record lost after failed grow: %q, %v", got, err)
+	}
+}
+
+func TestPageLoadBytesRoundTrip(t *testing.T) {
+	p := NewPage()
+	s, _ := p.Insert([]byte("persist me"))
+	q := NewPage()
+	if err := q.LoadBytes(p.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Get(s)
+	if err != nil || string(got) != "persist me" {
+		t.Errorf("round trip through bytes: %q, %v", got, err)
+	}
+	if err := q.LoadBytes([]byte("short")); err == nil {
+		t.Error("LoadBytes must reject wrong-size images")
+	}
+}
+
+func TestPagePropertyInsertGetConsistency(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		p := NewPage()
+		inserted := map[int][]byte{}
+		for _, rec := range payloads {
+			if len(rec) > 1024 {
+				rec = rec[:1024]
+			}
+			s, err := p.Insert(rec)
+			if errors.Is(err, ErrPageFull) {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			inserted[s] = rec
+		}
+		for s, want := range inserted {
+			got, err := p.Get(s)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordIDStringAndLess(t *testing.T) {
+	a := RecordID{Page: 1, Slot: 2}
+	b := RecordID{Page: 1, Slot: 3}
+	c := RecordID{Page: 2, Slot: 0}
+	if a.String() != "1:2" {
+		t.Errorf("String = %q", a.String())
+	}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Error("RecordID ordering wrong")
+	}
+}
+
+func TestFreeSpaceDecreases(t *testing.T) {
+	p := NewPage()
+	before := p.FreeSpace()
+	_, _ = p.Insert(make([]byte, 100))
+	after := p.FreeSpace()
+	if after >= before {
+		t.Errorf("free space should shrink: %d -> %d", before, after)
+	}
+	if before != PageSize-pageHeaderSize-slotSize {
+		t.Errorf("empty page free space = %d", before)
+	}
+}
+
+func ExampleNewPage() {
+	p := NewPage()
+	slot, _ := p.Insert([]byte("hello"))
+	rec, _ := p.Get(slot)
+	fmt.Println(string(rec))
+	// Output: hello
+}

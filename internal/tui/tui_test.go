@@ -1,0 +1,289 @@
+package tui
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScreenBasics(t *testing.T) {
+	s := NewScreen(20, 5)
+	if s.Width() != 20 || s.Height() != 5 {
+		t.Fatalf("size = %dx%d", s.Width(), s.Height())
+	}
+	s.DrawText(1, 2, "hello", StyleBold)
+	if got := s.Line(1); got != "  hello" {
+		t.Errorf("Line(1) = %q", got)
+	}
+	if cell := s.CellAt(1, 2); cell.Ch != 'h' || cell.Style != StyleBold {
+		t.Errorf("CellAt = %+v", cell)
+	}
+	// Out-of-bounds writes and reads are safe.
+	s.SetCell(100, 100, 'x', StyleNone)
+	if cell := s.CellAt(-1, -1); cell.Ch != ' ' {
+		t.Errorf("out-of-bounds cell = %+v", cell)
+	}
+	if !strings.Contains(s.String(), "hello") {
+		t.Error("String() should include drawn text")
+	}
+}
+
+func TestScreenClipping(t *testing.T) {
+	s := NewScreen(10, 2)
+	s.DrawText(0, 6, "overflowing", StyleNone)
+	if got := s.Line(0); got != "      over" {
+		t.Errorf("clipped line = %q", got)
+	}
+}
+
+func TestScreenStats(t *testing.T) {
+	s := NewScreen(10, 10)
+	s.ResetStats()
+	s.DrawText(0, 0, "12345", StyleNone)
+	s.Flush()
+	if s.CellsPainted() != 5 || s.Repaints() != 1 {
+		t.Errorf("painted = %d repaints = %d", s.CellsPainted(), s.Repaints())
+	}
+	s.ResetStats()
+	if s.CellsPainted() != 0 {
+		t.Error("ResetStats should zero counters")
+	}
+}
+
+func TestDrawBoxAndFill(t *testing.T) {
+	s := NewScreen(20, 6)
+	s.DrawBox(0, 0, 5, 12, "Orders", StyleNone)
+	top := s.Line(0)
+	if !strings.HasPrefix(top, "+") || !strings.Contains(top, "Orders") {
+		t.Errorf("box top = %q", top)
+	}
+	if s.CellAt(4, 0).Ch != '+' || s.CellAt(2, 11).Ch != '|' {
+		t.Error("box corners/edges missing")
+	}
+	s.FillRegion(1, 1, 3, 10, '.', StyleNone)
+	if s.CellAt(2, 5).Ch != '.' {
+		t.Error("fill missing")
+	}
+	// Degenerate boxes are ignored.
+	s.DrawBox(0, 0, 1, 1, "", StyleNone)
+}
+
+func TestDiffAndSnapshot(t *testing.T) {
+	a := NewScreen(10, 3)
+	b := a.Snapshot()
+	a.DrawText(0, 0, "abc", StyleNone)
+	n, err := Diff(a, b)
+	if err != nil || n != 3 {
+		t.Errorf("Diff = %d, %v", n, err)
+	}
+	if _, err := Diff(a, NewScreen(5, 5)); err == nil {
+		t.Error("size mismatch should error")
+	}
+}
+
+func TestRenderANSI(t *testing.T) {
+	s := NewScreen(5, 2)
+	s.DrawText(0, 0, "hi", StyleReverse)
+	out := s.RenderANSI()
+	if !strings.Contains(out, "\x1b[H") || !strings.Contains(out, "7m") {
+		t.Errorf("ANSI output = %q", out)
+	}
+}
+
+func TestKeyScriptRoundTrip(t *testing.T) {
+	script := "Ada<TAB>Boston<ENTER><F6><ESC>x"
+	events, err := ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len("Ada")+1+len("Boston")+4 {
+		t.Errorf("event count = %d", len(events))
+	}
+	if Script(events) != script {
+		t.Errorf("round trip = %q", Script(events))
+	}
+	if _, err := ParseScript("<NOSUCHKEY>"); err == nil {
+		t.Error("unknown key should fail")
+	}
+	if _, err := ParseScript("<unterminated"); err == nil {
+		t.Error("unterminated key should fail")
+	}
+	// Escaped literal '<'.
+	events, err = ParseScript("a<<b")
+	if err != nil || len(events) != 3 || events[1].Rune != '<' {
+		t.Errorf("escaped < = %v, %v", events, err)
+	}
+}
+
+func TestParseScriptProperty(t *testing.T) {
+	f := func(s string) bool {
+		clean := strings.Map(func(r rune) rune {
+			if r == '<' || r == '>' || r < 32 || r > 126 {
+				return 'x'
+			}
+			return r
+		}, s)
+		events, err := ParseScript(clean)
+		if err != nil {
+			return false
+		}
+		return Script(events) == clean
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeStringAndEventString(t *testing.T) {
+	events := TypeString("ab")
+	if len(events) != 2 || events[0].Rune != 'a' {
+		t.Errorf("TypeString = %v", events)
+	}
+	if KeyEvent(KeyEnter).String() != "<ENTER>" || RuneEvent('z').String() != "z" {
+		t.Error("Event.String wrong")
+	}
+	if KeyF6.String() != "F6" {
+		t.Errorf("KeyF6 = %q", KeyF6.String())
+	}
+}
+
+func TestTextFieldEditing(t *testing.T) {
+	f := &TextField{Row: 0, Col: 0, Width: 10}
+	for _, e := range TypeString("Boston") {
+		f.HandleKey(e)
+	}
+	if f.Value != "Boston" || f.Cursor != 6 {
+		t.Errorf("value = %q cursor = %d", f.Value, f.Cursor)
+	}
+	f.HandleKey(KeyEvent(KeyBackspace))
+	if f.Value != "Bosto" {
+		t.Errorf("after backspace = %q", f.Value)
+	}
+	f.HandleKey(KeyEvent(KeyHome))
+	f.HandleKey(KeyEvent(KeyDelete))
+	if f.Value != "osto" {
+		t.Errorf("after home+delete = %q", f.Value)
+	}
+	f.HandleKey(KeyEvent(KeyRight))
+	f.HandleKey(RuneEvent('X'))
+	if f.Value != "oXsto" {
+		t.Errorf("after insert = %q", f.Value)
+	}
+	f.HandleKey(KeyEvent(KeyEnd))
+	if f.Cursor != len(f.Value) {
+		t.Errorf("cursor = %d", f.Cursor)
+	}
+	// Unconsumed keys.
+	if f.HandleKey(KeyEvent(KeyEnter)) || f.HandleKey(KeyEvent(KeyTab)) {
+		t.Error("ENTER/TAB should not be consumed by the field")
+	}
+	// Read-only fields ignore edits.
+	ro := &TextField{ReadOnly: true}
+	if ro.HandleKey(RuneEvent('x')) || ro.Value != "" {
+		t.Error("read-only field must ignore input")
+	}
+}
+
+func TestTextFieldScrollingAndDraw(t *testing.T) {
+	s := NewScreen(12, 2)
+	f := &TextField{Row: 0, Col: 0, Width: 5, Focused: true}
+	f.SetValue("abcdefghij")
+	f.Draw(s)
+	// The visible window must show the tail of the value with one cell kept
+	// free for the cursor (cursor sits at the end of the text).
+	if got := s.Line(0); !strings.Contains(got, "ghij") || strings.Contains(got, "abc") {
+		t.Errorf("scrolled field = %q", got)
+	}
+	f.Clear()
+	if f.Value != "" || f.Cursor != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestTableGridNavigation(t *testing.T) {
+	g := &TableGrid{
+		Columns:     []GridColumn{{Title: "id", Width: 4}, {Title: "name", Width: 8}},
+		VisibleRows: 3,
+		Focused:     true,
+	}
+	for i := 0; i < 10; i++ {
+		g.Rows = append(g.Rows, []string{itoa(i), "row" + itoa(i)})
+	}
+	g.HandleKey(KeyEvent(KeyDown))
+	g.HandleKey(KeyEvent(KeyDown))
+	if g.Selected != 2 {
+		t.Errorf("Selected = %d", g.Selected)
+	}
+	g.HandleKey(KeyEvent(KeyPgDn))
+	if g.Selected != 5 || g.Offset == 0 {
+		t.Errorf("after PgDn: selected=%d offset=%d", g.Selected, g.Offset)
+	}
+	g.HandleKey(KeyEvent(KeyEnd))
+	if g.Selected != 9 {
+		t.Errorf("End = %d", g.Selected)
+	}
+	g.HandleKey(KeyEvent(KeyHome))
+	if g.Selected != 0 || g.Offset != 0 {
+		t.Errorf("Home = %d/%d", g.Selected, g.Offset)
+	}
+	g.HandleKey(KeyEvent(KeyUp)) // clamped at top
+	if g.Selected != 0 {
+		t.Errorf("clamp = %d", g.Selected)
+	}
+	if g.HandleKey(RuneEvent('x')) {
+		t.Error("grids do not consume character keys")
+	}
+
+	s := NewScreen(20, 6)
+	g.Row, g.Col = 0, 0
+	g.Draw(s)
+	if !strings.Contains(s.Line(0), "id") || !strings.Contains(s.Line(1), "row0") {
+		t.Errorf("grid draw:\n%s", s.String())
+	}
+}
+
+func TestStatusBarAndLabel(t *testing.T) {
+	s := NewScreen(30, 3)
+	Label{Row: 0, Col: 1, Text: "Customer", Style: StyleBold}.Draw(s)
+	StatusBar{Row: 2, Width: 30, Text: "1 row(s) saved"}.Draw(s)
+	if !strings.Contains(s.Line(0), "Customer") || !strings.Contains(s.Line(2), "saved") {
+		t.Errorf("draw:\n%s", s.String())
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	digits := ""
+	for i > 0 {
+		digits = string(rune('0'+i%10)) + digits
+		i /= 10
+	}
+	return digits
+}
+
+func BenchmarkFullScreenRepaint(b *testing.B) {
+	s := NewScreen(80, 24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Clear()
+		for row := 0; row < 24; row++ {
+			s.DrawText(row, 0, "field value and label text for one row of the form", StyleNone)
+		}
+		s.Flush()
+	}
+}
+
+func BenchmarkRenderANSI(b *testing.B) {
+	s := NewScreen(80, 24)
+	for row := 0; row < 24; row++ {
+		s.DrawText(row, 0, "some text on the row with style", StyleBold)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := s.RenderANSI(); len(out) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}

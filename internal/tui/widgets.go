@@ -1,0 +1,253 @@
+package tui
+
+import (
+	"strings"
+)
+
+// Label is a static piece of text at a fixed position.
+type Label struct {
+	Row, Col int
+	Text     string
+	Style    Style
+}
+
+// Draw paints the label.
+func (l Label) Draw(s *Screen) {
+	s.DrawText(l.Row, l.Col, l.Text, l.Style)
+}
+
+// TextField is a single-line editable field: the building block every form
+// field is rendered with. It owns its text buffer and cursor; the forms
+// runtime feeds it key events while it has focus.
+type TextField struct {
+	Row, Col int
+	Width    int
+	// Value is the field's current text.
+	Value string
+	// Cursor is the insertion position within Value.
+	Cursor int
+	// Focused fields render in reverse video with a visible cursor.
+	Focused bool
+	// ReadOnly fields ignore editing keys.
+	ReadOnly bool
+	// scroll is the index of the first visible character when the value is
+	// wider than the field.
+	scroll int
+}
+
+// SetValue replaces the field's text and moves the cursor to its end.
+func (f *TextField) SetValue(v string) {
+	f.Value = v
+	f.Cursor = len(v)
+	f.clampScroll()
+}
+
+// Clear empties the field.
+func (f *TextField) Clear() { f.SetValue("") }
+
+// HandleKey applies one keystroke to the field and reports whether the field
+// consumed it (navigation keys like TAB and ENTER are not consumed; the form
+// interprets them).
+func (f *TextField) HandleKey(e Event) bool {
+	if f.ReadOnly {
+		return false
+	}
+	switch e.Key {
+	case KeyRune:
+		f.Value = f.Value[:f.Cursor] + string(e.Rune) + f.Value[f.Cursor:]
+		f.Cursor++
+	case KeyBackspace:
+		if f.Cursor > 0 {
+			f.Value = f.Value[:f.Cursor-1] + f.Value[f.Cursor:]
+			f.Cursor--
+		}
+	case KeyDelete:
+		if f.Cursor < len(f.Value) {
+			f.Value = f.Value[:f.Cursor] + f.Value[f.Cursor+1:]
+		}
+	case KeyLeft:
+		if f.Cursor > 0 {
+			f.Cursor--
+		}
+	case KeyRight:
+		if f.Cursor < len(f.Value) {
+			f.Cursor++
+		}
+	case KeyHome:
+		f.Cursor = 0
+	case KeyEnd:
+		f.Cursor = len(f.Value)
+	default:
+		return false
+	}
+	f.clampScroll()
+	return true
+}
+
+func (f *TextField) clampScroll() {
+	if f.Width <= 0 {
+		f.scroll = 0
+		return
+	}
+	if f.Cursor < f.scroll {
+		f.scroll = f.Cursor
+	}
+	if f.Cursor > f.scroll+f.Width-1 {
+		f.scroll = f.Cursor - f.Width + 1
+	}
+	if f.scroll < 0 {
+		f.scroll = 0
+	}
+}
+
+// Draw paints the field: its visible window of text padded to the field
+// width, in reverse video when focused.
+func (f *TextField) Draw(s *Screen) {
+	style := StyleUnderline
+	if f.Focused {
+		style = StyleReverse
+	}
+	if f.ReadOnly {
+		style |= StyleDim
+	}
+	visible := f.Value
+	if f.scroll < len(visible) {
+		visible = visible[f.scroll:]
+	} else {
+		visible = ""
+	}
+	if len(visible) > f.Width {
+		visible = visible[:f.Width]
+	}
+	padded := visible + strings.Repeat(" ", f.Width-len(visible))
+	s.DrawText(f.Row, f.Col, padded, style)
+	if f.Focused {
+		cursorCol := f.Col + f.Cursor - f.scroll
+		if cursorCol >= f.Col && cursorCol < f.Col+f.Width {
+			cell := s.CellAt(f.Row, cursorCol)
+			s.SetCell(f.Row, cursorCol, cell.Ch, StyleReverse|StyleBold|StyleUnderline)
+		}
+	}
+}
+
+// GridColumn describes one column of a TableGrid.
+type GridColumn struct {
+	Title string
+	Width int
+}
+
+// TableGrid renders rows of text in columns with a heading, a selection bar
+// and vertical scrolling: the widget behind browse windows and detail blocks.
+type TableGrid struct {
+	Row, Col int
+	Columns  []GridColumn
+	// Rows is the full data set; the grid shows a window of VisibleRows rows
+	// starting at Offset.
+	Rows        [][]string
+	VisibleRows int
+	Offset      int
+	Selected    int
+	Focused     bool
+}
+
+// ClampSelection keeps the selection and scroll offset within the data.
+func (g *TableGrid) ClampSelection() {
+	if g.Selected < 0 {
+		g.Selected = 0
+	}
+	if g.Selected >= len(g.Rows) {
+		g.Selected = len(g.Rows) - 1
+	}
+	if g.Selected < 0 {
+		g.Selected = 0
+	}
+	if g.VisibleRows <= 0 {
+		g.VisibleRows = 1
+	}
+	if g.Selected < g.Offset {
+		g.Offset = g.Selected
+	}
+	if g.Selected >= g.Offset+g.VisibleRows {
+		g.Offset = g.Selected - g.VisibleRows + 1
+	}
+	if g.Offset < 0 {
+		g.Offset = 0
+	}
+}
+
+// HandleKey moves the selection; it reports whether the key was consumed.
+func (g *TableGrid) HandleKey(e Event) bool {
+	switch e.Key {
+	case KeyUp:
+		g.Selected--
+	case KeyDown:
+		g.Selected++
+	case KeyPgUp:
+		g.Selected -= g.VisibleRows
+	case KeyPgDn:
+		g.Selected += g.VisibleRows
+	case KeyHome:
+		g.Selected = 0
+	case KeyEnd:
+		g.Selected = len(g.Rows) - 1
+	default:
+		return false
+	}
+	g.ClampSelection()
+	return true
+}
+
+// Draw paints the heading and the visible window of rows.
+func (g *TableGrid) Draw(s *Screen) {
+	g.ClampSelection()
+	col := g.Col
+	for _, c := range g.Columns {
+		s.DrawText(g.Row, col, pad(c.Title, c.Width), StyleBold|StyleUnderline)
+		col += c.Width + 1
+	}
+	for i := 0; i < g.VisibleRows; i++ {
+		rowIdx := g.Offset + i
+		screenRow := g.Row + 1 + i
+		style := StyleNone
+		if rowIdx == g.Selected && g.Focused {
+			style = StyleReverse
+		}
+		col = g.Col
+		for c := range g.Columns {
+			text := ""
+			if rowIdx < len(g.Rows) && c < len(g.Rows[rowIdx]) {
+				text = g.Rows[rowIdx][c]
+			}
+			s.DrawText(screenRow, col, pad(text, g.Columns[c].Width), style)
+			col += g.Columns[c].Width + 1
+		}
+	}
+}
+
+// StatusBar is the single message line at the bottom of a form window.
+type StatusBar struct {
+	Row   int
+	Width int
+	Text  string
+	Error bool
+}
+
+// Draw paints the status line across its width.
+func (b StatusBar) Draw(s *Screen) {
+	style := StyleDim
+	if b.Error {
+		style = StyleReverse | StyleBold
+	}
+	s.DrawText(b.Row, 0, pad(b.Text, b.Width), style)
+}
+
+// pad truncates or right-pads text to exactly width characters.
+func pad(text string, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if len(text) > width {
+		return text[:width]
+	}
+	return text + strings.Repeat(" ", width-len(text))
+}

@@ -1,0 +1,163 @@
+// Package txn provides the transaction services the engine and the forms
+// runtime sit on: a table-granularity lock manager with timeout-based
+// deadlock resolution, a logical write-ahead log, and transaction objects
+// that carry undo information for rollback.
+//
+// Granularity and protocol follow what interactive forms systems of the early
+// 1980s used: two-phase locking at table granularity, shared locks for
+// readers inside explicit transactions, exclusive locks for writers, and a
+// timeout (rather than a waits-for graph) to break deadlocks between form
+// sessions.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LockMode is the strength of a table lock.
+type LockMode int
+
+// Lock modes.
+const (
+	LockShared LockMode = iota
+	LockExclusive
+)
+
+func (m LockMode) String() string {
+	if m == LockExclusive {
+		return "exclusive"
+	}
+	return "shared"
+}
+
+// ErrLockTimeout is returned when a lock cannot be acquired within the
+// manager's timeout. Callers treat it as a deadlock signal and abort.
+var ErrLockTimeout = errors.New("txn: lock wait timeout (possible deadlock)")
+
+// LockManager hands out table locks to transactions.
+type LockManager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	timeout time.Duration
+	tables  map[string]*tableLock
+
+	// waits counts how many lock requests had to wait, and timeouts how many
+	// gave up; the concurrency experiment reports both.
+	waits    uint64
+	timeouts uint64
+}
+
+type tableLock struct {
+	// holders maps transaction id to the mode it holds.
+	holders map[uint64]LockMode
+}
+
+// NewLockManager creates a lock manager with the given wait timeout.
+func NewLockManager(timeout time.Duration) *LockManager {
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	lm := &LockManager{timeout: timeout, tables: make(map[string]*tableLock)}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// Stats returns the cumulative number of waits and timeouts.
+func (lm *LockManager) Stats() (waits, timeouts uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.waits, lm.timeouts
+}
+
+// Lock acquires the table in the given mode for the transaction, blocking up
+// to the timeout. Lock upgrades (shared held, exclusive requested) are
+// supported when no other transaction holds the table.
+func (lm *LockManager) Lock(txnID uint64, table string, mode LockMode) error {
+	deadline := time.Now().Add(lm.timeout)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+
+	waited := false
+	for {
+		tl := lm.tables[table]
+		if tl == nil {
+			tl = &tableLock{holders: make(map[uint64]LockMode)}
+			lm.tables[table] = tl
+		}
+		if lm.grantable(tl, txnID, mode) {
+			if existing, ok := tl.holders[txnID]; !ok || existing < mode {
+				tl.holders[txnID] = mode
+			}
+			return nil
+		}
+		if !waited {
+			waited = true
+			lm.waits++
+		}
+		if time.Now().After(deadline) {
+			lm.timeouts++
+			return fmt.Errorf("%w: table %q, transaction %d wanted %s", ErrLockTimeout, table, txnID, mode)
+		}
+		// Wake up periodically to re-check the deadline; Broadcast on unlock
+		// wakes us earlier.
+		waitWithTimeout(lm.cond, 10*time.Millisecond)
+	}
+}
+
+// grantable reports whether txnID may take the table in mode given current
+// holders. The caller holds lm.mu.
+func (lm *LockManager) grantable(tl *tableLock, txnID uint64, mode LockMode) bool {
+	for holder, held := range tl.holders {
+		if holder == txnID {
+			continue
+		}
+		if mode == LockExclusive || held == LockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Unlock releases every lock the transaction holds.
+func (lm *LockManager) Unlock(txnID uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for name, tl := range lm.tables {
+		delete(tl.holders, txnID)
+		if len(tl.holders) == 0 {
+			delete(lm.tables, name)
+		}
+	}
+	lm.cond.Broadcast()
+}
+
+// HeldBy returns the tables the transaction currently holds, for diagnostics.
+func (lm *LockManager) HeldBy(txnID uint64) []string {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	var out []string
+	for name, tl := range lm.tables {
+		if _, ok := tl.holders[txnID]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// waitWithTimeout waits on cond for at most d. The caller must hold the
+// cond's locker; it is reacquired before returning.
+func waitWithTimeout(cond *sync.Cond, d time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-time.After(d):
+		case <-done:
+		}
+		cond.Broadcast()
+	}()
+	cond.Wait()
+	close(done)
+}

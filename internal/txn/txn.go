@@ -1,0 +1,354 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// State is a transaction's lifecycle state.
+type State int
+
+// Transaction states.
+const (
+	StateActive State = iota
+	StateCommitted
+	StateAborted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ErrNotActive is returned when an operation is attempted on a finished
+// transaction.
+var ErrNotActive = errors.New("txn: transaction is not active")
+
+// Manager creates transactions and owns the shared lock manager and log.
+type Manager struct {
+	locks  *LockManager
+	wal    *WAL
+	nextID atomic.Uint64
+
+	mu        sync.Mutex
+	active    map[uint64]*Txn
+	committed uint64
+	aborted   uint64
+}
+
+// NewManager creates a transaction manager. wal may be nil to disable logging.
+func NewManager(wal *WAL, lockTimeout time.Duration) *Manager {
+	return &Manager{
+		locks:  NewLockManager(lockTimeout),
+		wal:    wal,
+		active: make(map[uint64]*Txn),
+	}
+}
+
+// Locks exposes the lock manager (the engine's SELECT path takes shared
+// locks directly).
+func (m *Manager) Locks() *LockManager { return m.locks }
+
+// WAL returns the manager's log (may be nil).
+func (m *Manager) WAL() *WAL { return m.wal }
+
+// Stats returns how many transactions have committed and aborted.
+func (m *Manager) Stats() (committed, aborted uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.committed, m.aborted
+}
+
+// ActiveCount returns the number of in-flight transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() (*Txn, error) {
+	id := m.nextID.Add(1)
+	t := &Txn{id: id, mgr: m, state: StateActive}
+	m.mu.Lock()
+	m.active[id] = t
+	m.mu.Unlock()
+	if err := m.wal.Append(Record{Kind: RecordBegin, Txn: id}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// undoEntry reverses one change on rollback.
+type undoEntry struct {
+	kind  RecordKind
+	table *catalog.Table
+	rid   storage.RecordID
+	old   types.Tuple
+	new   types.Tuple
+}
+
+// Txn is one transaction: a lock scope plus the undo records needed to roll
+// its changes back.
+type Txn struct {
+	id    uint64
+	mgr   *Manager
+	state State
+
+	mu   sync.Mutex
+	undo []undoEntry
+}
+
+// ID returns the transaction's identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// State returns the transaction's lifecycle state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// LockShared takes a shared lock on the table.
+func (t *Txn) LockShared(table string) error {
+	if t.State() != StateActive {
+		return ErrNotActive
+	}
+	return t.mgr.locks.Lock(t.id, table, LockShared)
+}
+
+// LockExclusive takes an exclusive lock on the table.
+func (t *Txn) LockExclusive(table string) error {
+	if t.State() != StateActive {
+		return ErrNotActive
+	}
+	return t.mgr.locks.Lock(t.id, table, LockExclusive)
+}
+
+// Insert inserts a row into the table under this transaction: it takes the
+// exclusive lock, performs the insert, logs it and records undo information.
+func (t *Txn) Insert(table *catalog.Table, row types.Tuple) (storage.RecordID, error) {
+	if err := t.LockExclusive(table.Name()); err != nil {
+		return storage.RecordID{}, err
+	}
+	rid, err := table.Insert(row)
+	if err != nil {
+		return storage.RecordID{}, err
+	}
+	if err := t.mgr.wal.Append(Record{Kind: RecordInsert, Txn: t.id, Table: table.Name(), New: row}); err != nil {
+		return rid, err
+	}
+	t.mu.Lock()
+	t.undo = append(t.undo, undoEntry{kind: RecordInsert, table: table, rid: rid, new: row})
+	t.mu.Unlock()
+	return rid, nil
+}
+
+// Update updates the row at rid under this transaction.
+func (t *Txn) Update(table *catalog.Table, rid storage.RecordID, newRow types.Tuple) (storage.RecordID, error) {
+	if err := t.LockExclusive(table.Name()); err != nil {
+		return rid, err
+	}
+	oldRow, err := table.Get(rid)
+	if err != nil {
+		return rid, err
+	}
+	newRID, err := table.Update(rid, newRow)
+	if err != nil {
+		return rid, err
+	}
+	if err := t.mgr.wal.Append(Record{Kind: RecordUpdate, Txn: t.id, Table: table.Name(), Old: oldRow, New: newRow}); err != nil {
+		return newRID, err
+	}
+	t.mu.Lock()
+	t.undo = append(t.undo, undoEntry{kind: RecordUpdate, table: table, rid: newRID, old: oldRow, new: newRow})
+	t.mu.Unlock()
+	return newRID, nil
+}
+
+// Delete removes the row at rid under this transaction.
+func (t *Txn) Delete(table *catalog.Table, rid storage.RecordID) error {
+	if err := t.LockExclusive(table.Name()); err != nil {
+		return err
+	}
+	oldRow, err := table.Get(rid)
+	if err != nil {
+		return err
+	}
+	if err := table.Delete(rid); err != nil {
+		return err
+	}
+	if err := t.mgr.wal.Append(Record{Kind: RecordDelete, Txn: t.id, Table: table.Name(), Old: oldRow}); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.undo = append(t.undo, undoEntry{kind: RecordDelete, table: table, rid: rid, old: oldRow})
+	t.mu.Unlock()
+	return nil
+}
+
+// LogDDL records a schema statement so recovery can rebuild the catalog.
+func (t *Txn) LogDDL(text string) error {
+	if t.State() != StateActive {
+		return ErrNotActive
+	}
+	return t.mgr.wal.Append(Record{Kind: RecordDDL, Txn: t.id, DDL: text})
+}
+
+// Commit makes the transaction's changes permanent and releases its locks.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.state != StateActive {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	t.state = StateCommitted
+	t.undo = nil
+	t.mu.Unlock()
+
+	if err := t.mgr.wal.Append(Record{Kind: RecordCommit, Txn: t.id}); err != nil {
+		return err
+	}
+	if err := t.mgr.wal.Sync(); err != nil {
+		return err
+	}
+	t.finish(true)
+	return nil
+}
+
+// Rollback undoes the transaction's changes in reverse order and releases
+// its locks.
+func (t *Txn) Rollback() error {
+	t.mu.Lock()
+	if t.state != StateActive {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	t.state = StateAborted
+	undo := t.undo
+	t.undo = nil
+	t.mu.Unlock()
+
+	var firstErr error
+	for i := len(undo) - 1; i >= 0; i-- {
+		e := undo[i]
+		var err error
+		switch e.kind {
+		case RecordInsert:
+			err = e.table.Delete(e.rid)
+		case RecordDelete:
+			_, err = e.table.Insert(e.old)
+		case RecordUpdate:
+			_, err = e.table.Update(e.rid, e.old)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("txn: rollback of %s on %s: %w", e.kind, e.table.Name(), err)
+		}
+	}
+	if err := t.mgr.wal.Append(Record{Kind: RecordAbort, Txn: t.id}); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	t.finish(false)
+	return firstErr
+}
+
+func (t *Txn) finish(committed bool) {
+	t.mgr.locks.Unlock(t.id)
+	t.mgr.mu.Lock()
+	delete(t.mgr.active, t.id)
+	if committed {
+		t.mgr.committed++
+	} else {
+		t.mgr.aborted++
+	}
+	t.mgr.mu.Unlock()
+}
+
+// Recover replays the committed transactions of a log into the catalog.
+// DDL records are executed through applyDDL (supplied by the engine, which
+// owns the SQL front end); DML records are applied directly to tables.
+// Records of transactions that never committed are skipped.
+func Recover(records []Record, cat *catalog.Catalog, applyDDL func(string) error) error {
+	committed := CommittedTransactions(records)
+	for _, r := range records {
+		if !committed[r.Txn] {
+			continue
+		}
+		switch r.Kind {
+		case RecordDDL:
+			if err := applyDDL(r.DDL); err != nil {
+				return fmt.Errorf("txn: recovery DDL %q: %w", r.DDL, err)
+			}
+		case RecordInsert:
+			table, err := cat.GetTable(r.Table)
+			if err != nil {
+				return err
+			}
+			if _, err := table.Insert(r.New); err != nil {
+				return fmt.Errorf("txn: recovery insert into %s: %w", r.Table, err)
+			}
+		case RecordDelete:
+			table, err := cat.GetTable(r.Table)
+			if err != nil {
+				return err
+			}
+			if err := deleteMatching(table, r.Old); err != nil {
+				return fmt.Errorf("txn: recovery delete from %s: %w", r.Table, err)
+			}
+		case RecordUpdate:
+			table, err := cat.GetTable(r.Table)
+			if err != nil {
+				return err
+			}
+			if err := updateMatching(table, r.Old, r.New); err != nil {
+				return fmt.Errorf("txn: recovery update of %s: %w", r.Table, err)
+			}
+		}
+	}
+	return nil
+}
+
+func deleteMatching(table *catalog.Table, image types.Tuple) error {
+	rid, found, err := findRow(table, image)
+	if err != nil || !found {
+		return err
+	}
+	return table.Delete(rid)
+}
+
+func updateMatching(table *catalog.Table, oldImage, newImage types.Tuple) error {
+	rid, found, err := findRow(table, oldImage)
+	if err != nil || !found {
+		return err
+	}
+	_, err = table.Update(rid, newImage)
+	return err
+}
+
+func findRow(table *catalog.Table, image types.Tuple) (storage.RecordID, bool, error) {
+	var rid storage.RecordID
+	found := false
+	err := table.Scan(func(r storage.RecordID, tuple types.Tuple) error {
+		if !found && tuple.Equal(image) {
+			rid = r
+			found = true
+		}
+		return nil
+	})
+	return rid, found, err
+}

@@ -1,0 +1,450 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func newCatalogWithAccounts(t testing.TB) (*catalog.Catalog, *catalog.Table) {
+	t.Helper()
+	cat := catalog.New(storage.NewBufferPool(storage.NewMemDiskManager(), 256))
+	accounts, err := cat.CreateTable("accounts", types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt, PrimaryKey: true},
+		types.Column{Name: "owner", Type: types.KindString},
+		types.Column{Name: "balance", Type: types.KindFloat},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, accounts
+}
+
+func TestLockManagerSharedCompatibility(t *testing.T) {
+	lm := NewLockManager(100 * time.Millisecond)
+	if err := lm.Lock(1, "t", LockShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(2, "t", LockShared); err != nil {
+		t.Fatalf("two shared locks must coexist: %v", err)
+	}
+	if err := lm.Lock(3, "t", LockExclusive); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("exclusive over shared should time out: %v", err)
+	}
+	lm.Unlock(1)
+	lm.Unlock(2)
+	if err := lm.Lock(3, "t", LockExclusive); err != nil {
+		t.Fatalf("exclusive after release: %v", err)
+	}
+	if held := lm.HeldBy(3); len(held) != 1 || held[0] != "t" {
+		t.Errorf("HeldBy = %v", held)
+	}
+	waits, timeouts := lm.Stats()
+	if waits == 0 || timeouts == 0 {
+		t.Errorf("stats = %d waits, %d timeouts", waits, timeouts)
+	}
+}
+
+func TestLockManagerExclusiveBlocksShared(t *testing.T) {
+	lm := NewLockManager(50 * time.Millisecond)
+	if err := lm.Lock(1, "t", LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(2, "t", LockShared); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("shared under exclusive should time out: %v", err)
+	}
+	// Re-entrant and upgrade for the holder itself.
+	if err := lm.Lock(1, "t", LockShared); err != nil {
+		t.Errorf("holder re-lock: %v", err)
+	}
+	if err := lm.Lock(1, "t", LockExclusive); err != nil {
+		t.Errorf("holder upgrade: %v", err)
+	}
+}
+
+func TestLockManagerWaitsForRelease(t *testing.T) {
+	lm := NewLockManager(2 * time.Second)
+	if err := lm.Lock(1, "t", LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- lm.Lock(2, "t", LockExclusive)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	lm.Unlock(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter should acquire after release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke up")
+	}
+}
+
+func TestLockModeString(t *testing.T) {
+	if LockShared.String() != "shared" || LockExclusive.String() != "exclusive" {
+		t.Error("LockMode.String wrong")
+	}
+}
+
+func TestTxnCommitAndStats(t *testing.T) {
+	_, accounts := newCatalogWithAccounts(t)
+	mgr := NewManager(nil, 100*time.Millisecond)
+	tx, err := mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != StateActive || tx.ID() == 0 {
+		t.Errorf("fresh txn state = %v id = %d", tx.State(), tx.ID())
+	}
+	if _, err := tx.Insert(accounts, types.Tuple{types.NewInt(1), types.NewString("ada"), types.NewFloat(100)}); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.ActiveCount() != 1 {
+		t.Errorf("ActiveCount = %d", mgr.ActiveCount())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != StateCommitted {
+		t.Errorf("state = %v", tx.State())
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("double commit = %v", err)
+	}
+	if accounts.RowCount() != 1 {
+		t.Errorf("RowCount = %d", accounts.RowCount())
+	}
+	committed, aborted := mgr.Stats()
+	if committed != 1 || aborted != 0 {
+		t.Errorf("stats = %d, %d", committed, aborted)
+	}
+}
+
+func TestTxnRollbackUndoesEverything(t *testing.T) {
+	_, accounts := newCatalogWithAccounts(t)
+	mgr := NewManager(nil, 100*time.Millisecond)
+
+	// Seed one committed row.
+	seed, _ := mgr.Begin()
+	seedRID, err := seed.Insert(accounts, types.Tuple{types.NewInt(1), types.NewString("ada"), types.NewFloat(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, _ := mgr.Begin()
+	// Insert a row, update the seeded row, delete the seeded row... then roll
+	// it all back.
+	if _, err := tx.Insert(accounts, types.Tuple{types.NewInt(2), types.NewString("bob"), types.NewFloat(50)}); err != nil {
+		t.Fatal(err)
+	}
+	newRID, err := tx.Update(accounts, seedRID, types.Tuple{types.NewInt(1), types.NewString("ada"), types.NewFloat(999)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(accounts, newRID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != StateAborted {
+		t.Errorf("state = %v", tx.State())
+	}
+
+	// The table must contain exactly the seeded row with its original balance.
+	if accounts.RowCount() != 1 {
+		t.Fatalf("RowCount after rollback = %d", accounts.RowCount())
+	}
+	var got types.Tuple
+	_ = accounts.Scan(func(_ storage.RecordID, tuple catalog.Tuple) error {
+		got = tuple
+		return nil
+	})
+	if got[0].Int() != 1 || got[2].Float() != 100 {
+		t.Errorf("row after rollback = %v", got)
+	}
+	_, aborted := mgr.Stats()
+	if aborted != 1 {
+		t.Errorf("aborted = %d", aborted)
+	}
+}
+
+func TestTxnConflictTimesOut(t *testing.T) {
+	_, accounts := newCatalogWithAccounts(t)
+	mgr := NewManager(nil, 50*time.Millisecond)
+	t1, _ := mgr.Begin()
+	t2, _ := mgr.Begin()
+	if _, err := t1.Insert(accounts, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Insert(accounts, types.Tuple{types.NewInt(2), types.NewString("b"), types.NewFloat(2)}); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("conflicting insert should time out: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// After t1 commits, t2 can proceed.
+	if _, err := t2.Insert(accounts, types.Tuple{types.NewInt(2), types.NewString("b"), types.NewFloat(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if accounts.RowCount() != 2 {
+		t.Errorf("RowCount = %d", accounts.RowCount())
+	}
+}
+
+func TestConcurrentTransfersPreserveTotal(t *testing.T) {
+	_, accounts := newCatalogWithAccounts(t)
+	mgr := NewManager(NewWAL(&bytes.Buffer{}), 2*time.Second)
+	seed, _ := mgr.Begin()
+	rid1, _ := seed.Insert(accounts, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(1000)})
+	rid2, _ := seed.Insert(accounts, types.Tuple{types.NewInt(2), types.NewString("b"), types.NewFloat(1000)})
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	workers := 8
+	transfers := 20
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				tx, err := mgr.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Two-phase locking: take the exclusive lock before reading,
+				// otherwise two transfers could read the same balance and
+				// lose an update.
+				if err := tx.LockExclusive("accounts"); err != nil {
+					_ = tx.Rollback()
+					continue
+				}
+				a, err := accounts.Get(rid1)
+				if err != nil {
+					_ = tx.Rollback()
+					continue
+				}
+				b, _ := accounts.Get(rid2)
+				// Move 10 from a to b.
+				newA := types.Tuple{a[0], a[1], types.NewFloat(a[2].Float() - 10)}
+				newB := types.Tuple{b[0], b[1], types.NewFloat(b[2].Float() + 10)}
+				if _, err := tx.Update(accounts, rid1, newA); err != nil {
+					_ = tx.Rollback()
+					continue
+				}
+				if _, err := tx.Update(accounts, rid2, newB); err != nil {
+					_ = tx.Rollback()
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	a, _ := accounts.Get(rid1)
+	b, _ := accounts.Get(rid2)
+	if total := a[2].Float() + b[2].Float(); total != 2000 {
+		t.Errorf("total = %v, want 2000 (money must be conserved)", total)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	wal := NewWAL(&buf)
+	records := []Record{
+		{Kind: RecordBegin, Txn: 1},
+		{Kind: RecordDDL, Txn: 1, DDL: "CREATE TABLE t (id INT PRIMARY KEY)"},
+		{Kind: RecordInsert, Txn: 1, Table: "t", New: types.Tuple{types.NewInt(1)}},
+		{Kind: RecordUpdate, Txn: 1, Table: "t", Old: types.Tuple{types.NewInt(1)}, New: types.Tuple{types.NewInt(2)}},
+		{Kind: RecordDelete, Txn: 1, Table: "t", Old: types.Tuple{types.NewInt(2)}},
+		{Kind: RecordCommit, Txn: 1},
+	}
+	for _, r := range records {
+		if err := wal.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wal.Writes() != uint64(len(records)) {
+		t.Errorf("Writes = %d", wal.Writes())
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, want %d", len(got), len(records))
+	}
+	for i, r := range records {
+		if got[i].Kind != r.Kind || got[i].Txn != r.Txn || got[i].Table != r.Table || got[i].DDL != r.DDL {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], r)
+		}
+		if r.New != nil && !got[i].New.Equal(r.New) {
+			t.Errorf("record %d new image mismatch", i)
+		}
+		if r.Old != nil && !got[i].Old.Equal(r.Old) {
+			t.Errorf("record %d old image mismatch", i)
+		}
+	}
+	committed := CommittedTransactions(got)
+	if !committed[1] || len(committed) != 1 {
+		t.Errorf("committed = %v", committed)
+	}
+}
+
+func TestWALNilIsSafe(t *testing.T) {
+	var wal *WAL
+	if err := wal.Append(Record{Kind: RecordBegin, Txn: 1}); err != nil {
+		t.Error(err)
+	}
+	if err := wal.Sync(); err != nil {
+		t.Error(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadLogCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	wal := NewWAL(&buf)
+	_ = wal.Append(Record{Kind: RecordBegin, Txn: 1})
+	data := buf.Bytes()
+	if _, err := ReadLog(bytes.NewReader(data[:len(data)-1])); err == nil {
+		t.Error("truncated log should fail")
+	}
+}
+
+func TestRecoverReplaysOnlyCommitted(t *testing.T) {
+	var buf bytes.Buffer
+	wal := NewWAL(&buf)
+	srcCat, srcAccounts := newCatalogWithAccounts(t)
+	_ = srcCat
+	mgr := NewManager(wal, 100*time.Millisecond)
+
+	// Committed transaction: two inserts and an update.
+	t1, _ := mgr.Begin()
+	_ = t1.LogDDL("CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance FLOAT)")
+	rid, _ := t1.Insert(srcAccounts, types.Tuple{types.NewInt(1), types.NewString("ada"), types.NewFloat(10)})
+	_, _ = t1.Insert(srcAccounts, types.Tuple{types.NewInt(2), types.NewString("bob"), types.NewFloat(20)})
+	_, _ = t1.Update(srcAccounts, rid, types.Tuple{types.NewInt(1), types.NewString("ada"), types.NewFloat(15)})
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted transaction: must not survive recovery.
+	t2, _ := mgr.Begin()
+	_, _ = t2.Insert(srcAccounts, types.Tuple{types.NewInt(3), types.NewString("eve"), types.NewFloat(1000000)})
+	// (no commit)
+
+	records, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover into a fresh catalog. The DDL callback creates the table.
+	freshCat := catalog.New(storage.NewBufferPool(storage.NewMemDiskManager(), 256))
+	applyDDL := func(text string) error {
+		_, err := freshCat.CreateTable("accounts", types.NewSchema(
+			types.Column{Name: "id", Type: types.KindInt, PrimaryKey: true},
+			types.Column{Name: "owner", Type: types.KindString},
+			types.Column{Name: "balance", Type: types.KindFloat},
+		))
+		return err
+	}
+	if err := Recover(records, freshCat, applyDDL); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := freshCat.GetTable("accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.RowCount() != 2 {
+		t.Fatalf("recovered rows = %d, want 2", recovered.RowCount())
+	}
+	var balances []float64
+	_ = recovered.Scan(func(_ storage.RecordID, tuple catalog.Tuple) error {
+		balances = append(balances, tuple[2].Float())
+		return nil
+	})
+	sum := 0.0
+	for _, b := range balances {
+		sum += b
+	}
+	if sum != 35 {
+		t.Errorf("recovered balances = %v (sum %v), want sum 35", balances, sum)
+	}
+}
+
+func TestRecordKindString(t *testing.T) {
+	for kind, want := range map[RecordKind]string{
+		RecordBegin: "BEGIN", RecordCommit: "COMMIT", RecordAbort: "ABORT",
+		RecordInsert: "INSERT", RecordDelete: "DELETE", RecordUpdate: "UPDATE", RecordDDL: "DDL",
+	} {
+		if kind.String() != want {
+			t.Errorf("RecordKind(%d).String() = %q", kind, kind.String())
+		}
+	}
+	if StateActive.String() != "active" || StateCommitted.String() != "committed" || StateAborted.String() != "aborted" {
+		t.Error("State.String wrong")
+	}
+}
+
+func BenchmarkCommitSmallTransaction(b *testing.B) {
+	_, accounts := newCatalogWithAccounts(b)
+	mgr := NewManager(NewWAL(&bytes.Buffer{}), time.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx, err := mgr.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tx.Insert(accounts, types.Tuple{types.NewInt(int64(i)), types.NewString("x"), types.NewFloat(1)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	wal := NewWAL(&bytes.Buffer{})
+	rec := Record{Kind: RecordInsert, Txn: 1, Table: "accounts", New: types.Tuple{types.NewInt(1), types.NewString("name"), types.NewFloat(3.5)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := wal.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleManager() {
+	cat := catalog.New(storage.NewBufferPool(storage.NewMemDiskManager(), 64))
+	table, _ := cat.CreateTable("t", types.NewSchema(types.Column{Name: "id", Type: types.KindInt, PrimaryKey: true}))
+	mgr := NewManager(nil, time.Second)
+	tx, _ := mgr.Begin()
+	_, _ = tx.Insert(table, types.Tuple{types.NewInt(1)})
+	_ = tx.Rollback()
+	fmt.Println(table.RowCount())
+	// Output: 0
+}

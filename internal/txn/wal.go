@@ -1,0 +1,244 @@
+package txn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// RecordKind distinguishes write-ahead log records.
+type RecordKind uint8
+
+// Log record kinds.
+const (
+	RecordBegin RecordKind = iota + 1
+	RecordCommit
+	RecordAbort
+	RecordInsert
+	RecordDelete
+	RecordUpdate
+	RecordDDL
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case RecordBegin:
+		return "BEGIN"
+	case RecordCommit:
+		return "COMMIT"
+	case RecordAbort:
+		return "ABORT"
+	case RecordInsert:
+		return "INSERT"
+	case RecordDelete:
+		return "DELETE"
+	case RecordUpdate:
+		return "UPDATE"
+	case RecordDDL:
+		return "DDL"
+	default:
+		return fmt.Sprintf("RecordKind(%d)", uint8(k))
+	}
+}
+
+// Record is one logical log entry. DML records carry the affected table and
+// the before/after images of the row; DDL records carry the statement text.
+type Record struct {
+	Kind  RecordKind
+	Txn   uint64
+	Table string
+	// Old is the before image (DELETE, UPDATE).
+	Old types.Tuple
+	// New is the after image (INSERT, UPDATE).
+	New types.Tuple
+	// DDL is the statement text for RecordDDL.
+	DDL string
+}
+
+// WAL is an append-only logical log. Writes are serialised; Append is safe
+// for concurrent use.
+//
+// Record wire format:
+//
+//	record := kind:byte txn:uvarint tableLen:uvarint table
+//	          oldLen:uvarint old newLen:uvarint new ddlLen:uvarint ddl
+//
+// where old/new are types.EncodeTuple images (length 0 means absent).
+type WAL struct {
+	mu     sync.Mutex
+	w      io.Writer
+	file   *os.File // non-nil when backed by a file (enables Sync)
+	writes uint64
+}
+
+// NewWAL creates a log writing to w.
+func NewWAL(w io.Writer) *WAL { return &WAL{w: w} }
+
+// OpenWALFile opens (creating or appending to) a log file at path.
+func OpenWALFile(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("txn: open wal %s: %w", path, err)
+	}
+	return &WAL{w: f, file: f}, nil
+}
+
+// Writes returns the number of records appended so far.
+func (w *WAL) Writes() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes
+}
+
+// Append writes one record.
+func (w *WAL) Append(r Record) error {
+	if w == nil {
+		return nil // logging disabled
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, r.Txn)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Table)))
+	buf = append(buf, r.Table...)
+	oldImage := []byte(nil)
+	if r.Old != nil {
+		oldImage = types.EncodeTuple(nil, r.Old)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(oldImage)))
+	buf = append(buf, oldImage...)
+	newImage := []byte(nil)
+	if r.New != nil {
+		newImage = types.EncodeTuple(nil, r.New)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(newImage)))
+	buf = append(buf, newImage...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.DDL)))
+	buf = append(buf, r.DDL...)
+
+	// Length-prefix the whole record so the reader can frame it.
+	frame := binary.AppendUvarint(nil, uint64(len(buf)))
+	frame = append(frame, buf...)
+	if _, err := w.w.Write(frame); err != nil {
+		return fmt.Errorf("txn: wal append: %w", err)
+	}
+	w.writes++
+	return nil
+}
+
+// Sync flushes the log to stable storage when file-backed.
+func (w *WAL) Sync() error {
+	if w == nil || w.file == nil {
+		return nil
+	}
+	return w.file.Sync()
+}
+
+// Close closes the underlying file when file-backed.
+func (w *WAL) Close() error {
+	if w == nil || w.file == nil {
+		return nil
+	}
+	return w.file.Close()
+}
+
+// ReadLog decodes every record from r (for recovery and for tests).
+func ReadLog(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var out []Record
+	for {
+		length, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, fmt.Errorf("txn: wal frame: %w", err)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return out, fmt.Errorf("txn: wal body: %w", err)
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func decodeRecord(body []byte) (Record, error) {
+	var rec Record
+	if len(body) < 1 {
+		return rec, fmt.Errorf("txn: empty wal record")
+	}
+	rec.Kind = RecordKind(body[0])
+	body = body[1:]
+	var err error
+	if rec.Txn, body, err = readUvarint(body); err != nil {
+		return rec, err
+	}
+	var table []byte
+	if table, body, err = readBytes(body); err != nil {
+		return rec, err
+	}
+	rec.Table = string(table)
+	var oldImage, newImage, ddl []byte
+	if oldImage, body, err = readBytes(body); err != nil {
+		return rec, err
+	}
+	if newImage, body, err = readBytes(body); err != nil {
+		return rec, err
+	}
+	if ddl, _, err = readBytes(body); err != nil {
+		return rec, err
+	}
+	if len(oldImage) > 0 {
+		if rec.Old, err = types.DecodeTuple(oldImage); err != nil {
+			return rec, err
+		}
+	}
+	if len(newImage) > 0 {
+		if rec.New, err = types.DecodeTuple(newImage); err != nil {
+			return rec, err
+		}
+	}
+	rec.DDL = string(ddl)
+	return rec, nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("txn: corrupt wal varint")
+	}
+	return v, b[n:], nil
+}
+
+func readBytes(b []byte) ([]byte, []byte, error) {
+	length, rest, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(rest)) < length {
+		return nil, nil, fmt.Errorf("txn: truncated wal field")
+	}
+	return rest[:length], rest[length:], nil
+}
+
+// CommittedTransactions scans records and returns the set of transaction ids
+// that committed, used by recovery to decide what to replay.
+func CommittedTransactions(records []Record) map[uint64]bool {
+	committed := map[uint64]bool{}
+	for _, r := range records {
+		if r.Kind == RecordCommit {
+			committed[r.Txn] = true
+		}
+	}
+	return committed
+}

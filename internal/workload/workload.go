@@ -1,0 +1,211 @@
+// Package workload generates the synthetic data and interaction scripts the
+// experiments run on. The original evaluation used the authors' departmental
+// data and live users at terminals; neither is available, so (per the
+// substitution notes in DESIGN.md) this package produces deterministic
+// equivalents: an order-processing database of configurable size and
+// keystroke scripts for the business tasks the experiments time.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Sizes configures how much data Populate creates.
+type Sizes struct {
+	Customers     int
+	Orders        int
+	ItemsPerOrder int
+}
+
+// DefaultSizes is the configuration the full experiments use.
+var DefaultSizes = Sizes{Customers: 10000, Orders: 100000, ItemsPerOrder: 3}
+
+// SmallSizes keeps unit tests and examples fast.
+var SmallSizes = Sizes{Customers: 200, Orders: 1000, ItemsPerOrder: 2}
+
+var (
+	firstNames = []string{"Ada", "Bob", "Cyd", "Dee", "Eli", "Fay", "Gus", "Hal", "Ivy", "Joe",
+		"Kim", "Lou", "Mia", "Ned", "Oda", "Pat", "Quin", "Rae", "Sal", "Tia"}
+	lastNames = []string{"Adams", "Baker", "Clark", "Davis", "Evans", "Foster", "Gray", "Hayes",
+		"Irwin", "Jones", "Klein", "Lewis", "Mason", "Noble", "Olson", "Price", "Quigley", "Reed", "Stone", "Tate"}
+	cities = []string{"Boston", "Chicago", "Denver", "Austin", "Erie", "Fresno", "Gary", "Helena",
+		"Ithaca", "Juneau", "Keene", "Lowell"}
+	items = []string{"widget", "gadget", "sprocket", "flange", "gear", "bolt", "bracket", "valve",
+		"switch", "relay", "socket", "spindle"}
+)
+
+// StandardSchema is the order-processing schema every experiment uses: the
+// base tables, the indexes the access-path experiments rely on, and the views
+// the view-update experiment writes through.
+const StandardSchema = `
+CREATE TABLE customers (
+	id INT PRIMARY KEY,
+	name TEXT NOT NULL,
+	city TEXT,
+	credit FLOAT DEFAULT 0,
+	since DATE
+);
+CREATE INDEX customers_city ON customers (city);
+CREATE TABLE orders (
+	id INT PRIMARY KEY,
+	customer_id INT NOT NULL,
+	placed DATE,
+	total FLOAT
+);
+CREATE INDEX orders_customer ON orders (customer_id);
+CREATE TABLE order_items (
+	id INT PRIMARY KEY,
+	order_id INT NOT NULL,
+	item TEXT NOT NULL,
+	qty INT,
+	price FLOAT
+);
+CREATE INDEX order_items_order ON order_items (order_id);
+CREATE VIEW good_customers AS SELECT id, name, city, credit FROM customers WHERE credit >= 500;
+CREATE VIEW boston_customers AS SELECT id, name, credit FROM customers WHERE city = 'Boston';
+`
+
+// StandardForms is the FDL source for the experiment forms: a customer card
+// with an order detail block, an order-line form, and a form over the
+// good_customers view.
+const StandardForms = `
+form order_form on orders
+  title "Orders"
+  key id
+  field id          width 8
+  field customer_id width 8
+  field placed      width 12
+  field total       width 10 validate total >= 0 message "total cannot be negative"
+end
+
+form customer_form on customers
+  title "Customer"
+  size 76 22
+  key id
+  field id     at 2 12 width 8  label "Number"
+  field name   at 3 12 width 26 label "Name"   required
+  field city   at 4 12 width 16 label "City"
+  field credit at 5 12 width 10 label "Credit" validate credit >= 0 message "credit cannot be negative"
+  field since  at 6 12 width 12 label "Since"
+  order by id
+  detail order_form link customer_id = id rows 6 at 9 2
+end
+
+form good_customer_form on good_customers
+  title "Good Customers"
+  key id
+  field id     width 8
+  field name   width 26
+  field city   width 16
+  field credit width 10
+  order by credit desc
+end
+`
+
+// Populate creates the standard schema and fills it with deterministic
+// synthetic data of the given size. The same sizes always produce the same
+// rows (seeded generator), so experiment runs are repeatable.
+func Populate(db *engine.Database, sizes Sizes) error {
+	s := db.Session()
+	if _, err := s.ExecuteScript(StandardSchema); err != nil {
+		return fmt.Errorf("workload: schema: %w", err)
+	}
+	rng := rand.New(rand.NewSource(19830523))
+
+	if err := batchInsert(s, "INSERT INTO customers (id, name, city, credit, since) VALUES ", sizes.Customers, 200, func(i int) string {
+		name := firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+		city := cities[rng.Intn(len(cities))]
+		credit := float64(rng.Intn(20000)) / 10
+		day := 1 + rng.Intn(28)
+		month := 1 + rng.Intn(12)
+		return fmt.Sprintf("(%d, '%s', '%s', %.1f, '19%02d-%02d-%02d')", i+1, name, city, credit, 70+rng.Intn(14), month, day)
+	}); err != nil {
+		return fmt.Errorf("workload: customers: %w", err)
+	}
+
+	if err := batchInsert(s, "INSERT INTO orders (id, customer_id, placed, total) VALUES ", sizes.Orders, 200, func(i int) string {
+		customer := 1 + rng.Intn(sizes.Customers)
+		total := float64(rng.Intn(100000)) / 100
+		return fmt.Sprintf("(%d, %d, '1983-%02d-%02d', %.2f)", i+1, customer, 1+rng.Intn(12), 1+rng.Intn(28), total)
+	}); err != nil {
+		return fmt.Errorf("workload: orders: %w", err)
+	}
+
+	totalItems := sizes.Orders * sizes.ItemsPerOrder
+	if err := batchInsert(s, "INSERT INTO order_items (id, order_id, item, qty, price) VALUES ", totalItems, 200, func(i int) string {
+		order := (i / sizes.ItemsPerOrder) + 1
+		item := items[rng.Intn(len(items))]
+		qty := 1 + rng.Intn(9)
+		price := float64(rng.Intn(10000)) / 100
+		return fmt.Sprintf("(%d, %d, '%s', %d, %.2f)", i+1, order, item, qty, price)
+	}); err != nil {
+		return fmt.Errorf("workload: order_items: %w", err)
+	}
+	return nil
+}
+
+// batchInsert issues multi-row INSERT statements of batchSize rows each.
+func batchInsert(s *engine.Session, prefix string, n, batchSize int, row func(i int) string) error {
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		rows := make([]string, 0, end-start)
+		for i := start; i < end; i++ {
+			rows = append(rows, row(i))
+		}
+		if _, err := s.Execute(prefix + strings.Join(rows, ", ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- interaction scripts ---------------------------------------------------
+
+// CustomerLookupScript is the keystroke script for the "look up a customer by
+// city and browse to one" task, through the form interface: enter query mode,
+// fill the city field, execute, page through results.
+func CustomerLookupScript(city string, pagesDown int) string {
+	var b strings.Builder
+	b.WriteString("<F2>")
+	// Field order in customer_form: id, name, city, credit, since.
+	b.WriteString("<TAB><TAB>")
+	b.WriteString(city)
+	b.WriteString("<F4>")
+	for i := 0; i < pagesDown; i++ {
+		b.WriteString("<PGDN>")
+	}
+	return b.String()
+}
+
+// CreditChangeScript is the keystroke script for the "change the current
+// customer's credit" task: start editing the current row, move to the credit
+// field, clear it, type the new value and save.
+func CreditChangeScript(newCredit string) string {
+	return "x<BACKSPACE><TAB><TAB><TAB><F3>" + newCredit + "<F6>"
+}
+
+// OrderEntryScript is the keystroke script for inserting one order through
+// the order form.
+func OrderEntryScript(orderID, customerID int, total string) string {
+	return fmt.Sprintf("<F5>%d<TAB>%d<TAB>1983-06-01<TAB><F3>%s<F6>", orderID, customerID, total)
+}
+
+// NewCustomerScript is the keystroke script for inserting a customer through
+// the customer form.
+func NewCustomerScript(id int, name, city string, credit string) string {
+	return fmt.Sprintf("<F5>%d<TAB>%s<TAB>%s<TAB>%s<TAB>1983-06-01<F6>", id, name, city, credit)
+}
+
+// CityAt returns the i'th city name, for sweeps that need a deterministic
+// selection of cities.
+func CityAt(i int) string { return cities[i%len(cities)] }
+
+// Cities returns the number of distinct cities the generator uses.
+func Cities() int { return len(cities) }
