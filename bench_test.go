@@ -13,6 +13,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/types"
 	"repro/internal/workload"
 )
 
@@ -405,5 +406,66 @@ func BenchmarkE8KeystrokeEconomy(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(app.KeystrokesTyped)/float64(b.N), "keystrokes/op")
+	})
+}
+
+// BenchmarkPreparedVsExecute — the tentpole measurement for the prepared-
+// statement API: the same parameterized point SELECT issued as fresh text
+// every iteration (re-lex, re-parse, re-plan) versus prepared once and
+// rebound. The prepared path must win: the whole front half of the engine
+// drops out of the hot loop.
+func BenchmarkPreparedVsExecute(b *testing.B) {
+	b.Run("Execute", func(b *testing.B) {
+		db, _ := newBenchEnv(b, benchSizes)
+		s := db.Session()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Query(fmt.Sprintf("SELECT name, credit FROM customers WHERE id = %d", 1+i%benchSizes.Customers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+		}
+	})
+	b.Run("Prepared", func(b *testing.B) {
+		db, _ := newBenchEnv(b, benchSizes)
+		s := db.Session()
+		stmt, err := s.Prepare("SELECT name, credit FROM customers WHERE id = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer stmt.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := stmt.Exec(types.NewInt(int64(1 + i%benchSizes.Customers)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+		}
+	})
+	b.Run("PreparedCursor", func(b *testing.B) {
+		db, _ := newBenchEnv(b, benchSizes)
+		s := db.Session()
+		stmt, err := s.Prepare("SELECT name, credit FROM customers WHERE id = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer stmt.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := stmt.Query(types.NewInt(int64(1 + i%benchSizes.Customers)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rows.Next() {
+				b.Fatal("expected a row")
+			}
+			rows.Close()
+		}
 	})
 }

@@ -141,16 +141,37 @@ func main() {
 			}
 			printScreen()
 		case "sql":
-			res, err := session.Execute(rest)
+			stmt, err := session.Prepare(rest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			if len(stmt.Columns()) > 0 {
+				// A SELECT: stream the rows off the cursor.
+				rows, err := stmt.Query()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					stmt.Close()
+					continue
+				}
+				for rows.Next() {
+					fmt.Println(rows.Row().String())
+				}
+				if err := rows.Err(); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				}
+				rows.Close()
+				stmt.Close()
+				continue
+			}
+			res, err := stmt.Exec()
+			stmt.Close()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				continue
 			}
 			if res.Message != "" {
 				fmt.Println(res.Message)
-			}
-			for _, row := range res.Rows {
-				fmt.Println(row.String())
 			}
 		default:
 			fmt.Fprintln(os.Stderr, "commands: keys <script> | open <form> | sql <stmt> | screen | quit")

@@ -17,7 +17,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/types"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -44,4 +47,57 @@ func main() {
 		fmt.Println(table.String())
 		fmt.Printf("(%s completed in %s at scale %s)\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
 	}
+
+	if err := printEngineStats(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "wowbench: engine stats: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// printEngineStats runs a short prepared-statement workload on a fresh
+// database and prints the engine's plan-cache and cursor counters, so a bench
+// run always ends with a picture of what the statement machinery did.
+func printEngineStats(cfg harness.Config) error {
+	db := engine.OpenMemory()
+	defer db.Close()
+	if err := workload.Populate(db, workload.SmallSizes); err != nil {
+		return err
+	}
+	s := db.Session()
+	lookup, err := s.Prepare("SELECT name, credit FROM customers WHERE id = ?")
+	if err != nil {
+		return err
+	}
+	defer lookup.Close()
+	n := cfg.Operations
+	for i := 0; i < n; i++ {
+		rows, err := lookup.Query(types.NewInt(int64(1 + i%workload.SmallSizes.Customers)))
+		if err != nil {
+			return err
+		}
+		for rows.Next() {
+		}
+		if err := rows.Err(); err != nil {
+			return err
+		}
+		rows.Close()
+	}
+	// Re-preparing identical text is the plan cache's hit case.
+	for i := 0; i < n; i++ {
+		again, err := s.Prepare("SELECT name, credit FROM customers WHERE id = ?")
+		if err != nil {
+			return err
+		}
+		again.Close()
+	}
+	stats := db.Stats()
+	fmt.Println("engine statement machinery (fresh db, prepared point-query workload):")
+	fmt.Printf("  statements prepared:  %d\n", stats.StatementsPrepared)
+	fmt.Printf("  plan cache hits:      %d\n", stats.PlanCacheHits)
+	fmt.Printf("  plan cache misses:    %d\n", stats.PlanCacheMisses)
+	fmt.Printf("  plan cache evictions: %d\n", stats.PlanCacheEvictions)
+	fmt.Printf("  cursors opened:       %d\n", stats.CursorsOpened)
+	fmt.Printf("  cursors closed:       %d\n", stats.CursorsClosed)
+	fmt.Printf("  rows streamed:        %d\n", stats.RowsStreamed)
+	return nil
 }

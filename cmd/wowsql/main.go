@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/sql"
 	"repro/internal/types"
 )
 
@@ -67,12 +68,82 @@ func main() {
 	}
 }
 
+// runScript executes the script one statement at a time. SELECTs run through
+// a prepared statement's streaming cursor, printing rows as they are pulled —
+// a query over a huge table starts printing immediately instead of
+// materialising first. Everything else executes and prints its outcome.
 func runScript(session *engine.Session, script string) error {
-	results, err := session.ExecuteScript(script)
-	for _, res := range results {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if _, ok := stmt.(*sql.SelectStmt); ok {
+			if err := streamSelect(session, stmt.String()); err != nil {
+				return err
+			}
+			continue
+		}
+		res, err := session.ExecuteStmt(stmt)
+		if err != nil {
+			return err
+		}
 		printResult(res)
 	}
-	return err
+	return nil
+}
+
+// streamSelect prints a SELECT's rows straight off the cursor. Column widths
+// come from the header (and grow per row as needed), since the rows are not
+// buffered for measuring.
+func streamSelect(session *engine.Session, query string) error {
+	stmt, err := session.Prepare(query)
+	if err != nil {
+		return err
+	}
+	defer stmt.Close()
+	rows, err := stmt.Query()
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+
+	columns := rows.Columns()
+	widths := make([]int, len(columns))
+	for i, c := range columns {
+		widths[i] = len(c)
+		if widths[i] < 8 {
+			widths[i] = 8
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	printRow(columns)
+	sep := make([]string, len(columns))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	fmt.Println(strings.Join(sep, "-+-"))
+	count := 0
+	for rows.Next() {
+		row := rows.Row()
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatValue(v)
+		}
+		printRow(cells)
+		count++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d row(s))\n", count)
+	return nil
 }
 
 func printResult(res *engine.Result) {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/types"
 	"repro/internal/workload"
 )
 
@@ -57,12 +58,26 @@ func main() {
 	fmt.Printf("before: %d Boston customers, %d good customers\n", boston.RowCount(), good.RowCount())
 
 	// Find a Boston customer who is not yet a good customer and raise their
-	// credit above the view's threshold, through the editor window.
-	res, err := db.Session().Query("SELECT id FROM customers WHERE city = 'Boston' AND credit < 500 ORDER BY id LIMIT 1")
-	if err != nil || len(res.Rows) == 0 {
+	// credit above the view's threshold, through the editor window. The lookup
+	// is a prepared parameterized query with a streaming cursor closed after
+	// the first row.
+	lookup, err := db.Session().Prepare("SELECT id FROM customers WHERE city = @city AND credit < @limit ORDER BY id LIMIT 1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lookup.Close()
+	rows, err := lookup.Query(types.NewString("Boston"), types.NewFloat(500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rows.Next() {
 		log.Fatal("no candidate customer found")
 	}
-	target := res.Rows[0][0].Int()
+	var target int64
+	if err := rows.Scan(&target); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
 	if err := editor.Query(map[string]string{"id": fmt.Sprintf("%d", target)}); err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/types"
 )
 
 const schema = `
@@ -78,12 +79,40 @@ func main() {
 	}
 	fmt.Printf("query by form 'name: G%%' selected %d row(s)\n\n", window.RowCount())
 
-	// 5. Show the window as the user sees it.
+	// 5. The same lookup through the engine's prepared-statement API: parse
+	// and plan once, then bind and stream as often as needed.
+	stmt, err := db.Session().Prepare("SELECT name, city FROM people WHERE name LIKE @pat ORDER BY name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	for _, pattern := range []string{"G%", "%a%"} {
+		must(stmt.BindNamed("pat", types.NewString(pattern)))
+		rows, err := stmt.Query()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("prepared query name LIKE %q:\n", pattern)
+		for rows.Next() {
+			var name, city string
+			must(rows.Scan(&name, &city))
+			fmt.Printf("  %s (%s)\n", name, city)
+		}
+		must(rows.Err())
+		rows.Close()
+	}
+	fmt.Println()
+
+	// 6. Show the window as the user sees it.
 	if err := window.Query(nil); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(window.Screen().String())
 	fmt.Printf("window stats: %+v\n", window.Stats())
+
+	stats := db.Stats()
+	fmt.Printf("plan cache: %d hits / %d misses; cursors: %d opened, %d rows streamed\n",
+		stats.PlanCacheHits, stats.PlanCacheMisses, stats.CursorsOpened, stats.RowsStreamed)
 }
 
 func must(err error) {

@@ -160,7 +160,7 @@ func (t *Tree) insert(n node, key []byte, rid storage.RecordID) (promoted []byte
 			children: append([]node(nil), n.children[mid+1:]...),
 		}
 		n.keys = n.keys[:mid:mid]
-		n.children = n.children[:mid+1 : mid+1]
+		n.children = n.children[: mid+1 : mid+1]
 		return promote, sibling, nil
 	}
 	return nil, nil, fmt.Errorf("btree: unknown node type %T", n)

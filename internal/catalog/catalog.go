@@ -22,6 +22,9 @@ type Catalog struct {
 	tables map[string]*Table
 	views  map[string]*ViewDef
 	forms  map[string]*FormDef
+	// version counts schema changes (table/index/view creation and removal).
+	// Plan caches compare it to detect that a cached plan may be stale.
+	version uint64
 }
 
 // New creates an empty catalog whose tables allocate from pool.
@@ -36,6 +39,15 @@ func New(pool *storage.BufferPool) *Catalog {
 
 // Pool returns the buffer pool backing this catalog's tables.
 func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
+
+// Version returns the schema version: a counter that advances on every
+// change to the set of tables, indexes or views. A plan built at version v
+// is valid for as long as Version() still returns v.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
 
 func normalize(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
 
@@ -84,6 +96,7 @@ func (c *Catalog) CreateTable(name string, schema *Schema) (*Table, error) {
 		}
 	}
 	c.tables[key] = t
+	c.version++
 	return t, nil
 }
 
@@ -115,6 +128,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: no table named %q", name)
 	}
 	delete(c.tables, key)
+	c.version++
 	return nil
 }
 
@@ -152,6 +166,7 @@ func (c *Catalog) CreateIndex(indexName, tableName string, columns []string, uni
 		t.dropIndex(indexName)
 		return nil, err
 	}
+	c.version++
 	return idx, nil
 }
 
@@ -162,6 +177,7 @@ func (c *Catalog) DropIndex(indexName string) error {
 	for _, t := range c.tables {
 		if t.IndexByName(indexName) != nil {
 			t.dropIndex(indexName)
+			c.version++
 			return nil
 		}
 	}
@@ -196,6 +212,7 @@ func (c *Catalog) CreateView(name, query string, columns []string) (*ViewDef, er
 	}
 	v := &ViewDef{Name: key, Query: query, Columns: columns}
 	c.views[key] = v
+	c.version++
 	return v, nil
 }
 
@@ -227,6 +244,7 @@ func (c *Catalog) DropView(name string) error {
 		return fmt.Errorf("catalog: no view named %q", name)
 	}
 	delete(c.views, key)
+	c.version++
 	return nil
 }
 

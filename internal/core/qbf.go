@@ -30,10 +30,36 @@ func planBuilderFor(db *engine.Database) *plan.Builder {
 //	<>Boston        not equal
 //
 // Patterns in several fields combine with AND.
+//
+// A window renders each pattern twice over: once as a parameterized template
+// ("credit > @q_credit") whose shape is shared by every pattern with the same
+// operator, and once as the typed values bound into that template. Patterns
+// that differ only in their operand reuse one prepared statement.
 
-// BuildFieldPredicate converts one field's query pattern into an expression
-// over the form's schema, or nil when the pattern is blank.
-func BuildFieldPredicate(field *Field, pattern string) (sql.Expr, error) {
+// patternShape classifies a parsed QBF pattern.
+type patternShape int
+
+const (
+	patternIsNull  patternShape = iota // IS [NOT] NULL; no operand
+	patternCompare                     // col OP value
+	patternRange                       // col BETWEEN low AND high
+	patternLike                        // col LIKE value
+)
+
+// fieldPattern is one parsed QBF pattern: its shape plus the typed operand
+// values, ready to render as either a literal predicate or a parameterized
+// template with bindings.
+type fieldPattern struct {
+	field  *Field
+	shape  patternShape
+	op     sql.BinaryOp // for patternCompare
+	negate bool         // for patternIsNull
+	values []types.Value
+}
+
+// parseFieldPattern parses one field's query pattern, or returns nil for a
+// blank pattern.
+func parseFieldPattern(field *Field, pattern string) (*fieldPattern, error) {
 	text := strings.TrimSpace(pattern)
 	if text == "" {
 		return nil, nil
@@ -41,14 +67,13 @@ func BuildFieldPredicate(field *Field, pattern string) (sql.Expr, error) {
 	if field.Column < 0 {
 		return nil, fmt.Errorf("core: field %q is computed and cannot be queried", field.Name())
 	}
-	column := &sql.ColumnRef{Name: field.Name()}
 
 	lower := strings.ToLower(text)
 	switch lower {
 	case "null", "=null":
-		return &sql.IsNullExpr{Operand: column}, nil
+		return &fieldPattern{field: field, shape: patternIsNull}, nil
 	case "not null", "!null", "<>null":
-		return &sql.IsNullExpr{Operand: column, Negate: true}, nil
+		return &fieldPattern{field: field, shape: patternIsNull, negate: true}, nil
 	}
 
 	// Explicit comparison operator prefix.
@@ -64,7 +89,7 @@ func BuildFieldPredicate(field *Field, pattern string) (sql.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &sql.BinaryExpr{Op: op.op, Left: column, Right: &sql.Literal{Value: value}}, nil
+			return &fieldPattern{field: field, shape: patternCompare, op: op.op, values: []types.Value{value}}, nil
 		}
 	}
 
@@ -81,17 +106,13 @@ func BuildFieldPredicate(field *Field, pattern string) (sql.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &sql.BetweenExpr{
-				Operand: column,
-				Low:     &sql.Literal{Value: low},
-				High:    &sql.Literal{Value: high},
-			}, nil
+			return &fieldPattern{field: field, shape: patternRange, values: []types.Value{low, high}}, nil
 		}
 	}
 
 	// LIKE patterns for text fields.
 	if field.Kind == types.KindString && strings.ContainsAny(text, "%_") {
-		return &sql.BinaryExpr{Op: sql.OpLike, Left: column, Right: &sql.Literal{Value: types.NewString(text)}}, nil
+		return &fieldPattern{field: field, shape: patternLike, values: []types.Value{types.NewString(text)}}, nil
 	}
 
 	// Plain equality.
@@ -99,7 +120,74 @@ func BuildFieldPredicate(field *Field, pattern string) (sql.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &sql.BinaryExpr{Op: sql.OpEq, Left: column, Right: &sql.Literal{Value: value}}, nil
+	return &fieldPattern{field: field, shape: patternCompare, op: sql.OpEq, values: []types.Value{value}}, nil
+}
+
+// literalExpr renders the pattern with its values inlined as literals.
+func (p *fieldPattern) literalExpr() sql.Expr {
+	column := &sql.ColumnRef{Name: p.field.Name()}
+	switch p.shape {
+	case patternIsNull:
+		return &sql.IsNullExpr{Operand: column, Negate: p.negate}
+	case patternRange:
+		return &sql.BetweenExpr{
+			Operand: column,
+			Low:     &sql.Literal{Value: p.values[0]},
+			High:    &sql.Literal{Value: p.values[1]},
+		}
+	case patternLike:
+		return &sql.BinaryExpr{Op: sql.OpLike, Left: column, Right: &sql.Literal{Value: p.values[0]}}
+	default:
+		return &sql.BinaryExpr{Op: p.op, Left: column, Right: &sql.Literal{Value: p.values[0]}}
+	}
+}
+
+// paramExpr renders the pattern as a template over named parameters derived
+// from name, recording the bindings. IS NULL patterns bind nothing (NULL is
+// not a value, it is part of the shape).
+func (p *fieldPattern) paramExpr(name string, binds map[string]types.Value) sql.Expr {
+	column := &sql.ColumnRef{Name: p.field.Name()}
+	placeholder := func(suffix string, v types.Value) *sql.Param {
+		binds[name+suffix] = v
+		return &sql.Param{Index: -1, Name: name + suffix}
+	}
+	switch p.shape {
+	case patternIsNull:
+		return &sql.IsNullExpr{Operand: column, Negate: p.negate}
+	case patternRange:
+		return &sql.BetweenExpr{
+			Operand: column,
+			Low:     placeholder("_lo", p.values[0]),
+			High:    placeholder("_hi", p.values[1]),
+		}
+	case patternLike:
+		return &sql.BinaryExpr{Op: sql.OpLike, Left: column, Right: placeholder("", p.values[0])}
+	default:
+		return &sql.BinaryExpr{Op: p.op, Left: column, Right: placeholder("", p.values[0])}
+	}
+}
+
+// BuildFieldPredicate converts one field's query pattern into an expression
+// over the form's schema, or nil when the pattern is blank.
+func BuildFieldPredicate(field *Field, pattern string) (sql.Expr, error) {
+	parsed, err := parseFieldPattern(field, pattern)
+	if err != nil || parsed == nil {
+		return nil, err
+	}
+	return parsed.literalExpr(), nil
+}
+
+// BuildFieldPredicateParam converts one field's query pattern into a
+// parameterized template — "credit > @q_credit" instead of "credit > 1000" —
+// and records the value bindings in binds. Windows key their prepared
+// statements on the template text, so re-querying with a different operand
+// reuses the statement.
+func BuildFieldPredicateParam(field *Field, pattern, name string, binds map[string]types.Value) (sql.Expr, error) {
+	parsed, err := parseFieldPattern(field, pattern)
+	if err != nil || parsed == nil {
+		return nil, err
+	}
+	return parsed.paramExpr(name, binds), nil
 }
 
 // patternValue parses the value part of a pattern in the field's domain.
@@ -125,6 +213,32 @@ func BuildQBFPredicate(form *Form, patterns map[string]string) (sql.Expr, error)
 			continue
 		}
 		conjunct, err := BuildFieldPredicate(field, pattern)
+		if err != nil {
+			return nil, err
+		}
+		if conjunct == nil {
+			continue
+		}
+		if combined == nil {
+			combined = conjunct
+		} else {
+			combined = &sql.BinaryExpr{Op: sql.OpAnd, Left: combined, Right: conjunct}
+		}
+	}
+	return combined, nil
+}
+
+// BuildQBFPredicateParam is BuildQBFPredicate with parameter templates: each
+// field's pattern becomes a conjunct over "@q_<field>" parameters, with the
+// typed values recorded in binds.
+func BuildQBFPredicateParam(form *Form, patterns map[string]string, binds map[string]types.Value) (sql.Expr, error) {
+	var combined sql.Expr
+	for _, field := range form.Fields {
+		pattern, ok := patterns[field.Name()]
+		if !ok {
+			continue
+		}
+		conjunct, err := BuildFieldPredicateParam(field, pattern, "q_"+strings.ToLower(field.Name()), binds)
 		if err != nil {
 			return nil, err
 		}

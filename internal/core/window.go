@@ -70,11 +70,23 @@ type Window struct {
 
 	// Query state.
 	queryPatterns map[string]string
-	// linkFilter is the extra predicate a master imposes on its detail
-	// window (nil for top-level windows).
-	linkFilter sql.Expr
+	// hasLink/linkColumn/linkValue hold the extra predicate a master imposes
+	// on its detail window: rows whose linkColumn equals linkValue. The
+	// column fixes the prepared statement's shape; the value is bound per
+	// refresh.
+	hasLink    bool
+	linkColumn string
+	linkValue  types.Value
 	rows       []types.Tuple
 	cursor     int
+
+	// stmts caches one prepared statement per query shape this window has
+	// run. A shape is the generated SQL with "@q_*" parameter templates in
+	// place of the pattern operands, so refreshing with new operands (the
+	// master cursor moved, the user re-queried with a different value) reuses
+	// the compiled plan and only rebinds.
+	stmts     map[string]*engine.Stmt
+	stmtOrder []string
 
 	// Edit state.
 	mode   Mode
@@ -165,21 +177,31 @@ func (w *Window) setError(err error) {
 
 // buildQuery assembles the SELECT that fills the window: the form's static
 // filter, the current query-by-form predicate and the master/detail link
-// predicate ANDed together, with the form's declared ordering.
-func (w *Window) buildQuery() (string, error) {
+// predicate ANDed together, with the form's declared ordering. Everything
+// that varies per refresh — pattern operands, the link value — is emitted as
+// a named parameter and returned in binds, so the text identifies a reusable
+// prepared-statement shape.
+func (w *Window) buildQuery() (string, map[string]types.Value, error) {
+	binds := map[string]types.Value{}
 	var predicates []string
 	if w.form.FilterExpr != nil {
 		predicates = append(predicates, w.form.FilterExpr.String())
 	}
-	qbf, err := BuildQBFPredicate(w.form, w.queryPatterns)
+	qbf, err := BuildQBFPredicateParam(w.form, w.queryPatterns, binds)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	if qbf != nil {
 		predicates = append(predicates, qbf.String())
 	}
-	if w.linkFilter != nil {
-		predicates = append(predicates, w.linkFilter.String())
+	if w.hasLink {
+		link := &sql.BinaryExpr{
+			Op:    sql.OpEq,
+			Left:  &sql.ColumnRef{Name: w.linkColumn},
+			Right: &sql.Param{Index: -1, Name: "link"},
+		}
+		binds["link"] = w.linkValue
+		predicates = append(predicates, link.String())
 	}
 	var b strings.Builder
 	b.WriteString("SELECT * FROM ")
@@ -200,26 +222,93 @@ func (w *Window) buildQuery() (string, error) {
 		b.WriteString(" ORDER BY ")
 		b.WriteString(strings.Join(keys, ", "))
 	}
-	return b.String(), nil
+	return b.String(), binds, nil
 }
 
-// Refresh re-runs the window's query, reloads its rows and repaints. The
-// cursor stays on the same position when possible.
+// maxWindowStmts bounds how many prepared shapes a window keeps. Shapes vary
+// only with which fields carry patterns and which operators they use, so a
+// handful covers an interactive session; the oldest is closed when the cache
+// overflows.
+const maxWindowStmts = 16
+
+// preparedFor returns the window's prepared statement for the query shape,
+// preparing and caching it on first use.
+func (w *Window) preparedFor(query string) (*engine.Stmt, error) {
+	if stmt, ok := w.stmts[query]; ok {
+		return stmt, nil
+	}
+	stmt, err := w.session.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	if w.stmts == nil {
+		w.stmts = map[string]*engine.Stmt{}
+	}
+	if len(w.stmtOrder) >= maxWindowStmts {
+		oldest := w.stmtOrder[0]
+		w.stmtOrder = w.stmtOrder[1:]
+		if old, ok := w.stmts[oldest]; ok {
+			old.Close()
+			delete(w.stmts, oldest)
+		}
+	}
+	w.stmts[query] = stmt
+	w.stmtOrder = append(w.stmtOrder, query)
+	return stmt, nil
+}
+
+// closeStatements releases the window's prepared statements (and those of its
+// detail windows).
+func (w *Window) closeStatements() {
+	for _, stmt := range w.stmts {
+		stmt.Close()
+	}
+	w.stmts = nil
+	w.stmtOrder = nil
+	for _, child := range w.details {
+		if child != nil {
+			child.closeStatements()
+		}
+	}
+}
+
+// Refresh re-runs the window's query through its prepared statement, reloads
+// its rows and repaints. The cursor stays on the same position when possible.
 func (w *Window) Refresh() error {
-	query, err := w.buildQuery()
+	query, binds, err := w.buildQuery()
 	if err != nil {
 		w.setError(err)
 		return err
 	}
-	res, err := w.session.Query(query)
+	stmt, err := w.preparedFor(query)
 	if err != nil {
 		w.setError(err)
 		return err
 	}
-	w.rows = res.Rows
+	for name, value := range binds {
+		if err := stmt.BindNamed(name, value); err != nil {
+			w.setError(err)
+			return err
+		}
+	}
+	rows, err := stmt.Query()
+	if err != nil {
+		w.setError(err)
+		return err
+	}
+	w.rows = w.rows[:0]
+	for rows.Next() {
+		w.rows = append(w.rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		rows.Close()
+		w.setError(err)
+		return err
+	}
+	rows.Close()
 	w.stats.Queries++
 	w.stats.Refreshes++
-	w.stats.RowsFetched += uint64(len(res.Rows))
+	w.stats.RowsFetched += uint64(len(w.rows))
 	if w.cursor >= len(w.rows) {
 		w.cursor = len(w.rows) - 1
 	}
@@ -251,14 +340,13 @@ func (w *Window) Query(patterns map[string]string) error {
 }
 
 // SetLink constrains the window to rows whose column equals the given value;
-// master windows call it on their details as the cursor moves.
+// master windows call it on their details as the cursor moves. Only the value
+// changes from row to row, so every move reuses the detail window's one
+// prepared statement.
 func (w *Window) SetLink(column int, value types.Value) {
-	colName := w.form.Schema.Columns[column].Name
-	w.linkFilter = &sql.BinaryExpr{
-		Op:    sql.OpEq,
-		Left:  &sql.ColumnRef{Name: colName},
-		Right: &sql.Literal{Value: value},
-	}
+	w.hasLink = true
+	w.linkColumn = w.form.Schema.Columns[column].Name
+	w.linkValue = value
 }
 
 // syncDetails points every detail window at the current master row and
@@ -649,10 +737,11 @@ func (w *Window) Save() error {
 		return err
 	}
 	var statement string
+	var binds map[string]types.Value
 	if w.mode == ModeInsert {
-		statement, err = w.insertStatement(row)
+		statement, binds, err = w.insertStatement(row)
 	} else {
-		statement, err = w.updateStatement(row)
+		statement, binds, err = w.updateStatement(row)
 	}
 	if err != nil {
 		w.setError(err)
@@ -663,7 +752,7 @@ func (w *Window) Save() error {
 		w.setStatus("no changes to save")
 		return nil
 	}
-	res, err := w.session.Execute(statement)
+	res, err := w.execPrepared(statement, binds)
 	if err != nil {
 		w.setError(err)
 		return err
@@ -681,10 +770,28 @@ func (w *Window) Save() error {
 	return nil
 }
 
-// insertStatement builds the INSERT for the candidate row, supplying only the
-// form's bound columns.
-func (w *Window) insertStatement(row types.Tuple) (string, error) {
+// execPrepared runs a parameterized write through the window's prepared-
+// statement cache: the text identifies the shape, the binds carry this save's
+// values.
+func (w *Window) execPrepared(statement string, binds map[string]types.Value) (*engine.Result, error) {
+	stmt, err := w.preparedFor(statement)
+	if err != nil {
+		return nil, err
+	}
+	for name, value := range binds {
+		if err := stmt.BindNamed(name, value); err != nil {
+			return nil, err
+		}
+	}
+	return stmt.Exec()
+}
+
+// insertStatement builds the parameterized INSERT for the candidate row,
+// supplying only the form's bound columns. Rows that fill the same fields
+// share one prepared statement; only the bound values differ.
+func (w *Window) insertStatement(row types.Tuple) (string, map[string]types.Value, error) {
 	var cols, vals []string
+	binds := map[string]types.Value{}
 	for _, field := range w.form.Fields {
 		if field.Computed() {
 			continue
@@ -693,27 +800,31 @@ func (w *Window) insertStatement(row types.Tuple) (string, error) {
 		if v.IsNull() {
 			continue // let table defaults / NULL apply
 		}
-		cols = append(cols, w.form.Schema.Columns[field.Column].Name)
-		vals = append(vals, v.SQL())
+		name := w.form.Schema.Columns[field.Column].Name
+		param := "v_" + strings.ToLower(name)
+		cols = append(cols, name)
+		vals = append(vals, "@"+param)
+		binds[param] = v
 	}
 	if len(cols) == 0 {
-		return "", fmt.Errorf("core: the new row is empty")
+		return "", nil, fmt.Errorf("core: the new row is empty")
 	}
 	return fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
-		w.form.Relation, strings.Join(cols, ", "), strings.Join(vals, ", ")), nil
+		w.form.Relation, strings.Join(cols, ", "), strings.Join(vals, ", ")), binds, nil
 }
 
-// updateStatement builds the UPDATE for the changed fields of the current
-// row, addressed by the form's key.
-func (w *Window) updateStatement(row types.Tuple) (string, error) {
+// updateStatement builds the parameterized UPDATE for the changed fields of
+// the current row, addressed by the form's key.
+func (w *Window) updateStatement(row types.Tuple) (string, map[string]types.Value, error) {
 	current, ok := w.CurrentRow()
 	if !ok {
-		return "", fmt.Errorf("core: no current row")
+		return "", nil, fmt.Errorf("core: no current row")
 	}
 	if len(w.form.Key) == 0 {
-		return "", fmt.Errorf("core: form %q has no key; updates are not possible", w.form.Def.Name)
+		return "", nil, fmt.Errorf("core: form %q has no key; updates are not possible", w.form.Def.Name)
 	}
 	var sets []string
+	binds := map[string]types.Value{}
 	for _, field := range w.form.Fields {
 		if field.Computed() || field.Def.ReadOnly {
 			continue
@@ -721,20 +832,24 @@ func (w *Window) updateStatement(row types.Tuple) (string, error) {
 		if row[field.Column].Equal(current[field.Column]) {
 			continue
 		}
-		sets = append(sets, fmt.Sprintf("%s = %s", w.form.Schema.Columns[field.Column].Name, row[field.Column].SQL()))
+		name := w.form.Schema.Columns[field.Column].Name
+		param := "s_" + strings.ToLower(name)
+		sets = append(sets, fmt.Sprintf("%s = @%s", name, param))
+		binds[param] = row[field.Column]
 	}
 	if len(sets) == 0 {
-		return "", nil
+		return "", nil, nil
 	}
-	where, err := w.keyPredicate(current)
+	where, err := w.keyPredicate(current, binds)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	return fmt.Sprintf("UPDATE %s SET %s WHERE %s", w.form.Relation, strings.Join(sets, ", "), where), nil
+	return fmt.Sprintf("UPDATE %s SET %s WHERE %s", w.form.Relation, strings.Join(sets, ", "), where), binds, nil
 }
 
-// keyPredicate renders "key1 = v1 AND key2 = v2" for the given row.
-func (w *Window) keyPredicate(row types.Tuple) (string, error) {
+// keyPredicate renders "key1 = @k_key1 AND key2 = @k_key2" for the given row,
+// adding the key values to binds.
+func (w *Window) keyPredicate(row types.Tuple, binds map[string]types.Value) (string, error) {
 	if len(w.form.Key) == 0 {
 		return "", fmt.Errorf("core: form %q has no key", w.form.Def.Name)
 	}
@@ -744,7 +859,10 @@ func (w *Window) keyPredicate(row types.Tuple) (string, error) {
 		if v.IsNull() {
 			return "", fmt.Errorf("core: key column %q is NULL", w.form.Schema.Columns[pos].Name)
 		}
-		parts = append(parts, fmt.Sprintf("%s = %s", w.form.Schema.Columns[pos].Name, v.SQL()))
+		name := w.form.Schema.Columns[pos].Name
+		param := "k_" + strings.ToLower(name)
+		parts = append(parts, fmt.Sprintf("%s = @%s", name, param))
+		binds[param] = v
 	}
 	return strings.Join(parts, " AND "), nil
 }
@@ -762,12 +880,13 @@ func (w *Window) DeleteCurrent() error {
 		w.setError(err)
 		return err
 	}
-	where, err := w.keyPredicate(current)
+	binds := map[string]types.Value{}
+	where, err := w.keyPredicate(current, binds)
 	if err != nil {
 		w.setError(err)
 		return err
 	}
-	res, err := w.session.Execute(fmt.Sprintf("DELETE FROM %s WHERE %s", w.form.Relation, where))
+	res, err := w.execPrepared(fmt.Sprintf("DELETE FROM %s WHERE %s", w.form.Relation, where), binds)
 	if err != nil {
 		w.setError(err)
 		return err

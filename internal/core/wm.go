@@ -79,6 +79,7 @@ func (m *Manager) Close(w *Window) {
 		if other == w {
 			m.windows = append(m.windows[:i], m.windows[i+1:]...)
 			w.closed = true
+			w.closeStatements()
 			break
 		}
 	}

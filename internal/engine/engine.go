@@ -11,6 +11,7 @@ package engine
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -33,6 +34,9 @@ type Options struct {
 	// DisableWAL turns logging off entirely (used by benchmarks that measure
 	// pure execution cost).
 	DisableWAL bool
+	// PlanCacheSize bounds each session's prepared-plan cache (default 256
+	// statements).
+	PlanCacheSize int
 }
 
 // Database is one open database instance.
@@ -43,6 +47,21 @@ type Database struct {
 	cat  *catalog.Catalog
 	wal  *txn.WAL
 	txns *txn.Manager
+	// prep aggregates prepared-statement counters across all sessions.
+	prep prepCounters
+}
+
+// prepCounters tracks the prepared-statement machinery database-wide. The
+// plan caches themselves are per session (no locking on the hot path); only
+// these statistics are shared, so they are atomic.
+type prepCounters struct {
+	prepared      atomic.Uint64
+	planHits      atomic.Uint64
+	planMisses    atomic.Uint64
+	planEvictions atomic.Uint64
+	cursorsOpened atomic.Uint64
+	cursorsClosed atomic.Uint64
+	rowsStreamed  atomic.Uint64
 }
 
 // Open creates or opens a database with the given options.
@@ -157,7 +176,7 @@ func (db *Database) Pool() *storage.BufferPool { return db.pool }
 // or worker goroutine should own one. A Session must not be used from more
 // than one goroutine at a time.
 func (db *Database) Session() *Session {
-	return &Session{db: db}
+	return &Session{db: db, plans: newPlanCache(db.opts.PlanCacheSize)}
 }
 
 // Stats summarises engine-level counters for the benchmark harness.
@@ -167,6 +186,17 @@ type Stats struct {
 	LockWaits  uint64
 	LockAborts uint64
 	WALWrites  uint64
+
+	// Prepared-statement machinery: statements prepared, plan-cache traffic
+	// (hits mean the parse/plan work was skipped), and cursor activity.
+	StatementsPrepared uint64
+	PlanCacheHits      uint64
+	PlanCacheMisses    uint64
+	PlanCacheEvictions uint64
+	CursorsOpened      uint64
+	CursorsClosed      uint64
+	RowsStreamed       uint64
+
 	BufferPool storage.BufferPoolStats
 }
 
@@ -184,6 +214,15 @@ func (db *Database) Stats() Stats {
 		LockWaits:  waits,
 		LockAborts: timeouts,
 		WALWrites:  walWrites,
+
+		StatementsPrepared: db.prep.prepared.Load(),
+		PlanCacheHits:      db.prep.planHits.Load(),
+		PlanCacheMisses:    db.prep.planMisses.Load(),
+		PlanCacheEvictions: db.prep.planEvictions.Load(),
+		CursorsOpened:      db.prep.cursorsOpened.Load(),
+		CursorsClosed:      db.prep.cursorsClosed.Load(),
+		RowsStreamed:       db.prep.rowsStreamed.Load(),
+
 		BufferPool: db.pool.Stats(),
 	}
 }

@@ -76,12 +76,12 @@ func TestInsertDefaultsApplied(t *testing.T) {
 func TestInsertErrors(t *testing.T) {
 	s := seededSession(t)
 	cases := []string{
-		"INSERT INTO customers (id, name) VALUES (1, 'Dup')",     // duplicate pk
-		"INSERT INTO customers (id) VALUES (11)",                 // NOT NULL name
-		"INSERT INTO customers VALUES (12, 'x')",                 // arity
-		"INSERT INTO nosuch VALUES (1)",                          // unknown table
-		"INSERT INTO customers (id, nosuch) VALUES (13, 'x')",    // unknown column
-		"INSERT INTO customers (id, name) VALUES (14, name)",     // non-constant value
+		"INSERT INTO customers (id, name) VALUES (1, 'Dup')",  // duplicate pk
+		"INSERT INTO customers (id) VALUES (11)",              // NOT NULL name
+		"INSERT INTO customers VALUES (12, 'x')",              // arity
+		"INSERT INTO nosuch VALUES (1)",                       // unknown table
+		"INSERT INTO customers (id, nosuch) VALUES (13, 'x')", // unknown column
+		"INSERT INTO customers (id, name) VALUES (14, name)",  // non-constant value
 	}
 	for _, q := range cases {
 		if _, err := s.Execute(q); err == nil {

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"container/list"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// cachedStatement is one plan-cache entry: everything Prepare produces that
+// does not depend on a particular bind frame. SELECT entries carry the plan
+// tree; other statements carry only the parsed AST (their "plan" — target
+// resolution and expression compilation — is rebuilt per execution, which is
+// cheap next to parsing).
+type cachedStatement struct {
+	key  string
+	stmt sql.Statement
+	// paramNames has one entry per parameter ordinal ("" = positional).
+	paramNames []string
+	// paramKinds holds the inferred kind per ordinal (KindNull = unknown).
+	paramKinds []types.Kind
+	// node is the plan tree for SELECT statements (nil otherwise).
+	node plan.Node
+	// columns are the SELECT's output column names.
+	columns []string
+	// catVersion is the catalog schema version the entry was built at; a
+	// different current version means the entry may be stale.
+	catVersion uint64
+}
+
+// planCache is a per-session LRU of prepared statement skeletons keyed by
+// normalized SQL text. Sessions are single-goroutine, so the cache needs no
+// locking; the shared hit/miss counters on the Database are atomic.
+type planCache struct {
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+}
+
+// defaultPlanCacheSize bounds how many distinct statement texts a session
+// keeps prepared. Forms workloads cycle through a handful of shapes per
+// window; 256 gives plenty of headroom before eviction.
+const defaultPlanCacheSize = 256
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheSize
+	}
+	return &planCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// get returns the cached entry for key, marking it most recently used.
+func (c *planCache) get(key string) *cachedStatement {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cachedStatement)
+}
+
+// put inserts (or replaces) an entry, evicting the least recently used one
+// when the cache is full. It reports whether an eviction happened.
+func (c *planCache) put(entry *cachedStatement) (evicted bool) {
+	if el, ok := c.entries[entry.key]; ok {
+		el.Value = entry
+		c.order.MoveToFront(el)
+		return false
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cachedStatement).key)
+			evicted = true
+		}
+	}
+	c.entries[entry.key] = c.order.PushFront(entry)
+	return evicted
+}
+
+// len returns the number of cached entries.
+func (c *planCache) len() int { return c.order.Len() }
+
+// NormalizeSQL canonicalizes statement text for plan-cache keying: runs of
+// whitespace collapse to a single space (except inside string literals and
+// quoted identifiers), and leading/trailing space and trailing semicolons are
+// trimmed. Two spellings of the same statement that differ only in layout
+// share one cache entry.
+func NormalizeSQL(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	inString, inQuoted := false, false
+	pendingSpace := false
+	for i := 0; i < len(text); i++ {
+		ch := text[i]
+		switch {
+		case inString:
+			b.WriteByte(ch)
+			if ch == '\'' {
+				inString = false
+			}
+		case inQuoted:
+			b.WriteByte(ch)
+			if ch == '"' {
+				inQuoted = false
+			}
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			pendingSpace = b.Len() > 0
+		default:
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			b.WriteByte(ch)
+			if ch == '\'' {
+				inString = true
+			}
+			if ch == '"' {
+				inQuoted = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "; ")
+}

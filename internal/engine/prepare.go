@@ -1,0 +1,586 @@
+// Prepared statements: the three-phase statement lifecycle the forms runtime
+// runs on.
+//
+//	stmt, _ := session.Prepare("SELECT * FROM customers WHERE city = @city")
+//	stmt.BindNamed("city", types.NewString("Boston"))
+//	rows, _ := stmt.Query()
+//	for rows.Next() { ... rows.Row() ... }
+//	rows.Close()
+//
+// Prepare parses, plans and compiles once — through the session's plan cache,
+// so preparing the same text twice is a cache hit — and Bind/Query re-run the
+// compiled form with new parameter values without touching the SQL text
+// again. Query returns a streaming cursor; Exec runs DML and DDL.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Stmt is a prepared statement: a parsed, planned and compiled statement
+// bound to its session, plus the bind frame its parameter placeholders read
+// from. A Stmt is reusable — bind new values and run it again — but, like its
+// Session, must not be used from more than one goroutine at a time.
+type Stmt struct {
+	session *Session
+	key     string // normalized SQL, the plan-cache key
+	entry   *cachedStatement
+	frame   *expr.Params
+	bound   []bool
+	// op is the reusable operator tree (SELECT only). Re-opening it re-runs
+	// the query against the current bind frame.
+	op exec.Operator
+	// lockTables names the base tables the SELECT reads, for cursor locking.
+	lockTables []string
+	busy       bool // a Rows cursor is open on op
+	closed     bool
+}
+
+// Prepare parses, plans and compiles a single SQL statement for repeated
+// execution. Statement skeletons are cached per session (keyed by normalized
+// text), so re-preparing the same statement skips the parser and planner
+// entirely. Parameters are written "?" (positional) or "@name" (named; the
+// same name may appear several times and binds once).
+func (s *Session) Prepare(text string) (*Stmt, error) {
+	entry, err := s.statementSkeleton(text)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{
+		session: s,
+		key:     entry.key,
+		entry:   entry,
+		frame:   &expr.Params{Values: make([]types.Value, len(entry.paramNames))},
+		bound:   make([]bool, len(entry.paramNames)),
+	}
+	if entry.node != nil {
+		op, err := exec.BuildWithParams(entry.node, st.frame)
+		if err != nil {
+			return nil, err
+		}
+		st.op = op
+		st.lockTables = lockTablesOf(entry.node)
+	}
+	s.db.prep.prepared.Add(1)
+	return st, nil
+}
+
+// statementSkeleton returns the cached bind-independent part of a statement,
+// building and caching it on a miss (or when the schema changed since it was
+// cached).
+func (s *Session) statementSkeleton(text string) (*cachedStatement, error) {
+	key := NormalizeSQL(text)
+	if entry := s.plans.get(key); entry != nil && entry.catVersion == s.db.cat.Version() {
+		s.db.prep.planHits.Add(1)
+		return entry, nil
+	}
+	s.db.prep.planMisses.Add(1)
+	entry, err := s.buildSkeleton(text, key)
+	if err != nil {
+		return nil, err
+	}
+	if s.plans.put(entry) {
+		s.db.prep.planEvictions.Add(1)
+	}
+	return entry, nil
+}
+
+// buildSkeleton parses the original text — not the normalized cache key — so
+// syntax-error positions point at what the user actually wrote.
+func (s *Session) buildSkeleton(text, key string) (*cachedStatement, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	entry := &cachedStatement{
+		key:        key,
+		stmt:       stmt,
+		paramNames: sql.StatementParams(stmt),
+		catVersion: s.db.cat.Version(),
+	}
+	switch stmt := stmt.(type) {
+	case *sql.SelectStmt:
+		node, err := plan.NewBuilder(s.db.cat).Build(stmt)
+		if err != nil {
+			return nil, err
+		}
+		entry.node = node
+		for _, col := range node.Schema().Columns {
+			entry.columns = append(entry.columns, col.Name)
+		}
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		// Parameter-friendly; target resolution happens per execution.
+	default:
+		if len(entry.paramNames) > 0 {
+			return nil, fmt.Errorf("engine: bind parameters are not supported in %s statements", statementVerb(stmt))
+		}
+	}
+	entry.paramKinds = inferParamKinds(s, stmt, len(entry.paramNames))
+	return entry, nil
+}
+
+// statementVerb names a statement kind for error messages.
+func statementVerb(stmt sql.Statement) string {
+	switch stmt.(type) {
+	case *sql.SelectStmt:
+		return "SELECT"
+	case *sql.InsertStmt:
+		return "INSERT"
+	case *sql.UpdateStmt:
+		return "UPDATE"
+	case *sql.DeleteStmt:
+		return "DELETE"
+	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.CreateViewStmt:
+		return "CREATE"
+	case *sql.DropStmt:
+		return "DROP"
+	default:
+		return "transaction-control"
+	}
+}
+
+// lockTablesOf collects the distinct base tables a plan reads (views having
+// been expanded into scans already), sorted so locks are always taken in one
+// order.
+func lockTablesOf(node plan.Node) []string {
+	seen := map[string]bool{}
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		if scan, ok := n.(*plan.ScanNode); ok {
+			seen[scan.Table.Name()] = true
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(node)
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// inferParamKinds derives the expected kind of each parameter from where it
+// appears — compared against a column, inserted into a column, assigned to a
+// column — so Bind can type-check (and coerce) values up front. Parameters in
+// positions with no column context stay KindNull, meaning "any".
+func inferParamKinds(s *Session, stmt sql.Statement, n int) []types.Kind {
+	kinds := make([]types.Kind, n)
+	if n == 0 {
+		return kinds
+	}
+	set := func(p *sql.Param, kind types.Kind) {
+		if p.Index >= 0 && p.Index < n && kind != types.KindNull {
+			kinds[p.Index] = kind
+		}
+	}
+	switch stmt := stmt.(type) {
+	case *sql.SelectStmt:
+		kindOf := columnKindResolver(s, stmt.From)
+		sql.WalkStatementExprs(stmt, inferVisitor(kindOf, set))
+	case *sql.InsertStmt:
+		table, err := s.db.cat.GetTable(stmt.Table)
+		if err != nil {
+			return kinds
+		}
+		schema := table.Schema()
+		for _, row := range stmt.Rows {
+			for i, e := range row {
+				p, ok := e.(*sql.Param)
+				if !ok {
+					continue
+				}
+				pos := i
+				if len(stmt.Columns) > 0 {
+					if pos >= len(stmt.Columns) {
+						continue
+					}
+					idx, err := schema.ColumnIndex(stmt.Columns[pos])
+					if err != nil {
+						continue
+					}
+					pos = idx
+				}
+				if pos < schema.Len() {
+					set(p, schema.Columns[pos].Type)
+				}
+			}
+		}
+	case *sql.UpdateStmt:
+		table, err := s.db.cat.GetTable(stmt.Table)
+		if err != nil {
+			return kinds
+		}
+		schema := table.Schema()
+		for _, a := range stmt.Assignments {
+			if p, ok := a.Value.(*sql.Param); ok {
+				if idx, err := schema.ColumnIndex(a.Column); err == nil {
+					set(p, schema.Columns[idx].Type)
+				}
+			}
+		}
+		kindOf := tableKindResolver(schema)
+		sql.WalkExpr(stmt.Where, inferVisitor(kindOf, set))
+	case *sql.DeleteStmt:
+		table, err := s.db.cat.GetTable(stmt.Table)
+		if err != nil {
+			return kinds
+		}
+		kindOf := tableKindResolver(table.Schema())
+		sql.WalkExpr(stmt.Where, inferVisitor(kindOf, set))
+	}
+	return kinds
+}
+
+// columnKindResolver resolves column references against the base tables of a
+// FROM clause. Columns of views (or unresolvable references) report KindNull.
+func columnKindResolver(s *Session, from []sql.TableRef) func(*sql.ColumnRef) types.Kind {
+	type source struct {
+		alias  string
+		schema *types.Schema
+	}
+	var sources []source
+	for _, ref := range from {
+		if !s.db.cat.HasTable(ref.Name) {
+			continue
+		}
+		table, err := s.db.cat.GetTable(ref.Name)
+		if err != nil {
+			continue
+		}
+		sources = append(sources, source{alias: strings.ToLower(ref.EffectiveName()), schema: table.Schema()})
+	}
+	return func(ref *sql.ColumnRef) types.Kind {
+		for _, src := range sources {
+			if ref.Table != "" && !strings.EqualFold(ref.Table, src.alias) {
+				continue
+			}
+			if idx, err := src.schema.ColumnIndex(ref.Name); err == nil {
+				return src.schema.Columns[idx].Type
+			}
+		}
+		return types.KindNull
+	}
+}
+
+// tableKindResolver resolves column references against one table's schema.
+func tableKindResolver(schema *types.Schema) func(*sql.ColumnRef) types.Kind {
+	return func(ref *sql.ColumnRef) types.Kind {
+		if idx, err := schema.ColumnIndex(ref.Name); err == nil {
+			return schema.Columns[idx].Type
+		}
+		return types.KindNull
+	}
+}
+
+// inferVisitor walks expressions pairing parameters with the columns they are
+// compared to: "col OP ?", "? OP col", "col BETWEEN ? AND ?", "col IN (?, ?)".
+func inferVisitor(kindOf func(*sql.ColumnRef) types.Kind, set func(*sql.Param, types.Kind)) func(sql.Expr) bool {
+	return func(node sql.Expr) bool {
+		switch node := node.(type) {
+		case *sql.BinaryExpr:
+			if ref, ok := node.Left.(*sql.ColumnRef); ok {
+				if p, ok := node.Right.(*sql.Param); ok {
+					set(p, kindOf(ref))
+				}
+			}
+			if ref, ok := node.Right.(*sql.ColumnRef); ok {
+				if p, ok := node.Left.(*sql.Param); ok {
+					set(p, kindOf(ref))
+				}
+			}
+		case *sql.BetweenExpr:
+			if ref, ok := node.Operand.(*sql.ColumnRef); ok {
+				if p, ok := node.Low.(*sql.Param); ok {
+					set(p, kindOf(ref))
+				}
+				if p, ok := node.High.(*sql.Param); ok {
+					set(p, kindOf(ref))
+				}
+			}
+		case *sql.InExpr:
+			if ref, ok := node.Operand.(*sql.ColumnRef); ok {
+				for _, item := range node.List {
+					if p, ok := item.(*sql.Param); ok {
+						set(p, kindOf(ref))
+					}
+				}
+			}
+		}
+		return true
+	}
+}
+
+// --- binding -----------------------------------------------------------------
+
+// NumParams returns how many parameters the statement takes.
+func (st *Stmt) NumParams() int { return len(st.frame.Values) }
+
+// ParamNames returns the parameter names by ordinal ("" for positional "?").
+func (st *Stmt) ParamNames() []string {
+	out := make([]string, len(st.entry.paramNames))
+	copy(out, st.entry.paramNames)
+	return out
+}
+
+// Columns returns the output column names (empty for non-SELECT statements).
+func (st *Stmt) Columns() []string {
+	out := make([]string, len(st.entry.columns))
+	copy(out, st.entry.columns)
+	return out
+}
+
+// Text returns the normalized SQL the statement was prepared from.
+func (st *Stmt) Text() string { return st.key }
+
+// ExplainPlan renders the prepared plan tree for EXPLAIN-style tooling (empty
+// for non-SELECT statements). The plan is refreshed first if the schema
+// changed since it was prepared.
+func (st *Stmt) ExplainPlan() string {
+	if st.closed || st.entry.node == nil {
+		return ""
+	}
+	if err := st.ensureCurrent(); err != nil {
+		return "error: " + err.Error()
+	}
+	return plan.Explain(st.entry.node)
+}
+
+// Bind sets every parameter positionally. Values are type-checked against the
+// kind inferred from the statement (an INT column's parameter rejects a
+// string that is not a number) and coerced to it, so index lookups always
+// compare in the column's domain.
+func (st *Stmt) Bind(args ...types.Value) error {
+	if st.closed {
+		return errStmtClosed
+	}
+	if len(args) != len(st.frame.Values) {
+		return fmt.Errorf("engine: statement takes %d parameter(s), got %d", len(st.frame.Values), len(args))
+	}
+	for i, v := range args {
+		if err := st.bindIndex(i, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BindNamed sets every occurrence of the named parameter ("@name" or "name").
+func (st *Stmt) BindNamed(name string, v types.Value) error {
+	if st.closed {
+		return errStmtClosed
+	}
+	name = strings.ToLower(strings.TrimPrefix(name, "@"))
+	found := false
+	for i, n := range st.entry.paramNames {
+		if n == name {
+			found = true
+			if err := st.bindIndex(i, v); err != nil {
+				return err
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("engine: statement has no parameter named @%s", name)
+	}
+	return nil
+}
+
+func (st *Stmt) bindIndex(i int, v types.Value) error {
+	want := st.entry.paramKinds[i]
+	if want != types.KindNull && !v.IsNull() && v.Kind() != want {
+		cast, err := v.Cast(want)
+		if err != nil {
+			return fmt.Errorf("engine: parameter %s: cannot bind %s value %s as %s", st.paramLabel(i), v.Kind(), v.SQL(), want)
+		}
+		v = cast
+	}
+	st.frame.Values[i] = v
+	st.bound[i] = true
+	return nil
+}
+
+func (st *Stmt) paramLabel(i int) string {
+	if name := st.entry.paramNames[i]; name != "" {
+		return "@" + name
+	}
+	return fmt.Sprintf("%d", i+1)
+}
+
+func (st *Stmt) checkBound() error {
+	for i, ok := range st.bound {
+		if !ok {
+			return fmt.Errorf("engine: parameter %s is not bound", st.paramLabel(i))
+		}
+	}
+	return nil
+}
+
+var errStmtClosed = fmt.Errorf("engine: statement is closed")
+
+// --- execution ---------------------------------------------------------------
+
+// Query runs a prepared SELECT and returns a streaming cursor over its
+// result. Optional args are a shorthand for Bind. The cursor pins the
+// statement until Close (or exhaustion): outside an explicit transaction it
+// holds shared locks on the tables it reads, released when it closes; inside
+// one, the locks join the transaction as usual.
+func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
+	if st.closed {
+		return nil, errStmtClosed
+	}
+	if st.op == nil {
+		return nil, fmt.Errorf("engine: cannot Query a %s statement; use Exec", statementVerb(st.entry.stmt))
+	}
+	if st.busy {
+		return nil, fmt.Errorf("engine: a cursor is still open on this statement")
+	}
+	if len(args) > 0 {
+		if err := st.Bind(args...); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.checkBound(); err != nil {
+		return nil, err
+	}
+	if err := st.ensureCurrent(); err != nil {
+		return nil, err
+	}
+	release, err := st.session.readLocks(st.lockTables)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.op.Open(); err != nil {
+		release()
+		return nil, err
+	}
+	st.busy = true
+	st.session.db.prep.cursorsOpened.Add(1)
+	return &Rows{stmt: st, op: st.op, columns: st.entry.columns, release: release}, nil
+}
+
+// Exec runs the prepared statement and materialises its outcome: rows for a
+// SELECT, an affected-row count for DML, a message for DDL. Optional args are
+// a shorthand for Bind.
+func (st *Stmt) Exec(args ...types.Value) (*Result, error) {
+	if st.closed {
+		return nil, errStmtClosed
+	}
+	if len(args) > 0 {
+		if err := st.Bind(args...); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.checkBound(); err != nil {
+		return nil, err
+	}
+	switch stmt := st.entry.stmt.(type) {
+	case *sql.SelectStmt:
+		return st.queryAll()
+	case *sql.InsertStmt:
+		return st.session.executeInsert(stmt, st.frame)
+	case *sql.UpdateStmt:
+		return st.session.executeUpdate(stmt, st.frame)
+	case *sql.DeleteStmt:
+		return st.session.executeDelete(stmt, st.frame)
+	default:
+		return st.session.ExecuteStmt(st.entry.stmt)
+	}
+}
+
+// queryAll drains the cursor into a materialised Result (the compatibility
+// path Session.Query and Exec-of-a-SELECT use).
+func (st *Stmt) queryAll() (*Result, error) {
+	rows, err := st.Query()
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	res := &Result{Columns: rows.Columns()}
+	for rows.Next() {
+		res.Rows = append(res.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ensureCurrent replans the statement if the schema changed since it was
+// prepared (an index appeared, a view was redefined). The bind frame — and
+// everything already bound — carries over.
+func (st *Stmt) ensureCurrent() error {
+	if st.entry.catVersion == st.session.db.cat.Version() {
+		return nil
+	}
+	entry, err := st.session.statementSkeleton(st.key)
+	if err != nil {
+		return err
+	}
+	if len(entry.paramNames) != len(st.entry.paramNames) {
+		return fmt.Errorf("engine: statement changed shape after schema change; re-prepare it")
+	}
+	st.entry = entry
+	if entry.node != nil {
+		op, err := exec.BuildWithParams(entry.node, st.frame)
+		if err != nil {
+			return err
+		}
+		st.op = op
+		st.lockTables = lockTablesOf(entry.node)
+	}
+	return nil
+}
+
+// Close releases the statement. Further Bind/Query/Exec calls fail; an open
+// cursor keeps working until it is closed itself.
+func (st *Stmt) Close() error {
+	st.closed = true
+	return nil
+}
+
+// readLocks takes shared locks on the given tables for a cursor's lifetime
+// and returns the matching release function. Inside an explicit transaction
+// the locks join the transaction (two-phase locking: they release at
+// commit/rollback, and release() is a no-op); otherwise they live on a read
+// lease until release() runs.
+func (s *Session) readLocks(tables []string) (release func(), err error) {
+	if len(tables) == 0 {
+		return func() {}, nil
+	}
+	if s.current != nil {
+		for _, table := range tables {
+			if err := s.current.LockShared(table); err != nil {
+				return nil, err
+			}
+		}
+		return func() {}, nil
+	}
+	lease := s.db.txns.BeginRead()
+	for _, table := range tables {
+		if err := lease.LockShared(table); err != nil {
+			lease.Release()
+			return nil, err
+		}
+	}
+	s.noteCursors(tables, 1)
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		s.noteCursors(tables, -1)
+		lease.Release()
+	}, nil
+}

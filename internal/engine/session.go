@@ -32,7 +32,42 @@ type Result struct {
 type Session struct {
 	db      *Database
 	current *txn.Txn
+	// plans caches prepared statement skeletons by normalized SQL text, so
+	// both Prepare and the string convenience methods skip the parser and
+	// planner on repeated statements.
+	plans *planCache
+	// cursorTables counts this session's open autocommit cursors per base
+	// table. A write from the same session against such a table could never
+	// acquire its exclusive lock (the cursor's read lease has its own owner
+	// id), so the write path fails fast instead of spinning to the lock
+	// timeout.
+	cursorTables map[string]int
 }
+
+// noteCursors adjusts the open-cursor count for the given tables.
+func (s *Session) noteCursors(tables []string, delta int) {
+	if s.cursorTables == nil {
+		s.cursorTables = map[string]int{}
+	}
+	for _, table := range tables {
+		s.cursorTables[table] += delta
+		if s.cursorTables[table] <= 0 {
+			delete(s.cursorTables, table)
+		}
+	}
+}
+
+// checkNoOpenCursor rejects a write against a table this session is still
+// streaming from outside a transaction.
+func (s *Session) checkNoOpenCursor(table string) error {
+	if s.cursorTables[table] > 0 {
+		return fmt.Errorf("engine: cannot write to %q while this session has an open cursor on it; close the cursor first", table)
+	}
+	return nil
+}
+
+// PlanCacheLen returns how many statement skeletons this session has cached.
+func (s *Session) PlanCacheLen() int { return s.plans.len() }
 
 // InTransaction reports whether an explicit transaction is open.
 func (s *Session) InTransaction() bool { return s.current != nil }
@@ -40,13 +75,17 @@ func (s *Session) InTransaction() bool { return s.current != nil }
 // Database returns the database this session belongs to.
 func (s *Session) Database() *Database { return s.db }
 
-// Execute parses and runs a single SQL statement.
+// Execute runs a single SQL statement given as text. It is a convenience
+// wrapper over Prepare + Exec, so repeated statements hit the session's plan
+// cache; statements with parameters must use Prepare directly (there is
+// nothing to bind here).
 func (s *Session) Execute(text string) (*Result, error) {
-	stmt, err := sql.Parse(text)
+	st, err := s.Prepare(text)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecuteStmt(stmt)
+	defer st.Close()
+	return st.Exec()
 }
 
 // ExecuteScript runs a semicolon-separated script, stopping at the first
@@ -67,26 +106,33 @@ func (s *Session) ExecuteScript(text string) ([]*Result, error) {
 	return results, nil
 }
 
-// Query runs a statement that must be a SELECT.
+// Query runs a statement that must be a SELECT and materialises its rows.
+// Like Execute it goes through the plan cache; use Prepare for parameterized
+// or streaming queries.
 func (s *Session) Query(text string) (*Result, error) {
-	sel, err := sql.ParseSelect(text)
+	st, err := s.Prepare(text)
 	if err != nil {
 		return nil, err
 	}
-	return s.executeSelect(sel)
+	defer st.Close()
+	if _, ok := st.entry.stmt.(*sql.SelectStmt); !ok {
+		return nil, &sql.ParseError{Msg: "expected a SELECT statement", Line: 1, Col: 1}
+	}
+	return st.queryAll()
 }
 
-// ExecuteStmt runs an already-parsed statement.
+// ExecuteStmt runs an already-parsed statement. Parameter placeholders are
+// not allowed on this path — prepare the statement instead.
 func (s *Session) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 	switch stmt := stmt.(type) {
 	case *sql.SelectStmt:
 		return s.executeSelect(stmt)
 	case *sql.InsertStmt:
-		return s.executeInsert(stmt)
+		return s.executeInsert(stmt, nil)
 	case *sql.UpdateStmt:
-		return s.executeUpdate(stmt)
+		return s.executeUpdate(stmt, nil)
 	case *sql.DeleteStmt:
-		return s.executeDelete(stmt)
+		return s.executeDelete(stmt, nil)
 	case *sql.CreateTableStmt:
 		return s.executeCreateTable(stmt)
 	case *sql.CreateIndexStmt:
@@ -307,9 +353,12 @@ func (s *Session) Plan(text string) (plan.Node, error) {
 
 // --- INSERT ------------------------------------------------------------------
 
-func (s *Session) executeInsert(stmt *sql.InsertStmt) (*Result, error) {
+func (s *Session) executeInsert(stmt *sql.InsertStmt, params *expr.Params) (*Result, error) {
 	table, updatable, err := s.resolveWriteTarget(stmt.Table)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.checkNoOpenCursor(table.Name()); err != nil {
 		return nil, err
 	}
 	t, autocommit, err := s.writeTxn()
@@ -326,7 +375,7 @@ func (s *Session) executeInsert(stmt *sql.InsertStmt) (*Result, error) {
 					return err
 				}
 			}
-			tuple, err := buildInsertTuple(table, columns, values)
+			tuple, err := buildInsertTuple(table, columns, values, params)
 			if err != nil {
 				return err
 			}
@@ -348,9 +397,10 @@ func (s *Session) executeInsert(stmt *sql.InsertStmt) (*Result, error) {
 	return &Result{RowsAffected: affected, Message: fmt.Sprintf("%d row(s) inserted", affected)}, nil
 }
 
-// buildInsertTuple evaluates the value expressions and arranges them into a
-// full-width tuple, filling omitted columns with their defaults (or NULL).
-func buildInsertTuple(table *catalog.Table, columns []string, values []sql.Expr) (types.Tuple, error) {
+// buildInsertTuple evaluates the value expressions (against the bind frame,
+// for prepared inserts) and arranges them into a full-width tuple, filling
+// omitted columns with their defaults (or NULL).
+func buildInsertTuple(table *catalog.Table, columns []string, values []sql.Expr, params *expr.Params) (types.Tuple, error) {
 	schema := table.Schema()
 	if len(columns) == 0 && len(values) != schema.Len() {
 		return nil, fmt.Errorf("engine: table %s has %d columns but %d values were supplied", table.Name(), schema.Len(), len(values))
@@ -367,7 +417,7 @@ func buildInsertTuple(table *catalog.Table, columns []string, values []sql.Expr)
 		}
 	}
 	evaluate := func(e sql.Expr) (types.Value, error) {
-		return expr.CompileConst(e)
+		return expr.CompileConstParams(e, params)
 	}
 	if len(columns) == 0 {
 		for i, e := range values {
@@ -395,9 +445,12 @@ func buildInsertTuple(table *catalog.Table, columns []string, values []sql.Expr)
 
 // --- UPDATE ------------------------------------------------------------------
 
-func (s *Session) executeUpdate(stmt *sql.UpdateStmt) (*Result, error) {
+func (s *Session) executeUpdate(stmt *sql.UpdateStmt, params *expr.Params) (*Result, error) {
 	table, updatable, err := s.resolveWriteTarget(stmt.Table)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.checkNoOpenCursor(table.Name()); err != nil {
 		return nil, err
 	}
 	assignments := stmt.Assignments
@@ -421,14 +474,14 @@ func (s *Session) executeUpdate(stmt *sql.UpdateStmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		c, err := expr.Compile(a.Value, schema)
+		c, err := expr.CompileWithParams(a.Value, schema, params)
 		if err != nil {
 			return nil, fmt.Errorf("engine: SET %s: %w", a.Column, err)
 		}
 		compiled[i] = compiledAssignment{pos: pos, value: c}
 	}
 
-	targets, err := s.findTargets(table, where)
+	targets, err := s.findTargets(table, where, params)
 	if err != nil {
 		return nil, err
 	}
@@ -475,9 +528,12 @@ func (s *Session) executeUpdate(stmt *sql.UpdateStmt) (*Result, error) {
 
 // --- DELETE ------------------------------------------------------------------
 
-func (s *Session) executeDelete(stmt *sql.DeleteStmt) (*Result, error) {
+func (s *Session) executeDelete(stmt *sql.DeleteStmt, params *expr.Params) (*Result, error) {
 	table, updatable, err := s.resolveWriteTarget(stmt.Table)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.checkNoOpenCursor(table.Name()); err != nil {
 		return nil, err
 	}
 	where := stmt.Where
@@ -486,7 +542,7 @@ func (s *Session) executeDelete(stmt *sql.DeleteStmt) (*Result, error) {
 			return nil, err
 		}
 	}
-	targets, err := s.findTargets(table, where)
+	targets, err := s.findTargets(table, where, params)
 	if err != nil {
 		return nil, err
 	}
@@ -542,20 +598,22 @@ func (s *Session) resolveWriteTarget(name string) (*catalog.Table, *view.Updatab
 
 // findTargets returns the record ids of the rows satisfying where, using an
 // index when the predicate allows it (the same access-path rules the planner
-// applies to scans).
-func (s *Session) findTargets(table *catalog.Table, where sql.Expr) ([]storage.RecordID, error) {
+// applies to scans). params is the bind frame for prepared statements (nil
+// for plain text execution).
+func (s *Session) findTargets(table *catalog.Table, where sql.Expr, params *expr.Params) ([]storage.RecordID, error) {
 	schema := table.Schema()
 	var compiled *expr.Compiled
 	if where != nil {
-		c, err := expr.Compile(where, schema)
+		c, err := expr.CompileWithParams(where, schema, params)
 		if err != nil {
 			return nil, err
 		}
 		compiled = c
 	}
 
-	// Index fast path: a conjunct of the form "col = literal" on an indexed
-	// column narrows the candidate set before filtering.
+	// Index fast path: a conjunct of the form "col = literal" (or "col = ?"
+	// with the parameter's bound value) on an indexed column narrows the
+	// candidate set before filtering.
 	var candidates []storage.RecordID
 	usedIndex := false
 	if where != nil {
@@ -565,19 +623,26 @@ func (s *Session) findTargets(table *catalog.Table, where sql.Expr) ([]storage.R
 				continue
 			}
 			ref, refOK := bin.Left.(*sql.ColumnRef)
-			lit, litOK := bin.Right.(*sql.Literal)
-			if !refOK || !litOK {
+			val, valOK := keyValueOf(bin.Right, params)
+			if !refOK || !valOK {
 				ref, refOK = bin.Right.(*sql.ColumnRef)
-				lit, litOK = bin.Left.(*sql.Literal)
+				val, valOK = keyValueOf(bin.Left, params)
 			}
-			if !refOK || !litOK {
+			if !refOK || !valOK {
 				continue
 			}
 			idx := table.IndexOn(ref.Name)
 			if idx == nil || len(idx.Columns) != 1 {
 				continue
 			}
-			candidates = table.LookupEqual(idx, lit.Value)
+			if val.IsNull() {
+				// "col = NULL" matches nothing; skip the lookup entirely.
+				candidates = nil
+				usedIndex = true
+				break
+			}
+			// Coerce toward the column's kind so the key encoding matches.
+			candidates = table.LookupEqual(idx, schema.CoerceToColumn(val, ref.Name))
 			usedIndex = true
 			break
 		}
@@ -617,6 +682,22 @@ func (s *Session) findTargets(table *catalog.Table, where sql.Expr) ([]storage.R
 		return nil
 	})
 	return out, err
+}
+
+// keyValueOf extracts an equality-key value from a literal or a bound
+// parameter.
+func keyValueOf(e sql.Expr, params *expr.Params) (types.Value, bool) {
+	switch e := e.(type) {
+	case *sql.Literal:
+		return e.Value, true
+	case *sql.Param:
+		v, err := params.Value(e.Index)
+		if err != nil {
+			return types.Null(), false
+		}
+		return v, true
+	}
+	return types.Null(), false
 }
 
 func splitAnd(e sql.Expr) []sql.Expr {

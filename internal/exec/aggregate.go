@@ -23,14 +23,14 @@ type aggregateOperator struct {
 	pos    int
 }
 
-func newAggregateOperator(n *plan.AggregateNode) (*aggregateOperator, error) {
-	input, err := Build(n.Input)
+func newAggregateOperator(n *plan.AggregateNode, params *expr.Params) (*aggregateOperator, error) {
+	input, err := BuildWithParams(n.Input, params)
 	if err != nil {
 		return nil, err
 	}
 	op := &aggregateOperator{node: n, input: input, schema: n.Schema()}
 	for _, g := range n.GroupBy {
-		c, err := expr.Compile(g.Expr, input.Schema())
+		c, err := expr.CompileWithParams(g.Expr, input.Schema(), params)
 		if err != nil {
 			return nil, fmt.Errorf("exec: GROUP BY %s: %w", g.Name, err)
 		}
@@ -41,7 +41,7 @@ func newAggregateOperator(n *plan.AggregateNode) (*aggregateOperator, error) {
 			op.args = append(op.args, nil)
 			continue
 		}
-		c, err := expr.Compile(a.Arg, input.Schema())
+		c, err := expr.CompileWithParams(a.Arg, input.Schema(), params)
 		if err != nil {
 			return nil, fmt.Errorf("exec: aggregate %s: %w", a.Name, err)
 		}
@@ -248,14 +248,14 @@ type sortOperator struct {
 	pos  int
 }
 
-func newSortOperator(n *plan.SortNode) (*sortOperator, error) {
-	input, err := Build(n.Input)
+func newSortOperator(n *plan.SortNode, params *expr.Params) (*sortOperator, error) {
+	input, err := BuildWithParams(n.Input, params)
 	if err != nil {
 		return nil, err
 	}
 	op := &sortOperator{node: n, input: input}
 	for _, k := range n.Keys {
-		c, err := expr.Compile(k.Expr, input.Schema())
+		c, err := expr.CompileWithParams(k.Expr, input.Schema(), params)
 		if err != nil {
 			return nil, fmt.Errorf("exec: ORDER BY %s: %w", k.Expr.String(), err)
 		}

@@ -6,6 +6,7 @@ package exec
 import (
 	"fmt"
 
+	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/types"
 )
@@ -22,35 +23,43 @@ type Operator interface {
 	Close() error
 }
 
-// Build compiles a plan tree into an operator tree.
+// Build compiles a plan tree into an operator tree with no bind parameters.
 func Build(node plan.Node) (Operator, error) {
+	return BuildWithParams(node, nil)
+}
+
+// BuildWithParams compiles a plan tree into an operator tree whose parameter
+// placeholders read from the given bind frame. The operator tree is reusable:
+// rebind the frame and Open it again to re-run the query without re-parsing,
+// re-planning or re-compiling any expression.
+func BuildWithParams(node plan.Node, params *expr.Params) (Operator, error) {
 	switch n := node.(type) {
 	case *plan.ScanNode:
-		return newScanOperator(n)
+		return newScanOperator(n, params)
 	case *plan.DerivedNode:
-		input, err := Build(n.Input)
+		input, err := BuildWithParams(n.Input, params)
 		if err != nil {
 			return nil, err
 		}
 		return &derivedOperator{input: input, schema: n.Schema()}, nil
 	case *plan.FilterNode:
-		return newFilterOperator(n)
+		return newFilterOperator(n, params)
 	case *plan.JoinNode:
-		return newJoinOperator(n)
+		return newJoinOperator(n, params)
 	case *plan.ProjectNode:
-		return newProjectOperator(n)
+		return newProjectOperator(n, params)
 	case *plan.AggregateNode:
-		return newAggregateOperator(n)
+		return newAggregateOperator(n, params)
 	case *plan.SortNode:
-		return newSortOperator(n)
+		return newSortOperator(n, params)
 	case *plan.DistinctNode:
-		input, err := Build(n.Input)
+		input, err := BuildWithParams(n.Input, params)
 		if err != nil {
 			return nil, err
 		}
 		return &distinctOperator{input: input}, nil
 	case *plan.LimitNode:
-		input, err := Build(n.Input)
+		input, err := BuildWithParams(n.Input, params)
 		if err != nil {
 			return nil, err
 		}

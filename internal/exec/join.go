@@ -30,30 +30,30 @@ type joinOperator struct {
 	leftDone   bool
 }
 
-func newJoinOperator(n *plan.JoinNode) (*joinOperator, error) {
-	left, err := Build(n.Left)
+func newJoinOperator(n *plan.JoinNode, params *expr.Params) (*joinOperator, error) {
+	left, err := BuildWithParams(n.Left, params)
 	if err != nil {
 		return nil, err
 	}
-	right, err := Build(n.Right)
+	right, err := BuildWithParams(n.Right, params)
 	if err != nil {
 		return nil, err
 	}
 	op := &joinOperator{node: n, left: left, right: right, schema: n.Schema()}
 	if n.Strategy == plan.JoinHash {
-		if op.eqLeft, err = expr.Compile(n.EqLeft, left.Schema()); err != nil {
+		if op.eqLeft, err = expr.CompileWithParams(n.EqLeft, left.Schema(), params); err != nil {
 			return nil, fmt.Errorf("exec: hash join left key: %w", err)
 		}
-		if op.eqRight, err = expr.Compile(n.EqRight, right.Schema()); err != nil {
+		if op.eqRight, err = expr.CompileWithParams(n.EqRight, right.Schema(), params); err != nil {
 			return nil, fmt.Errorf("exec: hash join right key: %w", err)
 		}
 		if n.Residual != nil {
-			if op.residual, err = expr.Compile(n.Residual, n.Schema()); err != nil {
+			if op.residual, err = expr.CompileWithParams(n.Residual, n.Schema(), params); err != nil {
 				return nil, fmt.Errorf("exec: hash join residual: %w", err)
 			}
 		}
 	} else if n.On != nil {
-		if op.on, err = expr.Compile(n.On, n.Schema()); err != nil {
+		if op.on, err = expr.CompileWithParams(n.On, n.Schema(), params); err != nil {
 			return nil, fmt.Errorf("exec: join condition: %w", err)
 		}
 	}

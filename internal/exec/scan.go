@@ -15,6 +15,7 @@ import (
 type scanOperator struct {
 	node   *plan.ScanNode
 	filter *expr.Compiled
+	params *expr.Params
 
 	// Sequential scan state.
 	iter *catalog.TableIterator
@@ -23,10 +24,10 @@ type scanOperator struct {
 	pos  int
 }
 
-func newScanOperator(n *plan.ScanNode) (*scanOperator, error) {
-	op := &scanOperator{node: n}
+func newScanOperator(n *plan.ScanNode, params *expr.Params) (*scanOperator, error) {
+	op := &scanOperator{node: n, params: params}
 	if n.Filter != nil {
-		compiled, err := expr.Compile(n.Filter, n.Schema())
+		compiled, err := expr.CompileWithParams(n.Filter, n.Schema(), params)
 		if err != nil {
 			return nil, fmt.Errorf("exec: scan filter: %w", err)
 		}
@@ -45,10 +46,26 @@ func (o *scanOperator) Open() error {
 	case plan.AccessSeqScan:
 		o.iter = o.node.Table.Iterator()
 	case plan.AccessIndexEq:
-		key := types.EncodeKey(nil, o.node.EqValue)
+		v, err := o.resolveKey(o.node.EqValue, o.node.EqParam)
+		if err != nil {
+			return err
+		}
+		// SQL comparison with NULL is never true, and the planner already
+		// consumed this conjunct, so a NULL key must yield an empty scan
+		// (EncodeKey(NULL) would instead read real entries).
+		if v.IsNull() {
+			return nil
+		}
+		key := types.EncodeKey(nil, v)
 		o.rids = o.node.Index.Tree.Search(key)
 	case plan.AccessIndexRange:
-		low, high := rangeKeys(o.node.Low, o.node.High)
+		low, high, nullBound, err := o.rangeKeys(o.node.Low, o.node.High)
+		if err != nil {
+			return err
+		}
+		if nullBound {
+			return nil // a NULL bound can never be satisfied: empty scan
+		}
 		o.rids = o.node.Index.Tree.Range(low, high)
 	default:
 		return fmt.Errorf("exec: unknown access kind %v", o.node.Access)
@@ -56,24 +73,53 @@ func (o *scanOperator) Open() error {
 	return nil
 }
 
+// resolveKey turns an index-key operand into its concrete value: the literal
+// as planned, or the bound parameter's current value coerced toward the index
+// column's kind so key encoding matches the stored entries.
+func (o *scanOperator) resolveKey(v types.Value, param int) (types.Value, error) {
+	if param >= 0 {
+		bound, err := o.params.Value(param)
+		if err != nil {
+			return types.Null(), fmt.Errorf("exec: index key: %w", err)
+		}
+		v = bound
+	}
+	return o.node.Table.Schema().CoerceToColumn(v, o.node.Index.Columns[0]), nil
+}
+
 // rangeKeys converts plan bounds into the byte-key interval [low, high) the
 // B+tree scans. For a single-value key the only encoding equal to
 // EncodeKey(v) is v's own, so appending a zero byte moves a bound just past
-// all entries equal to v.
-func rangeKeys(low, high *plan.Bound) (lowKey, highKey []byte) {
+// all entries equal to v. nullBound reports that a bound resolved to NULL,
+// which no row can satisfy.
+func (o *scanOperator) rangeKeys(low, high *plan.Bound) (lowKey, highKey []byte, nullBound bool, err error) {
 	if low != nil {
-		lowKey = types.EncodeKey(nil, low.Value)
+		v, err := o.resolveKey(low.Value, low.Param)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v.IsNull() {
+			return nil, nil, true, nil
+		}
+		lowKey = types.EncodeKey(nil, v)
 		if !low.Inclusive {
 			lowKey = append(lowKey, 0x00)
 		}
 	}
 	if high != nil {
-		highKey = types.EncodeKey(nil, high.Value)
+		v, err := o.resolveKey(high.Value, high.Param)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v.IsNull() {
+			return nil, nil, true, nil
+		}
+		highKey = types.EncodeKey(nil, v)
 		if high.Inclusive {
 			highKey = append(highKey, 0x00)
 		}
 	}
-	return lowKey, highKey
+	return lowKey, highKey, false, nil
 }
 
 func (o *scanOperator) Close() error { return nil }
@@ -126,12 +172,12 @@ type filterOperator struct {
 	cond  *expr.Compiled
 }
 
-func newFilterOperator(n *plan.FilterNode) (*filterOperator, error) {
-	input, err := Build(n.Input)
+func newFilterOperator(n *plan.FilterNode, params *expr.Params) (*filterOperator, error) {
+	input, err := BuildWithParams(n.Input, params)
 	if err != nil {
 		return nil, err
 	}
-	cond, err := expr.Compile(n.Cond, input.Schema())
+	cond, err := expr.CompileWithParams(n.Cond, input.Schema(), params)
 	if err != nil {
 		return nil, fmt.Errorf("exec: filter: %w", err)
 	}
@@ -165,14 +211,14 @@ type projectOperator struct {
 	schema *types.Schema
 }
 
-func newProjectOperator(n *plan.ProjectNode) (*projectOperator, error) {
-	input, err := Build(n.Input)
+func newProjectOperator(n *plan.ProjectNode, params *expr.Params) (*projectOperator, error) {
+	input, err := BuildWithParams(n.Input, params)
 	if err != nil {
 		return nil, err
 	}
 	op := &projectOperator{input: input, schema: n.Schema()}
 	for _, item := range n.Items {
-		c, err := expr.Compile(item.Expr, input.Schema())
+		c, err := expr.CompileWithParams(item.Expr, input.Schema(), params)
 		if err != nil {
 			return nil, fmt.Errorf("exec: projection %s: %w", item.Name, err)
 		}

@@ -14,6 +14,22 @@ import (
 	"repro/internal/types"
 )
 
+// Params is the bind frame a prepared statement evaluates against: one value
+// slot per parameter ordinal. Expressions compiled with a Params pointer read
+// the slots at evaluation time, so rebinding the frame and re-running needs no
+// recompilation.
+type Params struct {
+	Values []types.Value
+}
+
+// Value returns the bound value for ordinal idx.
+func (p *Params) Value(idx int) (types.Value, error) {
+	if p == nil || idx < 0 || idx >= len(p.Values) {
+		return types.Null(), fmt.Errorf("expr: parameter %d is not bound", idx+1)
+	}
+	return p.Values[idx], nil
+}
+
 // Compiled is an expression bound to a schema, ready to evaluate against
 // tuples of that schema.
 type Compiled struct {
@@ -52,9 +68,17 @@ func Truthy(v types.Value) bool {
 
 // Compile binds an expression to the schema. Aggregate calls are rejected —
 // the executor evaluates aggregates itself and rewrites them to column
-// references before compiling HAVING and projection expressions.
+// references before compiling HAVING and projection expressions. Parameter
+// placeholders are rejected; use CompileWithParams when a bind frame exists.
 func Compile(e sql.Expr, schema *types.Schema) (*Compiled, error) {
-	fn, kind, err := compile(e, schema)
+	return CompileWithParams(e, schema, nil)
+}
+
+// CompileWithParams compiles an expression whose parameter placeholders read
+// from the given bind frame at evaluation time. A nil frame makes any
+// placeholder a compile error.
+func CompileWithParams(e sql.Expr, schema *types.Schema, params *Params) (*Compiled, error) {
+	fn, kind, err := compile(e, schema, params)
 	if err != nil {
 		return nil, err
 	}
@@ -64,21 +88,37 @@ func Compile(e sql.Expr, schema *types.Schema) (*Compiled, error) {
 // CompileConst compiles an expression that must not reference any columns
 // (DEFAULT clauses, literal form field defaults) and evaluates it once.
 func CompileConst(e sql.Expr) (types.Value, error) {
+	return CompileConstParams(e, nil)
+}
+
+// CompileConstParams is CompileConst with a bind frame, for prepared INSERT
+// value lists and similar row-free contexts.
+func CompileConstParams(e sql.Expr, params *Params) (types.Value, error) {
 	if cols := sql.ColumnsIn(e); len(cols) > 0 {
 		return types.Null(), fmt.Errorf("expr: %s references column %s but no row is available", e.String(), cols[0].String())
 	}
-	c, err := Compile(e, types.NewSchema())
+	c, err := CompileWithParams(e, types.NewSchema(), params)
 	if err != nil {
 		return types.Null(), err
 	}
 	return c.Eval(nil)
 }
 
-func compile(e sql.Expr, schema *types.Schema) (evalFunc, types.Kind, error) {
+func compile(e sql.Expr, schema *types.Schema, params *Params) (evalFunc, types.Kind, error) {
 	switch e := e.(type) {
 	case *sql.Literal:
 		v := e.Value
 		return func(types.Tuple) (types.Value, error) { return v, nil }, v.Kind(), nil
+
+	case *sql.Param:
+		if params == nil {
+			return nil, types.KindNull, fmt.Errorf("expr: parameter %s is not allowed here (statement was not prepared)", e.String())
+		}
+		idx := e.Index
+		// The bound value's kind is unknown until run time.
+		return func(types.Tuple) (types.Value, error) {
+			return params.Value(idx)
+		}, types.KindNull, nil
 
 	case *sql.ColumnRef:
 		idx, err := schema.ColumnIndex(e.String())
@@ -94,7 +134,7 @@ func compile(e sql.Expr, schema *types.Schema) (evalFunc, types.Kind, error) {
 		}, kind, nil
 
 	case *sql.UnaryExpr:
-		operand, opKind, err := compile(e.Operand, schema)
+		operand, opKind, err := compile(e.Operand, schema, params)
 		if err != nil {
 			return nil, types.KindNull, err
 		}
@@ -134,10 +174,10 @@ func compile(e sql.Expr, schema *types.Schema) (evalFunc, types.Kind, error) {
 		}
 
 	case *sql.BinaryExpr:
-		return compileBinary(e, schema)
+		return compileBinary(e, schema, params)
 
 	case *sql.IsNullExpr:
-		operand, _, err := compile(e.Operand, schema)
+		operand, _, err := compile(e.Operand, schema, params)
 		if err != nil {
 			return nil, types.KindNull, err
 		}
@@ -151,15 +191,15 @@ func compile(e sql.Expr, schema *types.Schema) (evalFunc, types.Kind, error) {
 		}, types.KindBool, nil
 
 	case *sql.BetweenExpr:
-		operand, _, err := compile(e.Operand, schema)
+		operand, _, err := compile(e.Operand, schema, params)
 		if err != nil {
 			return nil, types.KindNull, err
 		}
-		low, _, err := compile(e.Low, schema)
+		low, _, err := compile(e.Low, schema, params)
 		if err != nil {
 			return nil, types.KindNull, err
 		}
-		high, _, err := compile(e.High, schema)
+		high, _, err := compile(e.High, schema, params)
 		if err != nil {
 			return nil, types.KindNull, err
 		}
@@ -193,13 +233,13 @@ func compile(e sql.Expr, schema *types.Schema) (evalFunc, types.Kind, error) {
 		}, types.KindBool, nil
 
 	case *sql.InExpr:
-		operand, _, err := compile(e.Operand, schema)
+		operand, _, err := compile(e.Operand, schema, params)
 		if err != nil {
 			return nil, types.KindNull, err
 		}
 		items := make([]evalFunc, len(e.List))
 		for i, item := range e.List {
-			fn, _, err := compile(item, schema)
+			fn, _, err := compile(item, schema, params)
 			if err != nil {
 				return nil, types.KindNull, err
 			}
@@ -242,19 +282,19 @@ func compile(e sql.Expr, schema *types.Schema) (evalFunc, types.Kind, error) {
 		if e.IsAggregate() {
 			return nil, types.KindNull, fmt.Errorf("expr: aggregate %s is not allowed here", e.Name)
 		}
-		return compileScalarFunc(e, schema)
+		return compileScalarFunc(e, schema, params)
 
 	default:
 		return nil, types.KindNull, fmt.Errorf("expr: unsupported expression %T", e)
 	}
 }
 
-func compileBinary(e *sql.BinaryExpr, schema *types.Schema) (evalFunc, types.Kind, error) {
-	left, leftKind, err := compile(e.Left, schema)
+func compileBinary(e *sql.BinaryExpr, schema *types.Schema, params *Params) (evalFunc, types.Kind, error) {
+	left, leftKind, err := compile(e.Left, schema, params)
 	if err != nil {
 		return nil, types.KindNull, err
 	}
-	right, rightKind, err := compile(e.Right, schema)
+	right, rightKind, err := compile(e.Right, schema, params)
 	if err != nil {
 		return nil, types.KindNull, err
 	}
@@ -641,7 +681,7 @@ func ScalarFunctions() []string {
 	return names
 }
 
-func compileScalarFunc(e *sql.FuncCall, schema *types.Schema) (evalFunc, types.Kind, error) {
+func compileScalarFunc(e *sql.FuncCall, schema *types.Schema, params *Params) (evalFunc, types.Kind, error) {
 	name := strings.ToUpper(e.Name)
 	def, ok := scalarFuncs[name]
 	if !ok {
@@ -655,7 +695,7 @@ func compileScalarFunc(e *sql.FuncCall, schema *types.Schema) (evalFunc, types.K
 	}
 	args := make([]evalFunc, len(e.Args))
 	for i, a := range e.Args {
-		fn, _, err := compile(a, schema)
+		fn, _, err := compile(a, schema, params)
 		if err != nil {
 			return nil, types.KindNull, err
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/types"
 	"repro/internal/workload"
 )
 
@@ -210,25 +211,28 @@ func RunE3(cfg Config) (*Table, error) {
 		if _, err := s.Execute("INSERT INTO customers (id, name, city, credit, since) VALUES " + strings.Join(rows, ", ")); err != nil {
 			return nil, err
 		}
-		var orderRows []string
+		insertOrder, err := s.Prepare("INSERT INTO orders (id, customer_id, placed, total) VALUES (?, ?, '1983-02-01', ?)")
+		if err != nil {
+			return nil, err
+		}
 		orderID := 1
+		if _, err := s.Execute("BEGIN"); err != nil {
+			return nil, err
+		}
 		for master := 1; master <= 2; master++ {
 			for i := 0; i < k; i++ {
-				orderRows = append(orderRows, fmt.Sprintf("(%d, %d, '1983-02-01', %d)", orderID, master, i))
-				orderID++
-				if len(orderRows) == 200 {
-					if _, err := s.Execute("INSERT INTO orders (id, customer_id, placed, total) VALUES " + strings.Join(orderRows, ", ")); err != nil {
-						return nil, err
-					}
-					orderRows = orderRows[:0]
+				_, err := insertOrder.Exec(types.NewInt(int64(orderID)), types.NewInt(int64(master)), types.NewInt(int64(i)))
+				if err != nil {
+					_, _ = s.Execute("ROLLBACK")
+					return nil, err
 				}
+				orderID++
 			}
 		}
-		if len(orderRows) > 0 {
-			if _, err := s.Execute("INSERT INTO orders (id, customer_id, placed, total) VALUES " + strings.Join(orderRows, ", ")); err != nil {
-				return nil, err
-			}
+		if _, err := s.Execute("COMMIT"); err != nil {
+			return nil, err
 		}
+		insertOrder.Close()
 		forms, err := core.NewCompiler(db).CompileSource(workload.StandardForms)
 		if err != nil {
 			return nil, err
@@ -341,19 +345,31 @@ func RunE5(cfg Config) (*Table, error) {
 	s := env.db.Session()
 	n := cfg.Operations
 
-	// A target row that is visible in good_customers (credit >= 500).
+	// A target row that is visible in good_customers (credit >= 500). The two
+	// measured loops run one prepared UPDATE each, rebinding per iteration —
+	// the way an application would issue a repeated parameterized write.
 	if _, err := s.Execute("UPDATE customers SET credit = 900 WHERE id = 1"); err != nil {
 		return nil, err
 	}
+	updateDirect, err := s.Prepare("UPDATE customers SET credit = ? WHERE id = 1")
+	if err != nil {
+		return nil, err
+	}
+	defer updateDirect.Close()
 	direct, err := timeIt(n, func(i int) error {
-		_, err := s.Execute(fmt.Sprintf("UPDATE customers SET credit = %d WHERE id = 1", 600+i%100))
+		_, err := updateDirect.Exec(types.NewInt(int64(600 + i%100)))
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
+	updateView, err := s.Prepare("UPDATE good_customers SET credit = ? WHERE id = 1")
+	if err != nil {
+		return nil, err
+	}
+	defer updateView.Close()
 	throughView, err := timeIt(n, func(i int) error {
-		_, err := s.Execute(fmt.Sprintf("UPDATE good_customers SET credit = %d WHERE id = 1", 600+i%100))
+		_, err := updateView.Exec(types.NewInt(int64(600 + i%100)))
 		return err
 	})
 	if err != nil {
@@ -638,5 +654,94 @@ func RunE8(cfg Config) (*Table, error) {
 		}
 		addRow("enter a new order", w.Stats().Keystrokes-before, app.KeystrokesTyped)
 	}
+	return table, nil
+}
+
+// RunE9 — prepared statements: the repeated parameterized point query every
+// window refresh boils down to, executed three ways — re-parsed from text
+// each time, prepared once and rebound, and prepared with a streaming cursor
+// that stops after the first row. The notes report the engine's plan-cache
+// and cursor counters for the run.
+func RunE9(cfg Config) (*Table, error) {
+	env, err := newEnvironment(cfg.Sizes)
+	if err != nil {
+		return nil, err
+	}
+	s := env.db.Session()
+	n := cfg.Operations * 4
+	customers := cfg.Sizes.Customers
+
+	statsBefore := env.db.Stats()
+
+	// Path 1: statement text re-submitted every iteration (the pre-prepared
+	// API; still served by the session plan cache for identical text, but the
+	// text here changes per iteration, as string-built SQL does).
+	executed, err := timeIt(n, func(i int) error {
+		_, err := s.Query(fmt.Sprintf("SELECT name, credit FROM customers WHERE id = %d", 1+i%customers))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Path 2: prepare once, rebind per iteration.
+	lookup, err := s.Prepare("SELECT name, credit FROM customers WHERE id = ?")
+	if err != nil {
+		return nil, err
+	}
+	defer lookup.Close()
+	prepared, err := timeIt(n, func(i int) error {
+		res, err := lookup.Exec(types.NewInt(int64(1 + i%customers)))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) != 1 {
+			return fmt.Errorf("expected 1 row, got %d", len(res.Rows))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Path 3: prepared with a streaming cursor, reading only the first row.
+	streamed, err := timeIt(n, func(i int) error {
+		rows, err := lookup.Query(types.NewInt(int64(1 + i%customers)))
+		if err != nil {
+			return err
+		}
+		defer rows.Close()
+		if !rows.Next() {
+			return fmt.Errorf("expected a row")
+		}
+		var name string
+		var credit float64
+		return rows.Scan(&name, &credit)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	stats := env.db.Stats()
+	table := &Table{
+		ID:      "E9",
+		Title:   "Prepared statements: repeated point query, re-parsed vs prepared (µs per query)",
+		Columns: []string{"path", "µs/query", "vs re-parsed"},
+		Notes: []string{
+			fmt.Sprintf("%d queries per path over %d customers", n, customers),
+			fmt.Sprintf("plan cache: %d hits, %d misses, %d evictions; statements prepared: %d",
+				stats.PlanCacheHits-statsBefore.PlanCacheHits,
+				stats.PlanCacheMisses-statsBefore.PlanCacheMisses,
+				stats.PlanCacheEvictions-statsBefore.PlanCacheEvictions,
+				stats.StatementsPrepared-statsBefore.StatementsPrepared),
+			fmt.Sprintf("cursors: %d opened, %d closed; rows streamed: %d",
+				stats.CursorsOpened-statsBefore.CursorsOpened,
+				stats.CursorsClosed-statsBefore.CursorsClosed,
+				stats.RowsStreamed-statsBefore.RowsStreamed),
+		},
+	}
+	table.Rows = append(table.Rows, []string{"Execute (re-parse each time)", us(executed), "1.00x"})
+	table.Rows = append(table.Rows, []string{"Prepare once + Bind", us(prepared), ratio(prepared, executed)})
+	table.Rows = append(table.Rows, []string{"Prepare once + cursor first row", us(streamed), ratio(streamed, executed)})
 	return table, nil
 }

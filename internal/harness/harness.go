@@ -83,8 +83,10 @@ var Full = Config{Sizes: workload.Sizes{Customers: 5000, Orders: 40000, ItemsPer
 // Quick is a reduced configuration for tests and smoke runs.
 var Quick = Config{Sizes: workload.SmallSizes, Operations: 30, Quick: true}
 
-// Experiments lists the experiment identifiers in order.
-var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+// Experiments lists the experiment identifiers in order. E1–E8 regenerate
+// the paper's tables and figures; E9 measures the engine's prepared-statement
+// path against re-parsed text execution.
+var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 
 // Run executes one experiment by id.
 func Run(id string, cfg Config) (*Table, error) {
@@ -105,6 +107,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return RunE7(cfg)
 	case "E8":
 		return RunE8(cfg)
+	case "E9":
+		return RunE9(cfg)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}
@@ -194,4 +198,3 @@ func accessPathOf(db *engine.Database, query string) string {
 		return "seq scan"
 	}
 }
-

@@ -41,7 +41,7 @@ func chooseScanAccess(scan *ScanNode) {
 	// First pass: look for an equality predicate on a single-column index —
 	// the cheapest access path.
 	for i, c := range conjuncts {
-		col, val, op, ok := constantComparison(c, scan)
+		col, operand, op, ok := constantComparison(c, scan)
 		if !ok || op != sql.OpEq {
 			continue
 		}
@@ -51,7 +51,8 @@ func chooseScanAccess(scan *ScanNode) {
 		}
 		scan.Access = AccessIndexEq
 		scan.Index = idx
-		scan.EqValue = val
+		scan.EqValue = operand.value
+		scan.EqParam = operand.param
 		scan.Filter = joinConjuncts(removeAt(conjuncts, []int{i}))
 		return
 	}
@@ -66,8 +67,8 @@ func chooseScanAccess(scan *ScanNode) {
 			if !okCol {
 				continue
 			}
-			low, okLow := literalValue(between.Low)
-			high, okHigh := literalValue(between.High)
+			low, okLow := keyOperand(between.Low)
+			high, okHigh := keyOperand(between.High)
 			if !okLow || !okHigh {
 				continue
 			}
@@ -76,12 +77,18 @@ func chooseScanAccess(scan *ScanNode) {
 				b = &rangeBounds{}
 				best[col] = b
 			}
-			b.low = tightenLow(b.low, &Bound{Value: low, Inclusive: true})
-			b.high = tightenHigh(b.high, &Bound{Value: high, Inclusive: true})
+			newLow, okLow := tightenLow(b.low, low.bound(true))
+			newHigh, okHigh := tightenHigh(b.high, high.bound(true))
+			if !okLow || !okHigh {
+				// A bound could not be compared (unresolved parameter); the
+				// conjunct stays in the residual filter.
+				continue
+			}
+			b.low, b.high = newLow, newHigh
 			b.consumed = append(b.consumed, i)
 			continue
 		}
-		col, val, op, ok := constantComparison(c, scan)
+		col, operand, op, ok := constantComparison(c, scan)
 		if !ok {
 			continue
 		}
@@ -90,16 +97,20 @@ func chooseScanAccess(scan *ScanNode) {
 			b = &rangeBounds{}
 			best[col] = b
 		}
+		tightened := false
 		switch op {
 		case sql.OpGt:
-			b.low = tightenLow(b.low, &Bound{Value: val, Inclusive: false})
+			b.low, tightened = tightenLow(b.low, operand.bound(false))
 		case sql.OpGe:
-			b.low = tightenLow(b.low, &Bound{Value: val, Inclusive: true})
+			b.low, tightened = tightenLow(b.low, operand.bound(true))
 		case sql.OpLt:
-			b.high = tightenHigh(b.high, &Bound{Value: val, Inclusive: false})
+			b.high, tightened = tightenHigh(b.high, operand.bound(false))
 		case sql.OpLe:
-			b.high = tightenHigh(b.high, &Bound{Value: val, Inclusive: true})
+			b.high, tightened = tightenHigh(b.high, operand.bound(true))
 		default:
+			continue
+		}
+		if !tightened {
 			continue
 		}
 		b.consumed = append(b.consumed, i)
@@ -128,31 +139,57 @@ func chooseScanAccess(scan *ScanNode) {
 	scan.Filter = joinConjuncts(removeAt(conjuncts, bestBounds.consumed))
 }
 
-// constantComparison matches conjuncts of the form "column OP literal" or
-// "literal OP column" (with the operator flipped) where column belongs to the
-// scan. It returns the bare column name, the literal value and the operator
-// normalised so the column is on the left.
-func constantComparison(e sql.Expr, scan *ScanNode) (col string, val types.Value, op sql.BinaryOp, ok bool) {
+// scanOperand is an index-key operand: a literal value known at plan time, or
+// a bind parameter (param >= 0) resolved when the scan opens.
+type scanOperand struct {
+	value types.Value
+	param int
+}
+
+// bound wraps the operand as one end of an index range.
+func (o scanOperand) bound(inclusive bool) *Bound {
+	return &Bound{Value: o.value, Param: o.param, Inclusive: inclusive}
+}
+
+// keyOperand matches expressions usable as index keys: literals and bind
+// parameters with assigned ordinals.
+func keyOperand(e sql.Expr) (scanOperand, bool) {
+	switch e := e.(type) {
+	case *sql.Literal:
+		return scanOperand{value: e.Value, param: -1}, true
+	case *sql.Param:
+		if e.Index >= 0 {
+			return scanOperand{value: types.Null(), param: e.Index}, true
+		}
+	}
+	return scanOperand{}, false
+}
+
+// constantComparison matches conjuncts of the form "column OP operand" or
+// "operand OP column" (with the operator flipped) where column belongs to the
+// scan and operand is a literal or bind parameter. It returns the bare column
+// name, the operand and the operator normalised so the column is on the left.
+func constantComparison(e sql.Expr, scan *ScanNode) (col string, operand scanOperand, op sql.BinaryOp, ok bool) {
 	bin, isBin := e.(*sql.BinaryExpr)
 	if !isBin {
-		return "", types.Null(), 0, false
+		return "", scanOperand{}, 0, false
 	}
 	switch bin.Op {
 	case sql.OpEq, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
 	default:
-		return "", types.Null(), 0, false
+		return "", scanOperand{}, 0, false
 	}
 	if c, okCol := scanColumn(bin.Left, scan); okCol {
-		if v, okVal := literalValue(bin.Right); okVal {
+		if v, okVal := keyOperand(bin.Right); okVal {
 			return c, v, bin.Op, true
 		}
 	}
 	if c, okCol := scanColumn(bin.Right, scan); okCol {
-		if v, okVal := literalValue(bin.Left); okVal {
+		if v, okVal := keyOperand(bin.Left); okVal {
 			return c, v, flipOp(bin.Op), true
 		}
 	}
-	return "", types.Null(), 0, false
+	return "", scanOperand{}, 0, false
 }
 
 func flipOp(op sql.BinaryOp) sql.BinaryOp {
@@ -186,16 +223,6 @@ func scanColumn(e sql.Expr, scan *ScanNode) (string, bool) {
 	return ref.Name, true
 }
 
-// literalValue unwraps literal expressions, tolerating the typed value kinds
-// a form produces (strings for dates, etc.).
-func literalValue(e sql.Expr) (types.Value, bool) {
-	lit, ok := e.(*sql.Literal)
-	if !ok {
-		return types.Null(), false
-	}
-	return lit.Value, true
-}
-
 func removeAt(conjuncts []sql.Expr, drop []int) []sql.Expr {
 	dropSet := map[int]bool{}
 	for _, d := range drop {
@@ -210,38 +237,48 @@ func removeAt(conjuncts []sql.Expr, drop []int) []sql.Expr {
 	return out
 }
 
-// tightenLow keeps the larger (stricter) of two lower bounds.
-func tightenLow(a, b *Bound) *Bound {
+// tightenLow keeps the larger (stricter) of two lower bounds. ok is false when
+// the bounds cannot be compared — one of them is an unresolved parameter — in
+// which case the existing bound is returned unchanged and the caller must keep
+// the new conjunct in the residual filter.
+func tightenLow(a, b *Bound) (out *Bound, ok bool) {
 	if a == nil {
-		return b
+		return b, true
 	}
 	if b == nil {
-		return a
+		return a, true
+	}
+	if a.Param >= 0 || b.Param >= 0 {
+		return a, false
 	}
 	cmp, err := a.Value.Compare(b.Value)
 	if err != nil {
-		return a
+		return a, false
 	}
 	if cmp < 0 || (cmp == 0 && a.Inclusive && !b.Inclusive) {
-		return b
+		return b, true
 	}
-	return a
+	return a, true
 }
 
-// tightenHigh keeps the smaller (stricter) of two upper bounds.
-func tightenHigh(a, b *Bound) *Bound {
+// tightenHigh keeps the smaller (stricter) of two upper bounds, with the same
+// comparability contract as tightenLow.
+func tightenHigh(a, b *Bound) (out *Bound, ok bool) {
 	if a == nil {
-		return b
+		return b, true
 	}
 	if b == nil {
-		return a
+		return a, true
+	}
+	if a.Param >= 0 || b.Param >= 0 {
+		return a, false
 	}
 	cmp, err := a.Value.Compare(b.Value)
 	if err != nil {
-		return a
+		return a, false
 	}
 	if cmp > 0 || (cmp == 0 && a.Inclusive && !b.Inclusive) {
-		return b
+		return b, true
 	}
-	return a
+	return a, true
 }

@@ -201,10 +201,11 @@ func (b *Builder) buildTableRef(ref sql.TableRef) (Node, error) {
 			return nil, err
 		}
 		return &ScanNode{
-			Table:  table,
-			Alias:  alias,
-			Access: AccessSeqScan,
-			schema: table.Schema().WithTable(alias),
+			Table:   table,
+			Alias:   alias,
+			Access:  AccessSeqScan,
+			EqParam: -1,
+			schema:  table.Schema().WithTable(alias),
 		}, nil
 	}
 	if b.cat.HasView(name) {

@@ -48,9 +48,12 @@ func (k AccessKind) String() string {
 	}
 }
 
-// Bound is one end of an index range.
+// Bound is one end of an index range. The bound is either a literal Value or,
+// for prepared statements, a bind parameter resolved when the scan opens:
+// Param >= 0 names the parameter ordinal and Value is ignored.
 type Bound struct {
 	Value     types.Value
+	Param     int // parameter ordinal, or -1 for a literal bound
 	Inclusive bool
 }
 
@@ -64,8 +67,11 @@ type ScanNode struct {
 	Access AccessKind
 	// Index is the chosen index for AccessIndexEq / AccessIndexRange.
 	Index *catalog.Index
-	// EqValue is the key value for AccessIndexEq.
+	// EqValue is the key value for AccessIndexEq. When EqParam >= 0 the key
+	// comes from that bind-parameter ordinal instead, resolved at open time,
+	// so a cached plan stays valid across rebinds.
 	EqValue types.Value
+	EqParam int
 	// Low and High bound an AccessIndexRange scan; either may be nil.
 	Low, High *Bound
 	// Filter is the residual predicate evaluated on each fetched row

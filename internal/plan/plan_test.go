@@ -249,12 +249,12 @@ func TestPlanGlobalAggregate(t *testing.T) {
 func TestPlanAggregateErrors(t *testing.T) {
 	cat := newTestCatalog(t)
 	bad := []string{
-		"SELECT name, COUNT(*) FROM customers",                 // name not grouped
-		"SELECT * FROM customers GROUP BY city",                // star with group by
-		"SELECT city FROM customers HAVING COUNT(nosuch) > 1",  // unknown column in aggregate
-		"SELECT MAX(credit, id) FROM customers",                // arity
-		"SELECT city, SUM(*) FROM customers GROUP BY city",     // SUM(*)
-		"SELECT name FROM customers HAVING credit > 1",         // HAVING without aggregates
+		"SELECT name, COUNT(*) FROM customers",                // name not grouped
+		"SELECT * FROM customers GROUP BY city",               // star with group by
+		"SELECT city FROM customers HAVING COUNT(nosuch) > 1", // unknown column in aggregate
+		"SELECT MAX(credit, id) FROM customers",               // arity
+		"SELECT city, SUM(*) FROM customers GROUP BY city",    // SUM(*)
+		"SELECT name FROM customers HAVING credit > 1",        // HAVING without aggregates
 	}
 	for _, q := range bad {
 		sel, err := sql.ParseSelect(q)

@@ -451,6 +451,16 @@ type FuncCall struct {
 	Star bool
 }
 
+// Param is a bind-parameter placeholder: "?" (positional) or "@name" (named).
+// Index is the parameter's ordinal within its statement, assigned by the
+// parser left to right; every occurrence of the same named parameter shares
+// one ordinal. Hand-built template expressions may leave Index as -1 — the
+// ordinal is reassigned when the rendered SQL is parsed again.
+type Param struct {
+	Index int
+	Name  string // "" for positional parameters
+}
+
 func (*ColumnRef) exprNode()   {}
 func (*Literal) exprNode()     {}
 func (*BinaryExpr) exprNode()  {}
@@ -459,6 +469,7 @@ func (*IsNullExpr) exprNode()  {}
 func (*BetweenExpr) exprNode() {}
 func (*InExpr) exprNode()      {}
 func (*FuncCall) exprNode()    {}
+func (*Param) exprNode()       {}
 
 // String implements Expr.
 func (e *ColumnRef) String() string {
@@ -524,6 +535,14 @@ func (e *FuncCall) String() string {
 		args = append(args, a.String())
 	}
 	return strings.ToUpper(e.Name) + "(" + strings.Join(args, ", ") + ")"
+}
+
+// String implements Expr.
+func (e *Param) String() string {
+	if e.Name != "" {
+		return "@" + e.Name
+	}
+	return "?"
 }
 
 // IsAggregate reports whether the function name is one of the five SQL
@@ -596,4 +615,71 @@ func HasAggregate(e Expr) bool {
 		return true
 	})
 	return found
+}
+
+// WalkStatementExprs calls fn on every expression the statement contains
+// (select items, FROM conditions, WHERE, GROUP BY, HAVING, ORDER BY, VALUES
+// rows, SET assignments, DEFAULT clauses, and view definitions), recursing
+// into sub-expressions exactly like WalkExpr.
+func WalkStatementExprs(stmt Statement, fn func(Expr) bool) {
+	walk := func(e Expr) { WalkExpr(e, fn) }
+	switch stmt := stmt.(type) {
+	case *SelectStmt:
+		for _, item := range stmt.Items {
+			walk(item.Expr)
+		}
+		for _, ref := range stmt.From {
+			walk(ref.On)
+		}
+		walk(stmt.Where)
+		for _, g := range stmt.GroupBy {
+			walk(g)
+		}
+		walk(stmt.Having)
+		for _, o := range stmt.OrderBy {
+			walk(o.Expr)
+		}
+	case *InsertStmt:
+		for _, row := range stmt.Rows {
+			for _, e := range row {
+				walk(e)
+			}
+		}
+	case *UpdateStmt:
+		for _, a := range stmt.Assignments {
+			walk(a.Value)
+		}
+		walk(stmt.Where)
+	case *DeleteStmt:
+		walk(stmt.Where)
+	case *CreateTableStmt:
+		for _, col := range stmt.Columns {
+			walk(col.Default)
+		}
+	case *CreateViewStmt:
+		if stmt.Query != nil {
+			WalkStatementExprs(stmt.Query, fn)
+		}
+	}
+}
+
+// StatementParams returns one entry per bind-parameter ordinal in the
+// statement: the parameter's name for "@name" placeholders, "" for positional
+// "?" placeholders. An empty slice means the statement takes no parameters.
+func StatementParams(stmt Statement) []string {
+	count := 0
+	WalkStatementExprs(stmt, func(e Expr) bool {
+		if p, ok := e.(*Param); ok && p.Index >= count {
+			count = p.Index + 1
+		}
+		return true
+	})
+	names := make([]string, count)
+	WalkStatementExprs(stmt, func(e Expr) bool {
+		if p, ok := e.(*Param); ok && p.Index >= 0 {
+			names[p.Index] = p.Name
+		}
+		return true
+	})
+	return names
 }

@@ -94,6 +94,11 @@ func (l *Lexer) Next() (Token, error) {
 		return l.lexString(startPos, startLine, startCol)
 	case c == '"':
 		return l.lexQuotedIdent(startPos, startLine, startCol)
+	case c == '?':
+		l.advance()
+		return Token{Kind: TokenParam, Pos: startPos, Line: startLine, Col: startCol}, nil
+	case c == '@':
+		return l.lexNamedParam(startPos, startLine, startCol)
 	default:
 		return l.lexSymbol(startPos, startLine, startCol)
 	}
@@ -137,7 +142,7 @@ func (l *Lexer) lexNumber(pos, line, col int) (Token, error) {
 		break
 	}
 	if l.pos < len(l.input) && unicode.IsLetter(rune(l.peek())) {
-		return Token{}, &ParseError{Msg: "malformed number", Line: line, Col: col, Near: l.input[start:l.pos+1]}
+		return Token{}, &ParseError{Msg: "malformed number", Line: line, Col: col, Near: l.input[start : l.pos+1]}
 	}
 	return Token{Kind: TokenNumber, Text: l.input[start:l.pos], Pos: pos, Line: line, Col: col}, nil
 }
@@ -176,6 +181,21 @@ func (l *Lexer) lexQuotedIdent(pos, line, col int) (Token, error) {
 		}
 		b.WriteByte(c)
 	}
+}
+
+// lexNamedParam lexes "@name" into a named-parameter token. The name is
+// lower-cased: parameter names, like column names, compare case-insensitively.
+func (l *Lexer) lexNamedParam(pos, line, col int) (Token, error) {
+	l.advance() // '@'
+	start := l.pos
+	for l.pos < len(l.input) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	if l.pos == start {
+		return Token{}, &ParseError{Msg: "expected a parameter name after '@'", Line: line, Col: col}
+	}
+	name := strings.ToLower(l.input[start:l.pos])
+	return Token{Kind: TokenParam, Text: name, Pos: pos, Line: line, Col: col}, nil
 }
 
 func (l *Lexer) lexSymbol(pos, line, col int) (Token, error) {

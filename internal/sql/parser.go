@@ -12,6 +12,34 @@ import (
 type Parser struct {
 	tokens []Token
 	pos    int
+
+	// paramSeq and paramNames assign bind-parameter ordinals within the
+	// statement being parsed: positional "?" placeholders take the next
+	// ordinal, repeated "@name" placeholders share one.
+	paramSeq   int
+	paramNames map[string]int
+}
+
+// resetParams starts a fresh parameter numbering (one per statement).
+func (p *Parser) resetParams() {
+	p.paramSeq = 0
+	p.paramNames = nil
+}
+
+// newParam allocates (or, for a repeated name, reuses) a parameter ordinal.
+func (p *Parser) newParam(name string) *Param {
+	if name != "" {
+		if idx, ok := p.paramNames[name]; ok {
+			return &Param{Index: idx, Name: name}
+		}
+		if p.paramNames == nil {
+			p.paramNames = map[string]int{}
+		}
+		p.paramNames[name] = p.paramSeq
+	}
+	param := &Param{Index: p.paramSeq, Name: name}
+	p.paramSeq++
+	return param
 }
 
 // Parse parses a single SQL statement (an optional trailing semicolon is
@@ -139,6 +167,7 @@ func (p *Parser) expectIdent() (string, error) {
 }
 
 func (p *Parser) parseStatement() (Statement, error) {
+	p.resetParams()
 	t := p.peek()
 	if t.Kind != TokenKeyword {
 		return nil, p.errorf("expected a statement keyword")
@@ -927,6 +956,9 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			return e, nil
 		}
 		return nil, p.errorf("unexpected symbol %s in expression", t.Text)
+	case TokenParam:
+		p.next()
+		return p.newParam(t.Text), nil
 	case TokenIdent:
 		p.next()
 		// Function call?

@@ -21,6 +21,9 @@ const (
 	TokenNumber
 	TokenString
 	TokenSymbol // punctuation and operators: ( ) , . * = <> < <= > >= + - / % ;
+	// TokenParam is a bind-parameter placeholder: "?" (positional, empty
+	// Text) or "@name" (named, Text holds the lower-cased name).
+	TokenParam
 )
 
 func (k TokenKind) String() string {
@@ -37,6 +40,8 @@ func (k TokenKind) String() string {
 		return "string"
 	case TokenSymbol:
 		return "symbol"
+	case TokenParam:
+		return "parameter"
 	default:
 		return fmt.Sprintf("TokenKind(%d)", int(k))
 	}
@@ -57,6 +62,12 @@ type Token struct {
 func (t Token) String() string {
 	if t.Kind == TokenEOF {
 		return "end of input"
+	}
+	if t.Kind == TokenParam {
+		if t.Text == "" {
+			return `"?"`
+		}
+		return fmt.Sprintf("%q", "@"+t.Text)
 	}
 	return fmt.Sprintf("%q", t.Text)
 }

@@ -64,11 +64,11 @@ func (p *Page) LoadBytes(data []byte) error {
 	return nil
 }
 
-func (p *Page) slotCount() int      { return int(binary.LittleEndian.Uint16(p.data[0:2])) }
-func (p *Page) setSlotCount(n int)  { binary.LittleEndian.PutUint16(p.data[0:2], uint16(n)) }
-func (p *Page) freeEnd() int        { return int(binary.LittleEndian.Uint16(p.data[2:4])) }
-func (p *Page) setFreeEnd(off int)  { binary.LittleEndian.PutUint16(p.data[2:4], uint16(off)) }
-func (p *Page) slotBase(i int) int  { return pageHeaderSize + i*slotSize }
+func (p *Page) slotCount() int     { return int(binary.LittleEndian.Uint16(p.data[0:2])) }
+func (p *Page) setSlotCount(n int) { binary.LittleEndian.PutUint16(p.data[0:2], uint16(n)) }
+func (p *Page) freeEnd() int       { return int(binary.LittleEndian.Uint16(p.data[2:4])) }
+func (p *Page) setFreeEnd(off int) { binary.LittleEndian.PutUint16(p.data[2:4], uint16(off)) }
+func (p *Page) slotBase(i int) int { return pageHeaderSize + i*slotSize }
 func (p *Page) slotOffset(i int) int {
 	return int(binary.LittleEndian.Uint16(p.data[p.slotBase(i) : p.slotBase(i)+2]))
 }

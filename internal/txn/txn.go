@@ -352,3 +352,42 @@ func findRow(table *catalog.Table, image types.Tuple) (storage.RecordID, bool, e
 	})
 	return rid, found, err
 }
+
+// ReadLease is a lightweight lock scope for streaming read cursors running
+// outside an explicit transaction: it takes shared table locks and releases
+// them all at once when the cursor closes. Unlike a Txn it writes nothing to
+// the WAL and never shows up in the commit/abort statistics, so pinning a
+// cursor's tables is cheap.
+type ReadLease struct {
+	id       uint64
+	mgr      *Manager
+	mu       sync.Mutex
+	released bool
+}
+
+// BeginRead starts a read lease. Lease ids are drawn from the same sequence
+// as transaction ids, so the lock manager treats them as just another owner.
+func (m *Manager) BeginRead() *ReadLease {
+	return &ReadLease{id: m.nextID.Add(1), mgr: m}
+}
+
+// LockShared takes a shared lock on the table for the lease's lifetime.
+func (l *ReadLease) LockShared(table string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released {
+		return ErrNotActive
+	}
+	return l.mgr.locks.Lock(l.id, table, LockShared)
+}
+
+// Release drops every lock the lease holds. Releasing twice is a no-op.
+func (l *ReadLease) Release() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released {
+		return
+	}
+	l.released = true
+	l.mgr.locks.Unlock(l.id)
+}

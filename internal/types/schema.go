@@ -38,6 +38,27 @@ type Schema struct {
 	Columns []Column
 }
 
+// CoerceToColumn casts v toward the named column's declared kind, for key
+// comparisons whose encoding is kind-sensitive (index lookups). It is best
+// effort: NULLs, unknown columns and failed casts return v unchanged.
+func (s *Schema) CoerceToColumn(v Value, column string) Value {
+	if v.IsNull() {
+		return v
+	}
+	idx, err := s.ColumnIndex(column)
+	if err != nil {
+		return v
+	}
+	want := s.Columns[idx].Type
+	if v.Kind() == want {
+		return v
+	}
+	if cast, err := v.Cast(want); err == nil {
+		return cast
+	}
+	return v
+}
+
 // NewSchema builds a schema from columns.
 func NewSchema(cols ...Column) *Schema {
 	return &Schema{Columns: cols}

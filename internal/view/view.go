@@ -218,6 +218,10 @@ func rewriteToBase(e sql.Expr, alias, fromName string, baseMap map[string]string
 		return &sql.ColumnRef{Name: baseCol}, nil
 	case *sql.Literal:
 		return e, nil
+	case *sql.Param:
+		// Bind parameters pass through untouched: they reference the
+		// statement's bind frame, not a column of either naming.
+		return e, nil
 	case *sql.BinaryExpr:
 		left, err := rewriteToBase(e.Left, alias, fromName, baseMap)
 		if err != nil {

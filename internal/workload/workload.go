@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/types"
 )
 
 // Sizes configures how much data Populate creates.
@@ -116,50 +117,79 @@ func Populate(db *engine.Database, sizes Sizes) error {
 	}
 	rng := rand.New(rand.NewSource(19830523))
 
-	if err := batchInsert(s, "INSERT INTO customers (id, name, city, credit, since) VALUES ", sizes.Customers, 200, func(i int) string {
+	if err := batchInsert(s, "INSERT INTO customers (id, name, city, credit, since) VALUES (?, ?, ?, ?, ?)", sizes.Customers, 200, func(i int) []types.Value {
 		name := firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
 		city := cities[rng.Intn(len(cities))]
 		credit := float64(rng.Intn(20000)) / 10
 		day := 1 + rng.Intn(28)
 		month := 1 + rng.Intn(12)
-		return fmt.Sprintf("(%d, '%s', '%s', %.1f, '19%02d-%02d-%02d')", i+1, name, city, credit, 70+rng.Intn(14), month, day)
+		return []types.Value{
+			types.NewInt(int64(i + 1)),
+			types.NewString(name),
+			types.NewString(city),
+			types.NewFloat(credit),
+			types.NewString(fmt.Sprintf("19%02d-%02d-%02d", 70+rng.Intn(14), month, day)),
+		}
 	}); err != nil {
 		return fmt.Errorf("workload: customers: %w", err)
 	}
 
-	if err := batchInsert(s, "INSERT INTO orders (id, customer_id, placed, total) VALUES ", sizes.Orders, 200, func(i int) string {
+	if err := batchInsert(s, "INSERT INTO orders (id, customer_id, placed, total) VALUES (?, ?, ?, ?)", sizes.Orders, 200, func(i int) []types.Value {
 		customer := 1 + rng.Intn(sizes.Customers)
 		total := float64(rng.Intn(100000)) / 100
-		return fmt.Sprintf("(%d, %d, '1983-%02d-%02d', %.2f)", i+1, customer, 1+rng.Intn(12), 1+rng.Intn(28), total)
+		return []types.Value{
+			types.NewInt(int64(i + 1)),
+			types.NewInt(int64(customer)),
+			types.NewString(fmt.Sprintf("1983-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))),
+			types.NewFloat(total),
+		}
 	}); err != nil {
 		return fmt.Errorf("workload: orders: %w", err)
 	}
 
 	totalItems := sizes.Orders * sizes.ItemsPerOrder
-	if err := batchInsert(s, "INSERT INTO order_items (id, order_id, item, qty, price) VALUES ", totalItems, 200, func(i int) string {
+	if err := batchInsert(s, "INSERT INTO order_items (id, order_id, item, qty, price) VALUES (?, ?, ?, ?, ?)", totalItems, 200, func(i int) []types.Value {
 		order := (i / sizes.ItemsPerOrder) + 1
 		item := items[rng.Intn(len(items))]
 		qty := 1 + rng.Intn(9)
 		price := float64(rng.Intn(10000)) / 100
-		return fmt.Sprintf("(%d, %d, '%s', %d, %.2f)", i+1, order, item, qty, price)
+		return []types.Value{
+			types.NewInt(int64(i + 1)),
+			types.NewInt(int64(order)),
+			types.NewString(item),
+			types.NewInt(int64(qty)),
+			types.NewFloat(price),
+		}
 	}); err != nil {
 		return fmt.Errorf("workload: order_items: %w", err)
 	}
 	return nil
 }
 
-// batchInsert issues multi-row INSERT statements of batchSize rows each.
-func batchInsert(s *engine.Session, prefix string, n, batchSize int, row func(i int) string) error {
+// batchInsert prepares the parameterized single-row INSERT once and executes
+// it per row, grouping batchSize rows into one explicit transaction so commit
+// and lock traffic stay batched the way the old multi-row statements were.
+func batchInsert(s *engine.Session, insertSQL string, n, batchSize int, bind func(i int) []types.Value) error {
+	stmt, err := s.Prepare(insertSQL)
+	if err != nil {
+		return err
+	}
+	defer stmt.Close()
 	for start := 0; start < n; start += batchSize {
 		end := start + batchSize
 		if end > n {
 			end = n
 		}
-		rows := make([]string, 0, end-start)
-		for i := start; i < end; i++ {
-			rows = append(rows, row(i))
+		if _, err := s.Execute("BEGIN"); err != nil {
+			return err
 		}
-		if _, err := s.Execute(prefix + strings.Join(rows, ", ")); err != nil {
+		for i := start; i < end; i++ {
+			if _, err := stmt.Exec(bind(i)...); err != nil {
+				_, _ = s.Execute("ROLLBACK")
+				return err
+			}
+		}
+		if _, err := s.Execute("COMMIT"); err != nil {
 			return err
 		}
 	}
