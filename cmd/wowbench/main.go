@@ -90,8 +90,36 @@ func printEngineStats(cfg harness.Config) error {
 		}
 		again.Close()
 	}
+	// Write path: a prepared UPDATE rebinding per iteration (one cached write
+	// plan) and one batch-bound INSERT.
+	update, err := s.Prepare("UPDATE customers SET credit = ? WHERE id = ?")
+	if err != nil {
+		return err
+	}
+	defer update.Close()
+	for i := 0; i < n; i++ {
+		if _, err := update.Exec(types.NewFloat(float64(500+i)), types.NewInt(int64(1+i%workload.SmallSizes.Customers))); err != nil {
+			return err
+		}
+	}
+	insert, err := s.Prepare("INSERT INTO customers (id, name, city) VALUES (?, ?, ?)")
+	if err != nil {
+		return err
+	}
+	defer insert.Close()
+	batch := make([][]types.Value, n)
+	for i := range batch {
+		batch[i] = []types.Value{
+			types.NewInt(int64(1000000 + i)),
+			types.NewString("Batch Customer"),
+			types.NewString("Boston"),
+		}
+	}
+	if _, err := insert.ExecBatch(batch); err != nil {
+		return err
+	}
 	stats := db.Stats()
-	fmt.Println("engine statement machinery (fresh db, prepared point-query workload):")
+	fmt.Println("engine statement machinery (fresh db, prepared point-query + write workload):")
 	fmt.Printf("  statements prepared:  %d\n", stats.StatementsPrepared)
 	fmt.Printf("  plan cache hits:      %d\n", stats.PlanCacheHits)
 	fmt.Printf("  plan cache misses:    %d\n", stats.PlanCacheMisses)
@@ -99,5 +127,7 @@ func printEngineStats(cfg harness.Config) error {
 	fmt.Printf("  cursors opened:       %d\n", stats.CursorsOpened)
 	fmt.Printf("  cursors closed:       %d\n", stats.CursorsClosed)
 	fmt.Printf("  rows streamed:        %d\n", stats.RowsStreamed)
+	fmt.Printf("  write plans cached:   %d\n", stats.WritePlansCached)
+	fmt.Printf("  batch rows executed:  %d\n", stats.BatchRowsExecuted)
 	return nil
 }

@@ -7,7 +7,8 @@
 //	wowsql [-data file.db] [-wal file.wal] [script.sql ...]
 //
 // With no script arguments, statements are read from standard input, one per
-// line (or separated by semicolons).
+// line (or separated by semicolons). "EXPLAIN <statement>" prints the plan
+// for any SELECT, INSERT, UPDATE or DELETE instead of running it.
 package main
 
 import (
@@ -71,25 +72,51 @@ func main() {
 // runScript executes the script one statement at a time. SELECTs run through
 // a prepared statement's streaming cursor, printing rows as they are pulled —
 // a query over a huge table starts printing immediately instead of
-// materialising first. Everything else executes and prints its outcome.
+// materialising first. EXPLAIN <statement> renders the plan the engine would
+// run — for SELECT and DML alike — without executing it. Everything else
+// executes and prints its outcome.
 func runScript(session *engine.Session, script string) error {
 	stmts, err := sql.ParseAll(script)
 	if err != nil {
 		return err
 	}
 	for _, stmt := range stmts {
-		if _, ok := stmt.(*sql.SelectStmt); ok {
+		switch stmt := stmt.(type) {
+		case *sql.SelectStmt:
 			if err := streamSelect(session, stmt.String()); err != nil {
 				return err
 			}
-			continue
+		case *sql.ExplainStmt:
+			if err := explainStatement(session, stmt); err != nil {
+				return err
+			}
+		default:
+			res, err := session.ExecuteStmt(stmt)
+			if err != nil {
+				return err
+			}
+			printResult(res)
 		}
-		res, err := session.ExecuteStmt(stmt)
-		if err != nil {
-			return err
-		}
-		printResult(res)
 	}
+	return nil
+}
+
+// explainStatement prints the plan tree of the wrapped statement through the
+// prepared statement's ExplainPlan, which since the planned-DML refactor
+// covers INSERT, UPDATE and DELETE as well as SELECT. Preparing the EXPLAIN
+// text (not the inner statement) keeps the engine on its render-only path —
+// the plan is built and cached, but no operator tree is compiled.
+func explainStatement(session *engine.Session, stmt *sql.ExplainStmt) error {
+	prepared, err := session.Prepare(stmt.String())
+	if err != nil {
+		return err
+	}
+	defer prepared.Close()
+	text := prepared.ExplainPlan()
+	if text == "" {
+		return fmt.Errorf("EXPLAIN is not supported for %s", stmt.Stmt.String())
+	}
+	fmt.Print(text)
 	return nil
 }
 

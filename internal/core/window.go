@@ -772,7 +772,9 @@ func (w *Window) Save() error {
 
 // execPrepared runs a parameterized write through the window's prepared-
 // statement cache: the text identifies the shape, the binds carry this save's
-// values.
+// values. Since writes are planned like reads, the shape's plan — target
+// resolution, view translation and the key predicate's index access path —
+// is built once at prepare and only rebound per save.
 func (w *Window) execPrepared(statement string, binds map[string]types.Value) (*engine.Result, error) {
 	stmt, err := w.preparedFor(statement)
 	if err != nil {

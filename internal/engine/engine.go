@@ -62,6 +62,10 @@ type prepCounters struct {
 	cursorsOpened atomic.Uint64
 	cursorsClosed atomic.Uint64
 	rowsStreamed  atomic.Uint64
+	// writePlans counts DML plans built and cached; batchRows counts
+	// parameter rows executed through Stmt.ExecBatch.
+	writePlans atomic.Uint64
+	batchRows  atomic.Uint64
 }
 
 // Open creates or opens a database with the given options.
@@ -197,6 +201,11 @@ type Stats struct {
 	CursorsClosed      uint64
 	RowsStreamed       uint64
 
+	// Write path: DML plans built into the cache, and parameter rows
+	// executed through batch binding (Stmt.ExecBatch).
+	WritePlansCached  uint64
+	BatchRowsExecuted uint64
+
 	BufferPool storage.BufferPoolStats
 }
 
@@ -222,6 +231,9 @@ func (db *Database) Stats() Stats {
 		CursorsOpened:      db.prep.cursorsOpened.Load(),
 		CursorsClosed:      db.prep.cursorsClosed.Load(),
 		RowsStreamed:       db.prep.rowsStreamed.Load(),
+
+		WritePlansCached:  db.prep.writePlans.Load(),
+		BatchRowsExecuted: db.prep.batchRows.Load(),
 
 		BufferPool: db.pool.Stats(),
 	}

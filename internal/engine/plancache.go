@@ -10,10 +10,10 @@ import (
 )
 
 // cachedStatement is one plan-cache entry: everything Prepare produces that
-// does not depend on a particular bind frame. SELECT entries carry the plan
-// tree; other statements carry only the parsed AST (their "plan" — target
-// resolution and expression compilation — is rebuilt per execution, which is
-// cheap next to parsing).
+// does not depend on a particular bind frame. SELECT and DML entries both
+// carry their plan tree — reads and writes share one planned pipeline — so a
+// cache hit skips the parser, the planner and (for writes) view analysis and
+// access-path selection; DDL and transaction control carry only the AST.
 type cachedStatement struct {
 	key  string
 	stmt sql.Statement
@@ -21,10 +21,13 @@ type cachedStatement struct {
 	paramNames []string
 	// paramKinds holds the inferred kind per ordinal (KindNull = unknown).
 	paramKinds []types.Kind
-	// node is the plan tree for SELECT statements (nil otherwise).
+	// node is the plan tree (SELECT, INSERT, UPDATE, DELETE and EXPLAIN;
+	// nil for DDL and transaction control).
 	node plan.Node
-	// columns are the SELECT's output column names.
+	// columns are the SELECT's output column names ("plan" for EXPLAIN).
 	columns []string
+	// explain marks an EXPLAIN wrapper: node is rendered, never executed.
+	explain bool
 	// catVersion is the catalog schema version the entry was built at; a
 	// different current version means the entry may be stale.
 	catVersion uint64

@@ -10,7 +10,10 @@
 // Prepare parses, plans and compiles once — through the session's plan cache,
 // so preparing the same text twice is a cache hit — and Bind/Query re-run the
 // compiled form with new parameter values without touching the SQL text
-// again. Query returns a streaming cursor; Exec runs DML and DDL.
+// again. Query returns a streaming cursor; Exec runs DML and DDL. DML plans
+// exactly like SELECT (cached plan trees, index access paths resolved from
+// the bind frame at run time), and ExecBatch array-binds a write across a
+// whole bulk load in one transaction.
 package engine
 
 import (
@@ -22,6 +25,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/sql"
+	"repro/internal/txn"
 	"repro/internal/types"
 )
 
@@ -38,6 +42,10 @@ type Stmt struct {
 	// op is the reusable operator tree (SELECT only). Re-opening it re-runs
 	// the query against the current bind frame.
 	op exec.Operator
+	// write is the reusable write operator (INSERT/UPDATE/DELETE only).
+	// Rebinding the frame and Run-ning it again re-executes the write without
+	// re-planning or re-compiling anything.
+	write exec.WriteOperator
 	// lockTables names the base tables the SELECT reads, for cursor locking.
 	lockTables []string
 	busy       bool // a Rows cursor is open on op
@@ -61,16 +69,37 @@ func (s *Session) Prepare(text string) (*Stmt, error) {
 		frame:   &expr.Params{Values: make([]types.Value, len(entry.paramNames))},
 		bound:   make([]bool, len(entry.paramNames)),
 	}
-	if entry.node != nil {
-		op, err := exec.BuildWithParams(entry.node, st.frame)
-		if err != nil {
-			return nil, err
-		}
-		st.op = op
-		st.lockTables = lockTablesOf(entry.node)
+	if err := st.buildOps(entry); err != nil {
+		return nil, err
 	}
 	s.db.prep.prepared.Add(1)
 	return st, nil
+}
+
+// buildOps compiles the entry's plan into the statement's reusable operator:
+// a read operator tree for SELECT, a write operator for DML. EXPLAIN entries
+// keep the bare plan (it is rendered, never run).
+func (st *Stmt) buildOps(entry *cachedStatement) error {
+	st.op, st.write, st.lockTables = nil, nil, nil
+	if entry.node == nil || entry.explain {
+		return nil
+	}
+	switch entry.stmt.(type) {
+	case *sql.SelectStmt:
+		op, err := exec.BuildWithParams(entry.node, st.frame)
+		if err != nil {
+			return err
+		}
+		st.op = op
+		st.lockTables = lockTablesOf(entry.node)
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		write, err := exec.BuildWrite(entry.node, st.frame)
+		if err != nil {
+			return err
+		}
+		st.write = write
+	}
+	return nil
 }
 
 // statementSkeleton returns the cached bind-independent part of a statement,
@@ -117,7 +146,20 @@ func (s *Session) buildSkeleton(text, key string) (*cachedStatement, error) {
 			entry.columns = append(entry.columns, col.Name)
 		}
 	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
-		// Parameter-friendly; target resolution happens per execution.
+		node, err := plan.NewBuilder(s.db.cat).BuildStatement(stmt)
+		if err != nil {
+			return nil, err
+		}
+		entry.node = node
+		s.db.prep.writePlans.Add(1)
+	case *sql.ExplainStmt:
+		node, err := plan.NewBuilder(s.db.cat).BuildStatement(stmt.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		entry.node = node
+		entry.explain = true
+		entry.columns = []string{"plan"}
 	default:
 		if len(entry.paramNames) > 0 {
 			return nil, fmt.Errorf("engine: bind parameters are not supported in %s statements", statementVerb(stmt))
@@ -142,6 +184,8 @@ func statementVerb(stmt sql.Statement) string {
 		return "CREATE"
 	case *sql.DropStmt:
 		return "DROP"
+	case *sql.ExplainStmt:
+		return "EXPLAIN"
 	default:
 		return "transaction-control"
 	}
@@ -343,9 +387,9 @@ func (st *Stmt) Columns() []string {
 // Text returns the normalized SQL the statement was prepared from.
 func (st *Stmt) Text() string { return st.key }
 
-// ExplainPlan renders the prepared plan tree for EXPLAIN-style tooling (empty
-// for non-SELECT statements). The plan is refreshed first if the schema
-// changed since it was prepared.
+// ExplainPlan renders the prepared plan tree for EXPLAIN-style tooling —
+// SELECT and DML statements alike (empty for DDL and transaction control).
+// The plan is refreshed first if the schema changed since it was prepared.
 func (st *Stmt) ExplainPlan() string {
 	if st.closed || st.entry.node == nil {
 		return ""
@@ -481,21 +525,67 @@ func (st *Stmt) Exec(args ...types.Value) (*Result, error) {
 			return nil, err
 		}
 	}
+	if st.entry.explain {
+		// EXPLAIN renders the plan without running it; parameters may stay
+		// unbound — the plan shows where they feed access paths.
+		if err := st.ensureCurrent(); err != nil {
+			return nil, err
+		}
+		return explainResult(st.entry.node), nil
+	}
 	if err := st.checkBound(); err != nil {
 		return nil, err
 	}
-	switch stmt := st.entry.stmt.(type) {
+	switch st.entry.stmt.(type) {
 	case *sql.SelectStmt:
 		return st.queryAll()
-	case *sql.InsertStmt:
-		return st.session.executeInsert(stmt, st.frame)
-	case *sql.UpdateStmt:
-		return st.session.executeUpdate(stmt, st.frame)
-	case *sql.DeleteStmt:
-		return st.session.executeDelete(stmt, st.frame)
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		if err := st.ensureCurrent(); err != nil {
+			return nil, err
+		}
+		return st.session.runWrite(st.entry.stmt, st.write)
 	default:
 		return st.session.ExecuteStmt(st.entry.stmt)
 	}
+}
+
+// ExecBatch array-binds and executes a prepared DML statement once per
+// parameter row, amortising one cached plan, one compiled write operator and
+// one transaction across the whole batch. Outside an explicit transaction a
+// single autocommit transaction spans every row — a bulk load pays for one
+// commit instead of len(rows), and any error rolls the whole batch back.
+// Inside an explicit transaction the batch simply joins it: on error the
+// rows already applied stay pending in that transaction (no statement-level
+// atomicity), and it is the caller's COMMIT or ROLLBACK that decides them.
+func (st *Stmt) ExecBatch(rows [][]types.Value) (*Result, error) {
+	if st.closed {
+		return nil, errStmtClosed
+	}
+	if st.write == nil {
+		return nil, fmt.Errorf("engine: ExecBatch needs a prepared INSERT, UPDATE or DELETE statement, not %s", statementVerb(st.entry.stmt))
+	}
+	if err := st.ensureCurrent(); err != nil {
+		return nil, err
+	}
+	res, err := st.session.runWriteBody(st.entry.stmt, st.write.Table().Name(), func(t *txn.Txn) (int, error) {
+		affected := 0
+		for _, row := range rows {
+			if err := st.Bind(row...); err != nil {
+				return affected, err
+			}
+			n, err := st.write.Run(t)
+			if err != nil {
+				return affected, err
+			}
+			affected += n
+		}
+		return affected, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.session.db.prep.batchRows.Add(uint64(len(rows)))
+	return res, nil
 }
 
 // queryAll drains the cursor into a materialised Result (the compatibility
@@ -531,15 +621,7 @@ func (st *Stmt) ensureCurrent() error {
 		return fmt.Errorf("engine: statement changed shape after schema change; re-prepare it")
 	}
 	st.entry = entry
-	if entry.node != nil {
-		op, err := exec.BuildWithParams(entry.node, st.frame)
-		if err != nil {
-			return err
-		}
-		st.op = op
-		st.lockTables = lockTablesOf(entry.node)
-	}
-	return nil
+	return st.buildOps(entry)
 }
 
 // Close releases the statement. Further Bind/Query/Exec calls fail; an open

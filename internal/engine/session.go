@@ -4,15 +4,12 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/sql"
-	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/types"
-	"repro/internal/view"
 )
 
 // Result is the outcome of one statement.
@@ -127,12 +124,10 @@ func (s *Session) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 	switch stmt := stmt.(type) {
 	case *sql.SelectStmt:
 		return s.executeSelect(stmt)
-	case *sql.InsertStmt:
-		return s.executeInsert(stmt, nil)
-	case *sql.UpdateStmt:
-		return s.executeUpdate(stmt, nil)
-	case *sql.DeleteStmt:
-		return s.executeDelete(stmt, nil)
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		return s.execDML(stmt, nil)
+	case *sql.ExplainStmt:
+		return s.executeExplain(stmt)
 	case *sql.CreateTableStmt:
 		return s.executeCreateTable(stmt)
 	case *sql.CreateIndexStmt:
@@ -341,368 +336,99 @@ func (s *Session) executeSelect(stmt *sql.SelectStmt) (*Result, error) {
 	return out, nil
 }
 
-// Plan builds (but does not run) the plan for a SELECT, for EXPLAIN-style
-// tooling and the planner-dependent experiments.
+// Plan builds (but does not run) the plan for a statement — SELECT or DML —
+// for EXPLAIN-style tooling and the planner-dependent experiments.
 func (s *Session) Plan(text string) (plan.Node, error) {
-	sel, err := sql.ParseSelect(text)
+	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	return plan.NewBuilder(s.db.cat).Build(sel)
+	if explain, ok := stmt.(*sql.ExplainStmt); ok {
+		stmt = explain.Stmt
+	}
+	return plan.NewBuilder(s.db.cat).BuildStatement(stmt)
 }
 
-// --- INSERT ------------------------------------------------------------------
+// --- DML ---------------------------------------------------------------------
+//
+// INSERT, UPDATE and DELETE run through the same planner/executor pipeline as
+// SELECT: plan.BuildStatement resolves the target (table or updatable view),
+// plans the predicate as an ordinary child scan — so writes get index
+// equality and range access paths, parameter operands and NULL-key semantics
+// exactly like reads — and exec.BuildWrite compiles the write operator that
+// applies the changes. Prepared statements cache the plan and reuse the
+// compiled operator across rebinds; this path plans per execution.
 
-func (s *Session) executeInsert(stmt *sql.InsertStmt, params *expr.Params) (*Result, error) {
-	table, updatable, err := s.resolveWriteTarget(stmt.Table)
+// execDML plans and runs a DML statement that arrived pre-parsed (scripts,
+// ExecuteStmt). The prepared path reuses cached plans instead.
+func (s *Session) execDML(stmt sql.Statement, params *expr.Params) (*Result, error) {
+	node, err := plan.NewBuilder(s.db.cat).BuildStatement(stmt)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.checkNoOpenCursor(table.Name()); err != nil {
+	op, err := exec.BuildWrite(node, params)
+	if err != nil {
+		return nil, err
+	}
+	return s.runWrite(stmt, op)
+}
+
+// runWrite executes a compiled write operator with the session's transaction
+// discipline: the open explicit transaction if there is one, otherwise one
+// autocommit transaction around the statement.
+func (s *Session) runWrite(stmt sql.Statement, op exec.WriteOperator) (*Result, error) {
+	return s.runWriteBody(stmt, op.Table().Name(), op.Run)
+}
+
+// runWriteBody wraps a write body — one statement's operator, or a whole
+// batch — in the session's write discipline: the open-cursor check, the
+// explicit-or-autocommit transaction, and commit-or-rollback on the body's
+// outcome. The body returns how many rows it affected.
+func (s *Session) runWriteBody(stmt sql.Statement, table string, body func(t *txn.Txn) (int, error)) (*Result, error) {
+	if err := s.checkNoOpenCursor(table); err != nil {
 		return nil, err
 	}
 	t, autocommit, err := s.writeTxn()
 	if err != nil {
 		return nil, err
 	}
-	affected := 0
-	execErr := func() error {
-		for _, row := range stmt.Rows {
-			columns, values := stmt.Columns, row
-			if updatable != nil {
-				columns, values, err = updatable.TranslateInsert(stmt.Columns, row)
-				if err != nil {
-					return err
-				}
-			}
-			tuple, err := buildInsertTuple(table, columns, values, params)
-			if err != nil {
-				return err
-			}
-			if updatable != nil {
-				if err := updatable.CheckRow(table.Schema(), tuple); err != nil {
-					return err
-				}
-			}
-			if _, err := t.Insert(table, tuple); err != nil {
-				return err
-			}
-			affected++
-		}
-		return nil
-	}()
+	affected, execErr := body(t)
 	if err := s.finishWrite(t, autocommit, execErr); err != nil {
 		return nil, err
 	}
-	return &Result{RowsAffected: affected, Message: fmt.Sprintf("%d row(s) inserted", affected)}, nil
+	return &Result{RowsAffected: affected, Message: fmt.Sprintf("%d row(s) %s", affected, writeVerb(stmt))}, nil
 }
 
-// buildInsertTuple evaluates the value expressions (against the bind frame,
-// for prepared inserts) and arranges them into a full-width tuple, filling
-// omitted columns with their defaults (or NULL).
-func buildInsertTuple(table *catalog.Table, columns []string, values []sql.Expr, params *expr.Params) (types.Tuple, error) {
-	schema := table.Schema()
-	if len(columns) == 0 && len(values) != schema.Len() {
-		return nil, fmt.Errorf("engine: table %s has %d columns but %d values were supplied", table.Name(), schema.Len(), len(values))
+// writeVerb names a DML statement's effect for result messages.
+func writeVerb(stmt sql.Statement) string {
+	switch stmt.(type) {
+	case *sql.InsertStmt:
+		return "inserted"
+	case *sql.UpdateStmt:
+		return "updated"
+	default:
+		return "deleted"
 	}
-	if len(columns) > 0 && len(columns) != len(values) {
-		return nil, fmt.Errorf("engine: %d columns but %d values", len(columns), len(values))
-	}
-	tuple := make(types.Tuple, schema.Len())
-	for i, col := range schema.Columns {
-		if col.Default != nil {
-			tuple[i] = *col.Default
-		} else {
-			tuple[i] = types.Null()
-		}
-	}
-	evaluate := func(e sql.Expr) (types.Value, error) {
-		return expr.CompileConstParams(e, params)
-	}
-	if len(columns) == 0 {
-		for i, e := range values {
-			v, err := evaluate(e)
-			if err != nil {
-				return nil, err
-			}
-			tuple[i] = v
-		}
-		return tuple, nil
-	}
-	for i, name := range columns {
-		pos, err := schema.ColumnIndex(name)
-		if err != nil {
-			return nil, err
-		}
-		v, err := evaluate(values[i])
-		if err != nil {
-			return nil, err
-		}
-		tuple[pos] = v
-	}
-	return tuple, nil
 }
 
-// --- UPDATE ------------------------------------------------------------------
+// --- EXPLAIN -----------------------------------------------------------------
 
-func (s *Session) executeUpdate(stmt *sql.UpdateStmt, params *expr.Params) (*Result, error) {
-	table, updatable, err := s.resolveWriteTarget(stmt.Table)
+// executeExplain plans the wrapped statement and renders its plan tree, one
+// node per result row. Parameter placeholders are allowed and stay unbound —
+// the plan shows where they feed access paths.
+func (s *Session) executeExplain(stmt *sql.ExplainStmt) (*Result, error) {
+	node, err := plan.NewBuilder(s.db.cat).BuildStatement(stmt.Stmt)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.checkNoOpenCursor(table.Name()); err != nil {
-		return nil, err
-	}
-	assignments := stmt.Assignments
-	where := stmt.Where
-	if updatable != nil {
-		if assignments, err = updatable.TranslateAssignments(stmt.Assignments); err != nil {
-			return nil, err
-		}
-		if where, err = updatable.TranslatePredicate(stmt.Where); err != nil {
-			return nil, err
-		}
-	}
-	schema := table.Schema()
-	type compiledAssignment struct {
-		pos   int
-		value *expr.Compiled
-	}
-	compiled := make([]compiledAssignment, len(assignments))
-	for i, a := range assignments {
-		pos, err := schema.ColumnIndex(a.Column)
-		if err != nil {
-			return nil, err
-		}
-		c, err := expr.CompileWithParams(a.Value, schema, params)
-		if err != nil {
-			return nil, fmt.Errorf("engine: SET %s: %w", a.Column, err)
-		}
-		compiled[i] = compiledAssignment{pos: pos, value: c}
-	}
-
-	targets, err := s.findTargets(table, where, params)
-	if err != nil {
-		return nil, err
-	}
-	t, autocommit, err := s.writeTxn()
-	if err != nil {
-		return nil, err
-	}
-	affected := 0
-	execErr := func() error {
-		for _, target := range targets {
-			// Re-read inside the transaction: findTargets ran unlocked.
-			current, err := table.Get(target)
-			if err != nil {
-				if err == storage.ErrRecordNotFound {
-					continue
-				}
-				return err
-			}
-			next := current.Clone()
-			for _, a := range compiled {
-				v, err := a.value.Eval(current)
-				if err != nil {
-					return err
-				}
-				next[a.pos] = v
-			}
-			if updatable != nil {
-				if err := updatable.CheckRow(schema, next); err != nil {
-					return err
-				}
-			}
-			if _, err := t.Update(table, target, next); err != nil {
-				return err
-			}
-			affected++
-		}
-		return nil
-	}()
-	if err := s.finishWrite(t, autocommit, execErr); err != nil {
-		return nil, err
-	}
-	return &Result{RowsAffected: affected, Message: fmt.Sprintf("%d row(s) updated", affected)}, nil
+	return explainResult(node), nil
 }
 
-// --- DELETE ------------------------------------------------------------------
-
-func (s *Session) executeDelete(stmt *sql.DeleteStmt, params *expr.Params) (*Result, error) {
-	table, updatable, err := s.resolveWriteTarget(stmt.Table)
-	if err != nil {
-		return nil, err
+// explainResult renders a plan tree as a one-column result set.
+func explainResult(node plan.Node) *Result {
+	res := &Result{Columns: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(plan.Explain(node), "\n"), "\n") {
+		res.Rows = append(res.Rows, types.Tuple{types.NewString(line)})
 	}
-	if err := s.checkNoOpenCursor(table.Name()); err != nil {
-		return nil, err
-	}
-	where := stmt.Where
-	if updatable != nil {
-		if where, err = updatable.TranslatePredicate(stmt.Where); err != nil {
-			return nil, err
-		}
-	}
-	targets, err := s.findTargets(table, where, params)
-	if err != nil {
-		return nil, err
-	}
-	t, autocommit, err := s.writeTxn()
-	if err != nil {
-		return nil, err
-	}
-	affected := 0
-	execErr := func() error {
-		for _, target := range targets {
-			if err := t.Delete(table, target); err != nil {
-				if err == storage.ErrRecordNotFound {
-					continue
-				}
-				return err
-			}
-			affected++
-		}
-		return nil
-	}()
-	if err := s.finishWrite(t, autocommit, execErr); err != nil {
-		return nil, err
-	}
-	return &Result{RowsAffected: affected, Message: fmt.Sprintf("%d row(s) deleted", affected)}, nil
-}
-
-// --- shared helpers ----------------------------------------------------------
-
-// resolveWriteTarget resolves the target of a DML statement: a base table
-// directly, or an updatable view with its translation.
-func (s *Session) resolveWriteTarget(name string) (*catalog.Table, *view.Updatable, error) {
-	if s.db.cat.HasTable(name) {
-		table, err := s.db.cat.GetTable(name)
-		return table, nil, err
-	}
-	if s.db.cat.HasView(name) {
-		def, err := s.db.cat.GetView(name)
-		if err != nil {
-			return nil, nil, err
-		}
-		updatable, err := view.Analyze(def, s.db.cat)
-		if err != nil {
-			return nil, nil, err
-		}
-		table, err := s.db.cat.GetTable(updatable.BaseTable)
-		if err != nil {
-			return nil, nil, err
-		}
-		return table, updatable, nil
-	}
-	return nil, nil, fmt.Errorf("engine: no table or view named %q", name)
-}
-
-// findTargets returns the record ids of the rows satisfying where, using an
-// index when the predicate allows it (the same access-path rules the planner
-// applies to scans). params is the bind frame for prepared statements (nil
-// for plain text execution).
-func (s *Session) findTargets(table *catalog.Table, where sql.Expr, params *expr.Params) ([]storage.RecordID, error) {
-	schema := table.Schema()
-	var compiled *expr.Compiled
-	if where != nil {
-		c, err := expr.CompileWithParams(where, schema, params)
-		if err != nil {
-			return nil, err
-		}
-		compiled = c
-	}
-
-	// Index fast path: a conjunct of the form "col = literal" (or "col = ?"
-	// with the parameter's bound value) on an indexed column narrows the
-	// candidate set before filtering.
-	var candidates []storage.RecordID
-	usedIndex := false
-	if where != nil {
-		for _, conjunct := range splitAnd(where) {
-			bin, ok := conjunct.(*sql.BinaryExpr)
-			if !ok || bin.Op != sql.OpEq {
-				continue
-			}
-			ref, refOK := bin.Left.(*sql.ColumnRef)
-			val, valOK := keyValueOf(bin.Right, params)
-			if !refOK || !valOK {
-				ref, refOK = bin.Right.(*sql.ColumnRef)
-				val, valOK = keyValueOf(bin.Left, params)
-			}
-			if !refOK || !valOK {
-				continue
-			}
-			idx := table.IndexOn(ref.Name)
-			if idx == nil || len(idx.Columns) != 1 {
-				continue
-			}
-			if val.IsNull() {
-				// "col = NULL" matches nothing; skip the lookup entirely.
-				candidates = nil
-				usedIndex = true
-				break
-			}
-			// Coerce toward the column's kind so the key encoding matches.
-			candidates = table.LookupEqual(idx, schema.CoerceToColumn(val, ref.Name))
-			usedIndex = true
-			break
-		}
-	}
-
-	var out []storage.RecordID
-	if usedIndex {
-		for _, rid := range candidates {
-			tuple, err := table.Get(rid)
-			if err != nil {
-				continue
-			}
-			if compiled != nil {
-				ok, err := compiled.EvalBool(tuple)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue
-				}
-			}
-			out = append(out, rid)
-		}
-		return out, nil
-	}
-	err := table.Scan(func(rid storage.RecordID, tuple types.Tuple) error {
-		if compiled != nil {
-			ok, err := compiled.EvalBool(tuple)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		out = append(out, rid)
-		return nil
-	})
-	return out, err
-}
-
-// keyValueOf extracts an equality-key value from a literal or a bound
-// parameter.
-func keyValueOf(e sql.Expr, params *expr.Params) (types.Value, bool) {
-	switch e := e.(type) {
-	case *sql.Literal:
-		return e.Value, true
-	case *sql.Param:
-		v, err := params.Value(e.Index)
-		if err != nil {
-			return types.Null(), false
-		}
-		return v, true
-	}
-	return types.Null(), false
-}
-
-func splitAnd(e sql.Expr) []sql.Expr {
-	if bin, ok := e.(*sql.BinaryExpr); ok && bin.Op == sql.OpAnd {
-		return append(splitAnd(bin.Left), splitAnd(bin.Right)...)
-	}
-	return []sql.Expr{e}
+	return res
 }

@@ -17,6 +17,13 @@ type scanOperator struct {
 	filter *expr.Compiled
 	params *expr.Params
 
+	// strictFetch makes a failed row fetch after an index read an error
+	// instead of a skip. Read scans tolerate a missing record (the row may
+	// have been deleted between the index read and the fetch); write scans
+	// run under the table's exclusive lock, where a missing record means the
+	// index and heap disagree, and must never silently drop the row.
+	strictFetch bool
+
 	// Sequential scan state.
 	iter *catalog.TableIterator
 	// Index scan state: the record ids to fetch, in order.
@@ -125,44 +132,53 @@ func (o *scanOperator) rangeKeys(low, high *plan.Bound) (lowKey, highKey []byte,
 func (o *scanOperator) Close() error { return nil }
 
 func (o *scanOperator) Next() (types.Tuple, bool, error) {
+	_, tuple, ok, err := o.nextRow()
+	return tuple, ok, err
+}
+
+// nextRow yields the next matching row together with its record id (the write
+// operators pull target rids through it; Next discards them).
+func (o *scanOperator) nextRow() (storage.RecordID, types.Tuple, bool, error) {
 	for {
+		var rid storage.RecordID
 		var tuple types.Tuple
 		if o.iter != nil {
-			_, t, ok, err := o.iter.Next()
+			r, t, ok, err := o.iter.Next()
 			if err != nil {
-				return nil, false, err
+				return storage.RecordID{}, nil, false, err
 			}
 			if !ok {
-				return nil, false, nil
+				return storage.RecordID{}, nil, false, nil
 			}
-			tuple = t
+			rid, tuple = r, t
 		} else {
 			if o.pos >= len(o.rids) {
-				return nil, false, nil
+				return storage.RecordID{}, nil, false, nil
 			}
-			rid := o.rids[o.pos]
+			rid = o.rids[o.pos]
 			o.pos++
 			t, err := o.node.Table.Get(rid)
 			if err != nil {
 				// The row may have been deleted between the index read and
-				// the fetch; skip it.
-				if err == storage.ErrRecordNotFound {
+				// the fetch; a read scan skips it, a write scan (strictFetch)
+				// must propagate.
+				if err == storage.ErrRecordNotFound && !o.strictFetch {
 					continue
 				}
-				return nil, false, err
+				return storage.RecordID{}, nil, false, fmt.Errorf("exec: fetching row %v of %s: %w", rid, o.node.Table.Name(), err)
 			}
 			tuple = t
 		}
 		if o.filter != nil {
 			ok, err := o.filter.EvalBool(tuple)
 			if err != nil {
-				return nil, false, err
+				return storage.RecordID{}, nil, false, err
 			}
 			if !ok {
 				continue
 			}
 		}
-		return tuple, true, nil
+		return rid, tuple, true, nil
 	}
 }
 

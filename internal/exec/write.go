@@ -1,0 +1,274 @@
+// Write operators: the execution half of planned DML. BuildWrite compiles an
+// Insert/Update/Delete plan node into a reusable operator — expressions are
+// compiled once against the bind frame, so a prepared write rebinds and runs
+// again without touching the planner — and Run applies the write inside a
+// transaction supplied by the caller.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/view"
+)
+
+// WriteOperator executes one DML plan. Like the read operator tree it is
+// reusable: rebind the frame it was built with and Run it again.
+type WriteOperator interface {
+	// Table returns the base table the write targets.
+	Table() *catalog.Table
+	// Run applies the write inside t and returns the affected row count.
+	// It takes the table's exclusive lock up front, so the target scan reads
+	// a stable table; any row-fetch error during that scan is propagated,
+	// never skipped.
+	Run(t *txn.Txn) (int, error)
+}
+
+// BuildWrite compiles a DML plan node into a write operator reading
+// parameters from the given bind frame.
+func BuildWrite(node plan.Node, params *expr.Params) (WriteOperator, error) {
+	switch n := node.(type) {
+	case *plan.InsertNode:
+		return newInsertOperator(n, params)
+	case *plan.UpdateNode:
+		return newUpdateOperator(n, params)
+	case *plan.DeleteNode:
+		return newDeleteOperator(n, params)
+	default:
+		return nil, fmt.Errorf("exec: %T is not a DML plan node", node)
+	}
+}
+
+// compileCheck compiles the CHECK OPTION predicate of the view a write goes
+// through (nil updatable or predicate-free view yields a nil check, which
+// accepts every row).
+func compileCheck(updatable *view.Updatable, schema *types.Schema) (*view.RowCheck, error) {
+	if updatable == nil {
+		return nil, nil
+	}
+	return updatable.CompileCheck(schema)
+}
+
+// --- INSERT ------------------------------------------------------------------
+
+// insertOperator evaluates each planned row into a full-width tuple and
+// inserts it.
+type insertOperator struct {
+	node *plan.InsertNode
+	// defaults is the tuple template: column defaults where declared, NULL
+	// elsewhere. Copied per inserted row.
+	defaults types.Tuple
+	// rows holds the compiled value expressions, parallel to node.Rows.
+	rows  [][]*expr.Compiled
+	check *view.RowCheck
+}
+
+func newInsertOperator(n *plan.InsertNode, params *expr.Params) (*insertOperator, error) {
+	schema := n.Table.Schema()
+	op := &insertOperator{node: n, defaults: make(types.Tuple, schema.Len())}
+	for i, col := range schema.Columns {
+		if col.Default != nil {
+			op.defaults[i] = *col.Default
+		} else {
+			op.defaults[i] = types.Null()
+		}
+	}
+	// Value expressions are row-free: compiling against an empty schema makes
+	// any column reference a prepare-time error.
+	empty := types.NewSchema()
+	for _, row := range n.Rows {
+		compiled := make([]*expr.Compiled, len(row))
+		for i, e := range row {
+			c, err := expr.CompileWithParams(e, empty, params)
+			if err != nil {
+				return nil, fmt.Errorf("exec: INSERT value: %w", err)
+			}
+			compiled[i] = c
+		}
+		op.rows = append(op.rows, compiled)
+	}
+	check, err := compileCheck(n.Check, schema)
+	if err != nil {
+		return nil, err
+	}
+	op.check = check
+	return op, nil
+}
+
+func (o *insertOperator) Table() *catalog.Table { return o.node.Table }
+
+func (o *insertOperator) Run(t *txn.Txn) (int, error) {
+	affected := 0
+	for _, row := range o.rows {
+		tuple := o.defaults.Clone()
+		for i, c := range row {
+			v, err := c.Eval(nil)
+			if err != nil {
+				return affected, err
+			}
+			if o.node.ColumnPos != nil {
+				tuple[o.node.ColumnPos[i]] = v
+			} else {
+				tuple[i] = v
+			}
+		}
+		if err := o.check.Check(tuple); err != nil {
+			return affected, err
+		}
+		if _, err := t.Insert(o.node.Table, tuple); err != nil {
+			return affected, err
+		}
+		affected++
+	}
+	return affected, nil
+}
+
+// --- UPDATE / DELETE ---------------------------------------------------------
+
+// target is one row a write will touch, captured before mutation starts so
+// the scan never observes its own writes.
+type target struct {
+	rid   storage.RecordID
+	tuple types.Tuple
+}
+
+// collectTargets locks the table exclusively, then drains the child scan into
+// the target list. Fetch errors propagate (strictFetch): under the exclusive
+// lock a dangling index entry is corruption, not a concurrent delete.
+// withTuples retains each row's decoded tuple (updates evaluate assignments
+// against the pre-update image); deletes pass false so a wide DELETE buffers
+// only record ids, not the whole affected row set.
+func collectTargets(t *txn.Txn, table *catalog.Table, scan *scanOperator, withTuples bool) ([]target, error) {
+	if err := t.LockExclusive(table.Name()); err != nil {
+		return nil, err
+	}
+	if err := scan.Open(); err != nil {
+		return nil, err
+	}
+	defer scan.Close()
+	var out []target
+	for {
+		rid, tuple, ok, err := scan.nextRow()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		if !withTuples {
+			tuple = nil
+		}
+		out = append(out, target{rid: rid, tuple: tuple})
+	}
+}
+
+// updateOperator rewrites the rows its child scan yields.
+type updateOperator struct {
+	node *plan.UpdateNode
+	scan *scanOperator
+	// sets pairs each assignment's schema position with its compiled value
+	// expression (evaluated against the pre-update row).
+	sets []struct {
+		pos   int
+		value *expr.Compiled
+	}
+	check *view.RowCheck
+}
+
+func newUpdateOperator(n *plan.UpdateNode, params *expr.Params) (*updateOperator, error) {
+	scanNode, ok := n.Input.(*plan.ScanNode)
+	if !ok {
+		return nil, fmt.Errorf("exec: UPDATE expects a scan child, got %T", n.Input)
+	}
+	scan, err := newScanOperator(scanNode, params)
+	if err != nil {
+		return nil, err
+	}
+	scan.strictFetch = true
+	op := &updateOperator{node: n, scan: scan}
+	for _, s := range n.Sets {
+		c, err := expr.CompileWithParams(s.Expr, scan.Schema(), params)
+		if err != nil {
+			return nil, fmt.Errorf("exec: SET %s: %w", s.Column, err)
+		}
+		op.sets = append(op.sets, struct {
+			pos   int
+			value *expr.Compiled
+		}{pos: s.Pos, value: c})
+	}
+	check, err := compileCheck(n.Check, n.Table.Schema())
+	if err != nil {
+		return nil, err
+	}
+	op.check = check
+	return op, nil
+}
+
+func (o *updateOperator) Table() *catalog.Table { return o.node.Table }
+
+func (o *updateOperator) Run(t *txn.Txn) (int, error) {
+	targets, err := collectTargets(t, o.node.Table, o.scan, true)
+	if err != nil {
+		return 0, err
+	}
+	affected := 0
+	for _, target := range targets {
+		next := target.tuple.Clone()
+		for _, s := range o.sets {
+			v, err := s.value.Eval(target.tuple)
+			if err != nil {
+				return affected, err
+			}
+			next[s.pos] = v
+		}
+		if err := o.check.Check(next); err != nil {
+			return affected, err
+		}
+		if _, err := t.Update(o.node.Table, target.rid, next); err != nil {
+			return affected, err
+		}
+		affected++
+	}
+	return affected, nil
+}
+
+// deleteOperator removes the rows its child scan yields.
+type deleteOperator struct {
+	node *plan.DeleteNode
+	scan *scanOperator
+}
+
+func newDeleteOperator(n *plan.DeleteNode, params *expr.Params) (*deleteOperator, error) {
+	scanNode, ok := n.Input.(*plan.ScanNode)
+	if !ok {
+		return nil, fmt.Errorf("exec: DELETE expects a scan child, got %T", n.Input)
+	}
+	scan, err := newScanOperator(scanNode, params)
+	if err != nil {
+		return nil, err
+	}
+	scan.strictFetch = true
+	return &deleteOperator{node: n, scan: scan}, nil
+}
+
+func (o *deleteOperator) Table() *catalog.Table { return o.node.Table }
+
+func (o *deleteOperator) Run(t *txn.Txn) (int, error) {
+	targets, err := collectTargets(t, o.node.Table, o.scan, false)
+	if err != nil {
+		return 0, err
+	}
+	affected := 0
+	for _, target := range targets {
+		if err := t.Delete(o.node.Table, target.rid); err != nil {
+			return affected, err
+		}
+		affected++
+	}
+	return affected, nil
+}

@@ -85,8 +85,9 @@ var Quick = Config{Sizes: workload.SmallSizes, Operations: 30, Quick: true}
 
 // Experiments lists the experiment identifiers in order. E1–E8 regenerate
 // the paper's tables and figures; E9 measures the engine's prepared-statement
-// path against re-parsed text execution.
-var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+// path against re-parsed text execution; E10 measures the planned write path
+// (index-range UPDATE and batch-bound INSERT) against the seed write path.
+var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 
 // Run executes one experiment by id.
 func Run(id string, cfg Config) (*Table, error) {
@@ -109,6 +110,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return RunE8(cfg)
 	case "E9":
 		return RunE9(cfg)
+	case "E10":
+		return RunE10(cfg)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}

@@ -1,0 +1,287 @@
+// DML plan nodes. INSERT, UPDATE and DELETE go through the same builder as
+// SELECT: the target (table or updatable view) is resolved and translated at
+// plan time, UPDATE/DELETE predicates become the filter of an ordinary child
+// ScanNode — so they get the planner's index equality and range access paths,
+// parameter operands and NULL-key semantics — and the exec package's write
+// operators apply the changes.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/types"
+	"repro/internal/view"
+)
+
+// emptySchema is what write nodes report: they produce no tuples.
+var emptySchema = &types.Schema{}
+
+// InsertNode plans an INSERT: each row of value expressions is evaluated
+// (against the bind frame, for prepared inserts) into a full-width tuple and
+// inserted into Table.
+type InsertNode struct {
+	Table *catalog.Table
+	// Columns are the base-table columns being supplied, already translated
+	// through the view when the statement targets one. Empty means the values
+	// cover the whole schema positionally.
+	Columns []string
+	// ColumnPos are the schema positions of Columns (nil when Columns is
+	// empty), resolved at plan time.
+	ColumnPos []int
+	// Rows holds the VALUES expressions, view-translated where applicable.
+	Rows [][]sql.Expr
+	// Check enforces the updatable view's CHECK OPTION (nil for base tables).
+	Check *view.Updatable
+}
+
+// Schema implements Node.
+func (n *InsertNode) Schema() *types.Schema { return emptySchema }
+
+// Children implements Node.
+func (n *InsertNode) Children() []Node { return nil }
+
+// Explain implements Node.
+func (n *InsertNode) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Insert into %s", n.Table.Name())
+	if len(n.Columns) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(n.Columns, ", "))
+	}
+	fmt.Fprintf(&b, " (%d row(s))", len(n.Rows))
+	if n.Check != nil {
+		fmt.Fprintf(&b, " via view %s", strings.ToLower(n.Check.ViewName))
+	}
+	return b.String()
+}
+
+// SetClause is one "column = expr" of a planned UPDATE, with the column
+// resolved to its schema position.
+type SetClause struct {
+	Column string
+	Pos    int
+	Expr   sql.Expr
+}
+
+// UpdateNode plans an UPDATE: the child scan yields the target rows (with
+// whatever access path the planner chose for the predicate), and each is
+// rewritten by the set clauses.
+type UpdateNode struct {
+	Input Node
+	Table *catalog.Table
+	Sets  []SetClause
+	// Check enforces the updatable view's CHECK OPTION (nil for base tables).
+	Check *view.Updatable
+}
+
+// Schema implements Node.
+func (n *UpdateNode) Schema() *types.Schema { return emptySchema }
+
+// Children implements Node.
+func (n *UpdateNode) Children() []Node { return []Node{n.Input} }
+
+// Explain implements Node.
+func (n *UpdateNode) Explain() string {
+	cols := make([]string, len(n.Sets))
+	for i, s := range n.Sets {
+		cols[i] = s.Column
+	}
+	out := fmt.Sprintf("Update %s set %s", n.Table.Name(), strings.Join(cols, ", "))
+	if n.Check != nil {
+		out += fmt.Sprintf(" via view %s", strings.ToLower(n.Check.ViewName))
+	}
+	return out
+}
+
+// DeleteNode plans a DELETE: the child scan yields the rows to remove.
+type DeleteNode struct {
+	Input Node
+	Table *catalog.Table
+	// Check names the view the delete goes through (its predicate is already
+	// ANDed into the child scan; deletes need no row check, but the view is
+	// kept for EXPLAIN).
+	Check *view.Updatable
+}
+
+// Schema implements Node.
+func (n *DeleteNode) Schema() *types.Schema { return emptySchema }
+
+// Children implements Node.
+func (n *DeleteNode) Children() []Node { return []Node{n.Input} }
+
+// Explain implements Node.
+func (n *DeleteNode) Explain() string {
+	out := fmt.Sprintf("Delete from %s", n.Table.Name())
+	if n.Check != nil {
+		out += fmt.Sprintf(" via view %s", strings.ToLower(n.Check.ViewName))
+	}
+	return out
+}
+
+// BuildStatement plans any plannable statement: SELECT through Build, DML
+// through the Build{Insert,Update,Delete} paths.
+func (b *Builder) BuildStatement(stmt sql.Statement) (Node, error) {
+	switch stmt := stmt.(type) {
+	case *sql.SelectStmt:
+		return b.Build(stmt)
+	case *sql.InsertStmt:
+		return b.BuildInsert(stmt)
+	case *sql.UpdateStmt:
+		return b.BuildUpdate(stmt)
+	case *sql.DeleteStmt:
+		return b.BuildDelete(stmt)
+	default:
+		return nil, fmt.Errorf("plan: statement %T has no plan", stmt)
+	}
+}
+
+// resolveWriteTarget resolves the target of a DML statement: a base table
+// directly, or an updatable view with its translation.
+func (b *Builder) resolveWriteTarget(name string) (*catalog.Table, *view.Updatable, error) {
+	if b.cat.HasTable(name) {
+		table, err := b.cat.GetTable(name)
+		return table, nil, err
+	}
+	if b.cat.HasView(name) {
+		def, err := b.cat.GetView(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		updatable, err := view.Analyze(def, b.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		table, err := b.cat.GetTable(updatable.BaseTable)
+		if err != nil {
+			return nil, nil, err
+		}
+		return table, updatable, nil
+	}
+	return nil, nil, fmt.Errorf("plan: no table or view named %q", name)
+}
+
+// BuildInsert plans an INSERT statement. View targets are translated to their
+// base table and row widths and column names are validated, so execution only
+// evaluates expressions and inserts.
+func (b *Builder) BuildInsert(stmt *sql.InsertStmt) (Node, error) {
+	table, updatable, err := b.resolveWriteTarget(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := table.Schema()
+	node := &InsertNode{Table: table, Check: updatable}
+	columns := stmt.Columns
+	for _, row := range stmt.Rows {
+		values := row
+		if updatable != nil {
+			translated, translatedValues, err := updatable.TranslateInsert(stmt.Columns, row)
+			if err != nil {
+				return nil, err
+			}
+			columns, values = translated, translatedValues
+		}
+		if len(columns) == 0 && len(values) != schema.Len() {
+			return nil, fmt.Errorf("plan: table %s has %d columns but %d values were supplied", table.Name(), schema.Len(), len(values))
+		}
+		if len(columns) > 0 && len(columns) != len(values) {
+			return nil, fmt.Errorf("plan: %d columns but %d values", len(columns), len(values))
+		}
+		node.Rows = append(node.Rows, values)
+	}
+	node.Columns = columns
+	if len(columns) > 0 {
+		node.ColumnPos = make([]int, len(columns))
+		for i, name := range columns {
+			pos, err := schema.ColumnIndex(name)
+			if err != nil {
+				return nil, err
+			}
+			node.ColumnPos[i] = pos
+		}
+	}
+	return node, nil
+}
+
+// BuildUpdate plans an UPDATE statement: the (view-translated) predicate
+// becomes the filter of a child scan, which then gets the same access-path
+// selection as a SELECT over the table.
+func (b *Builder) BuildUpdate(stmt *sql.UpdateStmt) (Node, error) {
+	table, updatable, err := b.resolveWriteTarget(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	assignments := stmt.Assignments
+	where := stmt.Where
+	if updatable != nil {
+		if assignments, err = updatable.TranslateAssignments(stmt.Assignments); err != nil {
+			return nil, err
+		}
+		if where, err = updatable.TranslatePredicate(stmt.Where); err != nil {
+			return nil, err
+		}
+	}
+	scan, err := b.buildWriteScan(table, where)
+	if err != nil {
+		return nil, err
+	}
+	node := &UpdateNode{Input: scan, Table: table, Check: updatable}
+	schema := table.Schema()
+	for _, a := range assignments {
+		pos, err := schema.ColumnIndex(a.Column)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkResolves(a.Value, scan.Schema()); err != nil {
+			return nil, fmt.Errorf("plan: SET %s: %w", a.Column, err)
+		}
+		node.Sets = append(node.Sets, SetClause{Column: a.Column, Pos: pos, Expr: a.Value})
+	}
+	return node, nil
+}
+
+// BuildDelete plans a DELETE statement the same way as an UPDATE, minus the
+// set clauses.
+func (b *Builder) BuildDelete(stmt *sql.DeleteStmt) (Node, error) {
+	table, updatable, err := b.resolveWriteTarget(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	where := stmt.Where
+	if updatable != nil {
+		if where, err = updatable.TranslatePredicate(stmt.Where); err != nil {
+			return nil, err
+		}
+	}
+	scan, err := b.buildWriteScan(table, where)
+	if err != nil {
+		return nil, err
+	}
+	return &DeleteNode{Input: scan, Table: table, Check: updatable}, nil
+}
+
+// buildWriteScan builds the child scan of an UPDATE or DELETE: a scan of the
+// base table filtered by the statement's predicate, run through the same
+// access-path selection reads get.
+func (b *Builder) buildWriteScan(table *catalog.Table, where sql.Expr) (*ScanNode, error) {
+	alias := strings.ToLower(table.Name())
+	scan := &ScanNode{
+		Table:   table,
+		Alias:   alias,
+		Access:  AccessSeqScan,
+		EqParam: -1,
+		Filter:  where,
+		schema:  table.Schema().WithTable(alias),
+	}
+	if where != nil {
+		if err := checkResolves(where, scan.schema); err != nil {
+			return nil, fmt.Errorf("plan: WHERE: %w", err)
+		}
+		if sql.HasAggregate(where) {
+			return nil, fmt.Errorf("plan: aggregates are not allowed in a write's WHERE clause")
+		}
+	}
+	chooseAccessPaths(scan)
+	return scan, nil
+}

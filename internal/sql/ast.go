@@ -148,6 +148,12 @@ type SelectStmt struct {
 	Offset   *int64
 }
 
+// ExplainStmt is EXPLAIN <statement>: it renders the plan the engine would
+// run for the wrapped statement (SELECT or DML) instead of executing it.
+type ExplainStmt struct {
+	Stmt Statement
+}
+
 // BeginStmt is BEGIN [TRANSACTION].
 type BeginStmt struct{}
 
@@ -165,6 +171,7 @@ func (*InsertStmt) stmtNode()      {}
 func (*UpdateStmt) stmtNode()      {}
 func (*DeleteStmt) stmtNode()      {}
 func (*SelectStmt) stmtNode()      {}
+func (*ExplainStmt) stmtNode()     {}
 func (*BeginStmt) stmtNode()       {}
 func (*CommitStmt) stmtNode()      {}
 func (*RollbackStmt) stmtNode()    {}
@@ -320,6 +327,9 @@ func (s *SelectStmt) String() string {
 	}
 	return b.String()
 }
+
+// String implements Statement.
+func (s *ExplainStmt) String() string { return "EXPLAIN " + s.Stmt.String() }
 
 // String implements Statement.
 func (*BeginStmt) String() string { return "BEGIN" }
@@ -659,6 +669,10 @@ func WalkStatementExprs(stmt Statement, fn func(Expr) bool) {
 	case *CreateViewStmt:
 		if stmt.Query != nil {
 			WalkStatementExprs(stmt.Query, fn)
+		}
+	case *ExplainStmt:
+		if stmt.Stmt != nil {
+			WalkStatementExprs(stmt.Stmt, fn)
 		}
 	}
 }

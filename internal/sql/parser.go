@@ -185,6 +185,16 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseCreate()
 	case "DROP":
 		return p.parseDrop()
+	case "EXPLAIN":
+		p.next()
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := inner.(*ExplainStmt); ok {
+			return nil, p.errorf("EXPLAIN cannot wrap another EXPLAIN")
+		}
+		return &ExplainStmt{Stmt: inner}, nil
 	case "BEGIN":
 		p.next()
 		p.acceptKeyword("TRANSACTION")

@@ -85,7 +85,8 @@ var keywords = map[string]bool{
 	"CREATE": true, "TABLE": true, "INDEX": true, "VIEW": true, "UNIQUE": true,
 	"PRIMARY": true, "KEY": true, "DEFAULT": true, "DROP": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
-	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"EXPLAIN": true,
+	"COUNT":   true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 }
 
 // IsKeyword reports whether the upper-cased word is reserved.

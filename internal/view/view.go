@@ -389,20 +389,49 @@ func (u *Updatable) TranslateInsert(viewColumns []string, values []sql.Expr) ([]
 
 // CheckRow verifies that a base-table row satisfies the view's predicate.
 // It implements WITH CHECK OPTION for inserts and updates through the view.
+// Callers on a hot path should compile the check once with CompileCheck and
+// reuse it instead.
 func (u *Updatable) CheckRow(baseSchema *types.Schema, row types.Tuple) error {
+	check, err := u.CompileCheck(baseSchema)
+	if err != nil {
+		return err
+	}
+	return check.Check(row)
+}
+
+// RowCheck is a view's CHECK OPTION predicate compiled against the base
+// table's schema, reusable across rows. A nil RowCheck accepts every row
+// (the view has no predicate or check option is off).
+type RowCheck struct {
+	viewName string
+	compiled *expr.Compiled
+}
+
+// CompileCheck compiles the view's CHECK OPTION predicate once for repeated
+// evaluation — the planned write operators compile at build time and check
+// per row. It returns nil (no check needed) when the view has no predicate.
+func (u *Updatable) CompileCheck(baseSchema *types.Schema) (*RowCheck, error) {
 	if !u.CheckOption || u.Where == nil {
-		return nil
+		return nil, nil
 	}
 	compiled, err := expr.Compile(u.Where, baseSchema)
 	if err != nil {
-		return fmt.Errorf("view: check option for %q: %w", u.ViewName, err)
+		return nil, fmt.Errorf("view: check option for %q: %w", u.ViewName, err)
 	}
-	ok, err := compiled.EvalBool(row)
+	return &RowCheck{viewName: u.ViewName, compiled: compiled}, nil
+}
+
+// Check verifies one base-table row against the compiled predicate.
+func (c *RowCheck) Check(row types.Tuple) error {
+	if c == nil {
+		return nil
+	}
+	ok, err := c.compiled.EvalBool(row)
 	if err != nil {
-		return fmt.Errorf("view: check option for %q: %w", u.ViewName, err)
+		return fmt.Errorf("view: check option for %q: %w", c.viewName, err)
 	}
 	if !ok {
-		return fmt.Errorf("view: row violates the predicate of view %q and would not be visible through it", u.ViewName)
+		return fmt.Errorf("view: row violates the predicate of view %q and would not be visible through it", c.viewName)
 	}
 	return nil
 }

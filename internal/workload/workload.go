@@ -166,30 +166,28 @@ func Populate(db *engine.Database, sizes Sizes) error {
 	return nil
 }
 
-// batchInsert prepares the parameterized single-row INSERT once and executes
-// it per row, grouping batchSize rows into one explicit transaction so commit
-// and lock traffic stay batched the way the old multi-row statements were.
+// batchInsert prepares the parameterized single-row INSERT once and loads the
+// rows through ExecBatch array binding: each batch of batchSize parameter
+// rows shares one cached write plan, one compiled write operator and one
+// transaction, so commit and lock traffic stay batched the way the old
+// multi-row statements were without any per-row statement traffic.
 func batchInsert(s *engine.Session, insertSQL string, n, batchSize int, bind func(i int) []types.Value) error {
 	stmt, err := s.Prepare(insertSQL)
 	if err != nil {
 		return err
 	}
 	defer stmt.Close()
+	batch := make([][]types.Value, 0, batchSize)
 	for start := 0; start < n; start += batchSize {
 		end := start + batchSize
 		if end > n {
 			end = n
 		}
-		if _, err := s.Execute("BEGIN"); err != nil {
-			return err
-		}
+		batch = batch[:0]
 		for i := start; i < end; i++ {
-			if _, err := stmt.Exec(bind(i)...); err != nil {
-				_, _ = s.Execute("ROLLBACK")
-				return err
-			}
+			batch = append(batch, bind(i))
 		}
-		if _, err := s.Execute("COMMIT"); err != nil {
+		if _, err := stmt.ExecBatch(batch); err != nil {
 			return err
 		}
 	}
