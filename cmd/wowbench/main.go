@@ -5,6 +5,13 @@
 //	wowbench -experiment=E1        # one experiment
 //	wowbench -experiment=all       # the whole suite (default)
 //	wowbench -scale=quick          # reduced sizes for a fast smoke run
+//	wowbench -remote=host:port     # benchmark a running wowserver instead
+//	wowbench -remote=... -clients=8 -ops=2000
+//
+// With -remote, wowbench skips the local experiments and drives the given
+// wowserver over the wire protocol: it loads a small table, then measures
+// prepared point-query throughput with -clients concurrent connections all
+// preparing the identical statement — the shared-plan-cache serving path.
 //
 // The experiment index (what each table/figure measures and which modules it
 // exercises) is in DESIGN.md; measured results are recorded in EXPERIMENTS.md.
@@ -15,18 +22,31 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/server/client"
 	"repro/internal/types"
 	"repro/internal/workload"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (E1..E8) or 'all'")
+	experiment := flag.String("experiment", "all", "experiment id (E1..E11) or 'all'")
 	scale := flag.String("scale", "full", "workload scale: 'full' or 'quick'")
+	remote := flag.String("remote", "", "wowserver address; benchmark it over the wire instead of running local experiments")
+	clients := flag.Int("clients", 4, "concurrent connections for -remote")
+	ops := flag.Int("ops", 1000, "queries per connection for -remote")
 	flag.Parse()
+
+	if *remote != "" {
+		if err := runRemote(*remote, *clients, *ops); err != nil {
+			fmt.Fprintf(os.Stderr, "wowbench: remote: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := harness.Full
 	if strings.EqualFold(*scale, "quick") {
@@ -130,4 +150,105 @@ func printEngineStats(cfg harness.Config) error {
 	fmt.Printf("  write plans cached:   %d\n", stats.WritePlansCached)
 	fmt.Printf("  batch rows executed:  %d\n", stats.BatchRowsExecuted)
 	return nil
+}
+
+// remoteRows is how many rows the remote benchmark loads before measuring.
+const remoteRows = 1000
+
+// runRemote benchmarks a running wowserver: one connection loads the
+// workload table, then `clients` connections each prepare the identical
+// point query and run `ops` executions. Every connection preparing the same
+// text exercises the server's shared plan cache — the first compile is the
+// only one.
+func runRemote(addr string, clients, ops int) error {
+	if clients < 1 {
+		clients = 1
+	}
+	setup, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	// A private table name keeps reruns against a long-lived server working.
+	table := fmt.Sprintf("bench_customers_%d", time.Now().UnixNano())
+	if _, err := setup.Exec(fmt.Sprintf("CREATE TABLE %s (id INT PRIMARY KEY, name TEXT, credit FLOAT)", table)); err != nil {
+		setup.Close()
+		return err
+	}
+	insert, err := setup.Prepare(fmt.Sprintf("INSERT INTO %s (id, name, credit) VALUES (?, ?, ?)", table))
+	if err != nil {
+		setup.Close()
+		return err
+	}
+	loadStart := time.Now()
+	if err := setup.Begin(); err != nil {
+		setup.Close()
+		return err
+	}
+	for i := 1; i <= remoteRows; i++ {
+		if _, err := insert.Exec(types.NewInt(int64(i)), types.NewString("Remote Customer"), types.NewFloat(float64(i))); err != nil {
+			setup.Close()
+			return err
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		setup.Close()
+		return err
+	}
+	insert.Close()
+	loadTime := time.Since(loadStart)
+
+	query := fmt.Sprintf("SELECT name, credit FROM %s WHERE id = ?", table)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			stmt, err := c.Prepare(query)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer stmt.Close()
+			for i := 0; i < ops; i++ {
+				rows, err := stmt.Query(types.NewInt(int64(1 + (w*ops+i)%remoteRows)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				for rows.Next() {
+				}
+				if err := rows.Err(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	elapsed := time.Since(start)
+	total := clients * ops
+	fmt.Printf("wowbench remote benchmark against %s\n", addr)
+	fmt.Printf("  load: %d rows in %s (%.0f rows/s, one txn over the wire)\n",
+		remoteRows, loadTime.Round(time.Millisecond), float64(remoteRows)/loadTime.Seconds())
+	fmt.Printf("  point queries: %d clients x %d ops = %d queries in %s\n", clients, ops, total, elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput: %.0f queries/s (%.1f µs/query per client)\n",
+		float64(total)/elapsed.Seconds(), float64(elapsed.Microseconds())*float64(clients)/float64(total))
+	// Clean up so repeated runs do not accumulate tables server-side.
+	if _, err := setup.Exec("DROP TABLE " + table); err != nil {
+		setup.Close()
+		return err
+	}
+	return setup.Close()
 }

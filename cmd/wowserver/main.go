@@ -1,0 +1,73 @@
+// Command wowserver serves the engine over the wire protocol: a TCP session
+// manager in front of one shared database, one goroutine per connection, all
+// connections sharing the engine-wide plan cache so concurrent clients
+// preparing the same statements compile them once.
+//
+// Usage:
+//
+//	wowserver [-addr 127.0.0.1:4045] [-data file.db] [-wal file.wal] [-cache 256]
+//
+// The server runs until SIGINT/SIGTERM, then disconnects every client
+// (rolling back their open transactions), flushes and exits. Clients connect
+// with internal/server/client, "wowsql -connect addr", or anything speaking
+// the frame format documented in the README.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4045", "TCP address to listen on")
+	dataPath := flag.String("data", "", "database file (default: in-memory)")
+	walPath := flag.String("wal", "", "write-ahead log file (default: in-memory)")
+	cacheSize := flag.Int("cache", 0, "shared plan cache size in statements (default 256)")
+	flag.Parse()
+
+	db, err := engine.Open(engine.Options{DataPath: *dataPath, WALPath: *walPath, PlanCacheSize: *cacheSize})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := server.New(db)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wowserver listening on %s\n", ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("wowserver: %s, shutting down\n", sig)
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	stats := srv.Stats()
+	fmt.Printf("wowserver: served %d connection(s), %d message(s), %d row(s) sent\n",
+		stats.ConnectionsAccepted, stats.MessagesServed, stats.RowsSent)
+	if err := db.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wowserver:", err)
+	os.Exit(1)
+}

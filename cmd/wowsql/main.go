@@ -4,56 +4,119 @@
 //
 // Usage:
 //
-//	wowsql [-data file.db] [-wal file.wal] [script.sql ...]
+//	wowsql [-data file.db] [-wal file.wal] [-connect host:port] [script.sql ...]
 //
 // With no script arguments, statements are read from standard input, one per
 // line (or separated by semicolons). "EXPLAIN <statement>" prints the plan
-// for any SELECT, INSERT, UPDATE or DELETE instead of running it.
+// for any SELECT, INSERT, UPDATE or DELETE instead of running it. With
+// -connect the shell runs against a wowserver over the wire protocol instead
+// of an embedded engine.
+//
+// Interactively, a statement error is printed and the shell keeps reading.
+// Non-interactively — script files, or statements piped on standard input —
+// the first error stops execution and wowsql exits non-zero, so shell
+// pipelines and CI steps can rely on the exit code.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/server/client"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
 
+// options carries the flag values plus the interactivity decision, so tests
+// can drive run directly.
+type options struct {
+	dataPath string
+	walPath  string
+	connect  string
+	scripts  []string
+	// interactive selects prompt-and-continue error handling; main sets it
+	// when stdin is a terminal and no script files were given.
+	interactive bool
+}
+
 func main() {
 	dataPath := flag.String("data", "", "database file (default: in-memory)")
 	walPath := flag.String("wal", "", "write-ahead log file (default: in-memory)")
+	connect := flag.String("connect", "", "wowserver address; run remotely over the wire protocol")
 	flag.Parse()
 
-	db, err := engine.Open(engine.Options{DataPath: *dataPath, WALPath: *walPath})
-	if err != nil {
-		fatal(err)
+	opts := options{
+		dataPath: *dataPath,
+		walPath:  *walPath,
+		connect:  *connect,
+		scripts:  flag.Args(),
 	}
-	defer db.Close()
-	session := db.Session()
+	if len(opts.scripts) == 0 {
+		if info, err := os.Stdin.Stat(); err == nil && info.Mode()&os.ModeCharDevice != 0 {
+			opts.interactive = true
+		}
+	}
+	os.Exit(run(opts, os.Stdin, os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() > 0 {
-		for _, path := range flag.Args() {
+// executor runs one script's worth of statements — against the embedded
+// engine or a remote server — writing results to out.
+type executor interface {
+	runScript(script string, out io.Writer) error
+	close() error
+}
+
+// run is the whole shell: it opens the executor, feeds it scripts or stdin,
+// and returns the process exit code.
+func run(opts options, stdin io.Reader, stdout, stderr io.Writer) int {
+	var exec executor
+	if opts.connect != "" {
+		conn, err := client.Dial(opts.connect)
+		if err != nil {
+			fmt.Fprintln(stderr, "wowsql:", err)
+			return 1
+		}
+		exec = &remoteExecutor{conn: conn}
+	} else {
+		db, err := engine.Open(engine.Options{DataPath: opts.dataPath, WALPath: opts.walPath})
+		if err != nil {
+			fmt.Fprintln(stderr, "wowsql:", err)
+			return 1
+		}
+		exec = &localExecutor{db: db, session: db.Session()}
+	}
+	defer exec.close()
+
+	if len(opts.scripts) > 0 {
+		for _, path := range opts.scripts {
 			script, err := os.ReadFile(path)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "wowsql:", err)
+				return 1
 			}
-			if err := runScript(session, string(script)); err != nil {
-				fatal(err)
+			if err := exec.runScript(string(script), stdout); err != nil {
+				fmt.Fprintln(stderr, "wowsql:", err)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 
-	fmt.Println("wowsql — type SQL statements, end them with ';'. Ctrl-D to quit.")
-	scanner := bufio.NewScanner(os.Stdin)
+	if opts.interactive {
+		fmt.Fprintln(stdout, "wowsql — type SQL statements, end them with ';'. Ctrl-D to quit.")
+	}
+	scanner := bufio.NewScanner(stdin)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
 	var pending strings.Builder
 	for {
-		fmt.Print("wow> ")
+		if opts.interactive {
+			fmt.Fprint(stdout, "wow> ")
+		}
 		if !scanner.Scan() {
 			break
 		}
@@ -62,11 +125,42 @@ func main() {
 		if !strings.Contains(scanner.Text(), ";") {
 			continue
 		}
-		if err := runScript(session, pending.String()); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+		if err := exec.runScript(pending.String(), stdout); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			if !opts.interactive {
+				return 1
+			}
 		}
 		pending.Reset()
 	}
+	// A scan error (a line over the buffer limit) is not end of input: report
+	// it and fail, or a pipeline would treat a half-run script as success.
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(stderr, "wowsql: reading input:", err)
+		return 1
+	}
+	// A trailing statement without ";" still runs (echo "SELECT 1" | wowsql).
+	if strings.TrimSpace(pending.String()) != "" {
+		if err := exec.runScript(pending.String(), stdout); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			if !opts.interactive {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// --- embedded engine ---------------------------------------------------------
+
+type localExecutor struct {
+	db      *engine.Database
+	session *engine.Session
+}
+
+func (e *localExecutor) close() error {
+	e.session.Close()
+	return e.db.Close()
 }
 
 // runScript executes the script one statement at a time. SELECTs run through
@@ -75,7 +169,7 @@ func main() {
 // materialising first. EXPLAIN <statement> renders the plan the engine would
 // run — for SELECT and DML alike — without executing it. Everything else
 // executes and prints its outcome.
-func runScript(session *engine.Session, script string) error {
+func (e *localExecutor) runScript(script string, out io.Writer) error {
 	stmts, err := sql.ParseAll(script)
 	if err != nil {
 		return err
@@ -83,31 +177,31 @@ func runScript(session *engine.Session, script string) error {
 	for _, stmt := range stmts {
 		switch stmt := stmt.(type) {
 		case *sql.SelectStmt:
-			if err := streamSelect(session, stmt.String()); err != nil {
+			if err := e.streamSelect(stmt.String(), out); err != nil {
 				return err
 			}
 		case *sql.ExplainStmt:
-			if err := explainStatement(session, stmt); err != nil {
+			if err := e.explainStatement(stmt, out); err != nil {
 				return err
 			}
 		default:
-			res, err := session.ExecuteStmt(stmt)
+			res, err := e.session.ExecuteStmt(stmt)
 			if err != nil {
 				return err
 			}
-			printResult(res)
+			printResult(out, res.Columns, res.Rows, res.Message)
 		}
 	}
 	return nil
 }
 
 // explainStatement prints the plan tree of the wrapped statement through the
-// prepared statement's ExplainPlan, which since the planned-DML refactor
-// covers INSERT, UPDATE and DELETE as well as SELECT. Preparing the EXPLAIN
-// text (not the inner statement) keeps the engine on its render-only path —
-// the plan is built and cached, but no operator tree is compiled.
-func explainStatement(session *engine.Session, stmt *sql.ExplainStmt) error {
-	prepared, err := session.Prepare(stmt.String())
+// prepared statement's ExplainPlan, which covers INSERT, UPDATE and DELETE as
+// well as SELECT. Preparing the EXPLAIN text (not the inner statement) keeps
+// the engine on its render-only path — the plan is built and cached, but no
+// operator tree is compiled.
+func (e *localExecutor) explainStatement(stmt *sql.ExplainStmt, out io.Writer) error {
+	prepared, err := e.session.Prepare(stmt.String())
 	if err != nil {
 		return err
 	}
@@ -116,15 +210,15 @@ func explainStatement(session *engine.Session, stmt *sql.ExplainStmt) error {
 	if text == "" {
 		return fmt.Errorf("EXPLAIN is not supported for %s", stmt.Stmt.String())
 	}
-	fmt.Print(text)
+	fmt.Fprint(out, text)
 	return nil
 }
 
 // streamSelect prints a SELECT's rows straight off the cursor. Column widths
 // come from the header (and grow per row as needed), since the rows are not
 // buffered for measuring.
-func streamSelect(session *engine.Session, query string) error {
-	stmt, err := session.Prepare(query)
+func (e *localExecutor) streamSelect(query string, out io.Writer) error {
+	stmt, err := e.session.Prepare(query)
 	if err != nil {
 		return err
 	}
@@ -134,8 +228,71 @@ func streamSelect(session *engine.Session, query string) error {
 		return err
 	}
 	defer rows.Close()
+	count, err := streamRows(out, rows.Columns(), rows.Next, rows.Row, rows.Err)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "(%d row(s))\n", count)
+	return nil
+}
 
-	columns := rows.Columns()
+// --- remote server -----------------------------------------------------------
+
+type remoteExecutor struct {
+	conn *client.Conn
+}
+
+func (e *remoteExecutor) close() error { return e.conn.Close() }
+
+// runScript splits the script locally (the parser is in the same tree) and
+// runs each statement over the wire: SELECTs stream through a remote cursor
+// in fetch batches, everything else — DML, DDL, EXPLAIN, BEGIN/COMMIT — round
+// trips through Exec and prints the materialised result.
+func (e *remoteExecutor) runScript(script string, out io.Writer) error {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if sel, ok := stmt.(*sql.SelectStmt); ok {
+			if err := e.streamSelect(sel.String(), out); err != nil {
+				return err
+			}
+			continue
+		}
+		res, err := e.conn.Exec(stmt.String())
+		if err != nil {
+			return err
+		}
+		message := res.Message
+		if message == "" && len(res.Columns) == 0 {
+			message = fmt.Sprintf("%d row(s) affected", res.RowsAffected)
+		}
+		printResult(out, res.Columns, res.Rows, message)
+	}
+	return nil
+}
+
+func (e *remoteExecutor) streamSelect(query string, out io.Writer) error {
+	rows, err := e.conn.Query(query)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	count, err := streamRows(out, rows.Columns(), rows.Next, rows.Row, rows.Err)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "(%d row(s))\n", count)
+	return nil
+}
+
+// --- rendering ---------------------------------------------------------------
+
+// streamRows prints a header and then rows as the cursor yields them,
+// returning how many were printed. It works over both the engine's and the
+// client's cursor shape.
+func streamRows(out io.Writer, columns []string, next func() bool, row func() types.Tuple, rowsErr func() error) (int, error) {
 	widths := make([]int, len(columns))
 	for i, c := range columns {
 		widths[i] = len(c)
@@ -143,52 +300,50 @@ func streamSelect(session *engine.Session, query string) error {
 			widths[i] = 8
 		}
 	}
-	printRow := func(cells []string) {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+	printAligned(out, widths, columns)
+	printSeparator(out, widths)
+	count := 0
+	for next() {
+		r := row()
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = formatValue(v)
 		}
-		fmt.Println(strings.Join(parts, " | "))
+		printAligned(out, widths, cells)
+		count++
 	}
-	printRow(columns)
-	sep := make([]string, len(columns))
+	return count, rowsErr()
+}
+
+func printAligned(out io.Writer, widths []int, cells []string) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+	}
+	fmt.Fprintln(out, strings.Join(parts, " | "))
+}
+
+func printSeparator(out io.Writer, widths []int) {
+	sep := make([]string, len(widths))
 	for i, w := range widths {
 		sep[i] = strings.Repeat("-", w)
 	}
-	fmt.Println(strings.Join(sep, "-+-"))
-	count := 0
-	for rows.Next() {
-		row := rows.Row()
-		cells := make([]string, len(row))
-		for i, v := range row {
-			cells[i] = formatValue(v)
-		}
-		printRow(cells)
-		count++
-	}
-	if err := rows.Err(); err != nil {
-		return err
-	}
-	fmt.Printf("(%d row(s))\n", count)
-	return nil
+	fmt.Fprintln(out, strings.Join(sep, "-+-"))
 }
 
-func printResult(res *engine.Result) {
-	if res == nil {
-		return
-	}
-	if len(res.Columns) == 0 {
-		if res.Message != "" {
-			fmt.Println(res.Message)
+func printResult(out io.Writer, columns []string, rows []types.Tuple, message string) {
+	if len(columns) == 0 {
+		if message != "" {
+			fmt.Fprintln(out, message)
 		}
 		return
 	}
-	widths := make([]int, len(res.Columns))
-	for i, c := range res.Columns {
+	widths := make([]int, len(columns))
+	for i, c := range columns {
 		widths[i] = len(c)
 	}
-	rendered := make([][]string, len(res.Rows))
-	for r, row := range res.Rows {
+	rendered := make([][]string, len(rows))
+	for r, row := range rows {
 		rendered[r] = make([]string, len(row))
 		for i, v := range row {
 			rendered[r][i] = formatValue(v)
@@ -197,23 +352,12 @@ func printResult(res *engine.Result) {
 			}
 		}
 	}
-	printRow := func(cells []string) {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
-		}
-		fmt.Println(strings.Join(parts, " | "))
-	}
-	printRow(res.Columns)
-	sep := make([]string, len(res.Columns))
-	for i, w := range widths {
-		sep[i] = strings.Repeat("-", w)
-	}
-	fmt.Println(strings.Join(sep, "-+-"))
+	printAligned(out, widths, columns)
+	printSeparator(out, widths)
 	for _, row := range rendered {
-		printRow(row)
+		printAligned(out, widths, row)
 	}
-	fmt.Printf("(%d row(s))\n", len(res.Rows))
+	fmt.Fprintf(out, "(%d row(s))\n", len(rows))
 }
 
 func formatValue(v types.Value) string {
@@ -221,9 +365,4 @@ func formatValue(v types.Value) string {
 		return ""
 	}
 	return v.String()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wowsql:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// runShell drives run() the way main does for piped input.
+func runShell(t *testing.T, opts options, input string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = run(opts, strings.NewReader(input), &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestPipedStatementsExitZeroOnSuccess(t *testing.T) {
+	code, stdout, stderr := runShell(t, options{}, `
+CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
+INSERT INTO t VALUES (1, 'one'), (2, 'two');
+SELECT id, name FROM t ORDER BY id;
+`)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "one") || !strings.Contains(stdout, "(2 row(s))") {
+		t.Fatalf("stdout = %q", stdout)
+	}
+}
+
+// TestPipedErrorExitsNonZero is the regression test for the seed behaviour
+// where a failing statement in piped mode still exited 0.
+func TestPipedErrorExitsNonZero(t *testing.T) {
+	code, stdout, stderr := runShell(t, options{}, `
+CREATE TABLE t (id INT PRIMARY KEY);
+INSERT INTO missing VALUES (1);
+SELECT * FROM t;
+`)
+	if code == 0 {
+		t.Fatalf("exit code = 0 after a failing statement; stderr = %q", stderr)
+	}
+	if !strings.Contains(stderr, "missing") {
+		t.Fatalf("stderr = %q, want the error mentioning the missing table", stderr)
+	}
+	// Execution stops at the error: the following SELECT must not have run.
+	if strings.Contains(stdout, "row(s)") {
+		t.Fatalf("statements after the error still ran: %q", stdout)
+	}
+}
+
+func TestPipedParseErrorExitsNonZero(t *testing.T) {
+	code, _, stderr := runShell(t, options{}, "SELEKT nonsense;\n")
+	if code == 0 {
+		t.Fatalf("exit code = 0 for a parse error; stderr = %q", stderr)
+	}
+}
+
+func TestTrailingStatementWithoutSemicolonRuns(t *testing.T) {
+	code, stdout, _ := runShell(t, options{}, "CREATE TABLE t (id INT PRIMARY KEY);\nSELECT id FROM t")
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(stdout, "(0 row(s))") {
+		t.Fatalf("trailing statement did not run: %q", stdout)
+	}
+}
+
+func TestInteractiveErrorKeepsReading(t *testing.T) {
+	code, stdout, stderr := runShell(t, options{interactive: true}, `
+CREATE TABLE t (id INT PRIMARY KEY);
+INSERT INTO missing VALUES (1);
+INSERT INTO t VALUES (7);
+SELECT id FROM t;
+`)
+	if code != 0 {
+		t.Fatalf("interactive shell exit code = %d", code)
+	}
+	if !strings.Contains(stderr, "missing") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+	if !strings.Contains(stdout, "(1 row(s))") {
+		t.Fatalf("statements after the interactive error did not run: %q", stdout)
+	}
+}
+
+func TestOversizedInputLineExitsNonZero(t *testing.T) {
+	// A line beyond the scanner buffer is a read error, not end of input; the
+	// statements after it never ran, so the exit code must say so.
+	huge := "INSERT INTO t VALUES (1, '" + strings.Repeat("x", 2<<20) + "');"
+	code, _, stderr := runShell(t, options{}, "CREATE TABLE t (id INT PRIMARY KEY, v TEXT);\n"+huge+"\n")
+	if code == 0 {
+		t.Fatalf("exit code = 0 after an oversized input line; stderr = %q", stderr)
+	}
+	if !strings.Contains(stderr, "reading input") {
+		t.Fatalf("stderr = %q, want a read error", stderr)
+	}
+}
+
+func TestScriptFileErrorExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.sql")
+	if err := os.WriteFile(path, []byte("INSERT INTO missing VALUES (1);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runShell(t, options{scripts: []string{path}}, "")
+	if code == 0 {
+		t.Fatalf("exit code = 0 for a failing script; stderr = %q", stderr)
+	}
+}
+
+func TestRemoteModeRoundTrip(t *testing.T) {
+	db := engine.OpenMemory()
+	defer db.Close()
+	srv := server.New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	code, stdout, stderr := runShell(t, options{connect: ln.Addr().String()}, `
+CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
+INSERT INTO t VALUES (1, 'remote row');
+SELECT id, name FROM t;
+BEGIN;
+INSERT INTO t VALUES (2, 'rolled back');
+ROLLBACK;
+SELECT id FROM t;
+`)
+	if code != 0 {
+		t.Fatalf("remote shell exit code = %d, stderr = %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "remote row") {
+		t.Fatalf("stdout = %q", stdout)
+	}
+	if !strings.Contains(stdout, "(1 row(s))") || strings.Contains(stdout, "(2 row(s))") {
+		t.Fatalf("rollback over the wire did not take effect: %q", stdout)
+	}
+	// An error over the wire exits non-zero too.
+	code, _, stderr = runShell(t, options{connect: ln.Addr().String()}, "INSERT INTO missing VALUES (1);\n")
+	if code == 0 {
+		t.Fatalf("remote error exit code = 0; stderr = %q", stderr)
+	}
+}

@@ -34,8 +34,8 @@ type Options struct {
 	// DisableWAL turns logging off entirely (used by benchmarks that measure
 	// pure execution cost).
 	DisableWAL bool
-	// PlanCacheSize bounds each session's prepared-plan cache (default 256
-	// statements).
+	// PlanCacheSize bounds the engine-wide shared prepared-plan cache
+	// (default 256 statements).
 	PlanCacheSize int
 }
 
@@ -47,6 +47,10 @@ type Database struct {
 	cat  *catalog.Catalog
 	wal  *txn.WAL
 	txns *txn.Manager
+	// plans is the engine-wide shared cache of statement skeletons: every
+	// session prepares through it, so N connections preparing the same form
+	// query parse and plan it once.
+	plans *planCache
 	// prep aggregates prepared-statement counters across all sessions.
 	prep prepCounters
 }
@@ -111,12 +115,13 @@ func Open(opts Options) (*Database, error) {
 		}
 	}
 	db := &Database{
-		opts: opts,
-		disk: disk,
-		pool: pool,
-		cat:  cat,
-		wal:  wal,
-		txns: txn.NewManager(wal, opts.LockTimeout),
+		opts:  opts,
+		disk:  disk,
+		pool:  pool,
+		cat:   cat,
+		wal:   wal,
+		txns:  txn.NewManager(wal, opts.LockTimeout),
+		plans: newPlanCache(opts.PlanCacheSize),
 	}
 	if len(walRecords) > 0 {
 		if err := db.replay(walRecords); err != nil {
@@ -176,12 +181,18 @@ func (db *Database) Transactions() *txn.Manager { return db.txns }
 // Pool exposes the buffer pool, mainly for its statistics.
 func (db *Database) Pool() *storage.BufferPool { return db.pool }
 
-// Session creates a new session. Sessions are cheap; each interactive window
-// or worker goroutine should own one. A Session must not be used from more
-// than one goroutine at a time.
+// Session creates a new session. Sessions are cheap; each interactive window,
+// worker goroutine or server connection should own one. A Session must not be
+// used from more than one goroutine at a time, but any number of sessions may
+// run concurrently against the same database — they share the engine's plan
+// cache, lock manager and storage.
 func (db *Database) Session() *Session {
-	return &Session{db: db, plans: newPlanCache(db.opts.PlanCacheSize)}
+	return &Session{db: db}
 }
+
+// PlanCacheLen returns how many statement skeletons the engine's shared plan
+// cache currently holds.
+func (db *Database) PlanCacheLen() int { return db.plans.len() }
 
 // Stats summarises engine-level counters for the benchmark harness.
 type Stats struct {

@@ -1,8 +1,9 @@
 package engine
 
 import (
-	"container/list"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/plan"
 	"repro/internal/sql"
@@ -14,6 +15,10 @@ import (
 // carry their plan tree — reads and writes share one planned pipeline — so a
 // cache hit skips the parser, the planner and (for writes) view analysis and
 // access-path selection; DDL and transaction control carry only the AST.
+//
+// Entries are shared across sessions: after construction they are immutable
+// (executing a plan compiles per-statement operator state elsewhere; the AST
+// and plan tree are only read), except for lastUsed, which is atomic.
 type cachedStatement struct {
 	key  string
 	stmt sql.Statement
@@ -31,20 +36,31 @@ type cachedStatement struct {
 	// catVersion is the catalog schema version the entry was built at; a
 	// different current version means the entry may be stale.
 	catVersion uint64
+	// lastUsed is the cache clock tick of the entry's most recent hit; the
+	// eviction pass removes the entry with the smallest tick.
+	lastUsed atomic.Uint64
 }
 
-// planCache is a per-session LRU of prepared statement skeletons keyed by
-// normalized SQL text. Sessions are single-goroutine, so the cache needs no
-// locking; the shared hit/miss counters on the Database are atomic.
+// planCache is the engine-wide cache of prepared statement skeletons keyed by
+// normalized SQL text, shared by every session so that N connections
+// preparing the same form query compile it once. Lookups take the read lock
+// only (recency is stamped with an atomic clock tick, not a list move), so
+// the hot path scales across connection goroutines; inserts take the write
+// lock and evict the least-recently-used entry when the cache is full.
+// Per-session bind state never enters the cache — entries are immutable
+// skeletons, and each Stmt compiles its own operators over its own frame.
 type planCache struct {
+	mu       sync.RWMutex
 	capacity int
-	entries  map[string]*list.Element
-	order    *list.List // front = most recently used
+	entries  map[string]*cachedStatement
+	// clock orders uses; it only ever advances, and ties are harmless (two
+	// entries stamped in the same race are equally recent).
+	clock atomic.Uint64
 }
 
-// defaultPlanCacheSize bounds how many distinct statement texts a session
-// keeps prepared. Forms workloads cycle through a handful of shapes per
-// window; 256 gives plenty of headroom before eviction.
+// defaultPlanCacheSize bounds how many distinct statement texts the engine
+// keeps prepared across all sessions. Forms workloads cycle through a handful
+// of shapes per window; 256 gives plenty of headroom before eviction.
 const defaultPlanCacheSize = 256
 
 func newPlanCache(capacity int) *planCache {
@@ -53,43 +69,51 @@ func newPlanCache(capacity int) *planCache {
 	}
 	return &planCache{
 		capacity: capacity,
-		entries:  make(map[string]*list.Element),
-		order:    list.New(),
+		entries:  make(map[string]*cachedStatement),
 	}
 }
 
-// get returns the cached entry for key, marking it most recently used.
+// get returns the cached entry for key, stamping it most recently used.
 func (c *planCache) get(key string) *cachedStatement {
-	el, ok := c.entries[key]
-	if !ok {
-		return nil
+	c.mu.RLock()
+	entry := c.entries[key]
+	c.mu.RUnlock()
+	if entry != nil {
+		entry.lastUsed.Store(c.clock.Add(1))
 	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cachedStatement)
+	return entry
 }
 
 // put inserts (or replaces) an entry, evicting the least recently used one
-// when the cache is full. It reports whether an eviction happened.
+// when the cache is full. It reports whether an eviction happened. Two
+// sessions racing to cache the same key both succeed; the later write wins,
+// which is fine — both entries were built from the same catalog version or
+// the stale one will be replaced on its next version-checked lookup.
 func (c *planCache) put(entry *cachedStatement) (evicted bool) {
-	if el, ok := c.entries[entry.key]; ok {
-		el.Value = entry
-		c.order.MoveToFront(el)
-		return false
-	}
-	if c.order.Len() >= c.capacity {
-		oldest := c.order.Back()
-		if oldest != nil {
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cachedStatement).key)
-			evicted = true
+	entry.lastUsed.Store(c.clock.Add(1))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[entry.key]; !ok && len(c.entries) >= c.capacity {
+		oldestKey := ""
+		oldestTick := uint64(0)
+		for k, e := range c.entries {
+			if tick := e.lastUsed.Load(); oldestKey == "" || tick < oldestTick {
+				oldestKey, oldestTick = k, tick
+			}
 		}
+		delete(c.entries, oldestKey)
+		evicted = true
 	}
-	c.entries[entry.key] = c.order.PushFront(entry)
+	c.entries[entry.key] = entry
 	return evicted
 }
 
 // len returns the number of cached entries.
-func (c *planCache) len() int { return c.order.Len() }
+func (c *planCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
 
 // NormalizeSQL canonicalizes statement text for plan-cache keying: runs of
 // whitespace collapse to a single space (except inside string literals and

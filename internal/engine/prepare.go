@@ -104,10 +104,14 @@ func (st *Stmt) buildOps(entry *cachedStatement) error {
 
 // statementSkeleton returns the cached bind-independent part of a statement,
 // building and caching it on a miss (or when the schema changed since it was
-// cached).
+// cached). The cache is shared engine-wide: any session that prepared the
+// same normalized text already — on this connection or another — saves this
+// one the parse and plan. Entries are immutable once cached, so handing the
+// same skeleton to concurrent sessions is safe; each Stmt compiles its own
+// operators over its own bind frame.
 func (s *Session) statementSkeleton(text string) (*cachedStatement, error) {
 	key := NormalizeSQL(text)
-	if entry := s.plans.get(key); entry != nil && entry.catVersion == s.db.cat.Version() {
+	if entry := s.db.plans.get(key); entry != nil && entry.catVersion == s.db.cat.Version() {
 		s.db.prep.planHits.Add(1)
 		return entry, nil
 	}
@@ -116,7 +120,7 @@ func (s *Session) statementSkeleton(text string) (*cachedStatement, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.plans.put(entry) {
+	if s.db.plans.put(entry) {
 		s.db.prep.planEvictions.Add(1)
 	}
 	return entry, nil
@@ -387,6 +391,11 @@ func (st *Stmt) Columns() []string {
 // Text returns the normalized SQL the statement was prepared from.
 func (st *Stmt) Text() string { return st.key }
 
+// IsQuery reports whether the statement produces a row stream through Query
+// (a SELECT). Everything else — DML, DDL, EXPLAIN, transaction control —
+// runs through Exec. The wire-protocol server routes Execute messages on it.
+func (st *Stmt) IsQuery() bool { return st.op != nil }
+
 // ExplainPlan renders the prepared plan tree for EXPLAIN-style tooling —
 // SELECT and DML statements alike (empty for DDL and transaction control).
 // The plan is refreshed first if the schema changed since it was prepared.
@@ -510,7 +519,12 @@ func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
 	}
 	st.busy = true
 	st.session.db.prep.cursorsOpened.Add(1)
-	return &Rows{stmt: st, op: st.op, columns: st.entry.columns, release: release}, nil
+	rows := &Rows{stmt: st, op: st.op, columns: st.entry.columns, release: release}
+	if st.session.openRows == nil {
+		st.session.openRows = make(map[*Rows]struct{})
+	}
+	st.session.openRows[rows] = struct{}{}
+	return rows, nil
 }
 
 // Exec runs the prepared statement and materialises its outcome: rows for a

@@ -173,5 +173,6 @@ func (r *Rows) close() {
 		r.release()
 	}
 	r.stmt.busy = false
+	delete(r.stmt.session.openRows, r)
 	r.stmt.session.db.prep.cursorsClosed.Add(1)
 }

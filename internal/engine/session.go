@@ -26,19 +26,21 @@ type Result struct {
 
 // Session executes statements against a database, carrying the current
 // explicit transaction if one is open. It is not safe for concurrent use.
+// Prepared-statement skeletons are cached engine-wide (the sessions share one
+// plan cache); bind frames and cursors stay private to the session.
 type Session struct {
 	db      *Database
 	current *txn.Txn
-	// plans caches prepared statement skeletons by normalized SQL text, so
-	// both Prepare and the string convenience methods skip the parser and
-	// planner on repeated statements.
-	plans *planCache
 	// cursorTables counts this session's open autocommit cursors per base
 	// table. A write from the same session against such a table could never
 	// acquire its exclusive lock (the cursor's read lease has its own owner
 	// id), so the write path fails fast instead of spinning to the lock
 	// timeout.
 	cursorTables map[string]int
+	// openRows tracks this session's open cursors so Close can release their
+	// read leases when a connection drops with cursors still streaming.
+	openRows map[*Rows]struct{}
+	closed   bool
 }
 
 // noteCursors adjusts the open-cursor count for the given tables.
@@ -63,8 +65,37 @@ func (s *Session) checkNoOpenCursor(table string) error {
 	return nil
 }
 
-// PlanCacheLen returns how many statement skeletons this session has cached.
-func (s *Session) PlanCacheLen() int { return s.plans.len() }
+// PlanCacheLen returns how many statement skeletons the engine's shared plan
+// cache holds. (Kept on Session for compatibility — since the cache was
+// hoisted engine-wide it is the same number every session reports.)
+func (s *Session) PlanCacheLen() int { return s.db.plans.len() }
+
+// Close releases everything the session holds: open cursors (and with them
+// their read leases on the tables they were streaming) are closed, and an
+// open explicit transaction is rolled back. The server calls this when a
+// connection disconnects — cleanly or not — so an abandoned session can never
+// keep holding locks that block other sessions' writes. Closing an
+// already-closed session is a no-op.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	// Snapshot first: Rows.Close unregisters from the map as it runs.
+	open := make([]*Rows, 0, len(s.openRows))
+	for r := range s.openRows {
+		open = append(open, r)
+	}
+	for _, r := range open {
+		r.Close()
+	}
+	var err error
+	if s.current != nil {
+		err = s.current.Rollback()
+		s.current = nil
+	}
+	return err
+}
 
 // InTransaction reports whether an explicit transaction is open.
 func (s *Session) InTransaction() bool { return s.current != nil }

@@ -121,7 +121,7 @@ func compile(e sql.Expr, schema *types.Schema, params *Params) (evalFunc, types.
 		}, types.KindNull, nil
 
 	case *sql.ColumnRef:
-		idx, err := schema.ColumnIndex(e.String())
+		idx, err := schema.ColumnIndex(e.RefName())
 		if err != nil {
 			return nil, types.KindNull, fmt.Errorf("expr: %w", err)
 		}

@@ -86,8 +86,10 @@ var Quick = Config{Sizes: workload.SmallSizes, Operations: 30, Quick: true}
 // Experiments lists the experiment identifiers in order. E1–E8 regenerate
 // the paper's tables and figures; E9 measures the engine's prepared-statement
 // path against re-parsed text execution; E10 measures the planned write path
-// (index-range UPDATE and batch-bound INSERT) against the seed write path.
-var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+// (index-range UPDATE and batch-bound INSERT) against the seed write path;
+// E11 measures N-client throughput through the wire-protocol server and the
+// engine-wide shared plan cache.
+var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 
 // Run executes one experiment by id.
 func Run(id string, cfg Config) (*Table, error) {
@@ -112,6 +114,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return RunE9(cfg)
 	case "E10":
 		return RunE10(cfg)
+	case "E11":
+		return RunE11(cfg)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}

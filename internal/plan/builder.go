@@ -526,7 +526,7 @@ func exprName(e sql.Expr) string {
 // checkResolves verifies every column in e resolves against the schema.
 func checkResolves(e sql.Expr, schema *types.Schema) error {
 	for _, c := range sql.ColumnsIn(e) {
-		if _, err := schema.ColumnIndex(c.String()); err != nil {
+		if _, err := schema.ColumnIndex(c.RefName()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,452 @@
+// Package client is the Go client for the wowserver wire protocol. It
+// mirrors the engine's prepared-statement API — Conn.Prepare, Stmt.Bind,
+// Stmt.Query returning a streaming Rows cursor — so code written against a
+// local engine.Session ports to a remote server by swapping the constructor.
+//
+//	conn, _ := client.Dial("127.0.0.1:4045")
+//	defer conn.Close()
+//	stmt, _ := conn.Prepare("SELECT name FROM customers WHERE id = ?")
+//	rows, _ := stmt.Query(types.NewInt(7))
+//	for rows.Next() { ... rows.Row() ... }
+//	rows.Close()
+//
+// A Conn multiplexes nothing: like an engine.Session it must not be used
+// from more than one goroutine at a time. Open one Conn per worker.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"repro/internal/server/wire"
+	"repro/internal/types"
+)
+
+// DefaultFetchSize is how many rows a cursor pulls per Fetch round trip.
+const DefaultFetchSize = 256
+
+// Error is a failure the server reported (as opposed to a transport error).
+type Error struct {
+	Msg string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Result is the materialised outcome of one remote statement, mirroring
+// engine.Result: rows for EXPLAIN and drained SELECTs, an affected-row count
+// for DML, a message for DDL and transaction control.
+type Result struct {
+	Columns      []string
+	Rows         []types.Tuple
+	RowsAffected int64
+	Message      string
+}
+
+// Conn is one connection to a wowserver.
+type Conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+	// fetchSize is the Fetch batch size cursors on this connection use.
+	fetchSize uint32
+	closed    bool
+}
+
+// Dial connects to a server at the TCP address.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{
+		nc:        nc,
+		r:         bufio.NewReader(nc),
+		w:         bufio.NewWriter(nc),
+		fetchSize: DefaultFetchSize,
+	}, nil
+}
+
+// SetFetchSize changes how many rows each Fetch round trip asks for.
+func (c *Conn) SetFetchSize(n int) {
+	if n > 0 {
+		c.fetchSize = uint32(n)
+	}
+}
+
+// Close closes the connection. The server rolls back any open transaction
+// and releases every lock the connection held.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.nc.Close()
+}
+
+// roundTrip sends one message and reads the response, converting MsgErr
+// frames into *Error values.
+func (c *Conn) roundTrip(msgType byte, payload []byte) (byte, *wire.Cursor, error) {
+	if c.closed {
+		return 0, nil, fmt.Errorf("client: connection is closed")
+	}
+	if err := wire.WriteFrame(c.w, msgType, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	respType, resp, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return 0, nil, err
+	}
+	cur := wire.NewCursor(resp)
+	if respType == wire.MsgErr {
+		msg := cur.String()
+		if err := cur.Err(); err != nil {
+			return 0, nil, err
+		}
+		return 0, nil, &Error{Msg: msg}
+	}
+	return respType, cur, nil
+}
+
+// expect runs a round trip and checks the response type.
+func (c *Conn) expect(msgType byte, payload []byte, want byte) (*wire.Cursor, error) {
+	respType, cur, err := c.roundTrip(msgType, payload)
+	if err != nil {
+		return nil, err
+	}
+	if respType != want {
+		return nil, fmt.Errorf("client: server answered 0x%02x, want 0x%02x", respType, want)
+	}
+	return cur, nil
+}
+
+// Prepare compiles a statement on the server and returns the remote handle.
+// The server parses and plans it once (or not at all, when another session
+// already prepared the same text into the shared plan cache).
+func (c *Conn) Prepare(text string) (*Stmt, error) {
+	var b wire.Buffer
+	b.String(text)
+	cur, err := c.expect(wire.MsgPrepare, b.B, wire.MsgStmt)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{conn: c}
+	st.id = cur.Uint32()
+	st.paramNames = cur.Strings()
+	st.columns = cur.Strings()
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Exec prepares, runs and closes a statement in one call — the convenience
+// path for one-off statements (DDL, transaction control, ad-hoc DML).
+func (c *Conn) Exec(text string, args ...types.Value) (*Result, error) {
+	st, err := c.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return st.Exec(args...)
+}
+
+// Query prepares and runs a SELECT, returning a streaming cursor. Closing
+// the cursor closes the underlying one-off statement too.
+func (c *Conn) Query(text string, args ...types.Value) (*Rows, error) {
+	st, err := c.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := st.Query(args...)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	rows.ownStmt = st
+	return rows, nil
+}
+
+// Begin opens an explicit transaction on the connection's server session.
+func (c *Conn) Begin() error { return c.txnControl(wire.MsgBegin) }
+
+// Commit commits the open transaction.
+func (c *Conn) Commit() error { return c.txnControl(wire.MsgCommit) }
+
+// Rollback rolls the open transaction back.
+func (c *Conn) Rollback() error { return c.txnControl(wire.MsgRollback) }
+
+func (c *Conn) txnControl(msgType byte) error {
+	cur, err := c.expect(msgType, nil, wire.MsgResult)
+	if err != nil {
+		return err
+	}
+	_, err = readResult(cur)
+	return err
+}
+
+// readResult decodes a MsgResult payload.
+func readResult(cur *wire.Cursor) (*Result, error) {
+	res := &Result{}
+	res.RowsAffected = int64(cur.Uint64())
+	res.Message = cur.String()
+	res.Columns = cur.Strings()
+	n := cur.Uint32()
+	for i := uint32(0); i < n; i++ {
+		res.Rows = append(res.Rows, cur.Tuple())
+	}
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stmt is a statement prepared on the server.
+type Stmt struct {
+	conn       *Conn
+	id         uint32
+	paramNames []string
+	columns    []string
+	closed     bool
+}
+
+// NumParams returns how many parameters the statement takes.
+func (st *Stmt) NumParams() int { return len(st.paramNames) }
+
+// ParamNames returns the parameter names by ordinal ("" for positional "?").
+func (st *Stmt) ParamNames() []string {
+	out := make([]string, len(st.paramNames))
+	copy(out, st.paramNames)
+	return out
+}
+
+// Columns returns the output column names (empty for non-SELECT statements).
+func (st *Stmt) Columns() []string {
+	out := make([]string, len(st.columns))
+	copy(out, st.columns)
+	return out
+}
+
+// Bind sets every parameter positionally on the server-side statement.
+func (st *Stmt) Bind(args ...types.Value) error {
+	if st.closed {
+		return fmt.Errorf("client: statement is closed")
+	}
+	var b wire.Buffer
+	b.Uint32(st.id)
+	b.Tuple(types.Tuple(args))
+	_, err := st.conn.expect(wire.MsgBind, b.B, wire.MsgOK)
+	return err
+}
+
+// Exec runs the statement and materialises its outcome. Optional args are a
+// shorthand for Bind. Running a SELECT through Exec drains its cursor.
+func (st *Stmt) Exec(args ...types.Value) (*Result, error) {
+	if len(args) > 0 {
+		if err := st.Bind(args...); err != nil {
+			return nil, err
+		}
+	}
+	respType, cur, err := st.execute()
+	if err != nil {
+		return nil, err
+	}
+	if respType == wire.MsgResult {
+		return readResult(cur)
+	}
+	// A SELECT came back as a cursor: drain it.
+	rows, err := st.rowsFromCursor(cur)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	res := &Result{Columns: rows.Columns()}
+	for rows.Next() {
+		res.Rows = append(res.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Query runs the statement and returns a streaming cursor over its result.
+// Optional args are a shorthand for Bind.
+func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
+	if len(args) > 0 {
+		if err := st.Bind(args...); err != nil {
+			return nil, err
+		}
+	}
+	respType, cur, err := st.execute()
+	if err != nil {
+		return nil, err
+	}
+	if respType != wire.MsgCursor {
+		return nil, fmt.Errorf("client: statement is not a query; use Exec")
+	}
+	return st.rowsFromCursor(cur)
+}
+
+func (st *Stmt) execute() (byte, *wire.Cursor, error) {
+	if st.closed {
+		return 0, nil, fmt.Errorf("client: statement is closed")
+	}
+	var b wire.Buffer
+	b.Uint32(st.id)
+	respType, cur, err := st.conn.roundTrip(wire.MsgExecute, b.B)
+	if err != nil {
+		return 0, nil, err
+	}
+	if respType != wire.MsgResult && respType != wire.MsgCursor {
+		return 0, nil, fmt.Errorf("client: unexpected response 0x%02x to Execute", respType)
+	}
+	return respType, cur, nil
+}
+
+func (st *Stmt) rowsFromCursor(cur *wire.Cursor) (*Rows, error) {
+	rows := &Rows{conn: st.conn}
+	rows.id = cur.Uint32()
+	rows.columns = cur.Strings()
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Close releases the server-side statement.
+func (st *Stmt) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	var b wire.Buffer
+	b.Uint32(st.id)
+	_, err := st.conn.expect(wire.MsgCloseStmt, b.B, wire.MsgOK)
+	return err
+}
+
+// Rows is a streaming cursor over a remote query's result. Rows arrive in
+// fetch batches (Conn.SetFetchSize); Next serves from the batch and asks the
+// server for the next one when it runs dry.
+type Rows struct {
+	conn    *Conn
+	id      uint32
+	columns []string
+	buf     []types.Tuple
+	pos     int
+	done    bool
+	closed  bool
+	err     error
+	// ownStmt is the one-off statement Conn.Query created, closed with the
+	// cursor.
+	ownStmt *Stmt
+}
+
+// Columns returns the result's column names.
+func (r *Rows) Columns() []string {
+	out := make([]string, len(r.columns))
+	copy(out, r.columns)
+	return out
+}
+
+// Next advances to the next row, fetching the next batch from the server
+// when the buffered one is exhausted. It returns false at the end of the
+// result or on error — check Err afterwards to tell the two apart.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.pos >= len(r.buf) {
+		if r.done {
+			r.finish()
+			return false
+		}
+		if !r.fetch() {
+			return false
+		}
+		if r.pos >= len(r.buf) {
+			r.finish()
+			return false
+		}
+	}
+	r.pos++
+	return true
+}
+
+// fetch pulls the next batch; it reports whether any progress can be made.
+func (r *Rows) fetch() bool {
+	var b wire.Buffer
+	b.Uint32(r.id)
+	b.Uint32(r.conn.fetchSize)
+	cur, err := r.conn.expect(wire.MsgFetch, b.B, wire.MsgRows)
+	if err != nil {
+		r.err = err
+		r.finish()
+		return false
+	}
+	r.done = cur.Bool()
+	n := cur.Uint32()
+	r.buf = r.buf[:0]
+	r.pos = 0
+	for i := uint32(0); i < n; i++ {
+		r.buf = append(r.buf, cur.Tuple())
+	}
+	if err := cur.Err(); err != nil {
+		r.err = err
+		r.finish()
+		return false
+	}
+	return true
+}
+
+// Row returns the current row (valid until the next call to Next), or nil
+// when Next has not yielded one — matching the engine cursor it mirrors.
+func (r *Rows) Row() types.Tuple {
+	if r.pos == 0 || r.pos > len(r.buf) {
+		return nil
+	}
+	return r.buf[r.pos-1]
+}
+
+// Err returns the error that stopped iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// finish marks the cursor consumed; the server already closed its side when
+// it reported done (or an error), so no CloseCursor round trip is needed.
+func (r *Rows) finish() {
+	r.closed = true
+	r.buf, r.pos = nil, 0 // Row() returns nil once iteration has ended
+	if r.ownStmt != nil {
+		_ = r.ownStmt.Close()
+		r.ownStmt = nil
+	}
+}
+
+// Close releases the cursor. Closing before exhaustion tells the server to
+// drop its cursor (releasing the read locks it holds); closing after Next
+// returned false is a no-op.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	wasDone := r.done && r.pos >= len(r.buf)
+	r.closed = true
+	var err error
+	if !wasDone {
+		var b wire.Buffer
+		b.Uint32(r.id)
+		_, err = r.conn.expect(wire.MsgCloseCursor, b.B, wire.MsgOK)
+	}
+	if r.ownStmt != nil {
+		closeErr := r.ownStmt.Close()
+		if err == nil {
+			err = closeErr
+		}
+		r.ownStmt = nil
+	}
+	return err
+}

@@ -1,0 +1,426 @@
+// Package server is the wire-protocol front end over one shared engine: a
+// TCP session manager that gives every connection its own engine.Session —
+// run by one goroutine per connection — while all connections share the
+// engine's plan cache, lock manager and storage. The protocol (package wire)
+// maps 1:1 onto the prepared-statement lifecycle, so a remote client pays one
+// round trip per Prepare/Bind/Execute and streams result rows in fetch
+// batches instead of materialising them.
+//
+// Disconnects — clean, abrupt, or a panicking connection goroutine — always
+// run the same cleanup path: open cursors close (releasing their read
+// leases), prepared statements close, and any open explicit transaction
+// rolls back, so an abandoned connection can never keep holding locks
+// against the other sessions.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/server/wire"
+)
+
+// Server accepts connections and serves the wire protocol over a database.
+type Server struct {
+	db *engine.Database
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted   atomic.Uint64
+	active     atomic.Int64
+	statements atomic.Uint64
+	rowsSent   atomic.Uint64
+	panics     atomic.Uint64
+}
+
+// Stats summarises the server's counters.
+type Stats struct {
+	ConnectionsAccepted uint64
+	ConnectionsActive   int64
+	MessagesServed      uint64
+	RowsSent            uint64
+	Panics              uint64
+}
+
+// New creates a server over the database. The database stays owned by the
+// caller (Close does not close it): embedding processes can keep serving
+// local sessions next to remote ones.
+func New(db *engine.Database) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		ConnectionsAccepted: s.accepted.Load(),
+		ConnectionsActive:   s.active.Load(),
+		MessagesServed:      s.statements.Load(),
+		RowsSent:            s.rowsSent.Load(),
+		Panics:              s.panics.Load(),
+	}
+}
+
+// ListenAndServe listens on the TCP address and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on the listener until it is closed, running one
+// goroutine per connection. It returns nil after Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.active.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// Addr returns the listener's address (nil before Serve), so tests and
+// embedding processes can serve on port 0 and dial what they got.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, disconnects every connection and waits for their
+// goroutines to finish cleanup. The database itself stays open.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// conn is one connection's state: its session, its prepared statements and
+// its open cursors, keyed by the client-visible ids.
+type conn struct {
+	srv     *Server
+	nc      net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	session *engine.Session
+	stmts   map[uint32]*engine.Stmt
+	cursors map[uint32]*engine.Rows
+	nextID  uint32
+}
+
+// serveConn runs one connection's message loop and always — clean EOF, read
+// error, protocol error or panic — tears the connection's engine state down
+// before returning.
+func (s *Server) serveConn(nc net.Conn) {
+	c := &conn{
+		srv:     s,
+		nc:      nc,
+		r:       bufio.NewReader(nc),
+		w:       bufio.NewWriter(nc),
+		session: s.db.Session(),
+		stmts:   make(map[uint32]*engine.Stmt),
+		cursors: make(map[uint32]*engine.Rows),
+	}
+	// Registered first so it always runs, even if the cleanup itself panics:
+	// a lost wg.Done would hang Server.Close forever.
+	defer func() {
+		s.active.Add(-1)
+		s.wg.Done()
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			// A panicking handler must not take the whole server down, and
+			// must still release the connection's locks.
+			s.panics.Add(1)
+		}
+		// Cleanup runs over whatever state the handler left behind; if that
+		// state is broken enough that cleanup panics too, contain it — the
+		// transaction manager's lock release is the part that must not be
+		// skipped for other connections to make progress, and a second panic
+		// here would otherwise crash the whole process.
+		defer func() {
+			if r := recover(); r != nil {
+				s.panics.Add(1)
+			}
+		}()
+		c.cleanup()
+	}()
+	for {
+		msgType, payload, err := wire.ReadFrame(c.r)
+		if err != nil {
+			return // EOF or a broken connection: cleanup runs in the defer
+		}
+		s.statements.Add(1)
+		respType, resp := c.dispatch(msgType, payload)
+		if err := wire.WriteFrame(c.w, respType, resp); err != nil {
+			return
+		}
+		if err := c.w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// cleanup releases everything the connection holds against the shared
+// engine: cursors (and their read leases), statements, and any open explicit
+// transaction, which rolls back.
+func (c *conn) cleanup() {
+	for id, rows := range c.cursors {
+		rows.Close()
+		delete(c.cursors, id)
+	}
+	for id, st := range c.stmts {
+		st.Close()
+		delete(c.stmts, id)
+	}
+	_ = c.session.Close()
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c.nc)
+	c.srv.mu.Unlock()
+	c.nc.Close()
+}
+
+// errFrame renders an error as a MsgErr payload.
+func errFrame(err error) (byte, []byte) {
+	var b wire.Buffer
+	b.String(err.Error())
+	return wire.MsgErr, b.B
+}
+
+// dispatch handles one message and returns the response frame. Statement
+// errors come back as MsgErr frames; the connection itself stays usable
+// (framing is self-delimiting, so a bad payload cannot desync the stream).
+func (c *conn) dispatch(msgType byte, payload []byte) (byte, []byte) {
+	cur := wire.NewCursor(payload)
+	switch msgType {
+	case wire.MsgPrepare:
+		return c.handlePrepare(cur)
+	case wire.MsgBind:
+		return c.handleBind(cur)
+	case wire.MsgExecute:
+		return c.handleExecute(cur)
+	case wire.MsgFetch:
+		return c.handleFetch(cur)
+	case wire.MsgCloseStmt:
+		id := cur.Uint32()
+		if err := cur.Err(); err != nil {
+			return errFrame(err)
+		}
+		if st, ok := c.stmts[id]; ok {
+			st.Close()
+			delete(c.stmts, id)
+		}
+		return wire.MsgOK, nil
+	case wire.MsgCloseCursor:
+		id := cur.Uint32()
+		if err := cur.Err(); err != nil {
+			return errFrame(err)
+		}
+		if rows, ok := c.cursors[id]; ok {
+			rows.Close()
+			delete(c.cursors, id)
+		}
+		return wire.MsgOK, nil
+	case wire.MsgBegin:
+		return c.execText("BEGIN")
+	case wire.MsgCommit:
+		return c.execText("COMMIT")
+	case wire.MsgRollback:
+		return c.execText("ROLLBACK")
+	default:
+		return errFrame(fmt.Errorf("server: unknown message type 0x%02x", msgType))
+	}
+}
+
+func (c *conn) handlePrepare(cur *wire.Cursor) (byte, []byte) {
+	text := cur.String()
+	if err := cur.Err(); err != nil {
+		return errFrame(err)
+	}
+	st, err := c.session.Prepare(text)
+	if err != nil {
+		return errFrame(err)
+	}
+	c.nextID++
+	id := c.nextID
+	c.stmts[id] = st
+	var b wire.Buffer
+	b.Uint32(id)
+	b.Strings(st.ParamNames())
+	b.Strings(st.Columns())
+	return wire.MsgStmt, b.B
+}
+
+func (c *conn) handleBind(cur *wire.Cursor) (byte, []byte) {
+	id := cur.Uint32()
+	args := cur.Tuple()
+	if err := cur.Err(); err != nil {
+		return errFrame(err)
+	}
+	st, ok := c.stmts[id]
+	if !ok {
+		return errFrame(fmt.Errorf("server: no statement %d", id))
+	}
+	if err := st.Bind(args...); err != nil {
+		return errFrame(err)
+	}
+	return wire.MsgOK, nil
+}
+
+func (c *conn) handleExecute(cur *wire.Cursor) (byte, []byte) {
+	id := cur.Uint32()
+	if err := cur.Err(); err != nil {
+		return errFrame(err)
+	}
+	st, ok := c.stmts[id]
+	if !ok {
+		return errFrame(fmt.Errorf("server: no statement %d", id))
+	}
+	if st.IsQuery() {
+		rows, err := st.Query()
+		if err != nil {
+			return errFrame(err)
+		}
+		c.nextID++
+		cid := c.nextID
+		c.cursors[cid] = rows
+		var b wire.Buffer
+		b.Uint32(cid)
+		b.Strings(rows.Columns())
+		return wire.MsgCursor, b.B
+	}
+	res, err := st.Exec()
+	if err != nil {
+		return errFrame(err)
+	}
+	return resultFrame(res, &c.srv.rowsSent)
+}
+
+func (c *conn) handleFetch(cur *wire.Cursor) (byte, []byte) {
+	id := cur.Uint32()
+	maxRows := cur.Uint32()
+	if err := cur.Err(); err != nil {
+		return errFrame(err)
+	}
+	rows, ok := c.cursors[id]
+	if !ok {
+		return errFrame(fmt.Errorf("server: no cursor %d", id))
+	}
+	if maxRows == 0 {
+		maxRows = 1
+	}
+	// Rows encode as they are pulled, bounded by both the client's row count
+	// and a byte budget: a batch of wide rows must never grow past the frame
+	// cap, or WriteFrame would fail and take the whole connection down. A
+	// short batch just means the client fetches again.
+	const batchByteBudget = 4 << 20
+	var rowsBuf wire.Buffer
+	count := 0
+	done := false
+	for uint32(count) < maxRows && len(rowsBuf.B) < batchByteBudget {
+		if !rows.Next() {
+			done = true
+			break
+		}
+		// Row is valid until the next Next, and it is encoded before the next
+		// pull, so no copy is needed.
+		rowsBuf.Tuple(rows.Row())
+		count++
+	}
+	if done {
+		err := rows.Err()
+		delete(c.cursors, id) // Next returning false closed the cursor
+		if err != nil {
+			return errFrame(err)
+		}
+	}
+	var b wire.Buffer
+	b.Bool(done)
+	b.Uint32(uint32(count))
+	b.B = append(b.B, rowsBuf.B...)
+	if len(b.B)+16 > wire.MaxFrame {
+		// A single row larger than a frame can never be shipped; fail the
+		// statement, not the connection.
+		rows.Close()
+		delete(c.cursors, id)
+		return errFrame(fmt.Errorf("server: result row exceeds the %d-byte frame limit", wire.MaxFrame))
+	}
+	c.srv.rowsSent.Add(uint64(count))
+	return wire.MsgRows, b.B
+}
+
+// execText runs a statement given as text (transaction control) and returns
+// its result frame.
+func (c *conn) execText(text string) (byte, []byte) {
+	res, err := c.session.Execute(text)
+	if err != nil {
+		return errFrame(err)
+	}
+	return resultFrame(res, &c.srv.rowsSent)
+}
+
+// resultFrame renders a materialised result (DML counts, DDL messages,
+// EXPLAIN rows) as a MsgResult payload.
+func resultFrame(res *engine.Result, rowsSent *atomic.Uint64) (byte, []byte) {
+	var b wire.Buffer
+	b.Uint64(uint64(res.RowsAffected))
+	b.String(res.Message)
+	b.Strings(res.Columns)
+	b.Uint32(uint32(len(res.Rows)))
+	for _, t := range res.Rows {
+		b.Tuple(t)
+	}
+	rowsSent.Add(uint64(len(res.Rows)))
+	return wire.MsgResult, b.B
+}

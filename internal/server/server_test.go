@@ -1,0 +1,539 @@
+package server_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/server/wire"
+	"repro/internal/types"
+)
+
+// startServer opens an in-memory database with a short lock timeout, serves
+// it on a loopback port and returns the database, the server and the address
+// to dial. Everything shuts down with the test.
+func startServer(t *testing.T) (*engine.Database, *server.Server, string) {
+	t.Helper()
+	db, err := engine.Open(engine.Options{LockTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+		db.Close()
+	})
+	return db, srv, ln.Addr().String()
+}
+
+const testSchema = "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, credit FLOAT, active BOOL, since DATE)"
+
+func seedCustomers(t *testing.T, c *client.Conn, n int) {
+	t.Helper()
+	if _, err := c.Exec(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	insert, err := c.Prepare("INSERT INTO customers (id, name, credit, active, since) VALUES (?, ?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer insert.Close()
+	for i := 1; i <= n; i++ {
+		res, err := insert.Exec(
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("Customer %d", i)),
+			types.NewFloat(float64(100*i)),
+			types.NewBool(i%2 == 0),
+			types.NewDate(1983, 1, 1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RowsAffected != 1 {
+			t.Fatalf("insert affected %d rows", res.RowsAffected)
+		}
+	}
+}
+
+func TestRoundTripAllValueKinds(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedCustomers(t, c, 5)
+
+	// NULL through the wire too.
+	if _, err := c.Exec("INSERT INTO customers (id, name) VALUES (6, 'No Credit')"); err != nil {
+		t.Fatal(err)
+	}
+
+	stmt, err := c.Prepare("SELECT id, name, credit, active, since FROM customers WHERE id >= ? ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	if got := stmt.NumParams(); got != 1 {
+		t.Fatalf("NumParams = %d", got)
+	}
+	if cols := stmt.Columns(); len(cols) != 5 || cols[2] != "credit" {
+		t.Fatalf("Columns = %v", cols)
+	}
+
+	rows, err := stmt.Query(types.NewInt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []types.Tuple
+	for rows.Next() {
+		got = append(got, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d rows, want 3", len(got))
+	}
+	if got[0][0].Int() != 4 || got[0][1].Str() != "Customer 4" || got[0][2].Float() != 400 || !got[0][3].Bool() {
+		t.Fatalf("row 0 = %v", got[0])
+	}
+	if got[0][4].Kind() != types.KindDate || got[0][4].String() != "1983-01-01" {
+		t.Fatalf("date came back as %s %q", got[0][4].Kind(), got[0][4].String())
+	}
+	if !got[2][2].IsNull() {
+		t.Fatalf("NULL credit came back as %v", got[2][2])
+	}
+}
+
+func TestSmallFetchBatchesStreamWholeResult(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedCustomers(t, c, 23)
+	c.SetFetchSize(4) // force several Fetch round trips
+	rows, err := c.Query("SELECT id FROM customers ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for rows.Next() {
+		count++
+		if got := rows.Row()[0].Int(); got != int64(count) {
+			t.Fatalf("row %d has id %d", count, got)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 23 {
+		t.Fatalf("streamed %d rows, want 23", count)
+	}
+}
+
+func TestExplainAndTransactionsOverTheWire(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedCustomers(t, c, 3)
+
+	res, err := c.Exec("EXPLAIN SELECT * FROM customers WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Columns) != 1 || res.Columns[0] != "plan" {
+		t.Fatalf("EXPLAIN result = %+v", res)
+	}
+
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("UPDATE customers SET credit = 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Exec("SELECT credit FROM customers WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Float() != 100 {
+		t.Fatalf("rollback did not undo the update: credit = %v", res.Rows[0][0])
+	}
+
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("UPDATE customers SET credit = 7 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Exec("SELECT credit FROM customers WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Float() != 7 {
+		t.Fatalf("commit lost the update: credit = %v", res.Rows[0][0])
+	}
+}
+
+func TestStatementErrorKeepsConnectionUsable(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("SELEKT broken"); err == nil {
+		t.Fatal("want a parse error")
+	} else if _, ok := err.(*client.Error); !ok {
+		t.Fatalf("want a server-reported *client.Error, got %T: %v", err, err)
+	}
+	seedCustomers(t, c, 1)
+	if _, err := c.Exec("SELECT id FROM customers"); err != nil {
+		t.Fatalf("connection unusable after statement error: %v", err)
+	}
+}
+
+func TestGarbageFrameGetsErrorNotDisconnect(t *testing.T) {
+	_, _, addr := startServer(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// An unknown message type must come back as MsgErr on a live connection.
+	if err := wire.WriteFrame(nc, 0x7f, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	msgType, _, err := wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != wire.MsgErr {
+		t.Fatalf("response type = 0x%02x, want MsgErr", msgType)
+	}
+	// A truncated Bind payload likewise.
+	if err := wire.WriteFrame(nc, wire.MsgBind, []byte{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	msgType, _, err = wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != wire.MsgErr {
+		t.Fatalf("truncated payload response = 0x%02x, want MsgErr", msgType)
+	}
+}
+
+// TestFetchBatchesRespectByteBudget streams a result set whose total size is
+// far beyond one frame's worth of rows: the server must split batches by
+// bytes (not just by the client's row count) instead of overflowing the
+// frame cap and dropping the connection.
+func TestFetchBatchesRespectByteBudget(t *testing.T) {
+	db, _, addr := startServer(t)
+	s := db.Session()
+	if _, err := s.Execute("CREATE TABLE blobs (id INT PRIMARY KEY, payload TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	insert, err := s.Prepare("INSERT INTO blobs (id, payload) VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer insert.Close()
+	wide := strings.Repeat("x", 4096)
+	const rows = 1500 // ~6 MiB total, beyond the 4 MiB batch budget
+	batch := make([][]types.Value, rows)
+	for i := range batch {
+		batch[i] = []types.Value{types.NewInt(int64(i)), types.NewString(wide)}
+	}
+	if _, err := insert.ExecBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetFetchSize(1 << 20) // ask for everything at once; the budget must cap it
+	got, err := c.Query("SELECT id, payload FROM blobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for got.Next() {
+		if len(got.Row()[1].Str()) != len(wide) {
+			t.Fatalf("row %d payload truncated to %d bytes", count, len(got.Row()[1].Str()))
+		}
+		count++
+	}
+	if err := got.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != rows {
+		t.Fatalf("streamed %d rows, want %d", count, rows)
+	}
+}
+
+// TestClientRowNilOutsideIteration: the remote cursor mirrors the engine's —
+// Row outside a successful Next is nil, not a panic.
+func TestClientRowNilOutsideIteration(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedCustomers(t, c, 1)
+	rows, err := c.Query("SELECT id FROM customers WHERE id = 999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Row(); got != nil {
+		t.Fatalf("Row before Next = %v, want nil", got)
+	}
+	if rows.Next() {
+		t.Fatal("unexpected row")
+	}
+	if got := rows.Row(); got != nil {
+		t.Fatalf("Row after exhaustion = %v, want nil", got)
+	}
+}
+
+// waitForWrite retries a write until the abandoned connection's locks are
+// released (the server cleans up asynchronously after a disconnect).
+func waitForWrite(t *testing.T, s *engine.Session, stmt string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := s.Execute(stmt)
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write still blocked after disconnect: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAbruptDisconnectReleasesCursorLeases is the regression test for the
+// disconnect cleanup path: a client that vanishes mid-stream must not keep
+// holding its cursor's read lease, or every later writer would time out.
+func TestAbruptDisconnectReleasesCursorLeases(t *testing.T) {
+	db, _, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCustomers(t, c, 50)
+
+	c.SetFetchSize(2)
+	rows, err := c.Query("SELECT id FROM customers ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("expected a first row")
+	}
+
+	// The open cursor holds a shared lock: a writer times out now.
+	writer := db.Session()
+	if _, err := writer.Execute("UPDATE customers SET credit = 0 WHERE id = 1"); err == nil {
+		t.Fatal("update should block while the remote cursor is open")
+	}
+
+	// Kill the TCP connection without closing the cursor.
+	c.Close()
+	waitForWrite(t, writer, "UPDATE customers SET credit = 0 WHERE id = 1")
+}
+
+// TestAbruptDisconnectRollsBackTransaction: a connection that dies holding
+// an exclusive lock inside BEGIN must roll back, and a second session must be
+// able to write immediately after.
+func TestAbruptDisconnectRollsBackTransaction(t *testing.T) {
+	db, _, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCustomers(t, c, 5)
+
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("UPDATE customers SET credit = 12345 WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	abortedBefore, _ := dbAborted(db)
+	c.Close() // vanish with the transaction open and the exclusive lock held
+
+	writer := db.Session()
+	waitForWrite(t, writer, "UPDATE customers SET credit = 777 WHERE id = 2")
+	res, err := writer.Query("SELECT credit FROM customers WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Float(); got != 777 {
+		t.Fatalf("credit = %v; the dead connection's uncommitted 12345 should have rolled back before 777 was written", got)
+	}
+	if abortedAfter, _ := dbAborted(db); abortedAfter != abortedBefore+1 {
+		t.Fatalf("aborted transactions %d -> %d, want one rollback from the disconnect", abortedBefore, abortedAfter)
+	}
+}
+
+func dbAborted(db *engine.Database) (uint64, uint64) {
+	stats := db.Stats()
+	return stats.Aborted, stats.Committed
+}
+
+// TestSharedPlanCacheAcrossConnections: the second connection preparing the
+// same text must hit the skeleton the first one compiled.
+func TestSharedPlanCacheAcrossConnections(t *testing.T) {
+	db, _, addr := startServer(t)
+	c1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	seedCustomers(t, c1, 3)
+
+	const q = "SELECT name FROM customers WHERE id = ?"
+	st1, err := c1.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st1.Close()
+	statsBetween := db.Stats()
+
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st2, err := c2.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	statsAfter := db.Stats()
+	if statsAfter.PlanCacheHits != statsBetween.PlanCacheHits+1 {
+		t.Fatalf("second connection's prepare: hits %d -> %d, want +1 (shared cache)",
+			statsBetween.PlanCacheHits, statsAfter.PlanCacheHits)
+	}
+	if statsAfter.PlanCacheMisses != statsBetween.PlanCacheMisses {
+		t.Fatalf("second connection's prepare recompiled the plan")
+	}
+
+	// Bind state stays private per connection: interleave the two.
+	if err := st1.Bind(types.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Bind(types.NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := st1.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := st2.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rows[0][0].Str() != "Customer 1" || r2.Rows[0][0].Str() != "Customer 2" {
+		t.Fatalf("bind frames leaked across connections: %v / %v", r1.Rows[0][0], r2.Rows[0][0])
+	}
+}
+
+// TestConcurrentConnectionsOverTheWire drives eight concurrent client
+// connections through the full prepare/bind/execute/fetch cycle against the
+// shared engine.
+func TestConcurrentConnectionsOverTheWire(t *testing.T) {
+	_, srv, addr := startServer(t)
+	setup, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCustomers(t, setup, 20)
+	setup.Close()
+
+	const workers = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			stmt, err := c.Prepare("SELECT name, credit FROM customers WHERE id = ?")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer stmt.Close()
+			for i := 0; i < iters; i++ {
+				id := 1 + (w+i)%20
+				rows, err := stmt.Query(types.NewInt(int64(id)))
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				n := 0
+				for rows.Next() {
+					if got := rows.Row()[0].Str(); got != fmt.Sprintf("Customer %d", id) {
+						errs <- fmt.Errorf("worker %d: wrong row %q for id %d", w, got, id)
+						return
+					}
+					n++
+				}
+				if err := rows.Err(); err != nil {
+					errs <- err
+					return
+				}
+				if n != 1 {
+					errs <- fmt.Errorf("worker %d: %d rows for id %d", w, n, id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if stats := srv.Stats(); stats.ConnectionsAccepted < workers {
+		t.Fatalf("accepted %d connections, want >= %d", stats.ConnectionsAccepted, workers)
+	}
+}

@@ -1,0 +1,289 @@
+// Package wire defines the length-prefixed binary protocol spoken between
+// the wowserver session manager and its clients. Messages map 1:1 onto the
+// engine's prepared-statement lifecycle:
+//
+//	Prepare     -> Session.Prepare        -> Stmt  (statement id, params, columns)
+//	Bind        -> Stmt.Bind              -> OK
+//	Execute     -> Stmt.Query / Stmt.Exec -> Cursor (SELECT) or Result
+//	Fetch       -> Rows.Next x maxRows    -> Rows (a batch; done closes the cursor)
+//	CloseStmt   -> Stmt.Close             -> OK
+//	CloseCursor -> Rows.Close             -> OK
+//	Begin / Commit / Rollback             -> Result
+//
+// Framing: every message is one frame — a 4-byte big-endian payload length,
+// then the payload, whose first byte is the message type. Integers are
+// big-endian and fixed width; strings are a uint32 length followed by UTF-8
+// bytes; values are a kind byte followed by the kind's fixed encoding. The
+// protocol carries no version handshake yet — both ends are built from one
+// tree (see README for the frame catalogue).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/types"
+)
+
+// Message types, client to server.
+const (
+	MsgPrepare     byte = 0x01 // sql string
+	MsgBind        byte = 0x02 // stmt id, values
+	MsgExecute     byte = 0x03 // stmt id
+	MsgFetch       byte = 0x04 // cursor id, max rows
+	MsgCloseStmt   byte = 0x05 // stmt id
+	MsgCloseCursor byte = 0x06 // cursor id
+	MsgBegin       byte = 0x07
+	MsgCommit      byte = 0x08
+	MsgRollback    byte = 0x09
+)
+
+// Message types, server to client.
+const (
+	MsgErr    byte = 0x20 // error text
+	MsgStmt   byte = 0x21 // stmt id, param names, columns
+	MsgResult byte = 0x22 // rows affected, message, columns, rows
+	MsgCursor byte = 0x23 // cursor id, columns
+	MsgRows   byte = 0x24 // done flag, row batch
+	MsgOK     byte = 0x25
+)
+
+// MaxFrame bounds one frame's payload so a corrupt or hostile length prefix
+// cannot make either end allocate unbounded memory.
+const MaxFrame = 16 << 20
+
+// WriteFrame writes one frame: length prefix, type byte, payload.
+func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds the %d-byte limit", len(payload)+1, MaxFrame)
+	}
+	var head [5]byte
+	binary.BigEndian.PutUint32(head[:4], uint32(len(payload)+1))
+	head[4] = msgType
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame and returns its type and payload.
+func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(head[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("wire: zero-length frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds the %d-byte limit", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// --- payload building --------------------------------------------------------
+
+// Buffer accumulates a message payload.
+type Buffer struct {
+	B []byte
+}
+
+// Uint32 appends a fixed-width 32-bit integer.
+func (b *Buffer) Uint32(v uint32) { b.B = binary.BigEndian.AppendUint32(b.B, v) }
+
+// Uint64 appends a fixed-width 64-bit integer.
+func (b *Buffer) Uint64(v uint64) { b.B = binary.BigEndian.AppendUint64(b.B, v) }
+
+// Byte appends one byte.
+func (b *Buffer) Byte(v byte) { b.B = append(b.B, v) }
+
+// Bool appends a boolean as one byte.
+func (b *Buffer) Bool(v bool) {
+	if v {
+		b.B = append(b.B, 1)
+	} else {
+		b.B = append(b.B, 0)
+	}
+}
+
+// String appends a length-prefixed string.
+func (b *Buffer) String(s string) {
+	b.Uint32(uint32(len(s)))
+	b.B = append(b.B, s...)
+}
+
+// Strings appends a counted list of strings.
+func (b *Buffer) Strings(ss []string) {
+	b.Uint32(uint32(len(ss)))
+	for _, s := range ss {
+		b.String(s)
+	}
+}
+
+// Value appends one SQL value: a kind byte, then the kind's encoding.
+func (b *Buffer) Value(v types.Value) {
+	b.Byte(byte(v.Kind()))
+	switch v.Kind() {
+	case types.KindNull:
+	case types.KindInt:
+		b.Uint64(uint64(v.Int()))
+	case types.KindFloat:
+		b.Uint64(math.Float64bits(v.Float()))
+	case types.KindString:
+		b.String(v.Str())
+	case types.KindBool:
+		b.Bool(v.Bool())
+	case types.KindDate:
+		b.Uint64(uint64(v.Days()))
+	}
+}
+
+// Tuple appends a counted list of values.
+func (b *Buffer) Tuple(t types.Tuple) {
+	b.Uint32(uint32(len(t)))
+	for _, v := range t {
+		b.Value(v)
+	}
+}
+
+// --- payload reading ---------------------------------------------------------
+
+// Cursor reads a message payload sequentially. The first decoding error
+// sticks: every later read reports it, so call sites can decode a whole
+// message and check the error once.
+type Cursor struct {
+	b   []byte
+	pos int
+	err error
+}
+
+// NewCursor wraps a payload for reading.
+func NewCursor(b []byte) *Cursor { return &Cursor{b: b} }
+
+// Err returns the first decoding error, if any.
+func (c *Cursor) Err() error { return c.err }
+
+func (c *Cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if c.pos+n > len(c.b) {
+		c.err = fmt.Errorf("wire: truncated message (want %d bytes at offset %d of %d)", n, c.pos, len(c.b))
+		return nil
+	}
+	out := c.b[c.pos : c.pos+n]
+	c.pos += n
+	return out
+}
+
+// Uint32 reads a fixed-width 32-bit integer.
+func (c *Cursor) Uint32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Uint64 reads a fixed-width 64-bit integer.
+func (c *Cursor) Uint64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Byte reads one byte.
+func (c *Cursor) Byte() byte {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a one-byte boolean.
+func (c *Cursor) Bool() bool { return c.Byte() != 0 }
+
+// String reads a length-prefixed string.
+func (c *Cursor) String() string {
+	n := c.Uint32()
+	if c.err != nil {
+		return ""
+	}
+	b := c.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Strings reads a counted list of strings.
+func (c *Cursor) Strings() []string {
+	n := c.Uint32()
+	if c.err != nil {
+		return nil
+	}
+	out := make([]string, 0, min(int(n), 1024))
+	for i := 0; i < int(n); i++ {
+		out = append(out, c.String())
+		if c.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Value reads one SQL value.
+func (c *Cursor) Value() types.Value {
+	kind := types.Kind(c.Byte())
+	if c.err != nil {
+		return types.Null()
+	}
+	switch kind {
+	case types.KindNull:
+		return types.Null()
+	case types.KindInt:
+		return types.NewInt(int64(c.Uint64()))
+	case types.KindFloat:
+		return types.NewFloat(math.Float64frombits(c.Uint64()))
+	case types.KindString:
+		return types.NewString(c.String())
+	case types.KindBool:
+		return types.NewBool(c.Bool())
+	case types.KindDate:
+		return types.NewDateFromDays(int64(c.Uint64()))
+	default:
+		c.err = fmt.Errorf("wire: unknown value kind %d", kind)
+		return types.Null()
+	}
+}
+
+// Tuple reads a counted list of values.
+func (c *Cursor) Tuple() types.Tuple {
+	n := c.Uint32()
+	if c.err != nil {
+		return nil
+	}
+	out := make(types.Tuple, 0, min(int(n), 1024))
+	for i := 0; i < int(n); i++ {
+		out = append(out, c.Value())
+		if c.err != nil {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello")
+	if err := WriteFrame(&buf, MsgPrepare, payload); err != nil {
+		t.Fatal(err)
+	}
+	msgType, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != MsgPrepare || string(got) != "hello" {
+		t.Fatalf("got type 0x%02x payload %q", msgType, got)
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	// A hostile length prefix must be rejected before any allocation.
+	head := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, err := ReadFrame(bytes.NewReader(head)); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("err = %v, want a frame-limit error", err)
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := types.Tuple{
+		types.Null(),
+		types.NewInt(-42),
+		types.NewFloat(3.25),
+		types.NewString("naïve — ünïcode"),
+		types.NewBool(true),
+		types.NewDate(1983, 5, 21),
+	}
+	var b Buffer
+	b.Tuple(vals)
+	got := NewCursor(b.B).Tuple()
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if !vals[i].Equal(got[i]) && !(vals[i].IsNull() && got[i].IsNull()) {
+			t.Fatalf("value %d: sent %v, got %v", i, vals[i], got[i])
+		}
+		if vals[i].Kind() != got[i].Kind() {
+			t.Fatalf("value %d: kind %s became %s", i, vals[i].Kind(), got[i].Kind())
+		}
+	}
+}
+
+func TestCursorTruncationSticks(t *testing.T) {
+	var b Buffer
+	b.Uint32(9999) // claims a 9999-byte string that is not there
+	c := NewCursor(b.B)
+	if s := c.String(); s != "" {
+		t.Fatalf("truncated string decoded as %q", s)
+	}
+	if c.Err() == nil {
+		t.Fatal("want a truncation error")
+	}
+	// Every later read keeps reporting the first error.
+	_ = c.Uint64()
+	if c.Err() == nil || !strings.Contains(c.Err().Error(), "truncated") {
+		t.Fatalf("err = %v", c.Err())
+	}
+}

@@ -176,11 +176,20 @@ func (*BeginStmt) stmtNode()       {}
 func (*CommitStmt) stmtNode()      {}
 func (*RollbackStmt) stmtNode()    {}
 
+// quoteAll renders a list of identifiers through QuoteIdent.
+func quoteAll(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = QuoteIdent(n)
+	}
+	return out
+}
+
 // String implements Statement.
 func (s *CreateTableStmt) String() string {
 	var cols []string
 	for _, c := range s.Columns {
-		col := c.Name + " " + c.TypeName
+		col := QuoteIdent(c.Name) + " " + c.TypeName
 		if c.PrimaryKey {
 			col += " PRIMARY KEY"
 		}
@@ -195,7 +204,7 @@ func (s *CreateTableStmt) String() string {
 		}
 		cols = append(cols, col)
 	}
-	return fmt.Sprintf("CREATE TABLE %s (%s)", s.Name, strings.Join(cols, ", "))
+	return fmt.Sprintf("CREATE TABLE %s (%s)", QuoteIdent(s.Name), strings.Join(cols, ", "))
 }
 
 // String implements Statement.
@@ -204,26 +213,26 @@ func (s *CreateIndexStmt) String() string {
 	if s.Unique {
 		unique = "UNIQUE "
 	}
-	return fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", unique, s.Name, s.Table, strings.Join(s.Columns, ", "))
+	return fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", unique, QuoteIdent(s.Name), QuoteIdent(s.Table), strings.Join(quoteAll(s.Columns), ", "))
 }
 
 // String implements Statement.
 func (s *CreateViewStmt) String() string {
 	cols := ""
 	if len(s.Columns) > 0 {
-		cols = " (" + strings.Join(s.Columns, ", ") + ")"
+		cols = " (" + strings.Join(quoteAll(s.Columns), ", ") + ")"
 	}
-	return fmt.Sprintf("CREATE VIEW %s%s AS %s", s.Name, cols, s.Query.String())
+	return fmt.Sprintf("CREATE VIEW %s%s AS %s", QuoteIdent(s.Name), cols, s.Query.String())
 }
 
 // String implements Statement.
-func (s *DropStmt) String() string { return fmt.Sprintf("DROP %s %s", s.Object, s.Name) }
+func (s *DropStmt) String() string { return fmt.Sprintf("DROP %s %s", s.Object, QuoteIdent(s.Name)) }
 
 // String implements Statement.
 func (s *InsertStmt) String() string {
 	cols := ""
 	if len(s.Columns) > 0 {
-		cols = " (" + strings.Join(s.Columns, ", ") + ")"
+		cols = " (" + strings.Join(quoteAll(s.Columns), ", ") + ")"
 	}
 	var rows []string
 	for _, row := range s.Rows {
@@ -233,16 +242,16 @@ func (s *InsertStmt) String() string {
 		}
 		rows = append(rows, "("+strings.Join(vals, ", ")+")")
 	}
-	return fmt.Sprintf("INSERT INTO %s%s VALUES %s", s.Table, cols, strings.Join(rows, ", "))
+	return fmt.Sprintf("INSERT INTO %s%s VALUES %s", QuoteIdent(s.Table), cols, strings.Join(rows, ", "))
 }
 
 // String implements Statement.
 func (s *UpdateStmt) String() string {
 	var sets []string
 	for _, a := range s.Assignments {
-		sets = append(sets, a.Column+" = "+a.Value.String())
+		sets = append(sets, QuoteIdent(a.Column)+" = "+a.Value.String())
 	}
-	out := fmt.Sprintf("UPDATE %s SET %s", s.Table, strings.Join(sets, ", "))
+	out := fmt.Sprintf("UPDATE %s SET %s", QuoteIdent(s.Table), strings.Join(sets, ", "))
 	if s.Where != nil {
 		out += " WHERE " + s.Where.String()
 	}
@@ -251,7 +260,7 @@ func (s *UpdateStmt) String() string {
 
 // String implements Statement.
 func (s *DeleteStmt) String() string {
-	out := "DELETE FROM " + s.Table
+	out := "DELETE FROM " + QuoteIdent(s.Table)
 	if s.Where != nil {
 		out += " WHERE " + s.Where.String()
 	}
@@ -269,11 +278,11 @@ func (s *SelectStmt) String() string {
 	for _, it := range s.Items {
 		switch {
 		case it.Star && it.StarTable != "":
-			items = append(items, it.StarTable+".*")
+			items = append(items, QuoteIdent(it.StarTable)+".*")
 		case it.Star:
 			items = append(items, "*")
 		case it.Alias != "":
-			items = append(items, it.Expr.String()+" AS "+it.Alias)
+			items = append(items, it.Expr.String()+" AS "+QuoteIdent(it.Alias))
 		default:
 			items = append(items, it.Expr.String())
 		}
@@ -282,14 +291,14 @@ func (s *SelectStmt) String() string {
 	for i, tr := range s.From {
 		switch {
 		case i == 0:
-			b.WriteString(" FROM " + tr.Name)
+			b.WriteString(" FROM " + QuoteIdent(tr.Name))
 		case tr.Join == JoinCross:
-			b.WriteString(", " + tr.Name)
+			b.WriteString(", " + QuoteIdent(tr.Name))
 		default:
-			b.WriteString(" " + tr.Join.String() + " " + tr.Name)
+			b.WriteString(" " + tr.Join.String() + " " + QuoteIdent(tr.Name))
 		}
 		if tr.Alias != "" {
-			b.WriteString(" " + tr.Alias)
+			b.WriteString(" " + QuoteIdent(tr.Alias))
 		}
 		if tr.On != nil {
 			b.WriteString(" ON " + tr.On.String())
@@ -483,6 +492,17 @@ func (*Param) exprNode()       {}
 
 // String implements Expr.
 func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return QuoteIdent(e.Table) + "." + QuoteIdent(e.Name)
+	}
+	return QuoteIdent(e.Name)
+}
+
+// RefName returns the reference's resolution key — "table.name" with no
+// quoting — the form schemas store computed column names in (an aggregate
+// output column is literally named "COUNT(*)"). String, by contrast, renders
+// re-parseable SQL and quotes anything that is not a bare identifier.
+func (e *ColumnRef) RefName() string {
 	if e.Table != "" {
 		return e.Table + "." + e.Name
 	}

@@ -177,6 +177,12 @@ func (l *Lexer) lexQuotedIdent(pos, line, col int) (Token, error) {
 		}
 		c := l.advance()
 		if c == '"' {
+			// A doubled quote is an escaped quote inside the identifier.
+			if l.pos < len(l.input) && l.peek() == '"' {
+				l.advance()
+				b.WriteByte('"')
+				continue
+			}
 			return Token{Kind: TokenIdent, Text: b.String(), Pos: pos, Line: line, Col: col}, nil
 		}
 		b.WriteByte(c)

@@ -8,7 +8,10 @@
 // control statements.
 package sql
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // TokenKind classifies lexical tokens.
 type TokenKind int
@@ -91,6 +94,35 @@ var keywords = map[string]bool{
 
 // IsKeyword reports whether the upper-cased word is reserved.
 func IsKeyword(word string) bool { return keywords[word] }
+
+// QuoteIdent renders an identifier so that re-lexing it yields the same
+// name: bare when it is a plain unreserved word, double-quoted (embedded
+// quotes doubled) otherwise. Every AST String() renders identifiers through
+// it, so statements round-trip even when names collide with keywords or
+// carry spaces.
+func QuoteIdent(name string) string {
+	if isBareIdent(name) {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+func isBareIdent(name string) bool {
+	if name == "" || IsKeyword(strings.ToUpper(name)) {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if i == 0 {
+			if !isIdentStart(c) {
+				return false
+			}
+		} else if !isIdentPart(c) {
+			return false
+		}
+	}
+	return true
+}
 
 // ParseError is a syntax error with source position information.
 type ParseError struct {

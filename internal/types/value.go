@@ -167,13 +167,28 @@ func (v Value) String() string {
 	}
 }
 
-// SQL renders the value as a SQL literal, quoting strings and dates.
+// SQL renders the value as a SQL literal, quoting strings and dates. Floats
+// render in plain decimal notation — the display form's exponent notation
+// ("1e+06") is not in the lexer's number grammar, and a SQL() rendering must
+// re-parse.
 func (v Value) SQL() string {
 	switch v.kind {
 	case KindString:
 		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
 	case KindDate:
 		return "'" + v.String() + "'"
+	case KindFloat:
+		// A small whole float renders without the fraction and re-parses as
+		// an INT literal; the engine's numeric coercion treats the two alike.
+		// Past 2^53 the domains diverge — int64 arithmetic can overflow where
+		// float arithmetic saturates, and the text may not even fit the
+		// integer grammar — so large whole floats keep a ".0" to re-parse as
+		// floats.
+		s := strconv.FormatFloat(v.f, 'f', -1, 64)
+		if !strings.Contains(s, ".") && (v.f >= 1<<53 || v.f <= -(1<<53)) {
+			s += ".0"
+		}
+		return s
 	default:
 		return v.String()
 	}
