@@ -6,12 +6,14 @@
 //	wowbench -experiment=all       # the whole suite (default)
 //	wowbench -scale=quick          # reduced sizes for a fast smoke run
 //	wowbench -remote=host:port     # benchmark a running wowserver instead
-//	wowbench -remote=... -clients=8 -ops=2000
+//	wowbench -remote=... -clients=8 -ops=2000 -pool=4 -batch=200
 //
 // With -remote, wowbench skips the local experiments and drives the given
-// wowserver over the wire protocol: it loads a small table, then measures
-// prepared point-query throughput with -clients concurrent connections all
-// preparing the identical statement — the shared-plan-cache serving path.
+// wowserver over the wire protocol v2: it bulk-loads a table through the
+// connection pool with ExecBatch frames (-pool connections, -batch rows per
+// frame), then measures prepared point-query throughput with -clients
+// workers multiplexed over the same pool, all preparing the identical
+// statement — the shared-plan-cache serving path.
 //
 // The experiment index (what each table/figure measures and which modules it
 // exercises) is in DESIGN.md; measured results are recorded in EXPERIMENTS.md.
@@ -33,15 +35,20 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (E1..E11) or 'all'")
+	experiment := flag.String("experiment", "all", "experiment id (E1..E12) or 'all'")
 	scale := flag.String("scale", "full", "workload scale: 'full' or 'quick'")
 	remote := flag.String("remote", "", "wowserver address; benchmark it over the wire instead of running local experiments")
-	clients := flag.Int("clients", 4, "concurrent connections for -remote")
-	ops := flag.Int("ops", 1000, "queries per connection for -remote")
+	clients := flag.Int("clients", 4, "concurrent query workers for -remote")
+	ops := flag.Int("ops", 1000, "queries per worker for -remote")
+	poolSize := flag.Int("pool", 0, "connection pool size for -remote (default: -clients)")
+	batch := flag.Int("batch", 200, "rows per ExecBatch frame for the -remote load phase")
 	flag.Parse()
 
 	if *remote != "" {
-		if err := runRemote(*remote, *clients, *ops); err != nil {
+		if *poolSize <= 0 {
+			*poolSize = *clients
+		}
+		if err := runRemote(*remote, *clients, *ops, *poolSize, *batch); err != nil {
 			fmt.Fprintf(os.Stderr, "wowbench: remote: %v\n", err)
 			os.Exit(1)
 		}
@@ -155,47 +162,54 @@ func printEngineStats(cfg harness.Config) error {
 // remoteRows is how many rows the remote benchmark loads before measuring.
 const remoteRows = 1000
 
-// runRemote benchmarks a running wowserver: one connection loads the
-// workload table, then `clients` connections each prepare the identical
-// point query and run `ops` executions. Every connection preparing the same
-// text exercises the server's shared plan cache — the first compile is the
-// only one.
-func runRemote(addr string, clients, ops int) error {
+// runRemote benchmarks a running wowserver over protocol v2: the load phase
+// ships ExecBatch frames through the connection pool, then `clients` workers
+// multiplex over the same pool running the identical prepared point query.
+// Every connection preparing the same text exercises the server's shared
+// plan cache — the first compile is the only one — and every worker
+// re-checking out a pooled connection exercises its prepared-statement
+// cache — the first Prepare per connection is the only round trip.
+func runRemote(addr string, clients, ops, poolSize, batch int) error {
 	if clients < 1 {
 		clients = 1
 	}
-	setup, err := client.Dial(addr)
-	if err != nil {
-		return err
+	if batch < 1 {
+		batch = 1
 	}
+	pool := client.NewPool(addr, client.PoolConfig{Size: poolSize})
+	defer pool.Close()
+
 	// A private table name keeps reruns against a long-lived server working.
 	table := fmt.Sprintf("bench_customers_%d", time.Now().UnixNano())
-	if _, err := setup.Exec(fmt.Sprintf("CREATE TABLE %s (id INT PRIMARY KEY, name TEXT, credit FLOAT)", table)); err != nil {
-		setup.Close()
-		return err
-	}
-	insert, err := setup.Prepare(fmt.Sprintf("INSERT INTO %s (id, name, credit) VALUES (?, ?, ?)", table))
+	setup, err := pool.Get()
 	if err != nil {
-		setup.Close()
 		return err
 	}
+	fmt.Printf("wowbench remote benchmark against %s (protocol v%s, %s)\n",
+		addr, setup.Conn().ProtocolVersion(), setup.Conn().ServerBanner())
+	if _, err := setup.Exec(fmt.Sprintf("CREATE TABLE %s (id INT PRIMARY KEY, name TEXT, credit FLOAT)", table)); err != nil {
+		setup.Release()
+		return err
+	}
+	insertSQL := fmt.Sprintf("INSERT INTO %s (id, name, credit) VALUES (?, ?, ?)", table)
 	loadStart := time.Now()
-	if err := setup.Begin(); err != nil {
-		setup.Close()
-		return err
-	}
-	for i := 1; i <= remoteRows; i++ {
-		if _, err := insert.Exec(types.NewInt(int64(i)), types.NewString("Remote Customer"), types.NewFloat(float64(i))); err != nil {
-			setup.Close()
+	frames := 0
+	for start := 0; start < remoteRows; start += batch {
+		end := min(start+batch, remoteRows)
+		rows := make([][]types.Value, 0, end-start)
+		for i := start; i < end; i++ {
+			rows = append(rows, []types.Value{
+				types.NewInt(int64(i + 1)), types.NewString("Remote Customer"), types.NewFloat(float64(i + 1)),
+			})
+		}
+		if _, err := setup.ExecBatch(insertSQL, rows); err != nil {
+			setup.Release()
 			return err
 		}
+		frames++
 	}
-	if err := setup.Commit(); err != nil {
-		setup.Close()
-		return err
-	}
-	insert.Close()
 	loadTime := time.Since(loadStart)
+	setup.Release()
 
 	query := fmt.Sprintf("SELECT name, credit FROM %s WHERE id = ?", table)
 	var wg sync.WaitGroup
@@ -205,30 +219,22 @@ func runRemote(addr string, clients, ops int) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c, err := client.Dial(addr)
+			err := pool.With(func(h *client.PooledConn) error {
+				for i := 0; i < ops; i++ {
+					rows, err := h.Query(query, types.NewInt(int64(1+(w*ops+i)%remoteRows)))
+					if err != nil {
+						return err
+					}
+					for rows.Next() {
+					}
+					if err := rows.Err(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
 			if err != nil {
 				errs <- err
-				return
-			}
-			defer c.Close()
-			stmt, err := c.Prepare(query)
-			if err != nil {
-				errs <- err
-				return
-			}
-			defer stmt.Close()
-			for i := 0; i < ops; i++ {
-				rows, err := stmt.Query(types.NewInt(int64(1 + (w*ops+i)%remoteRows)))
-				if err != nil {
-					errs <- err
-					return
-				}
-				for rows.Next() {
-				}
-				if err := rows.Err(); err != nil {
-					errs <- err
-					return
-				}
 			}
 		}(w)
 	}
@@ -239,16 +245,18 @@ func runRemote(addr string, clients, ops int) error {
 	}
 	elapsed := time.Since(start)
 	total := clients * ops
-	fmt.Printf("wowbench remote benchmark against %s\n", addr)
-	fmt.Printf("  load: %d rows in %s (%.0f rows/s, one txn over the wire)\n",
-		remoteRows, loadTime.Round(time.Millisecond), float64(remoteRows)/loadTime.Seconds())
-	fmt.Printf("  point queries: %d clients x %d ops = %d queries in %s\n", clients, ops, total, elapsed.Round(time.Millisecond))
-	fmt.Printf("  throughput: %.0f queries/s (%.1f µs/query per client)\n",
+	stats := pool.Stats()
+	fmt.Printf("  load: %d rows in %d ExecBatch frame(s) of <= %d in %s (%.0f rows/s)\n",
+		remoteRows, frames, batch, loadTime.Round(time.Millisecond), float64(remoteRows)/loadTime.Seconds())
+	fmt.Printf("  point queries: %d workers x %d ops over %d pooled connection(s) = %d queries in %s\n",
+		clients, ops, pool.Size(), total, elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput: %.0f queries/s (%.1f µs/query per worker)\n",
 		float64(total)/elapsed.Seconds(), float64(elapsed.Microseconds())*float64(clients)/float64(total))
+	fmt.Printf("  pool: %d dial(s), %d checkout(s), %d idle reuse(s), %d stmt-cache hit(s)\n",
+		stats.Dials, stats.Checkouts, stats.IdleReuses, stats.StmtCacheHits)
 	// Clean up so repeated runs do not accumulate tables server-side.
-	if _, err := setup.Exec("DROP TABLE " + table); err != nil {
-		setup.Close()
+	return pool.With(func(h *client.PooledConn) error {
+		_, err := h.Exec("DROP TABLE " + table)
 		return err
-	}
-	return setup.Close()
+	})
 }

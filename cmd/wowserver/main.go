@@ -1,28 +1,37 @@
 // Command wowserver serves the engine over the wire protocol: a TCP session
 // manager in front of one shared database, one goroutine per connection, all
 // connections sharing the engine-wide plan cache so concurrent clients
-// preparing the same statements compile them once.
+// preparing the same statements compile them once. Connections negotiate
+// protocol v2 at connect (Hello/HelloOK); incompatible clients are refused
+// with a versioned error.
 //
 // Usage:
 //
 //	wowserver [-addr 127.0.0.1:4045] [-data file.db] [-wal file.wal] [-cache 256]
+//	          [-metrics 127.0.0.1:4046]
+//
+// With -metrics, a side-channel HTTP listener serves the server, engine and
+// plan-cache counters as JSON under /metrics (see README for the fields).
 //
 // The server runs until SIGINT/SIGTERM, then disconnects every client
 // (rolling back their open transactions), flushes and exits. Clients connect
-// with internal/server/client, "wowsql -connect addr", or anything speaking
-// the frame format documented in the README.
+// with internal/server/client (one Conn per worker, or a client.Pool to
+// multiplex), "wowsql -connect addr", or anything speaking the frame format
+// documented in the README.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/server/wire"
 )
 
 func main() {
@@ -30,6 +39,7 @@ func main() {
 	dataPath := flag.String("data", "", "database file (default: in-memory)")
 	walPath := flag.String("wal", "", "write-ahead log file (default: in-memory)")
 	cacheSize := flag.Int("cache", 0, "shared plan cache size in statements (default 256)")
+	metricsAddr := flag.String("metrics", "", "HTTP address serving /metrics as JSON (default: disabled)")
 	flag.Parse()
 
 	db, err := engine.Open(engine.Options{DataPath: *dataPath, WALPath: *walPath, PlanCacheSize: *cacheSize})
@@ -42,7 +52,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wowserver listening on %s\n", ln.Addr())
+	fmt.Printf("%s listening on %s (protocol v%s)\n", server.Banner, ln.Addr(), wire.Current)
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		metricsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "wowserver: metrics:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -59,9 +86,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	stats := srv.Stats()
-	fmt.Printf("wowserver: served %d connection(s), %d message(s), %d row(s) sent\n",
-		stats.ConnectionsAccepted, stats.MessagesServed, stats.RowsSent)
+	fmt.Printf("wowserver: served %d connection(s), %d message(s), %d row(s) sent, %d batch row(s) received, %d handshake(s) rejected\n",
+		stats.ConnectionsAccepted, stats.MessagesServed, stats.RowsSent, stats.BatchRowsReceived, stats.HandshakesRejected)
 	if err := db.Close(); err != nil {
 		fatal(err)
 	}

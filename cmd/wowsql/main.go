@@ -10,7 +10,9 @@
 // line (or separated by semicolons). "EXPLAIN <statement>" prints the plan
 // for any SELECT, INSERT, UPDATE or DELETE instead of running it. With
 // -connect the shell runs against a wowserver over the wire protocol instead
-// of an embedded engine.
+// of an embedded engine; the handshake's negotiated protocol version is
+// reported on stderr, and -wire-version overrides the offered version (to
+// exercise the server's rejection path).
 //
 // Interactively, a statement error is printed and the shell keeps reading.
 // Non-interactively — script files, or statements piped on standard input —
@@ -28,6 +30,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/server/client"
+	"repro/internal/server/wire"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
@@ -38,7 +41,10 @@ type options struct {
 	dataPath string
 	walPath  string
 	connect  string
-	scripts  []string
+	// wireVersion overrides the protocol version offered in the handshake
+	// ("major.minor"); it exists so CI can prove the server's rejection path.
+	wireVersion string
+	scripts     []string
 	// interactive selects prompt-and-continue error handling; main sets it
 	// when stdin is a terminal and no script files were given.
 	interactive bool
@@ -48,13 +54,15 @@ func main() {
 	dataPath := flag.String("data", "", "database file (default: in-memory)")
 	walPath := flag.String("wal", "", "write-ahead log file (default: in-memory)")
 	connect := flag.String("connect", "", "wowserver address; run remotely over the wire protocol")
+	wireVersion := flag.String("wire-version", "", "offer this protocol version in the handshake instead of the current one (testing)")
 	flag.Parse()
 
 	opts := options{
-		dataPath: *dataPath,
-		walPath:  *walPath,
-		connect:  *connect,
-		scripts:  flag.Args(),
+		dataPath:    *dataPath,
+		walPath:     *walPath,
+		connect:     *connect,
+		wireVersion: *wireVersion,
+		scripts:     flag.Args(),
 	}
 	if len(opts.scripts) == 0 {
 		if info, err := os.Stdin.Stat(); err == nil && info.Mode()&os.ModeCharDevice != 0 {
@@ -76,11 +84,26 @@ type executor interface {
 func run(opts options, stdin io.Reader, stdout, stderr io.Writer) int {
 	var exec executor
 	if opts.connect != "" {
-		conn, err := client.Dial(opts.connect)
+		var dialOpts client.DialOptions
+		if opts.wireVersion != "" {
+			v, err := parseWireVersion(opts.wireVersion)
+			if err != nil {
+				fmt.Fprintln(stderr, "wowsql:", err)
+				return 1
+			}
+			dialOpts.Version = v
+		}
+		conn, err := client.DialWith(opts.connect, dialOpts)
 		if err != nil {
+			// Dial already shapes version trouble into legible errors: a
+			// *wire.VersionError names both ends' versions, a
+			// *client.HandshakeError explains a pre-v2 server.
 			fmt.Fprintln(stderr, "wowsql:", err)
 			return 1
 		}
+		// The banner goes to stderr so piped statement output stays clean.
+		fmt.Fprintf(stderr, "wowsql: connected to %s (protocol v%s, %s)\n",
+			opts.connect, conn.ProtocolVersion(), conn.ServerBanner())
 		exec = &remoteExecutor{conn: conn}
 	} else {
 		db, err := engine.Open(engine.Options{DataPath: opts.dataPath, WALPath: opts.walPath})
@@ -149,6 +172,15 @@ func run(opts options, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// parseWireVersion parses a "major.minor" protocol version.
+func parseWireVersion(s string) (wire.Version, error) {
+	var v wire.Version
+	if _, err := fmt.Sscanf(s, "%d.%d", &v.Major, &v.Minor); err != nil {
+		return v, fmt.Errorf("bad -wire-version %q: want major.minor, e.g. %s", s, wire.Current)
+	}
+	return v, nil
 }
 
 // --- embedded engine ---------------------------------------------------------

@@ -53,6 +53,11 @@ type Database struct {
 	plans *planCache
 	// prep aggregates prepared-statement counters across all sessions.
 	prep prepCounters
+	// sessionsOpened / sessionsClosed count session lifecycle database-wide;
+	// the difference is the live-session gauge the server's metrics endpoint
+	// reports.
+	sessionsOpened atomic.Uint64
+	sessionsClosed atomic.Uint64
 }
 
 // prepCounters tracks the prepared-statement machinery database-wide. The
@@ -187,6 +192,7 @@ func (db *Database) Pool() *storage.BufferPool { return db.pool }
 // run concurrently against the same database — they share the engine's plan
 // cache, lock manager and storage.
 func (db *Database) Session() *Session {
+	db.sessionsOpened.Add(1)
 	return &Session{db: db}
 }
 
@@ -217,6 +223,12 @@ type Stats struct {
 	WritePlansCached  uint64
 	BatchRowsExecuted uint64
 
+	// Session lifecycle: every interactive window, worker goroutine and
+	// server connection opens one session; opened minus closed is the
+	// live-session gauge.
+	SessionsOpened uint64
+	SessionsClosed uint64
+
 	BufferPool storage.BufferPoolStats
 }
 
@@ -245,6 +257,9 @@ func (db *Database) Stats() Stats {
 
 		WritePlansCached:  db.prep.writePlans.Load(),
 		BatchRowsExecuted: db.prep.batchRows.Load(),
+
+		SessionsOpened: db.sessionsOpened.Load(),
+		SessionsClosed: db.sessionsClosed.Load(),
 
 		BufferPool: db.pool.Stats(),
 	}

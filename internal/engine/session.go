@@ -81,6 +81,7 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.db.sessionsClosed.Add(1)
 	// Snapshot first: Rows.Close unregisters from the map as it runs.
 	open := make([]*Rows, 0, len(s.openRows))
 	for r := range s.openRows {

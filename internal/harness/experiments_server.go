@@ -130,3 +130,78 @@ func RunE11(cfg Config) (*Table, error) {
 		totalPrepares, totalCompiled, totalPrepares))
 	return table, nil
 }
+
+// RunE12 — remote bulk ingest over protocol v2: the same synthetic workload
+// (every table of the standard schema) is loaded into a fresh server three
+// ways — one Exec round trip per row over one connection (the PR 3 remote
+// path), ExecBatch frames over one connection, and ExecBatch frames fanned
+// out over a connection pool. Row generation is identical across modes (the
+// seeded stream), so the table isolates protocol and pooling effects: how
+// much one-round-trip-per-row costs, what array-bind frames recover, and
+// what pooled parallelism adds on top.
+func RunE12(cfg Config) (*Table, error) {
+	type mode struct {
+		name    string
+		batch   int
+		workers int
+	}
+	modes := []mode{
+		{"per-row, 1 conn (PR 3 path)", 1, 1},
+		{"ExecBatch x200, 1 conn", 200, 1},
+		{"ExecBatch x200, pool of 4", 200, 4},
+	}
+	totalRows := cfg.Sizes.Customers + cfg.Sizes.Orders + cfg.Sizes.Orders*cfg.Sizes.ItemsPerOrder
+
+	table := &Table{
+		ID:    "E12",
+		Title: "Remote bulk ingest: per-row round trips vs pooled ExecBatch frames",
+		Columns: []string{
+			"mode", "conns", "rows", "round trips", "elapsed", "rows/s", "speedup",
+		},
+		Notes: []string{
+			"each mode loads the identical synthetic workload (customers + orders + order_items) into a fresh server over TCP loopback",
+			"round trips = protocol messages the server dispatched (schema + loads); the per-row mode pays one per row",
+		},
+	}
+
+	var baseline time.Duration
+	for _, m := range modes {
+		db := engine.OpenMemory()
+		srv := server.New(db)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.Serve(ln) }()
+		pool := client.NewPool(ln.Addr().String(), client.PoolConfig{Size: m.workers})
+
+		start := time.Now()
+		loadErr := workload.PopulateRemote(pool, cfg.Sizes, workload.RemoteOptions{BatchSize: m.batch, Workers: m.workers})
+		elapsed := time.Since(start)
+		messages := srv.Stats().MessagesServed
+
+		pool.Close()
+		srv.Close()
+		<-serveDone
+		db.Close()
+		if loadErr != nil {
+			return nil, fmt.Errorf("E12 %s: %w", m.name, loadErr)
+		}
+
+		if baseline == 0 {
+			baseline = elapsed
+		}
+		table.Rows = append(table.Rows, []string{
+			m.name,
+			fmt.Sprintf("%d", m.workers),
+			fmt.Sprintf("%d", totalRows),
+			fmt.Sprintf("%d", messages),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(totalRows)/elapsed.Seconds()),
+			fmt.Sprintf("%.1fx", float64(baseline)/float64(elapsed)),
+		})
+	}
+	return table, nil
+}

@@ -88,8 +88,9 @@ var Quick = Config{Sizes: workload.SmallSizes, Operations: 30, Quick: true}
 // path against re-parsed text execution; E10 measures the planned write path
 // (index-range UPDATE and batch-bound INSERT) against the seed write path;
 // E11 measures N-client throughput through the wire-protocol server and the
-// engine-wide shared plan cache.
-var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+// engine-wide shared plan cache; E12 measures remote bulk ingest — pooled
+// ExecBatch frames against the per-row round-trip path.
+var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 
 // Run executes one experiment by id.
 func Run(id string, cfg Config) (*Table, error) {
@@ -116,6 +117,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return RunE10(cfg)
 	case "E11":
 		return RunE11(cfg)
+	case "E12":
+		return RunE12(cfg)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}

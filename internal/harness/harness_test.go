@@ -112,3 +112,29 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Error("unknown experiment should fail")
 	}
 }
+
+// TestE12ShapeBatchedPooledIngestBeatsPerRow checks the protocol v2 claim:
+// pooled ExecBatch ingest must beat the per-row remote path, and must do it
+// in far fewer protocol round trips.
+func TestE12ShapeBatchedPooledIngestBeatsPerRow(t *testing.T) {
+	table, err := RunE12(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("E12 has %d rows, want 3", len(table.Rows))
+	}
+	perRowTrips, _ := strconv.Atoi(table.Rows[0][3])
+	pooled := table.Rows[len(table.Rows)-1]
+	pooledTrips, _ := strconv.Atoi(pooled[3])
+	if pooledTrips <= 0 || perRowTrips <= pooledTrips {
+		t.Errorf("round trips did not shrink: per-row %d vs pooled %d", perRowTrips, pooledTrips)
+	}
+	speedup, err := strconv.ParseFloat(strings.TrimSuffix(pooled[6], "x"), 64)
+	if err != nil {
+		t.Fatalf("speedup cell %q", pooled[6])
+	}
+	if speedup <= 1 {
+		t.Errorf("pooled batched ingest speedup %.2fx does not beat the per-row path", speedup)
+	}
+}

@@ -10,14 +10,23 @@
 //	for rows.Next() { ... rows.Row() ... }
 //	rows.Close()
 //
+// Dial negotiates the protocol version before returning: it sends a Hello
+// frame and refuses to hand back a connection unless the server answered
+// HelloOK with a compatible major. A mismatch surfaces as *wire.VersionError;
+// a pre-v2 server (one that does not know the handshake at all) surfaces as
+// *HandshakeError with a message naming the problem instead of a codec error.
+//
 // A Conn multiplexes nothing: like an engine.Session it must not be used
-// from more than one goroutine at a time. Open one Conn per worker.
+// from more than one goroutine at a time. Open one Conn per worker — or use
+// Pool, which multiplexes N workers over K health-checked connections and
+// reuses prepared statements per connection.
 package client
 
 import (
 	"bufio"
 	"fmt"
 	"net"
+	"strings"
 
 	"repro/internal/server/wire"
 	"repro/internal/types"
@@ -32,6 +41,20 @@ type Error struct {
 }
 
 func (e *Error) Error() string { return e.Msg }
+
+// HandshakeError is a failed protocol negotiation that is not a clean
+// version refusal: the server answered the Hello with something other than a
+// HelloOK or a versioned error — most likely a pre-v2 wowserver that treats
+// the Hello as an unknown message.
+type HandshakeError struct {
+	Addr   string
+	Detail string
+}
+
+func (e *HandshakeError) Error() string {
+	return fmt.Sprintf("client: server at %s does not speak protocol v%s — %s (upgrade the server, or connect with a matching client)",
+		e.Addr, wire.Current, e.Detail)
+}
 
 // Result is the materialised outcome of one remote statement, mirroring
 // engine.Result: rows for EXPLAIN and drained SELECTs, an affected-row count
@@ -51,21 +74,122 @@ type Conn struct {
 	// fetchSize is the Fetch batch size cursors on this connection use.
 	fetchSize uint32
 	closed    bool
+	// broken marks a connection that hit a transport error (as opposed to a
+	// server-reported statement error): its stream may be desynced, so the
+	// pool must not hand it out again.
+	broken bool
+	// version is what the handshake negotiated; banner is the server's
+	// self-identification from HelloOK.
+	version wire.Version
+	banner  string
 }
 
-// Dial connects to a server at the TCP address.
-func Dial(addr string) (*Conn, error) {
+// DialOptions tunes Dial.
+type DialOptions struct {
+	// Version is the protocol version offered in the Hello frame. Zero means
+	// wire.Current; setting it differently exists so tests and CI can prove
+	// the server's rejection path.
+	Version wire.Version
+	// FetchSize is the per-Fetch row count cursors use (DefaultFetchSize
+	// when zero).
+	FetchSize int
+}
+
+// Dial connects to a server at the TCP address and negotiates the current
+// protocol version.
+func Dial(addr string) (*Conn, error) { return DialWith(addr, DialOptions{}) }
+
+// DialWith connects with explicit options.
+func DialWith(addr string, opts DialOptions) (*Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{
+	c := &Conn{
 		nc:        nc,
 		r:         bufio.NewReader(nc),
 		w:         bufio.NewWriter(nc),
 		fetchSize: DefaultFetchSize,
-	}, nil
+	}
+	if opts.FetchSize > 0 {
+		c.fetchSize = uint32(opts.FetchSize)
+	}
+	offered := opts.Version
+	if offered.IsZero() {
+		offered = wire.Current
+	}
+	if err := c.handshake(addr, offered); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
 }
+
+// handshake sends the Hello and decodes the server's verdict.
+func (c *Conn) handshake(addr string, offered wire.Version) error {
+	var b wire.Buffer
+	wire.Hello{Magic: wire.HelloMagic, Version: offered}.Encode(&b)
+	if err := wire.WriteFrame(c.w, wire.MsgHello, b.B); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	respType, resp, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return &HandshakeError{Addr: addr, Detail: fmt.Sprintf("connection dropped during handshake (%v)", err)}
+	}
+	cur := wire.NewCursor(resp)
+	switch respType {
+	case wire.MsgHelloOK:
+		ok := wire.DecodeHelloOK(cur)
+		if err := cur.Err(); err != nil {
+			return err
+		}
+		c.version = ok.Version
+		c.banner = ok.Banner
+		return nil
+	case wire.MsgErr:
+		msg := cur.String()
+		if err := cur.Err(); err != nil {
+			return err
+		}
+		if ve := wire.DecodeVersionTail(cur); ve != nil {
+			// The server refused the offered version and said which it
+			// speaks: surface the typed mismatch. (Client is filled from what
+			// was actually offered — a pre-v2 server echoes a zero.)
+			if ve.Client.IsZero() {
+				ve.Client = offered
+			}
+			return ve
+		}
+		// A pre-v2 server answers the Hello with a plain "unknown message
+		// type" error frame.
+		if strings.Contains(msg, "unknown message type") {
+			return &HandshakeError{Addr: addr, Detail: "it answered the version handshake with: " + msg}
+		}
+		return &Error{Msg: msg}
+	default:
+		return &HandshakeError{Addr: addr, Detail: fmt.Sprintf("it answered the version handshake with frame type 0x%02x", respType)}
+	}
+}
+
+// ProtocolVersion returns the version the handshake negotiated.
+func (c *Conn) ProtocolVersion() wire.Version { return c.version }
+
+// ServerBanner returns the server's self-identification from HelloOK.
+func (c *Conn) ServerBanner() string { return c.banner }
+
+// Ping round-trips a liveness probe. Pool checkout uses it to validate idle
+// connections before handing them out.
+func (c *Conn) Ping() error {
+	_, err := c.expect(wire.MsgPing, nil, wire.MsgOK)
+	return err
+}
+
+// Healthy reports whether the connection is open and has not hit a transport
+// error.
+func (c *Conn) Healthy() bool { return !c.closed && !c.broken }
 
 // SetFetchSize changes how many rows each Fetch round trip asks for.
 func (c *Conn) SetFetchSize(n int) {
@@ -90,14 +214,22 @@ func (c *Conn) roundTrip(msgType byte, payload []byte) (byte, *wire.Cursor, erro
 	if c.closed {
 		return 0, nil, fmt.Errorf("client: connection is closed")
 	}
+	if len(payload)+1 > wire.MaxFrame {
+		// Too big to frame: refused before a byte hits the socket, so the
+		// connection itself stays usable (split the batch and retry).
+		return 0, nil, fmt.Errorf("client: message of %d bytes exceeds the %d-byte frame limit", len(payload)+1, wire.MaxFrame)
+	}
 	if err := wire.WriteFrame(c.w, msgType, payload); err != nil {
+		c.broken = true
 		return 0, nil, err
 	}
 	if err := c.w.Flush(); err != nil {
+		c.broken = true
 		return 0, nil, err
 	}
 	respType, resp, err := wire.ReadFrame(c.r)
 	if err != nil {
+		c.broken = true
 		return 0, nil, err
 	}
 	cur := wire.NewCursor(resp)
@@ -271,6 +403,29 @@ func (st *Stmt) Exec(args ...types.Value) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// ExecBatch array-binds a prepared DML statement across every parameter row
+// in one round trip: the server runs the whole batch through the engine's
+// Stmt.ExecBatch — one cached plan, one compiled write operator and (outside
+// an explicit transaction) one transaction. A bulk load therefore pays one
+// network round trip and one commit per batch instead of one per row. The
+// batch must fit one frame (wire.MaxFrame); split larger loads into chunks.
+func (st *Stmt) ExecBatch(rows [][]types.Value) (*Result, error) {
+	if st.closed {
+		return nil, fmt.Errorf("client: statement is closed")
+	}
+	var b wire.Buffer
+	b.Uint32(st.id)
+	b.Uint32(uint32(len(rows)))
+	for _, row := range rows {
+		b.Tuple(types.Tuple(row))
+	}
+	cur, err := st.conn.expect(wire.MsgExecBatch, b.B, wire.MsgResult)
+	if err != nil {
+		return nil, err
+	}
+	return readResult(cur)
 }
 
 // Query runs the statement and returns a streaming cursor over its result.

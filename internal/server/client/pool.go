@@ -1,0 +1,370 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// DefaultPoolSize bounds a pool that was configured with a zero size.
+const DefaultPoolSize = 4
+
+// ErrPoolClosed is returned by Get after Close.
+var ErrPoolClosed = fmt.Errorf("client: pool is closed")
+
+// PoolConfig tunes a Pool.
+type PoolConfig struct {
+	// Size is the maximum number of open connections (DefaultPoolSize when
+	// zero). Get blocks while all of them are checked out, so N workers
+	// multiplex over K sockets instead of paying N dials.
+	Size int
+	// FetchSize is the cursor fetch batch size for the pool's connections.
+	FetchSize int
+	// dial stands in for DialWith so tests can inject failures.
+	dial func(addr string) (*Conn, error)
+}
+
+// Pool is a bounded set of wowserver connections shared by many workers.
+// Checkout (Get) hands out an idle connection after a liveness check — a
+// connection that died while idle is discarded and replaced, so callers never
+// see a stale socket — or dials a fresh one while the pool is under its size
+// limit. Each pooled connection keeps the statements it has prepared, keyed
+// by SQL text, so a worker re-running a shape the connection has seen skips
+// the Prepare round trip entirely.
+//
+// A checked-out PooledConn is single-goroutine, like the Conn it wraps; the
+// Pool itself is safe for concurrent Get/Put from any number of workers.
+type Pool struct {
+	addr string
+	cfg  PoolConfig
+
+	// tokens is a counting semaphore: a buffered channel holding one slot
+	// per allowed connection. Acquire by send, release by receive.
+	tokens chan struct{}
+	done   chan struct{}
+
+	mu     sync.Mutex
+	idle   []*poolConn
+	closed bool
+
+	dials       atomic.Uint64
+	checkouts   atomic.Uint64
+	idleReuses  atomic.Uint64
+	stmtHits    atomic.Uint64
+	healthFails atomic.Uint64
+	discards    atomic.Uint64
+}
+
+// PoolStats summarises the pool's counters.
+type PoolStats struct {
+	// Dials counts connections opened; Checkouts counts Gets served;
+	// IdleReuses counts checkouts satisfied by an idle connection.
+	Dials      uint64
+	Checkouts  uint64
+	IdleReuses uint64
+	// StmtCacheHits counts statement preparations satisfied by a
+	// connection's prepared-statement cache (no Prepare round trip).
+	StmtCacheHits uint64
+	// HealthCheckFailures counts idle connections that failed the checkout
+	// ping and were discarded; Discards counts connections dropped for any
+	// reason (failed ping, transport error, open-transaction rollback
+	// failure).
+	HealthCheckFailures uint64
+	Discards            uint64
+	// Idle is the current idle-connection count.
+	Idle int
+}
+
+// poolConn is one pooled connection plus its prepared-statement cache.
+type poolConn struct {
+	conn  *Conn
+	stmts map[string]*Stmt
+	inTxn bool
+}
+
+// NewPool creates a pool over the server address. No connection is dialed
+// until the first Get.
+func NewPool(addr string, cfg PoolConfig) *Pool {
+	if cfg.Size <= 0 {
+		cfg.Size = DefaultPoolSize
+	}
+	if cfg.dial == nil {
+		fetch := cfg.FetchSize
+		cfg.dial = func(addr string) (*Conn, error) {
+			return DialWith(addr, DialOptions{FetchSize: fetch})
+		}
+	}
+	return &Pool{
+		addr:   addr,
+		cfg:    cfg,
+		tokens: make(chan struct{}, cfg.Size),
+		done:   make(chan struct{}),
+	}
+}
+
+// Size returns the pool's connection limit.
+func (p *Pool) Size() int { return p.cfg.Size }
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	return PoolStats{
+		Dials:               p.dials.Load(),
+		Checkouts:           p.checkouts.Load(),
+		IdleReuses:          p.idleReuses.Load(),
+		StmtCacheHits:       p.stmtHits.Load(),
+		HealthCheckFailures: p.healthFails.Load(),
+		Discards:            p.discards.Load(),
+		Idle:                idle,
+	}
+}
+
+// Get checks a connection out of the pool, blocking while all of them are in
+// use. Idle connections are health-checked (one Ping round trip) before they
+// are handed out; a dead one is discarded and a fresh connection dialed in
+// its place. Release the result with PooledConn.Release.
+func (p *Pool) Get() (*PooledConn, error) {
+	select {
+	case <-p.done:
+		return nil, ErrPoolClosed
+	case p.tokens <- struct{}{}:
+	}
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			<-p.tokens
+			return nil, ErrPoolClosed
+		}
+		var pc *poolConn
+		if n := len(p.idle); n > 0 {
+			pc = p.idle[n-1]
+			p.idle = p.idle[:n-1]
+		}
+		p.mu.Unlock()
+		if pc == nil {
+			conn, err := p.cfg.dial(p.addr)
+			if err != nil {
+				<-p.tokens
+				return nil, err
+			}
+			p.dials.Add(1)
+			p.checkouts.Add(1)
+			return &PooledConn{pool: p, pc: &poolConn{conn: conn, stmts: make(map[string]*Stmt)}}, nil
+		}
+		if !pc.conn.Healthy() || pc.conn.Ping() != nil {
+			p.healthFails.Add(1)
+			p.discard(pc)
+			continue // try the next idle connection, or dial
+		}
+		p.checkouts.Add(1)
+		p.idleReuses.Add(1)
+		return &PooledConn{pool: p, pc: pc}, nil
+	}
+}
+
+// With checks a connection out, runs fn and releases it — the convenience
+// shape for workers whose whole unit of work fits one function.
+func (p *Pool) With(fn func(*PooledConn) error) error {
+	h, err := p.Get()
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	return fn(h)
+}
+
+// discard closes a connection without returning it to the idle list.
+func (p *Pool) discard(pc *poolConn) {
+	p.discards.Add(1)
+	pc.conn.Close()
+}
+
+// Close closes every idle connection and fails all future Gets. Connections
+// currently checked out are closed when released.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	close(p.done)
+	for _, pc := range idle {
+		pc.conn.Close()
+	}
+	return nil
+}
+
+// PooledConn is one checked-out connection. It exposes the connection's API
+// with the pool's prepared-statement reuse layered on top: Prepare (and the
+// Query/Exec/ExecBatch conveniences) consult the connection's statement
+// cache first, so repeating shapes over a pooled connection costs no Prepare
+// round trips after the first.
+type PooledConn struct {
+	pool     *Pool
+	pc       *poolConn
+	released bool
+}
+
+// errReleased guards every handle method: a PooledConn kept past its Release
+// must never touch the connection, which by then belongs to the idle list or
+// to another worker.
+var errReleased = fmt.Errorf("client: pooled connection already released")
+
+// use validates that the handle still owns its connection.
+func (h *PooledConn) use() error {
+	if h.released {
+		return errReleased
+	}
+	return nil
+}
+
+// Conn exposes the underlying connection for calls the handle does not wrap
+// (SetFetchSize, ProtocolVersion, raw cursors). It returns nil after Release.
+func (h *PooledConn) Conn() *Conn {
+	if h.released {
+		return nil
+	}
+	return h.pc.conn
+}
+
+// maxCachedStmts bounds one pooled connection's statement cache. Past it an
+// arbitrary cached statement is closed and replaced, so a workload cycling
+// through unbounded distinct SQL text (generated table names, say) cannot
+// grow the cache — on either end of the wire — without limit.
+const maxCachedStmts = 64
+
+// Prepare returns the connection's cached statement for the text, preparing
+// and caching it on first use. The statement is owned by the pool: do not
+// Close it — it stays live for the next worker that checks this connection
+// out.
+func (h *PooledConn) Prepare(text string) (*Stmt, error) {
+	if err := h.use(); err != nil {
+		return nil, err
+	}
+	if st, ok := h.pc.stmts[text]; ok {
+		h.pool.stmtHits.Add(1)
+		return st, nil
+	}
+	if len(h.pc.stmts) >= maxCachedStmts {
+		for evictText, evictStmt := range h.pc.stmts {
+			delete(h.pc.stmts, evictText)
+			evictStmt.Close()
+			break
+		}
+	}
+	st, err := h.pc.conn.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	h.pc.stmts[text] = st
+	return st, nil
+}
+
+// Query prepares (or reuses) the statement and runs it with the args.
+// Close the returned cursor before releasing the connection.
+func (h *PooledConn) Query(text string, args ...types.Value) (*Rows, error) {
+	st, err := h.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return st.Query(args...)
+}
+
+// Exec prepares (or reuses) the statement and executes it with the args.
+func (h *PooledConn) Exec(text string, args ...types.Value) (*Result, error) {
+	st, err := h.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return st.Exec(args...)
+}
+
+// ExecBatch prepares (or reuses) the statement and array-binds the rows in
+// one round trip.
+func (h *PooledConn) ExecBatch(text string, rows [][]types.Value) (*Result, error) {
+	st, err := h.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return st.ExecBatch(rows)
+}
+
+// Begin opens an explicit transaction on the pooled connection's session.
+// Commit or roll it back before Release; a transaction still open at Release
+// is rolled back so the next worker starts clean.
+func (h *PooledConn) Begin() error {
+	if err := h.use(); err != nil {
+		return err
+	}
+	if err := h.pc.conn.Begin(); err != nil {
+		return err
+	}
+	h.pc.inTxn = true
+	return nil
+}
+
+// Commit commits the open transaction.
+func (h *PooledConn) Commit() error {
+	if err := h.use(); err != nil {
+		return err
+	}
+	err := h.pc.conn.Commit()
+	if err == nil {
+		h.pc.inTxn = false
+	}
+	return err
+}
+
+// Rollback rolls the open transaction back.
+func (h *PooledConn) Rollback() error {
+	if err := h.use(); err != nil {
+		return err
+	}
+	err := h.pc.conn.Rollback()
+	if err == nil {
+		h.pc.inTxn = false
+	}
+	return err
+}
+
+// Release returns the connection to the pool. A connection that hit a
+// transport error is discarded instead; one released with a transaction
+// still open is rolled back first (and discarded if the rollback fails).
+// Release is idempotent.
+func (h *PooledConn) Release() {
+	if h.released {
+		return
+	}
+	h.released = true
+	p := h.pool
+	pc := h.pc
+	defer func() { <-p.tokens }()
+	if !pc.conn.Healthy() {
+		p.discard(pc)
+		return
+	}
+	if pc.inTxn {
+		if err := pc.conn.Rollback(); err != nil {
+			p.discard(pc)
+			return
+		}
+		pc.inTxn = false
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.discard(pc)
+		return
+	}
+	p.idle = append(p.idle, pc)
+	p.mu.Unlock()
+}

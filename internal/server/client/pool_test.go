@@ -1,0 +1,315 @@
+package client_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/server/wire"
+	"repro/internal/types"
+)
+
+func startServer(t *testing.T) (*engine.Database, *server.Server, string) {
+	t.Helper()
+	db, err := engine.Open(engine.Options{LockTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+		db.Close()
+	})
+	return db, srv, ln.Addr().String()
+}
+
+func seedTable(t *testing.T, addr string, n int) {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE customers (id INT PRIMARY KEY, name TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Prepare("INSERT INTO customers (id, name) VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rows := make([][]types.Value, n)
+	for i := range rows {
+		rows[i] = []types.Value{types.NewInt(int64(i + 1)), types.NewString(fmt.Sprintf("Customer %d", i+1))}
+	}
+	if _, err := st.ExecBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolMultiplexesWorkersOverFewSockets: N workers over a K-sized pool
+// must open at most K connections, reuse idle ones, and hit the per-connection
+// prepared-statement cache after the warmup round.
+func TestPoolMultiplexesWorkersOverFewSockets(t *testing.T) {
+	_, srv, addr := startServer(t)
+	seedTable(t, addr, 20)
+
+	pool := client.NewPool(addr, client.PoolConfig{Size: 2})
+	defer pool.Close()
+
+	const workers = 8
+	const iters = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := pool.With(func(h *client.PooledConn) error {
+					id := int64(1 + (w*iters+i)%20)
+					rows, err := h.Query("SELECT name FROM customers WHERE id = ?", types.NewInt(id))
+					if err != nil {
+						return err
+					}
+					defer rows.Close()
+					if !rows.Next() {
+						return fmt.Errorf("no row for id %d", id)
+					}
+					if got := rows.Row()[0].Str(); got != fmt.Sprintf("Customer %d", id) {
+						return fmt.Errorf("id %d returned %q", id, got)
+					}
+					return rows.Err()
+				})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	stats := pool.Stats()
+	if stats.Dials > 2 {
+		t.Fatalf("pool of 2 dialed %d connections", stats.Dials)
+	}
+	if stats.Checkouts != workers*iters {
+		t.Fatalf("Checkouts = %d, want %d", stats.Checkouts, workers*iters)
+	}
+	// Every checkout after the first two reused an idle connection, and every
+	// prepare after each connection's first hit its statement cache.
+	if stats.IdleReuses < workers*iters-2 {
+		t.Fatalf("IdleReuses = %d, want >= %d", stats.IdleReuses, workers*iters-2)
+	}
+	if stats.StmtCacheHits < workers*iters-2 {
+		t.Fatalf("StmtCacheHits = %d, want >= %d", stats.StmtCacheHits, workers*iters-2)
+	}
+	// The seeding connection plus at most two pooled ones.
+	if ss := srv.Stats(); ss.ConnectionsAccepted > 3 {
+		t.Fatalf("server accepted %d connections, want <= 3", ss.ConnectionsAccepted)
+	}
+}
+
+// TestPoolHealthCheckDiscardsDeadConnections: an idle connection whose server
+// vanished must fail the checkout ping and be discarded, not handed out.
+func TestPoolHealthCheckDiscardsDeadConnections(t *testing.T) {
+	_, srv, addr := startServer(t)
+	pool := client.NewPool(addr, client.PoolConfig{Size: 2})
+	defer pool.Close()
+
+	h, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Conn().Ping(); err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+
+	srv.Close() // the idle connection's server side is now gone
+
+	if _, err := pool.Get(); err == nil {
+		t.Fatal("Get against a closed server must fail, not return a dead connection")
+	}
+	stats := pool.Stats()
+	if stats.HealthCheckFailures != 1 {
+		t.Fatalf("HealthCheckFailures = %d, want 1", stats.HealthCheckFailures)
+	}
+	if stats.Discards == 0 {
+		t.Fatal("the dead connection was not discarded")
+	}
+}
+
+// TestPoolRollsBackAbandonedTransaction: a worker that releases a connection
+// with its transaction still open must not leak that transaction (or its
+// locks) to the next worker.
+func TestPoolRollsBackAbandonedTransaction(t *testing.T) {
+	db, _, addr := startServer(t)
+	seedTable(t, addr, 3)
+	pool := client.NewPool(addr, client.PoolConfig{Size: 1})
+	defer pool.Close()
+
+	h, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Exec("UPDATE customers SET name = 'leaked' WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	abortedBefore := db.Stats().Aborted
+	h.Release() // forgot to commit or roll back
+
+	if got := db.Stats().Aborted; got != abortedBefore+1 {
+		t.Fatalf("aborted %d -> %d, want the abandoned transaction rolled back", abortedBefore, got)
+	}
+	h2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	res, err := h2.Exec("SELECT name FROM customers WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Str(); got == "leaked" {
+		t.Fatal("abandoned transaction's write survived the release")
+	}
+}
+
+// TestPoolClosed: Get after Close fails fast — before any dial, so no server
+// is needed.
+func TestPoolClosed(t *testing.T) {
+	pool := client.NewPool("127.0.0.1:1", client.PoolConfig{Size: 1})
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(); err != client.ErrPoolClosed {
+		t.Fatalf("Get after Close = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestDialAgainstPreV2Server: a server that answers the Hello with "unknown
+// message type" (which is exactly what the PR 3 server did) must surface as a
+// clear *HandshakeError, not a codec error or a confusing statement failure.
+func TestDialAgainstPreV2Server(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		// Mimic the v1 server: read the frame, answer MsgErr "unknown
+		// message type 0x0a" the way the old dispatch loop did.
+		if _, _, err := wire.ReadFrame(nc); err != nil {
+			return
+		}
+		var b wire.Buffer
+		b.String("server: unknown message type 0x0a")
+		wire.WriteFrame(nc, wire.MsgErr, b.B)
+	}()
+
+	_, err = client.Dial(ln.Addr().String())
+	if err == nil {
+		t.Fatal("dialing a pre-v2 server must fail")
+	}
+	he, ok := err.(*client.HandshakeError)
+	if !ok {
+		t.Fatalf("want *client.HandshakeError, got %T: %v", err, err)
+	}
+	if !strings.Contains(he.Error(), "does not speak protocol v"+wire.Current.String()) {
+		t.Fatalf("handshake error %q does not explain the version gap", he.Error())
+	}
+}
+
+// TestPooledConnUseAfterRelease: a handle kept past Release must never touch
+// the connection again — it may already belong to another worker.
+func TestPooledConnUseAfterRelease(t *testing.T) {
+	_, _, addr := startServer(t)
+	seedTable(t, addr, 1)
+	pool := client.NewPool(addr, client.PoolConfig{Size: 1})
+	defer pool.Close()
+
+	h, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if err := h.Begin(); err == nil {
+		t.Fatal("Begin on a released handle must fail")
+	}
+	if err := h.Commit(); err == nil {
+		t.Fatal("Commit on a released handle must fail")
+	}
+	if err := h.Rollback(); err == nil {
+		t.Fatal("Rollback on a released handle must fail")
+	}
+	if _, err := h.Prepare("SELECT id FROM customers"); err == nil {
+		t.Fatal("Prepare on a released handle must fail")
+	}
+	if h.Conn() != nil {
+		t.Fatal("Conn on a released handle must be nil")
+	}
+	// The connection itself is unharmed for the next worker.
+	h2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if _, err := h2.Exec("SELECT id FROM customers"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPooledConnStmtCacheBounded: cycling through distinct SQL text must not
+// grow the statement cache without limit.
+func TestPooledConnStmtCacheBounded(t *testing.T) {
+	_, _, addr := startServer(t)
+	seedTable(t, addr, 1)
+	pool := client.NewPool(addr, client.PoolConfig{Size: 1})
+	defer pool.Close()
+
+	err := pool.With(func(h *client.PooledConn) error {
+		for i := 0; i < 200; i++ {
+			// 200 distinct statements, far past the 64-entry cache bound.
+			if _, err := h.Exec(fmt.Sprintf("SELECT id FROM customers WHERE id = %d", i)); err != nil {
+				return err
+			}
+		}
+		// The connection still works and a repeated shape still caches.
+		if _, err := h.Exec("SELECT id FROM customers WHERE id = 0"); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

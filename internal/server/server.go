@@ -4,7 +4,14 @@
 // engine's plan cache, lock manager and storage. The protocol (package wire)
 // maps 1:1 onto the prepared-statement lifecycle, so a remote client pays one
 // round trip per Prepare/Bind/Execute and streams result rows in fetch
-// batches instead of materialising them.
+// batches instead of materialising them; ExecBatch array-binds a whole bulk
+// load into one round trip and one transaction.
+//
+// Every connection opens with a protocol handshake: the first frame must be
+// a Hello carrying the wire magic and the client's version. A compatible
+// major gets HelloOK (with the negotiated version and the server banner); an
+// unknown major — or no Hello at all, which is how a pre-v2 client looks —
+// is refused with a versioned error frame and the connection closes.
 //
 // Disconnects — clean, abrupt, or a panicking connection goroutine — always
 // run the same cleanup path: open cursors close (releasing their read
@@ -22,6 +29,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/server/wire"
+	"repro/internal/types"
 )
 
 // Server accepts connections and serves the wire protocol over a database.
@@ -34,11 +42,15 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	accepted   atomic.Uint64
-	active     atomic.Int64
-	statements atomic.Uint64
-	rowsSent   atomic.Uint64
-	panics     atomic.Uint64
+	accepted    atomic.Uint64
+	active      atomic.Int64
+	statements  atomic.Uint64
+	rowsSent    atomic.Uint64
+	panics      atomic.Uint64
+	handshakes  atomic.Uint64
+	rejected    atomic.Uint64
+	batchRowsIn atomic.Uint64
+	batchFrames atomic.Uint64
 }
 
 // Stats summarises the server's counters.
@@ -48,6 +60,15 @@ type Stats struct {
 	MessagesServed      uint64
 	RowsSent            uint64
 	Panics              uint64
+	// HandshakesAccepted and HandshakesRejected count protocol negotiation
+	// outcomes; a rejected handshake is a version mismatch or a pre-v2
+	// client that never sent a Hello.
+	HandshakesAccepted uint64
+	HandshakesRejected uint64
+	// BatchFrames counts ExecBatch messages served; BatchRowsReceived the
+	// parameter rows they carried.
+	BatchFrames       uint64
+	BatchRowsReceived uint64
 }
 
 // New creates a server over the database. The database stays owned by the
@@ -65,6 +86,10 @@ func (s *Server) Stats() Stats {
 		MessagesServed:      s.statements.Load(),
 		RowsSent:            s.rowsSent.Load(),
 		Panics:              s.panics.Load(),
+		HandshakesAccepted:  s.handshakes.Load(),
+		HandshakesRejected:  s.rejected.Load(),
+		BatchFrames:         s.batchFrames.Load(),
+		BatchRowsReceived:   s.batchRowsIn.Load(),
 	}
 }
 
@@ -196,6 +221,9 @@ func (s *Server) serveConn(nc net.Conn) {
 		}()
 		c.cleanup()
 	}()
+	if !c.handshake() {
+		return
+	}
 	for {
 		msgType, payload, err := wire.ReadFrame(c.r)
 		if err != nil {
@@ -210,6 +238,59 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		}
 	}
+}
+
+// Banner identifies the server in HelloOK frames and the wowserver startup
+// line.
+var Banner = "wowserver/" + wire.Current.String()
+
+// handshake negotiates the protocol version: the first frame must be a Hello
+// with the wire magic and a compatible major. It reports whether the
+// connection may proceed to the message loop; on refusal the versioned error
+// frame has already been written and the caller just returns (cleanup runs in
+// its defer).
+func (c *conn) handshake() bool {
+	msgType, payload, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return false
+	}
+	refuse := func(client wire.Version) bool {
+		c.srv.rejected.Add(1)
+		ve := &wire.VersionError{Client: client, Server: wire.Current}
+		if err := wire.WriteFrame(c.w, wire.MsgErr, wire.EncodeVersionError(ve)); err == nil {
+			c.w.Flush()
+		}
+		return false
+	}
+	if msgType != wire.MsgHello {
+		// A pre-v2 client starts straight in with Prepare/Begin; anything else
+		// that is not a Hello gets the same refusal.
+		return refuse(wire.Version{})
+	}
+	cur := wire.NewCursor(payload)
+	hello := wire.DecodeHello(cur)
+	if cur.Err() != nil || hello.Magic != wire.HelloMagic {
+		return refuse(wire.Version{})
+	}
+	if !wire.Current.Compatible(hello.Version) {
+		return refuse(hello.Version)
+	}
+	// Negotiated version: the server's major (equal by now), the smaller
+	// minor — the set of payload fields both ends understand.
+	negotiated := wire.Current
+	if hello.Version.Minor < negotiated.Minor {
+		negotiated.Minor = hello.Version.Minor
+	}
+	var b wire.Buffer
+	wire.HelloOK{Version: negotiated, Banner: Banner}.Encode(&b)
+	if err := wire.WriteFrame(c.w, wire.MsgHelloOK, b.B); err != nil {
+		return false
+	}
+	if err := c.w.Flush(); err != nil {
+		return false
+	}
+	c.srv.handshakes.Add(1)
+	return true
 }
 
 // cleanup releases everything the connection holds against the shared
@@ -272,6 +353,14 @@ func (c *conn) dispatch(msgType byte, payload []byte) (byte, []byte) {
 			delete(c.cursors, id)
 		}
 		return wire.MsgOK, nil
+	case wire.MsgExecBatch:
+		return c.handleExecBatch(cur)
+	case wire.MsgPing:
+		return wire.MsgOK, nil
+	case wire.MsgHello:
+		// The handshake already ran; a second Hello is a protocol error, but
+		// not one worth dropping the connection for.
+		return errFrame(fmt.Errorf("server: duplicate Hello (handshake already negotiated v%s)", wire.Current))
 	case wire.MsgBegin:
 		return c.execText("BEGIN")
 	case wire.MsgCommit:
@@ -344,6 +433,44 @@ func (c *conn) handleExecute(cur *wire.Cursor) (byte, []byte) {
 	if err != nil {
 		return errFrame(err)
 	}
+	return resultFrame(res, &c.srv.rowsSent)
+}
+
+// handleExecBatch array-binds one prepared DML statement across every
+// parameter row in the frame — the whole batch is one round trip and (outside
+// an explicit transaction) one autocommit transaction on the engine side.
+func (c *conn) handleExecBatch(cur *wire.Cursor) (byte, []byte) {
+	id := cur.Uint32()
+	n := cur.Uint32()
+	if err := cur.Err(); err != nil {
+		return errFrame(err)
+	}
+	// Look the statement up before decoding: a bogus id must not cost a full
+	// payload decode (nor mask the real error with a truncation one).
+	st, ok := c.stmts[id]
+	if !ok {
+		return errFrame(fmt.Errorf("server: no statement %d", id))
+	}
+	// The row count is bounded by what the frame can physically hold (a row
+	// is at least its own 4-byte count), so a hostile count fails decoding
+	// instead of allocating unboundedly.
+	if int(n) > cur.Remaining()/4+1 {
+		return errFrame(fmt.Errorf("server: ExecBatch claims %d rows but only %d payload bytes follow", n, cur.Remaining()))
+	}
+	rows := make([][]types.Value, 0, n)
+	for i := uint32(0); i < n; i++ {
+		row := cur.Tuple()
+		if err := cur.Err(); err != nil {
+			return errFrame(fmt.Errorf("server: ExecBatch row %d: %w", i, err))
+		}
+		rows = append(rows, row)
+	}
+	res, err := st.ExecBatch(rows)
+	if err != nil {
+		return errFrame(err)
+	}
+	c.srv.batchFrames.Add(1)
+	c.srv.batchRowsIn.Add(uint64(len(rows)))
 	return resultFrame(res, &c.srv.rowsSent)
 }
 

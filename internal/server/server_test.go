@@ -1,8 +1,10 @@
 package server_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -219,6 +221,28 @@ func TestStatementErrorKeepsConnectionUsable(t *testing.T) {
 	}
 }
 
+// rawHandshake performs the client half of the v2 handshake over a bare TCP
+// connection, for tests that craft frames by hand.
+func rawHandshake(t *testing.T, nc net.Conn) {
+	t.Helper()
+	var b wire.Buffer
+	wire.Hello{Magic: wire.HelloMagic, Version: wire.Current}.Encode(&b)
+	if err := wire.WriteFrame(nc, wire.MsgHello, b.B); err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != wire.MsgHelloOK {
+		t.Fatalf("handshake answered 0x%02x, want HelloOK", msgType)
+	}
+	ok := wire.DecodeHelloOK(wire.NewCursor(payload))
+	if !ok.Version.Compatible(wire.Current) {
+		t.Fatalf("negotiated %s, want a v%d", ok.Version, wire.Current.Major)
+	}
+}
+
 func TestGarbageFrameGetsErrorNotDisconnect(t *testing.T) {
 	_, _, addr := startServer(t)
 	nc, err := net.Dial("tcp", addr)
@@ -226,6 +250,7 @@ func TestGarbageFrameGetsErrorNotDisconnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nc.Close()
+	rawHandshake(t, nc)
 	// An unknown message type must come back as MsgErr on a live connection.
 	if err := wire.WriteFrame(nc, 0x7f, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
@@ -535,5 +560,309 @@ func TestConcurrentConnectionsOverTheWire(t *testing.T) {
 	}
 	if stats := srv.Stats(); stats.ConnectionsAccepted < workers {
 		t.Fatalf("accepted %d connections, want >= %d", stats.ConnectionsAccepted, workers)
+	}
+}
+
+// TestHandshakeNegotiatesVersion: a current client gets HelloOK with the
+// server's version and banner, and the counters record an accepted handshake.
+func TestHandshakeNegotiatesVersion(t *testing.T) {
+	_, srv, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if v := c.ProtocolVersion(); v.Major != wire.Current.Major {
+		t.Fatalf("negotiated v%s, want major %d", v, wire.Current.Major)
+	}
+	if c.ServerBanner() == "" {
+		t.Fatal("HelloOK carried no server banner")
+	}
+	if stats := srv.Stats(); stats.HandshakesAccepted != 1 || stats.HandshakesRejected != 0 {
+		t.Fatalf("handshake counters = %+v", stats)
+	}
+	// A higher client minor negotiates down to the server's minor.
+	c2, err := client.DialWith(addr, client.DialOptions{Version: wire.Version{Major: wire.Current.Major, Minor: 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if v := c2.ProtocolVersion(); v != wire.Current {
+		t.Fatalf("minor negotiation gave v%s, want v%s", v, wire.Current)
+	}
+}
+
+// TestHandshakeRefusesUnknownMajor: the acceptance path for version skew — a
+// client offering a major the server does not speak is refused with a typed
+// *wire.VersionError naming both versions.
+func TestHandshakeRefusesUnknownMajor(t *testing.T) {
+	_, srv, addr := startServer(t)
+	_, err := client.DialWith(addr, client.DialOptions{Version: wire.Version{Major: 9, Minor: 0}})
+	if err == nil {
+		t.Fatal("a v9 client must be refused")
+	}
+	ve, ok := err.(*wire.VersionError)
+	if !ok {
+		t.Fatalf("want *wire.VersionError, got %T: %v", err, err)
+	}
+	if ve.Client.Major != 9 || ve.Server.Major != wire.Current.Major {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+	if !strings.Contains(ve.Error(), "v9.0") || !strings.Contains(ve.Error(), "v"+wire.Current.String()) {
+		t.Fatalf("refusal text %q does not name both versions", ve.Error())
+	}
+	if stats := srv.Stats(); stats.HandshakesRejected != 1 {
+		t.Fatalf("HandshakesRejected = %d, want 1", stats.HandshakesRejected)
+	}
+}
+
+// TestHandshakeRefusesV1Client: a pre-v2 client never sends a Hello — its
+// first frame is already a Prepare. The server must answer with a versioned
+// error (legible to the old client, which reads MsgErr as plain text) and
+// close the connection.
+func TestHandshakeRefusesV1Client(t *testing.T) {
+	_, srv, addr := startServer(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Exactly what the PR 3 client's Prepare sent: no Hello first.
+	var b wire.Buffer
+	b.String("SELECT 1 FROM t")
+	if err := wire.WriteFrame(nc, wire.MsgPrepare, b.B); err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != wire.MsgErr {
+		t.Fatalf("response type = 0x%02x, want MsgErr", msgType)
+	}
+	cur := wire.NewCursor(payload)
+	msg := cur.String()
+	if !strings.Contains(msg, "protocol version mismatch") || !strings.Contains(msg, "v"+wire.Current.String()) {
+		t.Fatalf("refusal %q does not name the protocol version", msg)
+	}
+	// The structured tail types the error for v2-aware readers.
+	ve := wire.DecodeVersionTail(cur)
+	if ve == nil || ve.Server != wire.Current || !ve.Client.IsZero() {
+		t.Fatalf("version tail = %+v", ve)
+	}
+	// The server hangs up after refusing: the next read is EOF.
+	if _, _, err := wire.ReadFrame(nc); err == nil {
+		t.Fatal("connection still open after a handshake refusal")
+	}
+	if stats := srv.Stats(); stats.HandshakesRejected != 1 || stats.HandshakesAccepted != 0 {
+		t.Fatalf("handshake counters = %+v", stats)
+	}
+}
+
+// TestExecBatchOverTheWire: one ExecBatch frame loads a whole batch through
+// the engine's array-bind path — one round trip, one transaction.
+func TestExecBatchOverTheWire(t *testing.T) {
+	db, srv, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Prepare("INSERT INTO customers (id, name, credit) VALUES (?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const n = 120
+	rows := make([][]types.Value, n)
+	for i := range rows {
+		rows[i] = []types.Value{
+			types.NewInt(int64(i + 1)),
+			types.NewString(fmt.Sprintf("Batch %d", i+1)),
+			types.NewFloat(float64(i)),
+		}
+	}
+	committedBefore := db.Stats().Committed
+	res, err := st.ExecBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != n {
+		t.Fatalf("RowsAffected = %d, want %d", res.RowsAffected, n)
+	}
+	stats := db.Stats()
+	if stats.BatchRowsExecuted < n {
+		t.Fatalf("engine BatchRowsExecuted = %d, want >= %d", stats.BatchRowsExecuted, n)
+	}
+	if got := stats.Committed - committedBefore; got != 1 {
+		t.Fatalf("batch committed %d transactions, want 1", got)
+	}
+	if ss := srv.Stats(); ss.BatchFrames != 1 || ss.BatchRowsReceived != n {
+		t.Fatalf("server batch counters = %+v", ss)
+	}
+	check, err := c.Exec("SELECT id FROM customers ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(check.Rows) != n {
+		t.Fatalf("table holds %d rows after batch, want %d", len(check.Rows), n)
+	}
+	// A failing row rolls the whole batch back: duplicate of id 1.
+	if _, err := st.ExecBatch([][]types.Value{
+		{types.NewInt(999), types.NewString("ok"), types.NewFloat(0)},
+		{types.NewInt(1), types.NewString("dup"), types.NewFloat(0)},
+	}); err == nil {
+		t.Fatal("batch with a duplicate key must fail")
+	}
+	check, err = c.Exec("SELECT id FROM customers WHERE id = 999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(check.Rows) != 0 {
+		t.Fatal("failed batch left its earlier rows behind")
+	}
+}
+
+// TestExecBatchTruncatedFrame: a batch frame whose payload lies about its row
+// count must come back as MsgErr with the connection still usable.
+func TestExecBatchTruncatedFrame(t *testing.T) {
+	db, _, addr := startServer(t)
+	s := db.Session()
+	if _, err := s.Execute(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	rawHandshake(t, nc)
+
+	// A batch against a statement id that was never prepared fails on the
+	// lookup, before any row decoding.
+	var b wire.Buffer
+	b.Uint32(42)
+	b.Uint32(1000)
+	if err := wire.WriteFrame(nc, wire.MsgExecBatch, b.B); err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != wire.MsgErr {
+		t.Fatalf("unknown-statement batch answered 0x%02x, want MsgErr", msgType)
+	}
+	if msg := wire.NewCursor(payload).String(); !strings.Contains(msg, "no statement 42") {
+		t.Fatalf("error %q, want the statement lookup failure", msg)
+	}
+
+	// Prepare a real statement over the raw connection to aim the bad
+	// payloads at.
+	b = wire.Buffer{}
+	b.String("INSERT INTO customers (id, name) VALUES (?, ?)")
+	if err := wire.WriteFrame(nc, wire.MsgPrepare, b.B); err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err = wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != wire.MsgStmt {
+		t.Fatalf("Prepare answered 0x%02x", msgType)
+	}
+	stmtID := wire.NewCursor(payload).Uint32()
+
+	// Claims 1000 rows, carries none.
+	b = wire.Buffer{}
+	b.Uint32(stmtID)
+	b.Uint32(1000) // row count
+	if err := wire.WriteFrame(nc, wire.MsgExecBatch, b.B); err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err = wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != wire.MsgErr {
+		t.Fatalf("truncated ExecBatch answered 0x%02x, want MsgErr", msgType)
+	}
+	if msg := wire.NewCursor(payload).String(); !strings.Contains(msg, "1000") {
+		t.Fatalf("error %q does not name the bogus row count", msg)
+	}
+
+	// A row that is cut off mid-tuple sticks in the cursor decode.
+	b = wire.Buffer{}
+	b.Uint32(stmtID)
+	b.Uint32(2)
+	b.Tuple(types.Tuple{types.NewInt(7)})
+	b.Uint32(3) // second row claims 3 values, then the payload ends
+	if err := wire.WriteFrame(nc, wire.MsgExecBatch, b.B); err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err = wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != wire.MsgErr {
+		t.Fatalf("mid-tuple truncation answered 0x%02x, want MsgErr", msgType)
+	}
+	if msg := wire.NewCursor(payload).String(); !strings.Contains(msg, "row 1") {
+		t.Fatalf("error %q does not locate the truncated row", msg)
+	}
+
+	// The connection survived both: a Ping still answers.
+	if err := wire.WriteFrame(nc, wire.MsgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	msgType, _, err = wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != wire.MsgOK {
+		t.Fatalf("Ping after bad batches answered 0x%02x, want MsgOK", msgType)
+	}
+}
+
+// TestMetricsSnapshot: the metrics document carries the server, engine and
+// plan-cache counters the -metrics endpoint serves.
+func TestMetricsSnapshot(t *testing.T) {
+	_, srv, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedCustomers(t, c, 3)
+
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics endpoint returned %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var m server.Metrics
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if m.Server.ConnectionsAccepted < 1 || m.Server.HandshakesAccepted < 1 {
+		t.Fatalf("server counters missing from metrics: %+v", m.Server)
+	}
+	if m.Engine.StatementsPrepared == 0 {
+		t.Fatalf("engine counters missing from metrics: %+v", m.Engine)
+	}
+	if m.Engine.SessionsOpened == 0 {
+		t.Fatalf("session counters missing from metrics: %+v", m.Engine)
+	}
+	if m.PlanCacheLen == 0 {
+		t.Fatal("plan cache length missing from metrics")
+	}
+	if m.Protocol != "v"+wire.Current.String() {
+		t.Fatalf("metrics protocol = %q", m.Protocol)
 	}
 }

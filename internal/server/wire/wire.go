@@ -10,12 +10,26 @@
 //	CloseCursor -> Rows.Close             -> OK
 //	Begin / Commit / Rollback             -> Result
 //
+// Since protocol v2 a connection starts with a version handshake before any
+// of the statement messages:
+//
+//	Hello       -> version check          -> HelloOK (negotiated version, banner)
+//	ExecBatch   -> Stmt.ExecBatch         -> Result  (array-bind in one round trip)
+//	Ping        -> liveness check         -> OK      (pool health checks)
+//
 // Framing: every message is one frame — a 4-byte big-endian payload length,
 // then the payload, whose first byte is the message type. Integers are
 // big-endian and fixed width; strings are a uint32 length followed by UTF-8
-// bytes; values are a kind byte followed by the kind's fixed encoding. The
-// protocol carries no version handshake yet — both ends are built from one
-// tree (see README for the frame catalogue).
+// bytes; values are a kind byte followed by the kind's fixed encoding.
+//
+// Versioning: the Hello frame carries a magic word and the client's version;
+// the server refuses a major it does not speak (with a *VersionError whose
+// versions ride in a structured tail on the error frame) and answers HelloOK
+// with the negotiated version otherwise. The major number gates wire
+// compatibility; minors may only append fields to existing payloads, which
+// decoders tolerate (a Cursor never requires full consumption), so a v2.1
+// peer interoperates with v2.0 and a v3 codec can evolve behind the same
+// handshake. See README for the frame catalogue.
 package wire
 
 import (
@@ -38,17 +52,134 @@ const (
 	MsgBegin       byte = 0x07
 	MsgCommit      byte = 0x08
 	MsgRollback    byte = 0x09
+	MsgHello       byte = 0x0a // magic, client version — must be the first frame (v2)
+	MsgExecBatch   byte = 0x0b // stmt id, row count, parameter rows (v2)
+	MsgPing        byte = 0x0c // liveness probe, answered with OK (v2)
 )
 
 // Message types, server to client.
 const (
-	MsgErr    byte = 0x20 // error text
-	MsgStmt   byte = 0x21 // stmt id, param names, columns
-	MsgResult byte = 0x22 // rows affected, message, columns, rows
-	MsgCursor byte = 0x23 // cursor id, columns
-	MsgRows   byte = 0x24 // done flag, row batch
-	MsgOK     byte = 0x25
+	MsgErr     byte = 0x20 // error text (+ server version tail on handshake refusal)
+	MsgStmt    byte = 0x21 // stmt id, param names, columns
+	MsgResult  byte = 0x22 // rows affected, message, columns, rows
+	MsgCursor  byte = 0x23 // cursor id, columns
+	MsgRows    byte = 0x24 // done flag, row batch
+	MsgOK      byte = 0x25
+	MsgHelloOK byte = 0x26 // negotiated version, server banner (v2)
 )
+
+// --- protocol version ---------------------------------------------------------
+
+// HelloMagic is the first word of a Hello payload: it distinguishes a wow
+// client's handshake from an arbitrary program that happened to connect.
+const HelloMagic uint32 = 0x574f5721 // "WOW!"
+
+// Version is a protocol version. The major number gates compatibility: both
+// ends must speak the same major. Minors are informational — a higher minor
+// may only append fields to existing payloads, which older decoders ignore.
+type Version struct {
+	Major uint32
+	Minor uint32
+}
+
+// Current is the protocol version this tree speaks.
+var Current = Version{Major: 2, Minor: 0}
+
+// String renders the version as "2.0".
+func (v Version) String() string { return fmt.Sprintf("%d.%d", v.Major, v.Minor) }
+
+// IsZero reports whether the version is unset.
+func (v Version) IsZero() bool { return v.Major == 0 && v.Minor == 0 }
+
+// Compatible reports whether a peer speaking the other version can be served:
+// majors must match exactly.
+func (v Version) Compatible(other Version) bool { return v.Major == other.Major }
+
+// VersionError is a handshake refusal: the two ends speak incompatible
+// protocol majors (or the client never sent a Hello at all, in which case its
+// version is zero — a pre-v2 client). The server encodes both versions into
+// the refusal frame, so the client re-types the error instead of pattern
+// matching on text.
+type VersionError struct {
+	Client Version // what the client offered (zero when no Hello was sent)
+	Server Version // what the server speaks
+}
+
+func (e *VersionError) Error() string {
+	if e.Client.IsZero() {
+		return fmt.Sprintf("wire: protocol version mismatch: client sent no Hello handshake (pre-v2 protocol or not a wow client); server speaks v%s", e.Server)
+	}
+	return fmt.Sprintf("wire: protocol version mismatch: client speaks v%s, server speaks v%s (majors must match)", e.Client, e.Server)
+}
+
+// Hello is the client's opening frame.
+type Hello struct {
+	Magic   uint32
+	Version Version
+}
+
+// Encode appends the Hello payload.
+func (h Hello) Encode(b *Buffer) {
+	b.Uint32(h.Magic)
+	b.Uint32(h.Version.Major)
+	b.Uint32(h.Version.Minor)
+}
+
+// DecodeHello reads a Hello payload.
+func DecodeHello(c *Cursor) Hello {
+	return Hello{
+		Magic:   c.Uint32(),
+		Version: Version{Major: c.Uint32(), Minor: c.Uint32()},
+	}
+}
+
+// HelloOK is the server's handshake acceptance.
+type HelloOK struct {
+	Version Version // the negotiated version the connection will speak
+	Banner  string  // a human-readable server identification
+}
+
+// Encode appends the HelloOK payload.
+func (h HelloOK) Encode(b *Buffer) {
+	b.Uint32(h.Version.Major)
+	b.Uint32(h.Version.Minor)
+	b.String(h.Banner)
+}
+
+// DecodeHelloOK reads a HelloOK payload.
+func DecodeHelloOK(c *Cursor) HelloOK {
+	return HelloOK{
+		Version: Version{Major: c.Uint32(), Minor: c.Uint32()},
+		Banner:  c.String(),
+	}
+}
+
+// EncodeVersionError renders a handshake refusal as a MsgErr payload: the
+// error text (so a pre-v2 reader still gets a legible message) followed by a
+// structured tail — client major/minor, server major/minor — that v2-aware
+// clients decode back into a typed *VersionError.
+func EncodeVersionError(e *VersionError) []byte {
+	var b Buffer
+	b.String(e.Error())
+	b.Uint32(e.Client.Major)
+	b.Uint32(e.Client.Minor)
+	b.Uint32(e.Server.Major)
+	b.Uint32(e.Server.Minor)
+	return b.B
+}
+
+// DecodeVersionTail tries to read the structured version tail from an error
+// payload cursor (positioned after the error text). It returns nil when the
+// tail is absent — an ordinary error frame.
+func DecodeVersionTail(c *Cursor) *VersionError {
+	if c.Err() != nil || c.Remaining() < 16 {
+		return nil
+	}
+	return &VersionError{
+		Client: Version{Major: c.Uint32(), Minor: c.Uint32()},
+		Server: Version{Major: c.Uint32(), Minor: c.Uint32()},
+	}
+}
 
 // MaxFrame bounds one frame's payload so a corrupt or hostile length prefix
 // cannot make either end allocate unbounded memory.
@@ -174,6 +305,16 @@ func NewCursor(b []byte) *Cursor { return &Cursor{b: b} }
 
 // Err returns the first decoding error, if any.
 func (c *Cursor) Err() error { return c.err }
+
+// Remaining returns how many undecoded bytes are left. Payloads are allowed
+// to carry more than a decoder reads (minor versions append fields), so this
+// is for optional tails, not validation.
+func (c *Cursor) Remaining() int {
+	if c.err != nil {
+		return 0
+	}
+	return len(c.b) - c.pos
+}
 
 func (c *Cursor) take(n int) []byte {
 	if c.err != nil {

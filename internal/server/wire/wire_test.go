@@ -72,3 +72,100 @@ func TestCursorTruncationSticks(t *testing.T) {
 		t.Fatalf("err = %v", c.Err())
 	}
 }
+
+func TestHelloRoundTrip(t *testing.T) {
+	var b Buffer
+	Hello{Magic: HelloMagic, Version: Version{Major: 2, Minor: 1}}.Encode(&b)
+	h := DecodeHello(NewCursor(b.B))
+	if h.Magic != HelloMagic || h.Version.Major != 2 || h.Version.Minor != 1 {
+		t.Fatalf("decoded %+v", h)
+	}
+	// Minor additions append fields; a decoder must tolerate a longer payload.
+	b.Uint32(777)
+	h = DecodeHello(NewCursor(b.B))
+	if h.Version.Major != 2 {
+		t.Fatalf("decoder choked on an appended field: %+v", h)
+	}
+}
+
+func TestHelloOKRoundTrip(t *testing.T) {
+	var b Buffer
+	HelloOK{Version: Current, Banner: "wowserver/test"}.Encode(&b)
+	ok := DecodeHelloOK(NewCursor(b.B))
+	if ok.Version != Current || ok.Banner != "wowserver/test" {
+		t.Fatalf("decoded %+v", ok)
+	}
+}
+
+func TestVersionErrorTail(t *testing.T) {
+	ve := &VersionError{Client: Version{Major: 9}, Server: Current}
+	payload := EncodeVersionError(ve)
+	c := NewCursor(payload)
+	msg := c.String()
+	if !strings.Contains(msg, "v9.0") || !strings.Contains(msg, "v"+Current.String()) {
+		t.Fatalf("refusal text %q", msg)
+	}
+	got := DecodeVersionTail(c)
+	if got == nil || got.Client.Major != 9 || got.Server != Current {
+		t.Fatalf("tail decoded as %+v", got)
+	}
+	// An ordinary error frame has no tail.
+	var plain Buffer
+	plain.String("some error")
+	c = NewCursor(plain.B)
+	_ = c.String()
+	if tail := DecodeVersionTail(c); tail != nil {
+		t.Fatalf("plain error grew a version tail: %+v", tail)
+	}
+}
+
+func TestVersionCompatibility(t *testing.T) {
+	if !Current.Compatible(Version{Major: Current.Major, Minor: 99}) {
+		t.Fatal("same major must be compatible regardless of minor")
+	}
+	if Current.Compatible(Version{Major: Current.Major + 1}) {
+		t.Fatal("different major must be incompatible")
+	}
+	if ve := (&VersionError{Server: Current}); !strings.Contains(ve.Error(), "no Hello") {
+		t.Fatalf("zero-client refusal text %q should name the missing handshake", ve.Error())
+	}
+}
+
+// TestOversizedFrameRefusedBeforeWrite: WriteFrame must reject a payload over
+// the frame cap without emitting a single byte, so the statement fails but
+// the stream stays in sync. (This is the client-side guard for an ExecBatch
+// that outgrew one frame.)
+func TestOversizedFrameRefusedBeforeWrite(t *testing.T) {
+	var buf bytes.Buffer
+	huge := make([]byte, MaxFrame)
+	if err := WriteFrame(&buf, MsgExecBatch, huge); err == nil {
+		t.Fatal("oversized frame must be refused")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("refused frame leaked %d bytes onto the stream", buf.Len())
+	}
+}
+
+// TestExecBatchPayloadTruncation: a batch payload cut off mid-row decodes
+// into a sticky cursor error, never a partial batch.
+func TestExecBatchPayloadTruncation(t *testing.T) {
+	var b Buffer
+	b.Uint32(1) // stmt id
+	b.Uint32(2) // two rows
+	b.Tuple(types.Tuple{types.NewInt(1), types.NewString("whole row")})
+	b.Tuple(types.Tuple{types.NewInt(2), types.NewString("cut off")})
+	for cut := len(b.B) - 1; cut > 9; cut -= 7 {
+		c := NewCursor(b.B[:cut])
+		_ = c.Uint32() // stmt id
+		n := c.Uint32()
+		decoded := 0
+		for i := uint32(0); i < n && c.Err() == nil; i++ {
+			if c.Tuple(); c.Err() == nil {
+				decoded++
+			}
+		}
+		if c.Err() == nil && decoded == int(n) {
+			t.Fatalf("truncation at %d of %d bytes decoded a complete batch", cut, len(b.B))
+		}
+	}
+}

@@ -107,6 +107,79 @@ form good_customer_form on good_customers
 end
 `
 
+// TableLoad describes one table's synthetic load: a parameterized one-row
+// INSERT and the generator for its i'th parameter row. Generators share one
+// seeded random stream, so the loads of one Loads call must be consumed in
+// slice order, each drained completely, for runs to be repeatable.
+type TableLoad struct {
+	Name      string
+	InsertSQL string
+	N         int
+	Bind      func(i int) []types.Value
+}
+
+// Loads returns the standard tables' loads for the given sizes. Both the
+// embedded loader (Populate) and the remote loader (PopulateRemote) feed from
+// this, so a local and a remote database built at the same sizes hold
+// identical rows.
+func Loads(sizes Sizes) []TableLoad {
+	rng := rand.New(rand.NewSource(19830523))
+	return []TableLoad{
+		{
+			Name:      "customers",
+			InsertSQL: "INSERT INTO customers (id, name, city, credit, since) VALUES (?, ?, ?, ?, ?)",
+			N:         sizes.Customers,
+			Bind: func(i int) []types.Value {
+				name := firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+				city := cities[rng.Intn(len(cities))]
+				credit := float64(rng.Intn(20000)) / 10
+				day := 1 + rng.Intn(28)
+				month := 1 + rng.Intn(12)
+				return []types.Value{
+					types.NewInt(int64(i + 1)),
+					types.NewString(name),
+					types.NewString(city),
+					types.NewFloat(credit),
+					types.NewString(fmt.Sprintf("19%02d-%02d-%02d", 70+rng.Intn(14), month, day)),
+				}
+			},
+		},
+		{
+			Name:      "orders",
+			InsertSQL: "INSERT INTO orders (id, customer_id, placed, total) VALUES (?, ?, ?, ?)",
+			N:         sizes.Orders,
+			Bind: func(i int) []types.Value {
+				customer := 1 + rng.Intn(sizes.Customers)
+				total := float64(rng.Intn(100000)) / 100
+				return []types.Value{
+					types.NewInt(int64(i + 1)),
+					types.NewInt(int64(customer)),
+					types.NewString(fmt.Sprintf("1983-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))),
+					types.NewFloat(total),
+				}
+			},
+		},
+		{
+			Name:      "order_items",
+			InsertSQL: "INSERT INTO order_items (id, order_id, item, qty, price) VALUES (?, ?, ?, ?, ?)",
+			N:         sizes.Orders * sizes.ItemsPerOrder,
+			Bind: func(i int) []types.Value {
+				order := (i / sizes.ItemsPerOrder) + 1
+				item := items[rng.Intn(len(items))]
+				qty := 1 + rng.Intn(9)
+				price := float64(rng.Intn(10000)) / 100
+				return []types.Value{
+					types.NewInt(int64(i + 1)),
+					types.NewInt(int64(order)),
+					types.NewString(item),
+					types.NewInt(int64(qty)),
+					types.NewFloat(price),
+				}
+			},
+		},
+	}
+}
+
 // Populate creates the standard schema and fills it with deterministic
 // synthetic data of the given size. The same sizes always produce the same
 // rows (seeded generator), so experiment runs are repeatable.
@@ -115,53 +188,10 @@ func Populate(db *engine.Database, sizes Sizes) error {
 	if _, err := s.ExecuteScript(StandardSchema); err != nil {
 		return fmt.Errorf("workload: schema: %w", err)
 	}
-	rng := rand.New(rand.NewSource(19830523))
-
-	if err := batchInsert(s, "INSERT INTO customers (id, name, city, credit, since) VALUES (?, ?, ?, ?, ?)", sizes.Customers, 200, func(i int) []types.Value {
-		name := firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
-		city := cities[rng.Intn(len(cities))]
-		credit := float64(rng.Intn(20000)) / 10
-		day := 1 + rng.Intn(28)
-		month := 1 + rng.Intn(12)
-		return []types.Value{
-			types.NewInt(int64(i + 1)),
-			types.NewString(name),
-			types.NewString(city),
-			types.NewFloat(credit),
-			types.NewString(fmt.Sprintf("19%02d-%02d-%02d", 70+rng.Intn(14), month, day)),
+	for _, load := range Loads(sizes) {
+		if err := batchInsert(s, load.InsertSQL, load.N, 200, load.Bind); err != nil {
+			return fmt.Errorf("workload: %s: %w", load.Name, err)
 		}
-	}); err != nil {
-		return fmt.Errorf("workload: customers: %w", err)
-	}
-
-	if err := batchInsert(s, "INSERT INTO orders (id, customer_id, placed, total) VALUES (?, ?, ?, ?)", sizes.Orders, 200, func(i int) []types.Value {
-		customer := 1 + rng.Intn(sizes.Customers)
-		total := float64(rng.Intn(100000)) / 100
-		return []types.Value{
-			types.NewInt(int64(i + 1)),
-			types.NewInt(int64(customer)),
-			types.NewString(fmt.Sprintf("1983-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))),
-			types.NewFloat(total),
-		}
-	}); err != nil {
-		return fmt.Errorf("workload: orders: %w", err)
-	}
-
-	totalItems := sizes.Orders * sizes.ItemsPerOrder
-	if err := batchInsert(s, "INSERT INTO order_items (id, order_id, item, qty, price) VALUES (?, ?, ?, ?, ?)", totalItems, 200, func(i int) []types.Value {
-		order := (i / sizes.ItemsPerOrder) + 1
-		item := items[rng.Intn(len(items))]
-		qty := 1 + rng.Intn(9)
-		price := float64(rng.Intn(10000)) / 100
-		return []types.Value{
-			types.NewInt(int64(i + 1)),
-			types.NewInt(int64(order)),
-			types.NewString(item),
-			types.NewInt(int64(qty)),
-			types.NewFloat(price),
-		}
-	}); err != nil {
-		return fmt.Errorf("workload: order_items: %w", err)
 	}
 	return nil
 }
