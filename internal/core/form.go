@@ -7,10 +7,14 @@
 //     (package fdl) to the catalog: resolving the relation, the fields, the
 //     key, validation rules, computed fields, triggers and master/detail
 //     links, and deciding whether the binding is updatable;
-//   - the window runtime (window.go, qbf.go), which gives each open form a
-//     cursor over its current rows, an edit buffer, query-by-form, and
-//     translates saves and deletes into SQL against the bound relation —
-//     through updatable views when the form is bound to one;
+//   - the window runtime (window.go, qbf.go, pager.go), which gives each
+//     open form a paging cursor over its current rows — a bounded buffer
+//     fetched page by page through keyset predicates on the engine's
+//     streaming cursors, never the materialised result — plus an edit
+//     buffer, query-by-form, and the translation of saves and deletes into
+//     SQL against the bound relation (through updatable views when the form
+//     is bound to one). Windows run over a Source (source.go): a local
+//     engine session or a remote wowserver connection, same code path;
 //   - the window manager (wm.go), which keeps any number of windows open,
 //     routes keystrokes, composites them onto one screen, and propagates
 //     refreshes so that every window showing changed data is brought up to

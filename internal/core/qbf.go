@@ -254,5 +254,6 @@ func BuildQBFPredicateParam(form *Form, patterns map[string]string, binds map[st
 	return combined, nil
 }
 
-// Selectivity estimation is not needed: the window always materialises the
-// predicate's result through the engine, which picks the access path.
+// Selectivity estimation is not needed: the window's pager runs the
+// predicate through the engine, which picks the access path; only a page of
+// the result is ever fetched, however unselective the pattern is.

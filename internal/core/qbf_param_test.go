@@ -63,7 +63,7 @@ func TestWindowRefreshReusesPreparedStatement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := w.session.Database()
+	db := m.Database()
 
 	if err := w.Query(map[string]string{"city": "Boston"}); err != nil {
 		t.Fatal(err)

@@ -49,7 +49,7 @@ func (w *Window) Render() {
 	// Row position and status line.
 	position := "no rows"
 	if w.cursor >= 0 {
-		position = fmt.Sprintf("row %d of %d", w.cursor+1, len(w.rows))
+		position = fmt.Sprintf("row %d of %d", w.cursor+1, w.RowCount())
 	}
 	s.DrawText(s.Height()-3, 2, position, tui.StyleDim)
 	bar := tui.StatusBar{Row: s.Height() - 2, Width: s.Width(), Text: " " + w.status, Error: w.statusError}
@@ -60,8 +60,10 @@ func (w *Window) Render() {
 	w.stats.CellsPainted += s.CellsPainted() - before
 }
 
-// renderDetail draws a detail link as a grid of the child window's rows,
-// showing the child's fields as columns.
+// renderDetail draws a detail link as a grid over the child window's pager,
+// showing the child's fields as columns. The grid pulls rows through the
+// RowProvider interface, so only the child's buffered page is ever formatted
+// — the child never materialises its result set for display.
 func (w *Window) renderDetail(s *tui.Screen, link *DetailLink, child *Window) {
 	grid := &tui.TableGrid{
 		Row:         link.Def.Row + 1,
@@ -69,19 +71,10 @@ func (w *Window) renderDetail(s *tui.Screen, link *DetailLink, child *Window) {
 		VisibleRows: link.Def.Rows,
 		Selected:    child.cursor,
 		Focused:     false,
+		Source:      detailRows{w: child},
 	}
 	for _, field := range child.form.Fields {
 		grid.Columns = append(grid.Columns, tui.GridColumn{Title: field.Def.Label, Width: field.Def.Width})
-	}
-	for rowIdx := range child.rows {
-		savedCursor := child.cursor
-		child.cursor = rowIdx
-		var cells []string
-		for _, field := range child.form.Fields {
-			cells = append(cells, child.FieldText(field))
-		}
-		child.cursor = savedCursor
-		grid.Rows = append(grid.Rows, cells)
 	}
 	width := 2
 	for _, c := range grid.Columns {
@@ -89,6 +82,29 @@ func (w *Window) renderDetail(s *tui.Screen, link *DetailLink, child *Window) {
 	}
 	s.DrawBox(link.Def.Row, link.Def.Col, link.Def.Rows+3, width+1, child.form.Def.Title, tui.StyleNone)
 	grid.Draw(s)
+}
+
+// detailRows adapts a window's pager to the grid's row-provider interface:
+// rows are served from the buffered page and formatted through the window's
+// fields (computed values, formats) on demand.
+type detailRows struct {
+	w *Window
+}
+
+// GridRowCount returns the result-set size.
+func (d detailRows) GridRowCount() int { return d.w.RowCount() }
+
+// GridRow formats the fields of the row at absolute position i, if buffered.
+func (d detailRows) GridRow(i int) ([]string, bool) {
+	row, ok := d.w.pager.Row(i)
+	if !ok {
+		return nil, false
+	}
+	cells := make([]string, 0, len(d.w.form.Fields))
+	for _, field := range d.w.form.Fields {
+		cells = append(cells, d.w.rowText(field, row))
+	}
+	return cells, true
 }
 
 // HandleKey applies one keystroke to the window: the classic forms-system

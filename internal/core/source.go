@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/server/client"
+	"repro/internal/types"
+)
+
+// Source is where a window's rows come from: a prepared-statement factory a
+// window runs its queries and writes through. Two implementations exist — an
+// engine.Session for windows over a local database, and a client.Conn for
+// windows browsing a remote wowserver — so the forms runtime is one code path
+// whether the world is in-process or across the wire.
+type Source interface {
+	// Prepare compiles one SQL statement for repeated execution.
+	Prepare(text string) (Statement, error)
+	// NewSource returns a source for a detail child window: an independent
+	// statement/cursor namespace over the same world.
+	NewSource() Source
+}
+
+// Statement is one prepared statement of a Source, the subset of the engine
+// and remote statement APIs the forms runtime needs. Like the statements it
+// wraps, it must not be used from more than one goroutine at a time.
+type Statement interface {
+	// BindNamed sets every occurrence of the named parameter.
+	BindNamed(name string, value types.Value) error
+	// Query runs a SELECT and returns its streaming cursor.
+	Query() (RowStream, error)
+	// Exec runs DML and returns how many rows it wrote.
+	Exec() (ExecSummary, error)
+	// Close releases the statement.
+	Close() error
+}
+
+// RowStream is a streaming cursor over a statement's result, satisfied by
+// both *engine.Rows and *client.Rows. Closing it early releases whatever the
+// cursor holds (read leases locally, the server-side cursor remotely).
+type RowStream interface {
+	Next() bool
+	Row() types.Tuple
+	Err() error
+	Close() error
+}
+
+// ExecSummary is the outcome of a write through a Statement.
+type ExecSummary struct {
+	RowsAffected int
+}
+
+// fetchSizer is implemented by statements that can bound how many rows one
+// fetch round trip pulls (the remote statement). The window pager sets it to
+// its page size so a page costs one round trip.
+type fetchSizer interface {
+	SetFetchSize(n int)
+}
+
+// --- local engine source -----------------------------------------------------
+
+// engineSource adapts an engine.Session to the Source interface.
+type engineSource struct {
+	session *engine.Session
+}
+
+// NewEngineSource wraps a local engine session as a window Source.
+func NewEngineSource(session *engine.Session) Source {
+	return engineSource{session: session}
+}
+
+func (e engineSource) Prepare(text string) (Statement, error) {
+	st, err := e.session.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return engineStatement{st: st}, nil
+}
+
+func (e engineSource) NewSource() Source {
+	return engineSource{session: e.session.Database().Session()}
+}
+
+type engineStatement struct {
+	st *engine.Stmt
+}
+
+func (s engineStatement) BindNamed(name string, value types.Value) error {
+	return s.st.BindNamed(name, value)
+}
+
+func (s engineStatement) Query() (RowStream, error) {
+	rows, err := s.st.Query()
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func (s engineStatement) Exec() (ExecSummary, error) {
+	res, err := s.st.Exec()
+	if err != nil {
+		return ExecSummary{}, err
+	}
+	return ExecSummary{RowsAffected: res.RowsAffected}, nil
+}
+
+func (s engineStatement) Close() error { return s.st.Close() }
+
+// --- remote source -----------------------------------------------------------
+
+// remoteSource adapts a client.Conn to the Source interface: the window's
+// queries prepare on the server, rows arrive in page-sized fetch batches, and
+// writes run remotely. One connection serves any number of windows (the
+// server keeps statements and cursors apart by id), and windows are driven by
+// one goroutine, so detail children share their master's connection.
+type remoteSource struct {
+	conn *client.Conn
+}
+
+// NewRemoteSource wraps a wowserver connection as a window Source, so a form
+// window browses a remote database exactly as it browses a local one.
+func NewRemoteSource(conn *client.Conn) Source {
+	return remoteSource{conn: conn}
+}
+
+func (r remoteSource) Prepare(text string) (Statement, error) {
+	st, err := r.conn.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	names := st.ParamNames()
+	return &remoteStatement{
+		st:     st,
+		names:  names,
+		values: make([]types.Value, len(names)),
+		bound:  make([]bool, len(names)),
+	}, nil
+}
+
+func (r remoteSource) NewSource() Source { return r }
+
+// remoteStatement adds named binding on top of the remote statement's
+// positional Bind: values accumulate by name and ship with the next Query or
+// Exec round trip (the wire Bind message is positional).
+type remoteStatement struct {
+	st     *client.Stmt
+	names  []string
+	values []types.Value
+	bound  []bool
+}
+
+func (s *remoteStatement) BindNamed(name string, value types.Value) error {
+	name = strings.ToLower(strings.TrimPrefix(name, "@"))
+	found := false
+	for i, n := range s.names {
+		if n == name {
+			s.values[i] = value
+			s.bound[i] = true
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: remote statement has no parameter named @%s", name)
+	}
+	return nil
+}
+
+func (s *remoteStatement) args() ([]types.Value, error) {
+	for i, ok := range s.bound {
+		if !ok {
+			return nil, fmt.Errorf("core: remote statement parameter @%s is not bound", s.names[i])
+		}
+	}
+	return s.values, nil
+}
+
+func (s *remoteStatement) Query() (RowStream, error) {
+	if len(s.names) > 0 {
+		args, err := s.args()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.st.Bind(args...); err != nil {
+			return nil, err
+		}
+	}
+	rows, err := s.st.Query()
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func (s *remoteStatement) Exec() (ExecSummary, error) {
+	if len(s.names) > 0 {
+		args, err := s.args()
+		if err != nil {
+			return ExecSummary{}, err
+		}
+		if err := s.st.Bind(args...); err != nil {
+			return ExecSummary{}, err
+		}
+	}
+	res, err := s.st.Exec()
+	if err != nil {
+		return ExecSummary{}, err
+	}
+	return ExecSummary{RowsAffected: int(res.RowsAffected)}, nil
+}
+
+// SetFetchSize bounds the rows per fetch round trip for cursors opened from
+// this statement — the wire Fetch frame's max-rows field.
+func (s *remoteStatement) SetFetchSize(n int) { s.st.SetFetchSize(n) }
+
+func (s *remoteStatement) Close() error { return s.st.Close() }

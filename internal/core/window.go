@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/engine"
 	"repro/internal/sql"
 	"repro/internal/tui"
 	"repro/internal/types"
@@ -42,7 +41,10 @@ func (m Mode) String() string {
 
 // Stats counts what a window has done since it was opened. The experiment
 // harness reads these to report keystroke economy, repaint cost and query
-// counts.
+// counts. Queries counts every query the window's pager ran (page fetches
+// and result counts alike); RowsFetched counts the rows those queries
+// actually pulled off their cursors — with the pager this stays O(page) per
+// refresh no matter how large the relation is.
 type Stats struct {
 	Keystrokes   uint64
 	Repaints     uint64
@@ -57,11 +59,16 @@ type Stats struct {
 // Window is one open form: a viewport onto the rows of its relation that
 // currently satisfy the window's predicate, plus the edit state for changing
 // them. It is the runtime object the paper calls a "window on the world".
+//
+// The window never materialises its result set: a Pager keeps a bounded ring
+// of rows buffered around the cursor and pages through the relation by keyset
+// as the cursor moves, so the window behaves identically over ten rows or ten
+// million. The cursor is an absolute position in the ordered result.
 type Window struct {
-	form    *Form
-	session *engine.Session
-	wm      *Manager
-	id      int
+	form *Form
+	src  Source
+	wm   *Manager
+	id   int
 
 	// OriginRow and OriginCol place the window on the composite screen.
 	OriginRow, OriginCol int
@@ -77,15 +84,22 @@ type Window struct {
 	hasLink    bool
 	linkColumn string
 	linkValue  types.Value
-	rows       []types.Tuple
-	cursor     int
+	// pager is the window cursor; cursor is the absolute position of the
+	// current row in the pager's ordered result (-1 when the window is empty).
+	pager  *Pager
+	cursor int
+	// visibleHint is how many rows of this window are visible at once (set on
+	// detail children from the master's link definition); it sizes the
+	// pager's buffer page.
+	visibleHint int
 
 	// stmts caches one prepared statement per query shape this window has
 	// run. A shape is the generated SQL with "@q_*" parameter templates in
 	// place of the pattern operands, so refreshing with new operands (the
-	// master cursor moved, the user re-queried with a different value) reuses
-	// the compiled plan and only rebinds.
-	stmts     map[string]*engine.Stmt
+	// master cursor moved, the user re-queried with a different value, the
+	// pager re-anchored at another row) reuses the compiled plan and only
+	// rebinds.
+	stmts     map[string]Statement
 	stmtOrder []string
 
 	// Edit state.
@@ -106,11 +120,12 @@ type Window struct {
 }
 
 // newWindow wires a window for a compiled form. Detail child windows are
-// created recursively, each with its own session on the same database.
-func newWindow(form *Form, session *engine.Session, wm *Manager, id int) *Window {
+// created recursively, each with its own source on the same world (its own
+// session locally; the shared connection remotely).
+func newWindow(form *Form, src Source, wm *Manager, id int) *Window {
 	w := &Window{
 		form:          form,
-		session:       session,
+		src:           src,
 		wm:            wm,
 		id:            id,
 		screen:        tui.NewScreen(form.Def.Width, form.Def.Height),
@@ -118,11 +133,13 @@ func newWindow(form *Form, session *engine.Session, wm *Manager, id int) *Window
 		buffer:        map[string]string{},
 		cursor:        -1,
 	}
+	w.pager = newPager(w.preparedFor, &w.stats)
 	for range form.Details {
 		w.details = append(w.details, nil)
 	}
 	for i, link := range form.Details {
-		child := newWindow(link.Child, session.Database().Session(), wm, -1)
+		child := newWindow(link.Child, src.NewSource(), wm, -1)
+		child.visibleHint = link.Def.Rows
 		w.details[i] = child
 	}
 	return w
@@ -145,11 +162,24 @@ func (w *Window) Stats() Stats { return w.stats }
 // the window manager).
 func (w *Window) Screen() *tui.Screen { return w.screen }
 
-// RowCount returns the number of rows currently in the window.
-func (w *Window) RowCount() int { return len(w.rows) }
+// RowCount returns the number of rows in the window's result set, as of its
+// last refresh (0 before the first one). The rows themselves are not
+// materialised; only a page around the cursor is buffered.
+func (w *Window) RowCount() int {
+	return max(w.pager.Total(), 0)
+}
 
-// Cursor returns the current row index (-1 when the window is empty).
+// Cursor returns the current row's absolute position in the window's result
+// set (-1 when the window is empty).
 func (w *Window) Cursor() int { return w.cursor }
+
+// PageSize returns how many rows one PgUp/PgDn moves the cursor.
+func (w *Window) PageSize() int { return w.pageSize() }
+
+// BufferPage returns the pager's buffer page: the most rows any one
+// navigation step or refresh fetches (the visible rows times the lookahead
+// factor).
+func (w *Window) BufferPage() int { return w.bufferPageSize() }
 
 // Status returns the window's status-line message.
 func (w *Window) Status() string { return w.status }
@@ -175,13 +205,13 @@ func (w *Window) setError(err error) {
 
 // --- querying ---------------------------------------------------------------
 
-// buildQuery assembles the SELECT that fills the window: the form's static
-// filter, the current query-by-form predicate and the master/detail link
-// predicate ANDed together, with the form's declared ordering. Everything
-// that varies per refresh — pattern operands, the link value — is emitted as
-// a named parameter and returned in binds, so the text identifies a reusable
-// prepared-statement shape.
-func (w *Window) buildQuery() (string, map[string]types.Value, error) {
+// queryPredicates assembles the WHERE conjuncts that select the window's
+// rows: the form's static filter, the current query-by-form predicate and the
+// master/detail link predicate. Everything that varies per refresh — pattern
+// operands, the link value — is emitted as a named parameter and returned in
+// binds, so the texts identify reusable prepared-statement shapes. Ordering
+// and pagination are the pager's business (pagerKeys).
+func (w *Window) queryPredicates() ([]string, map[string]types.Value, error) {
 	binds := map[string]types.Value{}
 	var predicates []string
 	if w.form.FilterExpr != nil {
@@ -189,7 +219,7 @@ func (w *Window) buildQuery() (string, map[string]types.Value, error) {
 	}
 	qbf, err := BuildQBFPredicateParam(w.form, w.queryPatterns, binds)
 	if err != nil {
-		return "", nil, err
+		return nil, nil, err
 	}
 	if qbf != nil {
 		predicates = append(predicates, qbf.String())
@@ -203,46 +233,75 @@ func (w *Window) buildQuery() (string, map[string]types.Value, error) {
 		binds["link"] = w.linkValue
 		predicates = append(predicates, link.String())
 	}
-	var b strings.Builder
-	b.WriteString("SELECT * FROM ")
-	b.WriteString(w.form.Relation)
-	if len(predicates) > 0 {
-		b.WriteString(" WHERE ")
-		b.WriteString(strings.Join(predicates, " AND "))
-	}
-	if len(w.form.OrderBy) > 0 {
-		var keys []string
-		for _, o := range w.form.OrderBy {
-			key := o.Column
-			if o.Desc {
-				key += " DESC"
-			}
-			keys = append(keys, key)
+	return predicates, binds, nil
+}
+
+// pagerKeys derives the window's ordering: the form's declared ORDER BY
+// columns, with the form's key columns appended as the tiebreaker. keyset
+// reports whether the result is a total order (the form has a key, which
+// identifies a row) — only then can the pager page by keyset; a keyless
+// form keeps its declared ordering but materialises, as the pre-pager
+// windows always did.
+func (w *Window) pagerKeys() (keys []pagerKey, keyset bool) {
+	seen := map[string]bool{}
+	for _, o := range w.form.OrderBy {
+		name := strings.ToLower(o.Column)
+		pos, err := w.form.Schema.ColumnIndex(o.Column)
+		if err != nil || seen[name] {
+			continue
 		}
-		b.WriteString(" ORDER BY ")
-		b.WriteString(strings.Join(keys, ", "))
+		seen[name] = true
+		keys = append(keys, pagerKey{column: name, pos: pos, desc: o.Desc})
 	}
-	return b.String(), binds, nil
+	if len(w.form.Key) == 0 {
+		return keys, false
+	}
+	for _, pos := range w.form.Key {
+		name := strings.ToLower(w.form.Schema.Columns[pos].Name)
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		keys = append(keys, pagerKey{column: name, pos: pos})
+	}
+	return keys, true
+}
+
+// visibleRows is how many rows of the result the window presents at once: a
+// detail block shows its grid rows; a card-style master steps by pageSize.
+func (w *Window) visibleRows() int {
+	if w.visibleHint > 0 {
+		return w.visibleHint
+	}
+	return w.pageSize()
+}
+
+// bufferPageSize is the pager's buffer page: the visible rows times the
+// lookahead factor, so scrolling row by row refetches only every couple of
+// visible pages.
+func (w *Window) bufferPageSize() int {
+	return max(w.visibleRows()*pageFactor, 8)
 }
 
 // maxWindowStmts bounds how many prepared shapes a window keeps. Shapes vary
-// only with which fields carry patterns and which operators they use, so a
-// handful covers an interactive session; the oldest is closed when the cache
-// overflows.
-const maxWindowStmts = 16
+// with which fields carry patterns, which operators they use, and which of
+// the pager's page shapes (first/last page, keyset forward/backward, count)
+// have run, so a few dozen covers an interactive session; the oldest is
+// closed when the cache overflows.
+const maxWindowStmts = 32
 
 // preparedFor returns the window's prepared statement for the query shape,
 // preparing and caching it on first use.
-func (w *Window) preparedFor(query string) (*engine.Stmt, error) {
+func (w *Window) preparedFor(query string) (Statement, error) {
 	if stmt, ok := w.stmts[query]; ok {
 		return stmt, nil
 	}
-	stmt, err := w.session.Prepare(query)
+	stmt, err := w.src.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
 	if w.stmts == nil {
-		w.stmts = map[string]*engine.Stmt{}
+		w.stmts = map[string]Statement{}
 	}
 	if len(w.stmtOrder) >= maxWindowStmts {
 		oldest := w.stmtOrder[0]
@@ -272,51 +331,41 @@ func (w *Window) closeStatements() {
 	}
 }
 
-// Refresh re-runs the window's query through its prepared statement, reloads
-// its rows and repaints. The cursor stays on the same position when possible.
+// Refresh re-runs the window's query and repaints. Only a page of rows is
+// fetched: when the query is unchanged the pager re-anchors at the current
+// row by keyset (so a refresh deep in a huge table costs one page plus the
+// result count, not a scan from the top); when the query changed — new QBF
+// patterns, the master's cursor moved a detail's link — the first page loads.
+// The cursor stays on the same position when possible.
 func (w *Window) Refresh() error {
-	query, binds, err := w.buildQuery()
+	where, binds, err := w.queryPredicates()
 	if err != nil {
 		w.setError(err)
 		return err
 	}
-	stmt, err := w.preparedFor(query)
-	if err != nil {
+	keys, keyset := w.pagerKeys()
+	changed := w.pager.Configure(w.form.Relation, where, binds, keys, keyset, w.bufferPageSize())
+	var anchor types.Tuple
+	anchorAbs := -1
+	if !changed {
+		if row, ok := w.CurrentRow(); ok {
+			anchor, anchorAbs = row, w.cursor
+		}
+	}
+	if err := w.pager.Refresh(anchor, anchorAbs); err != nil {
 		w.setError(err)
 		return err
 	}
-	for name, value := range binds {
-		if err := stmt.BindNamed(name, value); err != nil {
+	w.stats.Refreshes++
+	if total := w.pager.Total(); total == 0 {
+		w.cursor = -1
+	} else {
+		pos, err := w.pager.Seek(clamp(w.cursor, 0, total-1))
+		if err != nil {
 			w.setError(err)
 			return err
 		}
-	}
-	rows, err := stmt.Query()
-	if err != nil {
-		w.setError(err)
-		return err
-	}
-	w.rows = w.rows[:0]
-	for rows.Next() {
-		w.rows = append(w.rows, rows.Row())
-	}
-	if err := rows.Err(); err != nil {
-		rows.Close()
-		w.setError(err)
-		return err
-	}
-	rows.Close()
-	w.stats.Queries++
-	w.stats.Refreshes++
-	w.stats.RowsFetched += uint64(len(w.rows))
-	if w.cursor >= len(w.rows) {
-		w.cursor = len(w.rows) - 1
-	}
-	if w.cursor < 0 && len(w.rows) > 0 {
-		w.cursor = 0
-	}
-	if len(w.rows) == 0 {
-		w.cursor = -1
+		w.cursor = pos
 	}
 	if err := w.syncDetails(); err != nil {
 		return err
@@ -362,7 +411,7 @@ func (w *Window) syncDetails() error {
 			continue
 		}
 		if !ok {
-			child.rows = nil
+			child.pager.Clear()
 			child.cursor = -1
 			continue
 		}
@@ -376,10 +425,10 @@ func (w *Window) syncDetails() error {
 
 // CurrentRow returns the row under the cursor.
 func (w *Window) CurrentRow() (types.Tuple, bool) {
-	if w.cursor < 0 || w.cursor >= len(w.rows) {
+	if w.cursor < 0 {
 		return nil, false
 	}
-	return w.rows[w.cursor], true
+	return w.pager.Row(w.cursor)
 }
 
 // CurrentKey returns the key values of the current row (used to address it in
@@ -402,22 +451,28 @@ func (w *Window) CurrentKey() (types.Tuple, bool) {
 // --- navigation ---------------------------------------------------------------
 
 // MoveCursor moves the cursor by delta rows, clamped to the result set, and
-// re-synchronises detail windows.
+// re-synchronises detail windows. The pager fetches forward or backward by
+// keyset as needed, so any page-sized move costs at most one page of rows.
 func (w *Window) MoveCursor(delta int) error {
-	if len(w.rows) == 0 {
+	if w.pager.Total() <= 0 {
 		return nil
 	}
-	next := w.cursor + delta
-	if next < 0 {
-		next = 0
-	}
-	if next >= len(w.rows) {
-		next = len(w.rows) - 1
-	}
+	next := clamp(w.cursor+delta, 0, w.pager.Total()-1)
 	if next == w.cursor {
 		return nil
 	}
-	w.cursor = next
+	return w.seekTo(next)
+}
+
+// seekTo positions the cursor on an absolute row and repaints.
+func (w *Window) seekTo(abs int) error {
+	pos, err := w.pager.Seek(abs)
+	if err != nil {
+		w.setError(err)
+		w.Render()
+		return err
+	}
+	w.cursor = pos
 	if err := w.syncDetails(); err != nil {
 		return err
 	}
@@ -432,10 +487,35 @@ func (w *Window) NextRow() error { return w.MoveCursor(1) }
 func (w *Window) PrevRow() error { return w.MoveCursor(-1) }
 
 // FirstRow jumps to the first row.
-func (w *Window) FirstRow() error { return w.MoveCursor(-len(w.rows)) }
+func (w *Window) FirstRow() error {
+	if w.pager.Total() <= 0 || w.cursor == 0 {
+		return nil
+	}
+	return w.seekTo(0)
+}
 
-// LastRow jumps to the last row.
-func (w *Window) LastRow() error { return w.MoveCursor(len(w.rows)) }
+// LastRow jumps to the last row. With a keyset order this is one reversed
+// page fetch, not a walk over the table.
+func (w *Window) LastRow() error {
+	if w.pager.Total() <= 0 {
+		return nil
+	}
+	pos, err := w.pager.SeekLast()
+	if err != nil {
+		w.setError(err)
+		w.Render()
+		return err
+	}
+	if pos == w.cursor {
+		return nil
+	}
+	w.cursor = pos
+	if err := w.syncDetails(); err != nil {
+		return err
+	}
+	w.Render()
+	return nil
+}
 
 // --- field access and editing ------------------------------------------------
 
@@ -454,6 +534,13 @@ func (w *Window) FieldText(field *Field) string {
 	if !ok {
 		return ""
 	}
+	return w.rowText(field, row)
+}
+
+// rowText formats one field's display text for an arbitrary row of the
+// window's relation (the current row for the card fields, any buffered row
+// for a detail grid line).
+func (w *Window) rowText(field *Field, row types.Tuple) string {
 	var v types.Value
 	if field.Computed() {
 		computed, err := field.Value.Eval(row)
@@ -515,7 +602,7 @@ func (w *Window) BeginEdit() error {
 		w.buffer[field.Name()] = w.fieldTextFromRow(field)
 	}
 	w.dirty = false
-	w.setStatus("editing row %d of %d", w.cursor+1, len(w.rows))
+	w.setStatus("editing row %d of %d", w.cursor+1, w.RowCount())
 	w.Render()
 	return nil
 }
@@ -584,7 +671,7 @@ func (w *Window) ExecuteQuery() error {
 	if err := w.Query(patterns); err != nil {
 		return err
 	}
-	w.setStatus("%d row(s) selected", len(w.rows))
+	w.setStatus("%d row(s) selected", w.RowCount())
 	w.Render()
 	return nil
 }
@@ -774,15 +861,16 @@ func (w *Window) Save() error {
 // statement cache: the text identifies the shape, the binds carry this save's
 // values. Since writes are planned like reads, the shape's plan — target
 // resolution, view translation and the key predicate's index access path —
-// is built once at prepare and only rebound per save.
-func (w *Window) execPrepared(statement string, binds map[string]types.Value) (*engine.Result, error) {
+// is built once at prepare and only rebound per save. Through a remote
+// source the same call is one Bind and one Execute round trip.
+func (w *Window) execPrepared(statement string, binds map[string]types.Value) (ExecSummary, error) {
 	stmt, err := w.preparedFor(statement)
 	if err != nil {
-		return nil, err
+		return ExecSummary{}, err
 	}
 	for name, value := range binds {
 		if err := stmt.BindNamed(name, value); err != nil {
-			return nil, err
+			return ExecSummary{}, err
 		}
 	}
 	return stmt.Exec()

@@ -59,10 +59,19 @@ func (m *Manager) PropagationCount() uint64 { return m.propagations }
 func (m *Manager) WindowsRefreshed() uint64 { return m.windowsRefreshed }
 
 // Open opens a window for the form at the given origin on the composite
-// screen, gives it its own session, runs its initial query and focuses it.
+// screen, gives it its own session on the manager's database, runs its
+// initial query and focuses it.
 func (m *Manager) Open(form *Form, originRow, originCol int) (*Window, error) {
+	return m.OpenOn(form, NewEngineSource(m.db.Session()), originRow, originCol)
+}
+
+// OpenOn opens a window over an explicit row source — a remote wowserver
+// connection (NewRemoteSource), or any other Source implementation — so the
+// same forms runtime browses local and remote worlds. The form must be
+// compiled against a catalog matching the source's schema.
+func (m *Manager) OpenOn(form *Form, src Source, originRow, originCol int) (*Window, error) {
 	m.nextID++
-	w := newWindow(form, m.db.Session(), m, m.nextID)
+	w := newWindow(form, src, m, m.nextID)
 	w.OriginRow, w.OriginCol = originRow, originCol
 	if err := w.Refresh(); err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/plan"
 	"repro/internal/types"
 )
 
@@ -419,5 +420,53 @@ func BenchmarkEnginePointQuery(b *testing.B) {
 		if _, err := s.Query("SELECT name FROM customers WHERE id = 3"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestOrderByIndexElision checks that ORDER BY served by an index (the
+// planner's sort elision, which the window pager's keyset queries stream on)
+// returns exactly what a sort would: ascending, descending via the reverse
+// scan, and NULL keys first — the index covers NULL entries too.
+func TestOrderByIndexElision(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	s := db.Session()
+	if _, err := s.ExecuteScript(`
+		CREATE TABLE elide (id INT PRIMARY KEY, v INT);
+		CREATE INDEX elide_v ON elide (v);
+		INSERT INTO elide VALUES (1, 30), (2, NULL), (3, 10), (4, 20), (5, NULL);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	read := func(query string) []string {
+		t.Helper()
+		res, err := s.Query(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, row := range res.Rows {
+			out = append(out, row[0].SQL())
+		}
+		return out
+	}
+	join := func(ss []string) string { return strings.Join(ss, ",") }
+
+	if got := read("SELECT v FROM elide ORDER BY v"); join(got) != "NULL,NULL,10,20,30" {
+		t.Errorf("ORDER BY v = %v", got)
+	}
+	if got := read("SELECT v FROM elide ORDER BY v DESC"); join(got) != "30,20,10,NULL,NULL" {
+		t.Errorf("ORDER BY v DESC = %v", got)
+	}
+	if got := read("SELECT id FROM elide WHERE id > 2 ORDER BY id DESC"); join(got) != "5,4,3" {
+		t.Errorf("keyset DESC = %v", got)
+	}
+	// The plans really are sort-free: the scan serves the order.
+	node, err := s.Plan("SELECT v FROM elide ORDER BY v DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp := plan.Explain(node); !strings.Contains(exp, "reverse") || strings.Contains(exp, "Sort") {
+		t.Errorf("expected a sort-free reverse index scan:\n%s", exp)
 	}
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/catalog"
 	"repro/internal/expr"
@@ -76,6 +77,12 @@ func (o *scanOperator) Open() error {
 		o.rids = o.node.Index.Tree.Range(low, high)
 	default:
 		return fmt.Errorf("exec: unknown access kind %v", o.node.Access)
+	}
+	if o.node.Reverse {
+		// A reverse scan walks the index access path backwards: the rid list
+		// is already in key order, so flipping it yields descending order
+		// without a sort (the planner's sort elision relies on this).
+		slices.Reverse(o.rids)
 	}
 	return nil
 }

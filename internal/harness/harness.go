@@ -1,8 +1,11 @@
-// Package harness regenerates the paper's evaluation: each experiment E1–E8
-// (see DESIGN.md for the index) sets up its workload, runs the measured
+// Package harness regenerates the paper's evaluation and measures each
+// architectural addition since: experiments E1–E8 reproduce the paper's
+// tables and figures, E9+ benchmark the engine and server (see Experiments
+// for the index). Each experiment sets up its workload, runs the measured
 // operations through the forms system and the baseline, and renders the
-// resulting table or figure series as text. cmd/wowbench prints these tables;
-// bench_test.go exposes the same measured operations as Go benchmarks.
+// resulting table or figure series as text. cmd/wowbench prints these
+// tables; bench_test.go exposes the same measured operations as Go
+// benchmarks.
 package harness
 
 import (
@@ -89,8 +92,10 @@ var Quick = Config{Sizes: workload.SmallSizes, Operations: 30, Quick: true}
 // (index-range UPDATE and batch-bound INSERT) against the seed write path;
 // E11 measures N-client throughput through the wire-protocol server and the
 // engine-wide shared plan cache; E12 measures remote bulk ingest — pooled
-// ExecBatch frames against the per-row round-trip path.
-var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+// ExecBatch frames against the per-row round-trip path; E13 measures
+// windowed browsing — the keyset-paged window cursor against per-refresh
+// materialisation over the largest table, locally and over the wire.
+var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 
 // Run executes one experiment by id.
 func Run(id string, cfg Config) (*Table, error) {
@@ -119,6 +124,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return RunE11(cfg)
 	case "E12":
 		return RunE12(cfg)
+	case "E13":
+		return RunE13(cfg)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}

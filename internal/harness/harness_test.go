@@ -138,3 +138,46 @@ func TestE12ShapeBatchedPooledIngestBeatsPerRow(t *testing.T) {
 		t.Errorf("pooled batched ingest speedup %.2fx does not beat the per-row path", speedup)
 	}
 }
+
+// TestE13ShapePagedWindowFetchesOnePage checks the windowed-browsing claim:
+// a refresh over the largest workload table must fetch at most one buffer
+// page (plus the one-row count) while the materialise rows fetch the whole
+// table — locally and over the wire — and the printed reduction reflects it.
+func TestE13ShapePagedWindowFetchesOnePage(t *testing.T) {
+	table, err := RunE13(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("E13 has %d rows, want 4 (local/remote × materialise/paged)", len(table.Rows))
+	}
+	tableRows := Quick.Sizes.Orders * Quick.Sizes.ItemsPerOrder
+	for _, row := range table.Rows {
+		mode := row[0]
+		fetched, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("%s: refresh fetches cell %q", mode, row[2])
+		}
+		if strings.Contains(mode, "materialise") {
+			if fetched != tableRows {
+				t.Errorf("%s fetched %d rows, want the whole table (%d)", mode, fetched, tableRows)
+			}
+			continue
+		}
+		// Paged: one page plus the count row, far under the table size. The
+		// page budget is printed in the first note.
+		if fetched >= tableRows/4 {
+			t.Errorf("%s fetched %d of %d rows; paging should fetch O(page)", mode, fetched, tableRows)
+		}
+		reduction, err := strconv.ParseFloat(strings.TrimSuffix(row[7], "x"), 64)
+		if err != nil {
+			t.Fatalf("%s: reduction cell %q", mode, row[7])
+		}
+		if reduction < 4 {
+			t.Errorf("%s reduction %.1fx is too small for a %d-row table", mode, reduction, tableRows)
+		}
+	}
+	if len(table.Notes) == 0 || !strings.Contains(table.Notes[0], "page") {
+		t.Errorf("E13 should print the page budget in its notes")
+	}
+}

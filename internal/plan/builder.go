@@ -129,11 +129,11 @@ func (b *Builder) Build(sel *sql.SelectStmt) (Node, error) {
 	if sortAfterProject {
 		out = Node(project)
 		if len(sortKeys) > 0 {
-			out = &SortNode{Input: out, Keys: sortKeys}
+			out = elideSort(&SortNode{Input: out, Keys: sortKeys})
 		}
 	} else {
 		sorted := &SortNode{Input: root, Keys: sortKeys}
-		project.Input = sorted
+		project.Input = elideSort(sorted)
 		out = project
 	}
 

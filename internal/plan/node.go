@@ -1,8 +1,13 @@
-// Package plan turns parsed SELECT statements into executable plan trees:
-// it resolves table and view names through the catalog, expands views as
+// Package plan turns parsed statements into executable plan trees: it
+// resolves table and view names through the catalog, expands views as
 // derived tables, pushes predicates down to scans, selects index access
-// paths, and decides join strategies. The exec package walks the resulting
-// tree and runs it.
+// paths (with parameter operands resolved when the scan opens, so cached
+// plans stay parameter-generic), elides sorts an index already serves
+// (descending orders become reverse index scans, which is what lets keyset
+// pagination stream), and decides join strategies. INSERT/UPDATE/DELETE
+// plan through the same builder (BuildStatement), their predicates as
+// ordinary child scans. The exec package walks the resulting tree and runs
+// it.
 package plan
 
 import (
@@ -72,8 +77,14 @@ type ScanNode struct {
 	// so a cached plan stays valid across rebinds.
 	EqValue types.Value
 	EqParam int
-	// Low and High bound an AccessIndexRange scan; either may be nil.
+	// Low and High bound an AccessIndexRange scan; either may be nil (a
+	// range with neither bound is a full index scan in key order, which sort
+	// elision uses to serve ORDER BY without sorting).
 	Low, High *Bound
+	// Reverse walks the index access path backwards, yielding rows in
+	// descending key order. Set by sort elision when the query's ORDER BY is
+	// the index order reversed; meaningless for seq scans.
+	Reverse bool
 	// Filter is the residual predicate evaluated on each fetched row
 	// (already excludes whatever the access path guarantees).
 	Filter sql.Expr
@@ -96,6 +107,9 @@ func (n *ScanNode) Explain() string {
 	fmt.Fprintf(&b, " (%s", n.Access)
 	if n.Index != nil {
 		fmt.Fprintf(&b, " on %s", n.Index.Name)
+	}
+	if n.Reverse {
+		b.WriteString(", reverse")
 	}
 	b.WriteString(")")
 	if n.Filter != nil {

@@ -291,9 +291,59 @@ func TestPlanUnknownNamesRejected(t *testing.T) {
 func TestPlanOrderLimitDistinct(t *testing.T) {
 	cat := newTestCatalog(t)
 	exp := Explain(buildPlan(t, cat, "SELECT DISTINCT city FROM customers ORDER BY city LIMIT 5 OFFSET 2"))
-	for _, want := range []string{"Distinct", "Sort city", "Limit 5 offset 2"} {
+	// ORDER BY city is served by the customers_city index (sort elision), so
+	// no Sort node appears: the scan itself delivers key order.
+	for _, want := range []string{"Distinct", "index range scan on customers_city", "Limit 5 offset 2"} {
 		if !strings.Contains(exp, want) {
 			t.Errorf("missing %q in plan:\n%s", want, exp)
+		}
+	}
+	if strings.Contains(exp, "Sort") {
+		t.Errorf("ORDER BY over an indexed column should elide its sort:\n%s", exp)
+	}
+}
+
+// TestPlanSortElision pins down when the planner drops a SortNode in favour
+// of index order — the property the window pager's keyset queries stream on —
+// and when it must keep sorting.
+func TestPlanSortElision(t *testing.T) {
+	cat := newTestCatalog(t)
+	cases := []struct {
+		query string
+		want  []string // substrings that must appear
+		sorts bool     // whether a Sort node must survive
+	}{
+		// The pager's forward page shape: range access path serves the order.
+		{"SELECT * FROM customers WHERE id > 7 ORDER BY id",
+			[]string{"index range scan on customers_pkey"}, false},
+		// The pager's backward/last-page shape: same index, walked backwards.
+		{"SELECT * FROM customers WHERE id < 7 ORDER BY id DESC",
+			[]string{"index range scan on customers_pkey, reverse"}, false},
+		// No predicate at all: the seq scan upgrades to a full index scan.
+		{"SELECT * FROM customers ORDER BY id DESC",
+			[]string{"index range scan on customers_pkey, reverse"}, false},
+		// Equality access: all rows share the key, ordering by it is free.
+		{"SELECT * FROM customers WHERE city = 'Boston' ORDER BY city",
+			[]string{"index lookup on customers_city"}, false},
+		// No index on the sort column: the sort stays.
+		{"SELECT * FROM customers ORDER BY credit", []string{"Sort credit"}, true},
+		// Multi-key order beyond any index prefix: the sort stays.
+		{"SELECT * FROM customers ORDER BY city, name", []string{"Sort city, name"}, true},
+		// A computed sort key can never ride an index.
+		{"SELECT * FROM customers ORDER BY credit + 1", []string{"Sort"}, true},
+		// The range index differs from the order column: the sort stays.
+		{"SELECT * FROM customers WHERE id > 3 ORDER BY city",
+			[]string{"Sort city"}, true},
+	}
+	for _, c := range cases {
+		exp := Explain(buildPlan(t, cat, c.query))
+		for _, want := range c.want {
+			if !strings.Contains(exp, want) {
+				t.Errorf("%s: missing %q:\n%s", c.query, want, exp)
+			}
+		}
+		if hasSort := strings.Contains(exp, "Sort"); hasSort != c.sorts {
+			t.Errorf("%s: sort node present=%v, want %v:\n%s", c.query, hasSort, c.sorts, exp)
 		}
 	}
 }

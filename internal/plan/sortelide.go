@@ -1,0 +1,160 @@
+package plan
+
+import (
+	"strings"
+
+	"repro/internal/sql"
+)
+
+// Sort elision
+//
+// A SortNode materialises its entire input before emitting the first row,
+// which defeats streaming cursors: "WHERE id > ? ORDER BY id" over a
+// million-row table would buffer everything past the bound even when the
+// caller only pulls a page (exactly what the window pager does). But a B+tree
+// index already yields record ids in key order — EncodeKey is order-preserving
+// and agrees with Value.Compare, NULLs first — so when the ORDER BY keys are a
+// prefix of an index's columns, the sort is redundant: the scan can serve the
+// order directly (descending by walking the index backwards), and the plan
+// streams row by row.
+//
+// elideSort rewrites three shapes:
+//
+//   - the scan already reads the matching index (a range or equality access
+//     path): drop the sort, set the scan direction;
+//   - the scan is sequential but the table has an index on the sort prefix:
+//     upgrade it to a full index scan (a range with no bounds) — indexes
+//     cover every row, including NULL keys, so the row set is unchanged;
+//   - anything else — joins, aggregates, derived tables, computed sort keys,
+//     mixed directions — keeps its SortNode.
+
+// elideSort returns the sort's input with the scan direction fixed when the
+// sort is redundant, or the SortNode unchanged otherwise.
+func elideSort(sn *SortNode) Node {
+	refs, desc, ok := simpleSortKeys(sn.Keys)
+	if !ok {
+		return sn
+	}
+	scan, refs, ok := sortedScanFor(sn.Input, refs)
+	if !ok {
+		return sn
+	}
+	names := make([]string, len(refs))
+	for i, ref := range refs {
+		// A qualified key must name the scanned relation.
+		if ref.Table != "" && !strings.EqualFold(ref.Table, scan.Alias) && !strings.EqualFold(ref.Table, scan.Table.Name()) {
+			return sn
+		}
+		names[i] = ref.Name
+	}
+	switch scan.Access {
+	case AccessIndexEq:
+		// Every row shares the equality key, so ordering by exactly that
+		// column is already satisfied (ties carry no guaranteed order).
+		if len(names) == 1 && strings.EqualFold(scan.Index.Columns[0], names[0]) {
+			return sn.Input
+		}
+	case AccessIndexRange:
+		// The range scan's own index must serve the order; switching indexes
+		// would invalidate the bounds.
+		if indexPrefixMatches(scan.Index.Columns, names) {
+			scan.Reverse = desc
+			return sn.Input
+		}
+	case AccessSeqScan:
+		for _, idx := range scan.Table.Indexes() {
+			if indexPrefixMatches(idx.Columns, names) {
+				scan.Access = AccessIndexRange
+				scan.Index = idx
+				scan.Low, scan.High = nil, nil
+				scan.Reverse = desc
+				return sn.Input
+			}
+		}
+	}
+	return sn
+}
+
+// simpleSortKeys extracts the sort keys as plain column references with one
+// uniform direction; ok is false for computed keys or mixed directions.
+func simpleSortKeys(keys []SortKey) (refs []*sql.ColumnRef, desc, ok bool) {
+	if len(keys) == 0 {
+		return nil, false, false
+	}
+	refs = make([]*sql.ColumnRef, len(keys))
+	desc = keys[0].Desc
+	for i, k := range keys {
+		ref, isRef := k.Expr.(*sql.ColumnRef)
+		if !isRef || k.Desc != desc {
+			return nil, false, false
+		}
+		refs[i] = ref
+	}
+	return refs, desc, true
+}
+
+// sortedScanFor walks from the sort's input down to a single ScanNode through
+// order-preserving operators, translating the sort columns through
+// projections on the way. It fails on anything that reorders rows or computes
+// the sort columns (joins, aggregates, derived tables, expressions).
+func sortedScanFor(node Node, refs []*sql.ColumnRef) (*ScanNode, []*sql.ColumnRef, bool) {
+	for {
+		switch n := node.(type) {
+		case *ScanNode:
+			return n, refs, true
+		case *FilterNode:
+			node = n.Input
+		case *ProjectNode:
+			translated, ok := throughProject(n, refs)
+			if !ok {
+				return nil, nil, false
+			}
+			refs = translated
+			node = n.Input
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// throughProject maps sort columns named after the projection's output to the
+// input columns they pass through. A sort column that is computed, renamed
+// ambiguously, or absent stops the elision.
+func throughProject(p *ProjectNode, refs []*sql.ColumnRef) ([]*sql.ColumnRef, bool) {
+	out := make([]*sql.ColumnRef, len(refs))
+	for i, ref := range refs {
+		var match *sql.ColumnRef
+		for _, item := range p.Items {
+			if !strings.EqualFold(item.Name, ref.Name) {
+				continue
+			}
+			src, ok := item.Expr.(*sql.ColumnRef)
+			if !ok {
+				return nil, false
+			}
+			if match != nil {
+				return nil, false // ambiguous output name
+			}
+			match = src
+		}
+		if match == nil {
+			return nil, false
+		}
+		out[i] = match
+	}
+	return out, true
+}
+
+// indexPrefixMatches reports whether the sort columns are a prefix of the
+// index's key columns.
+func indexPrefixMatches(indexCols, names []string) bool {
+	if len(names) > len(indexCols) {
+		return false
+	}
+	for i, name := range names {
+		if !strings.EqualFold(indexCols[i], name) {
+			return false
+		}
+	}
+	return true
+}

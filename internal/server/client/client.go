@@ -20,6 +20,13 @@
 // from more than one goroutine at a time. Open one Conn per worker — or use
 // Pool, which multiplexes N workers over K health-checked connections and
 // reuses prepared statements per connection.
+//
+// Cursors pull rows in fetch batches; the batch size is the wire Fetch
+// frame's max-rows and is settable per connection (Conn.SetFetchSize), per
+// statement (Stmt.SetFetchSize) or per open cursor (Rows.SetFetchSize) —
+// paging consumers like the forms window pager pin it to their page size so
+// one page costs one round trip. The protocol itself is specified in
+// docs/WIRE.md.
 package client
 
 import (
@@ -342,7 +349,23 @@ type Stmt struct {
 	id         uint32
 	paramNames []string
 	columns    []string
-	closed     bool
+	// fetchSize overrides the connection's Fetch batch size for cursors
+	// opened from this statement (0 = use the connection default).
+	fetchSize uint32
+	closed    bool
+}
+
+// SetFetchSize sets how many rows each Fetch round trip asks for on cursors
+// opened from this statement, overriding the connection default. A paging
+// caller (the TUI's window pager) sets it to its page size, so one visible
+// page costs one round trip and the server streams no further. Zero or
+// negative restores the connection default.
+func (st *Stmt) SetFetchSize(n int) {
+	if n > 0 {
+		st.fetchSize = uint32(n)
+	} else {
+		st.fetchSize = 0
+	}
 }
 
 // NumParams returns how many parameters the statement takes.
@@ -463,7 +486,7 @@ func (st *Stmt) execute() (byte, *wire.Cursor, error) {
 }
 
 func (st *Stmt) rowsFromCursor(cur *wire.Cursor) (*Rows, error) {
-	rows := &Rows{conn: st.conn}
+	rows := &Rows{conn: st.conn, fetchSize: st.fetchSize}
 	rows.id = cur.Uint32()
 	rows.columns = cur.Strings()
 	if err := cur.Err(); err != nil {
@@ -491,14 +514,28 @@ type Rows struct {
 	conn    *Conn
 	id      uint32
 	columns []string
-	buf     []types.Tuple
-	pos     int
-	done    bool
-	closed  bool
-	err     error
+	// fetchSize overrides the connection's Fetch batch size for this cursor
+	// (0 = use the connection default). Inherited from the statement's
+	// SetFetchSize at open; adjustable mid-stream.
+	fetchSize uint32
+	buf       []types.Tuple
+	pos       int
+	done      bool
+	closed    bool
+	err       error
 	// ownStmt is the one-off statement Conn.Query created, closed with the
 	// cursor.
 	ownStmt *Stmt
+}
+
+// SetFetchSize changes how many rows this cursor's next Fetch round trips ask
+// for. Zero or negative restores the connection default.
+func (r *Rows) SetFetchSize(n int) {
+	if n > 0 {
+		r.fetchSize = uint32(n)
+	} else {
+		r.fetchSize = 0
+	}
 }
 
 // Columns returns the result's column names.
@@ -534,9 +571,13 @@ func (r *Rows) Next() bool {
 
 // fetch pulls the next batch; it reports whether any progress can be made.
 func (r *Rows) fetch() bool {
+	size := r.fetchSize
+	if size == 0 {
+		size = r.conn.fetchSize
+	}
 	var b wire.Buffer
 	b.Uint32(r.id)
-	b.Uint32(r.conn.fetchSize)
+	b.Uint32(size)
 	cur, err := r.conn.expect(wire.MsgFetch, b.B, wire.MsgRows)
 	if err != nil {
 		r.err = err

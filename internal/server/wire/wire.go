@@ -29,7 +29,9 @@
 // compatibility; minors may only append fields to existing payloads, which
 // decoders tolerate (a Cursor never requires full consumption), so a v2.1
 // peer interoperates with v2.0 and a v3 codec can evolve behind the same
-// handshake. See README for the frame catalogue.
+// handshake. The normative protocol specification — frame layout, every
+// message payload, error-tail encoding, version rules — is docs/WIRE.md in
+// the repository root; this package is its reference implementation.
 package wire
 
 import (

@@ -206,9 +206,11 @@ func TestTableGridNavigation(t *testing.T) {
 		VisibleRows: 3,
 		Focused:     true,
 	}
+	var rows [][]string
 	for i := 0; i < 10; i++ {
-		g.Rows = append(g.Rows, []string{itoa(i), "row" + itoa(i)})
+		rows = append(rows, []string{itoa(i), "row" + itoa(i)})
 	}
+	g.SetRows(rows)
 	g.HandleKey(KeyEvent(KeyDown))
 	g.HandleKey(KeyEvent(KeyDown))
 	if g.Selected != 2 {
@@ -240,6 +242,67 @@ func TestTableGridNavigation(t *testing.T) {
 	if !strings.Contains(s.Line(0), "id") || !strings.Contains(s.Line(1), "row0") {
 		t.Errorf("grid draw:\n%s", s.String())
 	}
+}
+
+// TestTableGridShrinkUnderCursor is the regression test for the clamp logic:
+// rows are removed from the data set while the selection (and scroll offset)
+// sit past the new end. The grid must land the selection on the last
+// remaining row, pull the offset back inside the data, and still draw.
+func TestTableGridShrinkUnderCursor(t *testing.T) {
+	g := &TableGrid{
+		Columns:     []GridColumn{{Title: "id", Width: 4}},
+		VisibleRows: 3,
+		Focused:     true,
+	}
+	var rows [][]string
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []string{itoa(i)})
+	}
+	g.SetRows(rows)
+	g.HandleKey(KeyEvent(KeyEnd)) // Selected = 9, Offset = 7
+	if g.Selected != 9 || g.Offset != 7 {
+		t.Fatalf("before shrink: selected=%d offset=%d", g.Selected, g.Offset)
+	}
+
+	// The data set shrinks under the cursor: 10 rows become 2.
+	g.SetRows(rows[:2])
+	g.ClampSelection()
+	if g.Selected != 1 {
+		t.Errorf("after shrink: selected = %d, want 1 (the last remaining row)", g.Selected)
+	}
+	if g.Offset > g.Selected {
+		t.Errorf("after shrink: offset %d points past the selection %d", g.Offset, g.Selected)
+	}
+	s := NewScreen(10, 5)
+	g.Draw(s) // must not index past the shrunken data
+	if !strings.Contains(s.Line(1), "0") || !strings.Contains(s.Line(2), "1") {
+		t.Errorf("after shrink the remaining rows should be visible:\n%s", s.String())
+	}
+
+	// Shrinking to empty clamps everything to the origin and still draws.
+	g.SetRows(nil)
+	g.HandleKey(KeyEvent(KeyDown))
+	if g.Selected != 0 || g.Offset != 0 {
+		t.Errorf("empty grid: selected=%d offset=%d", g.Selected, g.Offset)
+	}
+	g.Draw(NewScreen(10, 5))
+
+	// A provider with an unknown row count (-1): End pages forward instead of
+	// jumping, and the selection is never forced back to a known end.
+	g.Source = openEnded{}
+	g.Selected, g.Offset = 0, 0
+	g.HandleKey(KeyEvent(KeyEnd))
+	if g.Selected != g.VisibleRows {
+		t.Errorf("open-ended End: selected = %d, want one page (%d)", g.Selected, g.VisibleRows)
+	}
+}
+
+// openEnded is a RowProvider that does not know its row count.
+type openEnded struct{}
+
+func (openEnded) GridRowCount() int { return -1 }
+func (openEnded) GridRow(i int) ([]string, bool) {
+	return []string{itoa(i)}, true
 }
 
 func TestStatusBarAndLabel(t *testing.T) {

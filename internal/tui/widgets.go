@@ -136,33 +136,77 @@ type GridColumn struct {
 	Width int
 }
 
+// RowProvider supplies a TableGrid's rows on demand, by absolute row index.
+// The grid never materialises the data set: it asks for exactly the rows in
+// its visible window, so a provider backed by a paging cursor can sit under a
+// grid over a million-row relation and only ever surface a page.
+type RowProvider interface {
+	// GridRowCount returns the number of rows in the data set, or -1 when it
+	// is not (yet) known — a provider still streaming an open-ended cursor.
+	GridRowCount() int
+	// GridRow returns the cell texts of row i. ok is false when the row does
+	// not exist or is not currently available; the grid paints it blank.
+	GridRow(i int) (cells []string, ok bool)
+}
+
+// StringRows adapts a materialised slice of rows to the RowProvider
+// interface, for grids over small in-memory data sets.
+type StringRows [][]string
+
+// GridRowCount returns the slice length.
+func (r StringRows) GridRowCount() int { return len(r) }
+
+// GridRow returns row i of the slice.
+func (r StringRows) GridRow(i int) ([]string, bool) {
+	if i < 0 || i >= len(r) {
+		return nil, false
+	}
+	return r[i], true
+}
+
 // TableGrid renders rows of text in columns with a heading, a selection bar
 // and vertical scrolling: the widget behind browse windows and detail blocks.
+// Rows come from a RowProvider — the grid shows a window of VisibleRows rows
+// starting at Offset and never asks the provider for anything outside it.
 type TableGrid struct {
 	Row, Col int
 	Columns  []GridColumn
-	// Rows is the full data set; the grid shows a window of VisibleRows rows
-	// starting at Offset.
-	Rows        [][]string
+	// Source provides the rows. Use SetRows (or StringRows) for a
+	// materialised data set, or any paging RowProvider for a large one.
+	Source      RowProvider
 	VisibleRows int
 	Offset      int
 	Selected    int
 	Focused     bool
 }
 
-// ClampSelection keeps the selection and scroll offset within the data.
+// SetRows points the grid at a materialised data set.
+func (g *TableGrid) SetRows(rows [][]string) { g.Source = StringRows(rows) }
+
+// rowCount returns the provider's row count (0 with no provider; -1 when the
+// provider does not know).
+func (g *TableGrid) rowCount() int {
+	if g.Source == nil {
+		return 0
+	}
+	return g.Source.GridRowCount()
+}
+
+// ClampSelection keeps the selection and scroll offset within the data. The
+// row count is read once and both Selected and Offset are clamped against the
+// same value, so a data set shrinking between keystrokes (rows deleted while
+// the selection sat past the new end) cannot leave the offset pointing past
+// the data.
 func (g *TableGrid) ClampSelection() {
-	if g.Selected < 0 {
-		g.Selected = 0
-	}
-	if g.Selected >= len(g.Rows) {
-		g.Selected = len(g.Rows) - 1
-	}
-	if g.Selected < 0 {
-		g.Selected = 0
-	}
+	count := g.rowCount()
 	if g.VisibleRows <= 0 {
 		g.VisibleRows = 1
+	}
+	if count >= 0 && g.Selected >= count {
+		g.Selected = count - 1
+	}
+	if g.Selected < 0 {
+		g.Selected = 0
 	}
 	if g.Selected < g.Offset {
 		g.Offset = g.Selected
@@ -170,12 +214,18 @@ func (g *TableGrid) ClampSelection() {
 	if g.Selected >= g.Offset+g.VisibleRows {
 		g.Offset = g.Selected - g.VisibleRows + 1
 	}
+	if count >= 0 && g.Offset > count-g.VisibleRows {
+		// Don't scroll a mostly-empty window past the end of the data.
+		g.Offset = count - g.VisibleRows
+	}
 	if g.Offset < 0 {
 		g.Offset = 0
 	}
 }
 
 // HandleKey moves the selection; it reports whether the key was consumed.
+// When the provider does not know the total row count, End advances by one
+// page instead of jumping (the provider has no end to jump to yet).
 func (g *TableGrid) HandleKey(e Event) bool {
 	switch e.Key {
 	case KeyUp:
@@ -189,7 +239,11 @@ func (g *TableGrid) HandleKey(e Event) bool {
 	case KeyHome:
 		g.Selected = 0
 	case KeyEnd:
-		g.Selected = len(g.Rows) - 1
+		if count := g.rowCount(); count >= 0 {
+			g.Selected = count - 1
+		} else {
+			g.Selected += g.VisibleRows
+		}
 	default:
 		return false
 	}
@@ -197,7 +251,8 @@ func (g *TableGrid) HandleKey(e Event) bool {
 	return true
 }
 
-// Draw paints the heading and the visible window of rows.
+// Draw paints the heading and the visible window of rows, asking the provider
+// only for rows inside the window.
 func (g *TableGrid) Draw(s *Screen) {
 	g.ClampSelection()
 	col := g.Col
@@ -212,11 +267,15 @@ func (g *TableGrid) Draw(s *Screen) {
 		if rowIdx == g.Selected && g.Focused {
 			style = StyleReverse
 		}
+		var cells []string
+		if g.Source != nil {
+			cells, _ = g.Source.GridRow(rowIdx)
+		}
 		col = g.Col
 		for c := range g.Columns {
 			text := ""
-			if rowIdx < len(g.Rows) && c < len(g.Rows[rowIdx]) {
-				text = g.Rows[rowIdx][c]
+			if c < len(cells) {
+				text = cells[c]
 			}
 			s.DrawText(screenRow, col, pad(text, g.Columns[c].Width), style)
 			col += g.Columns[c].Width + 1

@@ -71,8 +71,9 @@ CREATE VIEW boston_customers AS SELECT id, name, credit FROM customers WHERE cit
 `
 
 // StandardForms is the FDL source for the experiment forms: a customer card
-// with an order detail block, an order-line form, and a form over the
-// good_customers view.
+// with an order detail block, an order-line form, a form over the
+// good_customers view, and a browse form over order_items — the largest
+// table of the workload, which the paged-window experiment (E13) scrolls.
 const StandardForms = `
 form order_form on orders
   title "Orders"
@@ -104,6 +105,18 @@ form good_customer_form on good_customers
   field city   width 16
   field credit width 10
   order by credit desc
+end
+
+form item_form on order_items
+  title "Order Items"
+  size 70 12
+  key id
+  field id       at 2 12 width 8  label "Line"
+  field order_id at 3 12 width 8  label "Order"
+  field item     at 4 12 width 12 label "Item"
+  field qty      at 5 12 width 6  label "Qty"
+  field price    at 6 12 width 10 label "Price"
+  order by id
 end
 `
 

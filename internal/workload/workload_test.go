@@ -70,7 +70,7 @@ func TestStandardFormsCompileAndRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(forms) != 3 {
+	if len(forms) != 4 {
 		t.Fatalf("forms = %d", len(forms))
 	}
 	m := core.NewManager(db, 100, 30)

@@ -1,0 +1,79 @@
+// Command checklinks verifies the intra-repo links in markdown files: every
+// relative link target (after stripping any #fragment) must exist on disk,
+// resolved against the file that contains it. External links (http, https,
+// mailto) and pure-fragment links are skipped, as are code fences. CI runs
+// it over README.md and docs/*.md so a moved or renamed file cannot leave
+// the documentation silently pointing at nothing.
+//
+// Usage: go run ./scripts/checklinks README.md docs/*.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches inline markdown links and images: [text](target).
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checklinks <markdown-file>...")
+		os.Exit(2)
+	}
+	broken := 0
+	checked := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checklinks: %v\n", err)
+			os.Exit(2)
+		}
+		inFence := false
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if isExternal(target) {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue // a pure #fragment link within the same file
+				}
+				checked++
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (%s does not exist)\n",
+						path, lineNo+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "checklinks: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("checklinks: %d intra-repo link(s) ok\n", checked)
+}
+
+func isExternal(target string) bool {
+	for _, prefix := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, prefix) {
+			return true
+		}
+	}
+	return false
+}
