@@ -227,7 +227,11 @@ func runRemote(addr string, clients, ops, poolSize, batch int) error {
 					}
 					for rows.Next() {
 					}
-					if err := rows.Err(); err != nil {
+					err = rows.Err()
+					if cerr := rows.Close(); err == nil {
+						err = cerr
+					}
+					if err != nil {
 						return err
 					}
 				}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"repro/internal/server", "internal/server", true},
+		{"internal/server", "internal/server", true},
+		{"repro/internal/server/wire", "internal/server", false},
+		{"repro/internal/xserver", "internal/server", false},
+		{"repro/internal/server [repro/internal/server.test]", "internal/server", false},
+		{"a/b/c", "c", true},
+		{"abc", "c", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestSuppressions(t *testing.T) {
+	src := `package p
+
+func f() {
+	other()
+	leak() //wowvet:ignore closecheck -- owned by the scheduler
+	bad() //wowvet:ignore closecheck
+}
+
+//wowvet:ignore lockorder -- covers the next line
+func g() {}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkdiag := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "p.go", Line: line, Column: 2},
+			Analyzer: analyzer,
+			Message:  "finding",
+		}
+	}
+	diags := []Diagnostic{
+		mkdiag(4, "closecheck"), // survives: covered by no comment
+		mkdiag(5, "closecheck"), // suppressed: justified comment on its line
+		mkdiag(6, "closecheck"), // survives: the line-5 suppression is justified but the line-6 one is not
+		mkdiag(10, "lockorder"), // suppressed: comment on the line above
+	}
+	out := applySuppressions(fset, []*ast.File{file}, diags)
+
+	var surviving []int
+	unjustified := 0
+	for _, d := range out {
+		if d.Analyzer == "wowvet" {
+			unjustified++
+			continue
+		}
+		surviving = append(surviving, d.Pos.Line)
+	}
+	if len(surviving) != 2 || surviving[0] != 4 || surviving[1] != 6 {
+		t.Errorf("surviving diagnostics on lines %v, want [4 6]", surviving)
+	}
+	if unjustified != 1 {
+		t.Errorf("got %d unjustified-suppression findings, want 1", unjustified)
+	}
+}

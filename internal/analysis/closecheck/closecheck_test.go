@@ -1,0 +1,14 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/closecheck"
+)
+
+func TestLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata/lifecycle", []*analysis.Analyzer{closecheck.Analyzer},
+		"internal/txn", "internal/engine", "internal/server/client", "a", "clean")
+}

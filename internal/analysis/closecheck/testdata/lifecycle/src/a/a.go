@@ -1,0 +1,110 @@
+// Package a exercises every closecheck failure mode and the ownership
+// transfers that must stay silent.
+package a
+
+import (
+	"internal/engine"
+	"internal/server/client"
+	"internal/txn"
+)
+
+func leakLease(m *txn.Manager) {
+	lease := m.BeginRead() // want `lease \(\*ReadLease\) is acquired but never Released`
+	_ = lease.LockShared("accounts")
+}
+
+func leakRows(s *engine.Session) error {
+	rows, err := s.Stream("select") // want `rows \(\*Rows\) is acquired but never Closed`
+	if err != nil {
+		return err
+	}
+	for rows.Next() {
+	}
+	return rows.Err()
+}
+
+func leakTxn(m *txn.Manager) {
+	t, err := m.Begin() // want `t \(\*Txn\) is acquired but never committed or rolled back`
+	if err != nil {
+		return
+	}
+	_ = t.LockExclusive("accounts")
+}
+
+func leakPooled(p *client.Pool) {
+	h, err := p.Get() // want `h \(\*PooledConn\) is acquired but never Released`
+	if err != nil {
+		return
+	}
+	_, _ = h.Query("select") // want `result 1 of h.Query \(\*Rows\) is discarded`
+}
+
+func discardCheckout(p *client.Pool) {
+	p.Get() // want `result 1 of p.Get \(\*PooledConn\) is discarded`
+}
+
+// --- settled and transferred resources: no diagnostics -----------------------
+
+func closesLease(m *txn.Manager) error {
+	lease := m.BeginRead()
+	defer lease.Release()
+	return lease.LockShared("accounts")
+}
+
+func drainsRows(s *engine.Session) error {
+	rows, err := s.Stream("select")
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	return rows.Err()
+}
+
+func commitsOrRollsBack(m *txn.Manager) error {
+	t, err := m.Begin()
+	if err != nil {
+		return err
+	}
+	if err := t.LockExclusive("accounts"); err != nil {
+		if rbErr := t.Rollback(); rbErr != nil {
+			return rbErr
+		}
+		return err
+	}
+	return t.Commit()
+}
+
+func transfersConn(addr string) (*client.Conn, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil // ownership moves to the caller
+}
+
+type holder struct {
+	lease *txn.ReadLease
+}
+
+func storesLease(m *txn.Manager, h *holder) {
+	lease := m.BeginRead()
+	h.lease = lease // ownership moves into the holder
+}
+
+func usesPool(p *client.Pool) error {
+	h, err := p.Get()
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	rows, err := h.Query("select")
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	return rows.Err()
+}

@@ -1,0 +1,56 @@
+// Package clean mirrors the real engine's lease-handling patterns
+// (internal/engine/prepare.go readLocks and the cursor pipeline) and must
+// produce no diagnostics: it is the want-nothing fixture that pins
+// closecheck's false-positive rate on idiomatic engine code.
+package clean
+
+import (
+	"internal/engine"
+	"internal/txn"
+)
+
+// readLocks mirrors engine.readLocks: the lease is released on the error
+// path and otherwise escapes through the returned release closure.
+func readLocks(m *txn.Manager, tables []string) (func(), error) {
+	lease := m.BeginRead()
+	for _, t := range tables {
+		if err := lease.LockShared(t); err != nil {
+			lease.Release()
+			return nil, err
+		}
+	}
+	return func() { lease.Release() }, nil
+}
+
+// queryPage mirrors the engine's page materialization: the cursor is closed
+// on every path, with the iteration error taking precedence.
+func queryPage(s *engine.Session, q string, limit int) (int, error) {
+	rows, err := s.Stream(q)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for rows.Next() && n < limit {
+		n++
+	}
+	err = rows.Err()
+	if cerr := rows.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// cursorHolder mirrors engine.Session holding its open cursors in a map:
+// storing the cursor is an ownership transfer, closing happens elsewhere.
+type cursorHolder struct {
+	open map[int]*engine.Rows
+}
+
+func (h *cursorHolder) stream(s *engine.Session, id int, q string) error {
+	rows, err := s.Stream(q)
+	if err != nil {
+		return err
+	}
+	h.open[id] = rows
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package engine is a fixture mirror of the real engine's cursor surface.
+package engine
+
+// Rows is a streaming cursor that must be Closed.
+type Rows struct{}
+
+// Next advances the cursor.
+func (r *Rows) Next() bool { return false }
+
+// Close releases the cursor and its read locks.
+func (r *Rows) Close() error { return nil }
+
+// Err returns the first iteration error.
+func (r *Rows) Err() error { return nil }
+
+// Session runs queries.
+type Session struct{}
+
+// Stream starts a cursor over the query result.
+func (s *Session) Stream(q string) (*Rows, error) { return &Rows{}, nil }

@@ -1,0 +1,42 @@
+// Package client is a fixture mirror of the real wire client's
+// resource-acquiring surface.
+package client
+
+// Rows is a client-side cursor that must be Closed.
+type Rows struct{}
+
+// Next fetches the next row.
+func (r *Rows) Next() bool { return false }
+
+// Close releases the server-side cursor.
+func (r *Rows) Close() error { return nil }
+
+// Err returns the first fetch error.
+func (r *Rows) Err() error { return nil }
+
+// Conn is one wire connection.
+type Conn struct{}
+
+// Dial opens a connection.
+func Dial(addr string) (*Conn, error) { return &Conn{}, nil }
+
+// Close closes the connection.
+func (c *Conn) Close() error { return nil }
+
+// Query runs a one-shot query.
+func (c *Conn) Query(q string) (*Rows, error) { return &Rows{}, nil }
+
+// PooledConn is a pool checkout that must be Released.
+type PooledConn struct{}
+
+// Release returns the connection to its pool.
+func (p *PooledConn) Release() {}
+
+// Query runs a query on the checked-out connection.
+func (p *PooledConn) Query(q string) (*Rows, error) { return &Rows{}, nil }
+
+// Pool is a connection pool.
+type Pool struct{}
+
+// Get checks a connection out of the pool.
+func (p *Pool) Get() (*PooledConn, error) { return &PooledConn{}, nil }

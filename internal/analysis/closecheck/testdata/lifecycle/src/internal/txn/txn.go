@@ -1,0 +1,33 @@
+// Package txn is a fixture mirror of the real transaction manager's
+// resource-acquiring surface.
+package txn
+
+// Manager hands out transactions and read leases.
+type Manager struct{}
+
+// BeginRead starts a read lease.
+func (m *Manager) BeginRead() *ReadLease { return &ReadLease{} }
+
+// Begin starts a transaction.
+func (m *Manager) Begin() (*Txn, error) { return &Txn{}, nil }
+
+// ReadLease is a set of shared table locks that must be Released.
+type ReadLease struct{}
+
+// LockShared locks one table.
+func (l *ReadLease) LockShared(table string) error { return nil }
+
+// Release frees every table lock the lease holds.
+func (l *ReadLease) Release() {}
+
+// Txn is an open transaction that must be committed or rolled back.
+type Txn struct{}
+
+// LockExclusive locks one table for writing.
+func (t *Txn) LockExclusive(table string) error { return nil }
+
+// Commit finishes the transaction.
+func (t *Txn) Commit() error { return nil }
+
+// Rollback aborts the transaction.
+func (t *Txn) Rollback() error { return nil }

@@ -1,0 +1,14 @@
+package errpropagate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errpropagate"
+)
+
+func TestErrPropagate(t *testing.T) {
+	analysistest.Run(t, "testdata/errprop", []*analysis.Analyzer{errpropagate.Analyzer},
+		"internal/storage", "other")
+}

@@ -1,0 +1,64 @@
+// Package storage exercises every errpropagate failure shape and the
+// handling patterns that must stay silent.
+package storage
+
+import "errors"
+
+// Pool mirrors the buffer pool's error-returning surface.
+type Pool struct{}
+
+// Unpin releases a page frame.
+func (p *Pool) Unpin(id int, dirty bool) error { return nil }
+
+// Close flushes and closes the pool.
+func (p *Pool) Close() error { return nil }
+
+// Fetch pins a page.
+func (p *Pool) Fetch(id int) (int, error) { return 0, nil }
+
+func ignores(p *Pool) {
+	p.Unpin(1, false) // want `error result of p\.Unpin is ignored`
+}
+
+func blankAssign(p *Pool) {
+	_ = p.Unpin(1, false) // want `error result of p\.Unpin is discarded into _`
+}
+
+func blankTuple(p *Pool) int {
+	page, _ := p.Fetch(7) // want `error result of p\.Fetch is discarded into _`
+	return page
+}
+
+func deferred(p *Pool) {
+	defer p.Close() // want "`defer p.Close` discards its error"
+}
+
+func spawned(p *Pool) {
+	go p.Close() // want "`go p.Close` discards its error"
+}
+
+// --- propagated errors: no diagnostics ---------------------------------------
+
+func returns(p *Pool) error {
+	return p.Unpin(1, true)
+}
+
+func joins(p *Pool, primary error) error {
+	return errors.Join(primary, p.Unpin(1, false))
+}
+
+func checks(p *Pool) error {
+	if err := p.Unpin(1, true); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferredClosure(p *Pool) (err error) {
+	defer func() {
+		if cerr := p.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return p.Unpin(1, true)
+}

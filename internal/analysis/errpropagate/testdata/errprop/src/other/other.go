@@ -1,0 +1,14 @@
+// Package other sits outside errpropagate's target packages: the same
+// discards are tolerated here, so the analyzer must stay silent.
+package other
+
+// Flush returns an error nobody is required to check here.
+func Flush() error { return nil }
+
+// Discards exercises every shape the analyzer flags inside its targets.
+func Discards() {
+	Flush()
+	_ = Flush()
+	defer Flush()
+	go Flush()
+}

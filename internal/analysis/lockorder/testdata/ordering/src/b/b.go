@@ -1,0 +1,73 @@
+// Package b exercises the in-package cases: opposite-order mutex pairs,
+// self-deadlocks (direct and through a helper), and consistent orders that
+// must stay silent.
+package b
+
+import "sync"
+
+// A and B form the two-lock inversion.
+type A struct{ mu sync.Mutex }
+
+// B is the second lock of the inversion.
+type B struct{ mu sync.Mutex }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `acquiring b\.B\.mu while holding b\.A\.mu creates a lock-order cycle`
+	b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `acquiring b\.A\.mu while holding b\.B\.mu creates a lock-order cycle`
+	a.mu.Unlock()
+}
+
+// S exercises self-deadlocks.
+type S struct{ mu sync.Mutex }
+
+func (s *S) lock() { s.mu.Lock() }
+
+func double(s *S) {
+	s.mu.Lock()
+	s.mu.Lock() // want `b\.S\.mu is acquired while already held: self-deadlock`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func throughHelper(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lock() // want `b\.S\.mu is acquired while already held: self-deadlock`
+}
+
+// C and D are always taken in the same order: silent.
+type C struct{ mu sync.Mutex }
+
+// D is the second lock of the consistent pair.
+type D struct{ mu sync.Mutex }
+
+func cdDeferred(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func cdNested(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// released shows a lock handed back before the second acquire: no edge, no
+// cycle, silent even though the textual order is inverted.
+func released(c *C, d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}

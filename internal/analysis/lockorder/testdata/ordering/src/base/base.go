@@ -1,0 +1,38 @@
+// Package base establishes the ordering "table locks before base.Mu" and
+// exports it as a package fact; package top violates it. The split proves
+// the acquisition graph flows across package boundaries.
+package base
+
+import (
+	"internal/txn"
+	"sync"
+)
+
+// Mu is ordered after the table-lock space: every function here acquires
+// table locks first.
+var Mu sync.Mutex
+
+// TableThenMu records the edge tables -> base.Mu.
+func TableThenMu(t *txn.Txn) error {
+	if err := t.LockShared("accounts"); err != nil {
+		return err
+	}
+	Mu.Lock()
+	Mu.Unlock()
+	return t.Commit()
+}
+
+// MultiTable acquires several table locks in a row: the lock manager
+// orders multi-table acquisition itself, so this must stay silent.
+func MultiTable(t *txn.Txn) error {
+	if err := t.LockShared("accounts"); err != nil {
+		return err
+	}
+	if err := t.LockShared("branches"); err != nil {
+		return err
+	}
+	if err := t.LockExclusive("history"); err != nil {
+		return err
+	}
+	return t.Commit()
+}

@@ -1,0 +1,24 @@
+// Package txn is a fixture mirror of the transaction manager's table-lock
+// API, which lockorder models as one synthetic lock class.
+package txn
+
+// Manager hands out transactions.
+type Manager struct{}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn { return &Txn{} }
+
+// Txn holds table locks until Commit or Rollback.
+type Txn struct{}
+
+// LockShared locks one table for reading.
+func (t *Txn) LockShared(table string) error { return nil }
+
+// LockExclusive locks one table for writing.
+func (t *Txn) LockExclusive(table string) error { return nil }
+
+// Commit releases every table lock.
+func (t *Txn) Commit() error { return nil }
+
+// Rollback releases every table lock.
+func (t *Txn) Rollback() error { return nil }

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// RunPackages runs every analyzer over every package of the program, in the
+// program's dependency order, sharing one fact store so cross-package
+// analyzers (wireconform, lockorder) see their dependencies' facts. The
+// returned diagnostics are position-sorted and already filtered through
+// //wowvet:ignore suppressions; unjustified suppressions are appended as
+// findings of their own.
+func RunPackages(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFactStore()
+	var all []Diagnostic
+	for _, pkg := range prog.Packages {
+		diags, err := runOnPackage(prog, pkg, analyzers, facts)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func runOnPackage(prog *Program, pkg *LoadedPackage, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      prog.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			InModule:  true,
+			ModuleDir: prog.ModuleDir,
+			facts:     facts,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return applySuppressions(prog.Fset, pkg.Files, diags), nil
+}

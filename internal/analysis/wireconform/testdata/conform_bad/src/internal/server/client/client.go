@@ -1,0 +1,17 @@
+package client // want `client never encodes MsgDrop \(0x02\)`
+
+import "internal/server/wire"
+
+// Request frames a Prepare; nothing in this package can send a Drop.
+func Request() []byte { return []byte{wire.MsgPrepare} }
+
+// Handle decodes a response type byte.
+func Handle(t byte) bool {
+	switch t {
+	case wire.MsgErr:
+		return false
+	case wire.MsgOK:
+		return true
+	}
+	return false
+}

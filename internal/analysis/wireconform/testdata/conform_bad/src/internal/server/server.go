@@ -1,0 +1,12 @@
+package server // want `server never encodes MsgErr \(0x20\)`
+
+import "internal/server/wire"
+
+// Dispatch routes one request frame; its switch is missing the MsgDrop arm.
+func Dispatch(t byte) byte {
+	switch t { // want `server dispatch has no .case wire\.MsgDrop:. arm`
+	case wire.MsgPrepare:
+		return wire.MsgOK
+	}
+	return 0
+}

@@ -1,0 +1,23 @@
+// Package client covers the full message set.
+package client
+
+import "internal/server/wire"
+
+// Request frames one request of either kind.
+func Request(drop bool) []byte {
+	if drop {
+		return []byte{wire.MsgDrop}
+	}
+	return []byte{wire.MsgPrepare}
+}
+
+// Handle decodes a response type byte.
+func Handle(t byte) bool {
+	switch t {
+	case wire.MsgErr:
+		return false
+	case wire.MsgOK:
+		return true
+	}
+	return false
+}

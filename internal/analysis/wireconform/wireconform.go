@@ -1,0 +1,313 @@
+// Package wireconform proves the wire protocol's exhaustiveness invariant:
+// every Msg* constant the codec declares must be dispatched by the server
+// (client→server messages need a `case wire.MsgX:` arm in a dispatch
+// switch), handled by the client, and documented in docs/WIRE.md. Protocol
+// drift — a constant added to wire.go but forgotten in the server switch,
+// or removed from the spec but still emitted — is exactly the class of bug
+// integration tests miss until a third-party client hits it.
+//
+// The analyzer decomposes package-locally so it works under both drivers:
+// analyzing the wire package collects the Msg* constants, checks docs/WIRE.md
+// and exports the list as a package fact; analyzing the server and client
+// packages imports that fact and checks their references against it.
+package wireconform
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wireconform pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireconform",
+	Doc:  "every Msg* wire constant must have a server dispatch arm, client handling, and a docs/WIRE.md entry",
+	Run:  run,
+}
+
+// Package path suffixes locating the three parties to the protocol.
+const (
+	wirePkg   = "internal/server/wire"
+	serverPkg = "internal/server"
+	clientPkg = "internal/server/client"
+)
+
+// s2cBase divides the message-type space: values >= s2cBase flow
+// server-to-client, values below it client-to-server.
+const s2cBase = 0x20
+
+// msgConst is one wire message constant, as carried in the package fact.
+type msgConst struct {
+	Name  string
+	Value uint8
+}
+
+// wireFact is the fact the wire package exports: its full message set.
+type wireFact struct {
+	Msgs []msgConst
+}
+
+func (m msgConst) isC2S() bool { return m.Value < s2cBase }
+
+// trimmed is the spec-facing name: the constant without its Msg prefix
+// ("MsgPrepare" is written as `Prepare` in docs/WIRE.md).
+func (m msgConst) trimmed() string { return strings.TrimPrefix(m.Name, "Msg") }
+
+// declaredMsg is a message constant with its declaration site.
+type declaredMsg struct {
+	msg msgConst
+	pos token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.InModule {
+		return nil
+	}
+	switch {
+	case analysis.PathHasSuffix(pass.Pkg.Path(), wirePkg):
+		return runWire(pass)
+	case analysis.PathHasSuffix(pass.Pkg.Path(), serverPkg):
+		return runServer(pass)
+	case analysis.PathHasSuffix(pass.Pkg.Path(), clientPkg):
+		return runClient(pass)
+	}
+	return nil
+}
+
+// --- wire package: collect constants, check the spec -------------------------
+
+func runWire(pass *analysis.Pass) error {
+	var msgs []declaredMsg
+	byValue := make(map[uint8]string)
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Msg") {
+						continue
+					}
+					c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					v, exact := constant.Uint64Val(c.Val())
+					if !exact || v > 0xff {
+						continue
+					}
+					m := msgConst{Name: name.Name, Value: uint8(v)}
+					if prev, dup := byValue[m.Value]; dup {
+						pass.Reportf(name.Pos(), "%s reuses message type 0x%02x, already assigned to %s", m.Name, m.Value, prev)
+					} else {
+						byValue[m.Value] = m.Name
+					}
+					msgs = append(msgs, declaredMsg{msg: m, pos: name.Pos()})
+				}
+			}
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].msg.Value < msgs[j].msg.Value })
+
+	checkSpec(pass, msgs)
+
+	fact := wireFact{}
+	for _, d := range msgs {
+		fact.Msgs = append(fact.Msgs, d.msg)
+	}
+	return pass.ExportPackageFact(fact)
+}
+
+// checkSpec requires docs/WIRE.md to contain, for every message, a line
+// carrying both the backticked spec name and the hex type byte (a table row
+// like "| 0x01 | `Prepare` |" or a heading item like "**`Stmt` (0x21)**").
+func checkSpec(pass *analysis.Pass, msgs []declaredMsg) {
+	if pass.ModuleDir == "" {
+		return
+	}
+	specPath := filepath.Join(pass.ModuleDir, "docs", "WIRE.md")
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		pass.Reportf(msgs[0].pos, "wire constants are declared but the protocol spec docs/WIRE.md is missing: %v", err)
+		return
+	}
+	lines := strings.Split(string(data), "\n")
+	for _, d := range msgs {
+		name := "`" + d.msg.trimmed() + "`"
+		hex := strings.ToLower(formatByte(d.msg.Value))
+		found := false
+		for _, line := range lines {
+			if strings.Contains(line, name) && strings.Contains(strings.ToLower(line), hex) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			pass.Reportf(d.pos, "%s (%s) has no entry in docs/WIRE.md: the spec needs a line naming %s with its type byte %s",
+				d.msg.Name, hex, name, hex)
+		}
+	}
+}
+
+func formatByte(v uint8) string {
+	const digits = "0123456789abcdef"
+	return "0x" + string(digits[v>>4]) + string(digits[v&0xf])
+}
+
+// --- server package: dispatch arms + response encoding -----------------------
+
+func runServer(pass *analysis.Pass) error {
+	fact, ok := importWireFact(pass)
+	if !ok {
+		return nil
+	}
+
+	// Every constant named in a case clause of any switch in the package.
+	dispatched := make(map[string]bool)
+	var firstSwitch token.Pos
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			for _, clause := range sw.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if name, ok := wireConstRef(pass, e); ok {
+						if firstSwitch == token.NoPos {
+							firstSwitch = sw.Pos()
+						}
+						dispatched[name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	referenced := wireConstUses(pass)
+	for _, m := range fact.Msgs {
+		if m.isC2S() {
+			if !dispatched[m.Name] {
+				pos := firstSwitch
+				if pos == token.NoPos {
+					pos = pass.Files[0].Name.Pos()
+				}
+				pass.Reportf(pos, "server dispatch has no `case wire.%s:` arm; every client-to-server message (here %s, %s) must be dispatched or explicitly rejected",
+					m.Name, m.Name, formatByte(m.Value))
+			}
+		} else if !referenced[m.Name] {
+			pass.Reportf(pass.Files[0].Name.Pos(), "server never encodes %s (%s); every server-to-client message must have an encode site",
+				m.Name, formatByte(m.Value))
+		}
+	}
+	return nil
+}
+
+// --- client package: full coverage -------------------------------------------
+
+func runClient(pass *analysis.Pass) error {
+	fact, ok := importWireFact(pass)
+	if !ok {
+		return nil
+	}
+	referenced := wireConstUses(pass)
+	for _, m := range fact.Msgs {
+		if referenced[m.Name] {
+			continue
+		}
+		verb := "encodes"
+		if !m.isC2S() {
+			verb = "decodes"
+		}
+		pass.Reportf(pass.Files[0].Name.Pos(), "client never %s %s (%s); the client must cover the full message set",
+			verb, m.Name, formatByte(m.Value))
+	}
+	return nil
+}
+
+// --- shared helpers ----------------------------------------------------------
+
+// importWireFact finds the wire package among the imports and loads its
+// exported message set.
+func importWireFact(pass *analysis.Pass) (wireFact, bool) {
+	var fact wireFact
+	for _, imp := range pass.Pkg.Imports() {
+		if analysis.PathHasSuffix(imp.Path(), wirePkg) && pass.ImportPackageFact(imp.Path(), &fact) {
+			return fact, len(fact.Msgs) > 0
+		}
+	}
+	return fact, false
+}
+
+// wireConstRef reports whether e references a Msg* constant of the wire
+// package, returning its name.
+func wireConstRef(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return "", false
+	}
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || !strings.HasPrefix(c.Name(), "Msg") {
+		return "", false
+	}
+	if !analysis.PathHasSuffix(c.Pkg().Path(), wirePkg) {
+		return "", false
+	}
+	return c.Name(), true
+}
+
+// wireConstUses collects every wire Msg* constant name the package's
+// non-test files reference anywhere.
+func wireConstUses(pass *analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if name, ok := wireConstRef(pass, e); ok {
+					out[name] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isTestFile(pass *analysis.Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}

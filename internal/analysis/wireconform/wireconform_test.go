@@ -1,0 +1,19 @@
+package wireconform_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wireconform"
+)
+
+func TestConformanceViolations(t *testing.T) {
+	analysistest.Run(t, "testdata/conform_bad", []*analysis.Analyzer{wireconform.Analyzer},
+		"internal/server/wire", "internal/server", "internal/server/client")
+}
+
+func TestConformantProtocol(t *testing.T) {
+	analysistest.Run(t, "testdata/conform_clean", []*analysis.Analyzer{wireconform.Analyzer},
+		"internal/server/wire", "internal/server", "internal/server/client")
+}

@@ -240,6 +240,11 @@ type Entry struct {
 func (t *Tree) Scan(low, high []byte, fn func(Entry) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	t.scanLocked(low, high, fn)
+}
+
+// scanLocked is Scan's body; the caller must hold t.mu.
+func (t *Tree) scanLocked(low, high []byte, fn func(Entry) bool) {
 	var leaf *leafNode
 	start := 0
 	if low == nil {
@@ -361,7 +366,7 @@ func (t *Tree) Validate() error {
 		leaf = leaf.next
 	}
 	keyCount := 0
-	t.ScanAll(func(Entry) bool { keyCount++; return true })
+	t.scanLocked(nil, nil, func(Entry) bool { keyCount++; return true })
 	if keyCount != count {
 		return fmt.Errorf("btree: scan saw %d keys, leaf chain has %d", keyCount, count)
 	}

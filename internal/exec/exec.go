@@ -76,7 +76,7 @@ type Result struct {
 }
 
 // Run builds, opens, drains and closes the plan in one call.
-func Run(node plan.Node) (*Result, error) {
+func Run(node plan.Node) (res *Result, err error) {
 	op, err := Build(node)
 	if err != nil {
 		return nil, err
@@ -84,8 +84,12 @@ func Run(node plan.Node) (*Result, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
-	defer op.Close()
-	res := &Result{Schema: op.Schema()}
+	defer func() {
+		if cerr := op.Close(); cerr != nil && err == nil {
+			res, err = nil, cerr
+		}
+	}()
+	res = &Result{Schema: op.Schema()}
 	for {
 		tuple, ok, err := op.Next()
 		if err != nil {

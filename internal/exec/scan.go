@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 
@@ -169,7 +170,7 @@ func (o *scanOperator) nextRow() (storage.RecordID, types.Tuple, bool, error) {
 				// The row may have been deleted between the index read and
 				// the fetch; a read scan skips it, a write scan (strictFetch)
 				// must propagate.
-				if err == storage.ErrRecordNotFound && !o.strictFetch {
+				if errors.Is(err, storage.ErrRecordNotFound) && !o.strictFetch {
 					continue
 				}
 				return storage.RecordID{}, nil, false, fmt.Errorf("exec: fetching row %v of %s: %w", rid, o.node.Table.Name(), err)

@@ -143,15 +143,18 @@ type target struct {
 // withTuples retains each row's decoded tuple (updates evaluate assignments
 // against the pre-update image); deletes pass false so a wide DELETE buffers
 // only record ids, not the whole affected row set.
-func collectTargets(t *txn.Txn, table *catalog.Table, scan *scanOperator, withTuples bool) ([]target, error) {
+func collectTargets(t *txn.Txn, table *catalog.Table, scan *scanOperator, withTuples bool) (out []target, err error) {
 	if err := t.LockExclusive(table.Name()); err != nil {
 		return nil, err
 	}
 	if err := scan.Open(); err != nil {
 		return nil, err
 	}
-	defer scan.Close()
-	var out []target
+	defer func() {
+		if cerr := scan.Close(); cerr != nil && err == nil {
+			out, err = nil, cerr
+		}
+	}()
 	for {
 		rid, tuple, ok, err := scan.nextRow()
 		if err != nil {

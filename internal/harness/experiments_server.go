@@ -92,7 +92,11 @@ func RunE11(cfg Config) (*Table, error) {
 					for rows.Next() {
 						n++
 					}
-					if err := rows.Err(); err != nil {
+					err = rows.Err()
+					if cerr := rows.Close(); err == nil {
+						err = cerr
+					}
+					if err != nil {
 						errs <- err
 						return
 					}

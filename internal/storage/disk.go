@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -93,12 +94,12 @@ func OpenFileDiskManager(path string) (*FileDiskManager, error) {
 	}
 	info, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("storage: stat %s: %w", path, err), f.Close())
 	}
 	if info.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("storage: %s has size %d, not a multiple of the page size", path, info.Size())
+		return nil, errors.Join(
+			fmt.Errorf("storage: %s has size %d, not a multiple of the page size", path, info.Size()),
+			f.Close())
 	}
 	return &FileDiskManager{file: f, n: PageID(info.Size() / PageSize)}, nil
 }

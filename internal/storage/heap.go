@@ -84,8 +84,9 @@ func (h *HeapFile) Insert(record []byte) (RecordID, error) {
 	h.pages = append(h.pages, id)
 	slot, err := page.Insert(record)
 	if err != nil {
-		_ = h.pool.Unpin(id, false)
-		return RecordID{}, fmt.Errorf("storage: record of %d bytes does not fit in an empty page: %w", len(record), err)
+		return RecordID{}, errors.Join(
+			fmt.Errorf("storage: record of %d bytes does not fit in an empty page: %w", len(record), err),
+			h.pool.Unpin(id, false))
 	}
 	h.count++
 	return RecordID{Page: id, Slot: uint16(slot)}, h.pool.Unpin(id, true)
@@ -104,8 +105,7 @@ func (h *HeapFile) Get(rid RecordID) ([]byte, error) {
 	}
 	raw, err := page.Get(int(rid.Slot))
 	if err != nil {
-		_ = h.pool.Unpin(rid.Page, false)
-		return nil, ErrRecordNotFound
+		return nil, errors.Join(ErrRecordNotFound, h.pool.Unpin(rid.Page, false))
 	}
 	out := make([]byte, len(raw))
 	copy(out, raw)
@@ -132,8 +132,7 @@ func (h *HeapFile) Update(rid RecordID, record []byte) (RecordID, error) {
 	case errors.Is(err, ErrPageFull):
 		// Relocate: delete here, insert elsewhere.
 		if delErr := page.Delete(int(rid.Slot)); delErr != nil {
-			_ = h.pool.Unpin(rid.Page, false)
-			return rid, delErr
+			return rid, errors.Join(delErr, h.pool.Unpin(rid.Page, false))
 		}
 		if unpinErr := h.pool.Unpin(rid.Page, true); unpinErr != nil {
 			return rid, unpinErr
@@ -144,11 +143,9 @@ func (h *HeapFile) Update(rid RecordID, record []byte) (RecordID, error) {
 		h.mu.Lock()
 		return newRID, insErr
 	case errors.Is(err, ErrNoSuchSlot):
-		_ = h.pool.Unpin(rid.Page, false)
-		return rid, ErrRecordNotFound
+		return rid, errors.Join(ErrRecordNotFound, h.pool.Unpin(rid.Page, false))
 	default:
-		_ = h.pool.Unpin(rid.Page, false)
-		return rid, err
+		return rid, errors.Join(err, h.pool.Unpin(rid.Page, false))
 	}
 }
 
@@ -164,8 +161,7 @@ func (h *HeapFile) Delete(rid RecordID) error {
 		return err
 	}
 	if err := page.Delete(int(rid.Slot)); err != nil {
-		_ = h.pool.Unpin(rid.Page, false)
-		return ErrRecordNotFound
+		return errors.Join(ErrRecordNotFound, h.pool.Unpin(rid.Page, false))
 	}
 	h.count--
 	return h.pool.Unpin(rid.Page, true)
@@ -202,8 +198,7 @@ func (h *HeapFile) Scan(fn func(rid RecordID, record []byte) error) error {
 			rec := make([]byte, len(raw))
 			copy(rec, raw)
 			if err := fn(RecordID{Page: id, Slot: uint16(slot)}, rec); err != nil {
-				_ = h.pool.Unpin(id, false)
-				return err
+				return errors.Join(err, h.pool.Unpin(id, false))
 			}
 		}
 		if err := h.pool.Unpin(id, false); err != nil {
