@@ -5,6 +5,7 @@
 //	wowbench -experiment=E1        # one experiment
 //	wowbench -experiment=all       # the whole suite (default)
 //	wowbench -scale=quick          # reduced sizes for a fast smoke run
+//	wowbench -perfdir=.            # also write BENCH_<id>.json perf records
 //	wowbench -remote=host:port     # benchmark a running wowserver instead
 //	wowbench -remote=... -clients=8 -ops=2000 -pool=4 -batch=200
 //
@@ -35,13 +36,14 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (E1..E12) or 'all'")
+	experiment := flag.String("experiment", "all", "experiment id (E1..E14) or 'all'")
 	scale := flag.String("scale", "full", "workload scale: 'full' or 'quick'")
 	remote := flag.String("remote", "", "wowserver address; benchmark it over the wire instead of running local experiments")
 	clients := flag.Int("clients", 4, "concurrent query workers for -remote")
 	ops := flag.Int("ops", 1000, "queries per worker for -remote")
 	poolSize := flag.Int("pool", 0, "connection pool size for -remote (default: -clients)")
 	batch := flag.Int("batch", 200, "rows per ExecBatch frame for the -remote load phase")
+	perfDir := flag.String("perfdir", "", "directory to write machine-readable BENCH_<id>.json perf records into (empty: don't)")
 	flag.Parse()
 
 	if *remote != "" {
@@ -73,6 +75,14 @@ func main() {
 		}
 		fmt.Println(table.String())
 		fmt.Printf("(%s completed in %s at scale %s)\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
+		if *perfDir != "" {
+			path, err := harness.WritePerf(*perfDir, strings.ToLower(*scale), table)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wowbench: %s: perf record: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(perf record written to %s)\n\n", path)
+		}
 	}
 
 	if err := printEngineStats(cfg); err != nil {
@@ -156,6 +166,11 @@ func printEngineStats(cfg harness.Config) error {
 	fmt.Printf("  rows streamed:        %d\n", stats.RowsStreamed)
 	fmt.Printf("  write plans cached:   %d\n", stats.WritePlansCached)
 	fmt.Printf("  batch rows executed:  %d\n", stats.BatchRowsExecuted)
+	fmt.Println("mvcc concurrency control:")
+	fmt.Printf("  snapshots taken:      %d\n", stats.SnapshotsTaken)
+	fmt.Printf("  write conflicts:      %d\n", stats.WriteConflicts)
+	fmt.Printf("  deadlocks detected:   %d\n", stats.DeadlocksDetected)
+	fmt.Printf("  row versions gc'd:    %d\n", stats.VersionsGCed)
 	return nil
 }
 

@@ -1,9 +1,9 @@
 // Package closecheck verifies the engine's resource lifecycles: every
-// acquired lock scope and cursor must be settled — Released, Closed,
-// committed or rolled back — before the acquiring function lets go of it.
-// The worst historical bugs in this tree were leaks the compiler cannot see
-// (a streaming cursor holds shared table locks until Close; an abandoned
-// ReadLease blocks every writer on its tables forever), so the rule is
+// acquired snapshot, cursor and transaction must be settled — Released,
+// Closed, committed or rolled back — before the acquiring function lets go
+// of it. The worst historical bugs in this tree were leaks the compiler
+// cannot see (an abandoned MVCC snapshot pins the version-GC horizon
+// forever, so dead row versions are never reclaimed), so the rule is
 // machine-checked.
 //
 // The analysis is intra-procedural and deliberately coarse in the caller's
@@ -27,7 +27,7 @@ import (
 // Analyzer is the closecheck pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "closecheck",
-	Doc:  "acquired leases, cursors, connections and transactions must be settled (Released/Closed/Commit/Rollback) on all paths",
+	Doc:  "acquired snapshots, cursors, connections and transactions must be settled (Released/Closed/Commit/Rollback) on all paths",
 	Run:  run,
 }
 
@@ -43,7 +43,7 @@ type resourceSpec struct {
 // resources is the contract: acquiring any of these by calling a function
 // that returns one creates an obligation in the acquiring function.
 var resources = []resourceSpec{
-	{"internal/txn", "ReadLease", []string{"Release"}, "Released"},
+	{"internal/txn", "Snapshot", []string{"Release"}, "Released"},
 	{"internal/txn", "Txn", []string{"Commit", "Rollback"}, "committed or rolled back"},
 	{"internal/engine", "Rows", []string{"Close"}, "Closed"},
 	{"internal/server/client", "Rows", []string{"Close"}, "Closed"},

@@ -8,9 +8,9 @@ import (
 	"internal/txn"
 )
 
-func leakLease(m *txn.Manager) {
-	lease := m.BeginRead() // want `lease \(\*ReadLease\) is acquired but never Released`
-	_ = lease.LockShared("accounts")
+func leakSnapshot(m *txn.Manager) {
+	snap := m.AcquireSnapshot() // want `snap \(\*Snapshot\) is acquired but never Released`
+	_ = snap.Visible(7)
 }
 
 func leakRows(s *engine.Session) error {
@@ -28,7 +28,7 @@ func leakTxn(m *txn.Manager) {
 	if err != nil {
 		return
 	}
-	_ = t.LockExclusive("accounts")
+	_ = t.Insert("accounts")
 }
 
 func leakPooled(p *client.Pool) {
@@ -45,10 +45,10 @@ func discardCheckout(p *client.Pool) {
 
 // --- settled and transferred resources: no diagnostics -----------------------
 
-func closesLease(m *txn.Manager) error {
-	lease := m.BeginRead()
-	defer lease.Release()
-	return lease.LockShared("accounts")
+func releasesSnapshot(m *txn.Manager) bool {
+	snap := m.AcquireSnapshot()
+	defer snap.Release()
+	return snap.Visible(7)
 }
 
 func drainsRows(s *engine.Session) error {
@@ -67,7 +67,7 @@ func commitsOrRollsBack(m *txn.Manager) error {
 	if err != nil {
 		return err
 	}
-	if err := t.LockExclusive("accounts"); err != nil {
+	if err := t.Insert("accounts"); err != nil {
 		if rbErr := t.Rollback(); rbErr != nil {
 			return rbErr
 		}
@@ -85,12 +85,12 @@ func transfersConn(addr string) (*client.Conn, error) {
 }
 
 type holder struct {
-	lease *txn.ReadLease
+	snap *txn.Snapshot
 }
 
-func storesLease(m *txn.Manager, h *holder) {
-	lease := m.BeginRead()
-	h.lease = lease // ownership moves into the holder
+func storesSnapshot(m *txn.Manager, h *holder) {
+	snap := m.AcquireSnapshot()
+	h.snap = snap // ownership moves into the holder
 }
 
 func usesPool(p *client.Pool) error {

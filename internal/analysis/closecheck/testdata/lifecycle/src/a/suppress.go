@@ -4,9 +4,9 @@ import "internal/txn"
 
 // A justified suppression silences the leak on the next line.
 func suppressedLeak(m *txn.Manager) {
-	//wowvet:ignore closecheck -- the lease is registered with the scheduler, which releases it at end of tick
-	lease := m.BeginRead()
-	_ = lease.LockShared("accounts")
+	//wowvet:ignore closecheck -- the snapshot is registered with the scheduler, which releases it at end of tick
+	snap := m.AcquireSnapshot()
+	_ = snap.Visible(7)
 }
 
 // A suppression without a justification is itself a finding and silences

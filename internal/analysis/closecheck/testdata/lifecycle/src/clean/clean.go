@@ -1,5 +1,5 @@
-// Package clean mirrors the real engine's lease-handling patterns
-// (internal/engine/prepare.go readLocks and the cursor pipeline) and must
+// Package clean mirrors the real engine's snapshot-handling patterns
+// (internal/engine/prepare.go readSnapshot and the cursor pipeline) and must
 // produce no diagnostics: it is the want-nothing fixture that pins
 // closecheck's false-positive rate on idiomatic engine code.
 package clean
@@ -9,17 +9,25 @@ import (
 	"internal/txn"
 )
 
-// readLocks mirrors engine.readLocks: the lease is released on the error
-// path and otherwise escapes through the returned release closure.
-func readLocks(m *txn.Manager, tables []string) (func(), error) {
-	lease := m.BeginRead()
-	for _, t := range tables {
-		if err := lease.LockShared(t); err != nil {
-			lease.Release()
-			return nil, err
+// readSnapshot mirrors engine.readSnapshot: the snapshot escapes through the
+// returned release closure, whose caller settles it when the read finishes.
+func readSnapshot(m *txn.Manager) (*txn.Snapshot, func()) {
+	snap := m.AcquireSnapshot()
+	return snap, snap.Release
+}
+
+// scanVisible mirrors an operator reading through a snapshot it does not
+// own: release is deferred at the acquisition site.
+func scanVisible(m *txn.Manager, stamps []uint64) int {
+	snap := m.AcquireSnapshot()
+	defer snap.Release()
+	n := 0
+	for _, x := range stamps {
+		if snap.Visible(x) {
+			n++
 		}
 	}
-	return func() { lease.Release() }, nil
+	return n
 }
 
 // queryPage mirrors the engine's page materialization: the cursor is closed

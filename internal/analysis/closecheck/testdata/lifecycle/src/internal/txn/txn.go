@@ -2,29 +2,30 @@
 // resource-acquiring surface.
 package txn
 
-// Manager hands out transactions and read leases.
+// Manager hands out transactions and MVCC snapshots.
 type Manager struct{}
 
-// BeginRead starts a read lease.
-func (m *Manager) BeginRead() *ReadLease { return &ReadLease{} }
+// AcquireSnapshot registers a read snapshot.
+func (m *Manager) AcquireSnapshot() *Snapshot { return &Snapshot{} }
 
 // Begin starts a transaction.
 func (m *Manager) Begin() (*Txn, error) { return &Txn{}, nil }
 
-// ReadLease is a set of shared table locks that must be Released.
-type ReadLease struct{}
+// Snapshot is a begin-timestamp view that must be Released, or it pins the
+// version-GC horizon forever.
+type Snapshot struct{}
 
-// LockShared locks one table.
-func (l *ReadLease) LockShared(table string) error { return nil }
+// Visible reports whether a row version is in the snapshot's view.
+func (s *Snapshot) Visible(x uint64) bool { return x == 0 }
 
-// Release frees every table lock the lease holds.
-func (l *ReadLease) Release() {}
+// Release deregisters the snapshot.
+func (s *Snapshot) Release() {}
 
 // Txn is an open transaction that must be committed or rolled back.
 type Txn struct{}
 
-// LockExclusive locks one table for writing.
-func (t *Txn) LockExclusive(table string) error { return nil }
+// Insert writes a row under the transaction.
+func (t *Txn) Insert(table string) error { return nil }
 
 // Commit finishes the transaction.
 func (t *Txn) Commit() error { return nil }

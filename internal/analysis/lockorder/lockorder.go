@@ -1,17 +1,20 @@
 // Package lockorder builds a static lock-acquisition-order graph over the
-// module's mutexes and the transaction manager's logical table locks, and
+// module's mutexes and the transaction manager's logical row locks, and
 // rejects any edge that closes a cycle. Two goroutines acquiring the same
-// pair of locks in opposite orders is the one deadlock the runtime cannot
-// detect and the lock manager's timeout only papers over, so the order is
-// enforced at vet time instead.
+// pair of mutexes in opposite orders is the one deadlock the runtime cannot
+// detect — the waits-for graph only sees the lock manager's own locks, not
+// sync.Mutex — so the order is enforced at vet time instead.
 //
 // Lock classes are struct-field mutexes (`pkg.Type.field`), package-level
 // mutex variables (`pkg.var`), and one synthetic class per txn package —
-// `pkg.#tables` — representing the table-lock space behind
-// LockManager.Lock, Txn.LockShared/LockExclusive/Insert/Update/Delete and
-// ReadLease.LockShared. The table class may be acquired while already held
-// (the lock manager orders multi-table acquisition itself); every other
-// class reports re-acquisition as a self-deadlock.
+// `pkg.#rows` — representing the MVCC row- and key-lock space behind
+// LockManager.LockRow/LockKey and Txn.Insert/Update/Delete. The row class
+// may be acquired while already held (cycles inside the row-lock space are
+// detected at run time by the lock manager's waits-for graph, which aborts
+// the cycle-closing transaction); every other class reports re-acquisition
+// as a self-deadlock. What vet must still catch is a mutex taken on one
+// side of a row lock in one function and on the other side elsewhere: the
+// runtime detector is blind to that mixed cycle.
 //
 // The walk is flow-aware within a function (branches fork the held set,
 // deferred unlocks keep the lock held to function end, goroutine bodies
@@ -35,24 +38,27 @@ import (
 // Analyzer is the lockorder pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
-	Doc:  "mutexes and table locks must be acquired in one global order; cycle-creating acquisitions are rejected",
+	Doc:  "mutexes and row locks must be acquired in one global order; cycle-creating acquisitions are rejected",
 	Run:  run,
 }
 
-// tableClassSuffix names the synthetic lock class for the txn package's
-// logical table locks; the full class is the txn package path + this suffix.
-const tableClassSuffix = "#tables"
+// rowClassSuffix names the synthetic lock class for the txn package's
+// logical row and key locks; the full class is the txn package path + this
+// suffix.
+const rowClassSuffix = "#rows"
 
-// tableOps maps txn-package receiver type -> method -> op for the synthetic
-// table-lock class.
-var tableOps = map[string]map[string]lockOp{
-	"LockManager": {"Lock": opAcquire, "Unlock": opRelease},
+// rowOps maps txn-package receiver type -> method -> op for the synthetic
+// row-lock class.
+var rowOps = map[string]map[string]lockOp{
+	"LockManager": {
+		"LockRow": opAcquire, "LockKey": opAcquire, "lock": opAcquire,
+		"ReleaseAll": opRelease,
+	},
 	"Txn": {
-		"LockShared": opAcquire, "LockExclusive": opAcquire,
 		"Insert": opAcquire, "Update": opAcquire, "Delete": opAcquire,
+		"lockUniqueKeys": opAcquire, "claimVersion": opAcquire,
 		"Commit": opRelease, "Rollback": opRelease, "finish": opRelease,
 	},
-	"ReadLease": {"LockShared": opAcquire, "Release": opRelease},
 }
 
 type lockOp int
@@ -131,7 +137,7 @@ func run(pass *analysis.Pass) error {
 			continue
 		}
 		if e.from == e.to {
-			if !strings.HasSuffix(e.from, tableClassSuffix) {
+			if !strings.HasSuffix(e.from, rowClassSuffix) {
 				reported[key] = true
 				pass.Reportf(e.pos, "%s is acquired while already held: self-deadlock", e.from)
 			}
@@ -518,8 +524,8 @@ func (w *walker) call(call *ast.CallExpr, held []heldLock, mutate bool) []heldLo
 		switch op {
 		case opAcquire:
 			for _, h := range held {
-				if h.class == class && strings.HasSuffix(class, tableClassSuffix) {
-					continue // multi-table acquisition is ordered by the manager
+				if h.class == class && strings.HasSuffix(class, rowClassSuffix) {
+					continue // row-on-row waits are the waits-for graph's job
 				}
 				w.edges = append(w.edges, ownEdge{from: h.class, to: class, pos: call.Pos()})
 			}
@@ -536,7 +542,7 @@ func (w *walker) call(call *ast.CallExpr, held []heldLock, mutate bool) []heldLo
 	if callee := w.calleeKey(call); callee != "" {
 		for _, c := range w.acquiresOf(callee) {
 			for _, h := range held {
-				if h.class == c && strings.HasSuffix(c, tableClassSuffix) {
+				if h.class == c && strings.HasSuffix(c, rowClassSuffix) {
 					continue
 				}
 				w.edges = append(w.edges, ownEdge{from: h.class, to: c, pos: call.Pos()})
@@ -547,10 +553,10 @@ func (w *walker) call(call *ast.CallExpr, held []heldLock, mutate bool) []heldLo
 }
 
 // removeLast drops the most recent occurrence of class from held. Releasing
-// the synthetic table class drops every occurrence: Unlock/Commit/Rollback/
-// Release free all of a transaction's tables at once.
+// the synthetic row class drops every occurrence: ReleaseAll, Commit and
+// Rollback free all of a transaction's row locks at once.
 func removeLast(held []heldLock, class string) []heldLock {
-	if strings.HasSuffix(class, tableClassSuffix) {
+	if strings.HasSuffix(class, rowClassSuffix) {
 		out := held[:0]
 		for _, h := range held {
 			if h.class != class {
@@ -570,7 +576,7 @@ func removeLast(held []heldLock, class string) []heldLock {
 // --- call classification -----------------------------------------------------
 
 // classifyLockCall recognizes direct sync.Mutex/RWMutex operations on
-// nameable lock classes and the txn package's table-lock API.
+// nameable lock classes and the txn package's row-lock API.
 func (w *walker) classifyLockCall(call *ast.CallExpr) (string, lockOp) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -604,9 +610,9 @@ func (w *walker) classifyLockCall(call *ast.CallExpr) (string, lockOp) {
 	}
 
 	if analysis.PathHasSuffix(fn.Pkg().Path(), "internal/txn") {
-		if ops, ok := tableOps[recv.Obj().Name()]; ok {
+		if ops, ok := rowOps[recv.Obj().Name()]; ok {
 			if op, ok := ops[fn.Name()]; ok {
-				return fn.Pkg().Path() + "." + tableClassSuffix, op
+				return fn.Pkg().Path() + "." + rowClassSuffix, op
 			}
 		}
 	}

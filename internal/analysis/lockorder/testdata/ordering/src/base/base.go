@@ -1,4 +1,4 @@
-// Package base establishes the ordering "table locks before base.Mu" and
+// Package base establishes the ordering "row locks before base.Mu" and
 // exports it as a package fact; package top violates it. The split proves
 // the acquisition graph flows across package boundaries.
 package base
@@ -8,13 +8,13 @@ import (
 	"sync"
 )
 
-// Mu is ordered after the table-lock space: every function here acquires
-// table locks first.
+// Mu is ordered after the row-lock space: every function here acquires
+// row locks first.
 var Mu sync.Mutex
 
-// TableThenMu records the edge tables -> base.Mu.
-func TableThenMu(t *txn.Txn) error {
-	if err := t.LockShared("accounts"); err != nil {
+// RowThenMu records the edge rows -> base.Mu.
+func RowThenMu(t *txn.Txn) error {
+	if err := t.Update("accounts"); err != nil {
 		return err
 	}
 	Mu.Lock()
@@ -22,16 +22,16 @@ func TableThenMu(t *txn.Txn) error {
 	return t.Commit()
 }
 
-// MultiTable acquires several table locks in a row: the lock manager
-// orders multi-table acquisition itself, so this must stay silent.
-func MultiTable(t *txn.Txn) error {
-	if err := t.LockShared("accounts"); err != nil {
+// MultiRow acquires several row locks in a row: cycles inside the row-lock
+// space are the runtime waits-for graph's job, so this must stay silent.
+func MultiRow(t *txn.Txn) error {
+	if err := t.Update("accounts"); err != nil {
 		return err
 	}
-	if err := t.LockShared("branches"); err != nil {
+	if err := t.Insert("branches"); err != nil {
 		return err
 	}
-	if err := t.LockExclusive("history"); err != nil {
+	if err := t.Delete("history"); err != nil {
 		return err
 	}
 	return t.Commit()

@@ -1,4 +1,4 @@
-// Package txn is a fixture mirror of the transaction manager's table-lock
+// Package txn is a fixture mirror of the transaction manager's row-lock
 // API, which lockorder models as one synthetic lock class.
 package txn
 
@@ -8,17 +8,20 @@ type Manager struct{}
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn { return &Txn{} }
 
-// Txn holds table locks until Commit or Rollback.
+// Txn holds row locks until Commit or Rollback.
 type Txn struct{}
 
-// LockShared locks one table for reading.
-func (t *Txn) LockShared(table string) error { return nil }
+// Insert locks the new row's unique keys before writing it.
+func (t *Txn) Insert(table string) error { return nil }
 
-// LockExclusive locks one table for writing.
-func (t *Txn) LockExclusive(table string) error { return nil }
+// Update locks the target row before stamping it.
+func (t *Txn) Update(table string) error { return nil }
 
-// Commit releases every table lock.
+// Delete locks the target row before stamping it.
+func (t *Txn) Delete(table string) error { return nil }
+
+// Commit releases every row lock.
 func (t *Txn) Commit() error { return nil }
 
-// Rollback releases every table lock.
+// Rollback releases every row lock.
 func (t *Txn) Rollback() error { return nil }

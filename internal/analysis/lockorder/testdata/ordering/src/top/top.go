@@ -1,5 +1,5 @@
 // Package top closes a cross-package cycle: base established
-// tables -> base.Mu, and MuThenTable acquires them in the opposite order.
+// rows -> base.Mu, and MuThenRow acquires them in the opposite order.
 // The diagnostic appears here — in the package that closes the cycle —
 // and only exists because base's graph arrived as a package fact.
 package top
@@ -10,11 +10,11 @@ import (
 	"internal/txn"
 )
 
-// MuThenTable inverts base's ordering.
-func MuThenTable(t *txn.Txn) error {
+// MuThenRow inverts base's ordering.
+func MuThenRow(t *txn.Txn) error {
 	base.Mu.Lock()
 	defer base.Mu.Unlock()
-	return t.LockShared("accounts") // want `acquiring internal/txn\.#tables while holding base\.Mu creates a lock-order cycle`
+	return t.Update("accounts") // want `acquiring internal/txn\.#rows while holding base\.Mu creates a lock-order cycle`
 }
 
 // MuAlone uses base.Mu with nothing else held: silent.

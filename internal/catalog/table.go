@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/storage"
@@ -26,8 +27,15 @@ type (
 // key in a unique index (including the primary key).
 var ErrUniqueViolation = errors.New("catalog: unique constraint violation")
 
-// Table is one base relation: a schema, a heap file holding the rows, and the
-// indexes kept consistent with it.
+// Table is one base relation: a schema, a heap file holding the row versions,
+// and the indexes kept consistent with it.
+//
+// Every heap record carries a storage.VersionMeta header. Rows written through
+// the transaction layer are stamped with the writing transaction's id; rows
+// written through the legacy physical API (Insert/Update/Delete — bootstrap,
+// recovery, tests) are "frozen" with xmin=0 and visible to every snapshot.
+// Indexes hold entries for every version, live or dead: scans filter by
+// visibility per record id at fetch time instead of chasing version chains.
 type Table struct {
 	mu      sync.RWMutex
 	name    string
@@ -37,6 +45,10 @@ type Table struct {
 	// version increments on every committed mutation; the forms layer's
 	// window manager uses it to detect that windows over this table are stale.
 	version uint64
+	// live counts versions with xmax==0 (the logical row count); dead counts
+	// committed-dead versions awaiting vacuum, as a GC trigger heuristic.
+	live atomic.Int64
+	dead atomic.Int64
 }
 
 func newTable(name string, schema *Schema, pool *storage.BufferPool) *Table {
@@ -49,8 +61,17 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table's schema. Callers must not modify it.
 func (t *Table) Schema() *Schema { return t.schema }
 
-// RowCount returns the number of live rows.
-func (t *Table) RowCount() int { return t.heap.Count() }
+// RowCount returns the number of live rows (versions not yet deleted or
+// superseded). The planner and the forms status line use it for cardinality.
+func (t *Table) RowCount() int { return int(t.live.Load()) }
+
+// DeadVersions returns the approximate number of committed-dead versions
+// accumulated since the last vacuum. The transaction manager uses it to
+// decide when an on-access vacuum pays off.
+func (t *Table) DeadVersions() int64 { return t.dead.Load() }
+
+// NoteDead records that n versions of this table became dead at a commit.
+func (t *Table) NoteDead(n int64) { t.dead.Add(n) }
 
 // Version returns the table's mutation counter. It increases on every
 // successful Insert, Update or Delete.
@@ -141,26 +162,38 @@ func (t *Table) createIndex(name string, columns []string, unique bool) (*Index,
 		Columns: append([]string(nil), columns...),
 		colIdx:  colIdx,
 		Unique:  unique,
-		Tree:    btree.New(unique),
+		// The tree is physically non-unique even for unique indexes: it holds
+		// an entry per version, and several versions of one row share a key.
+		// Logical uniqueness is enforced over live versions at write time.
+		Tree: btree.New(false),
 	}
 	t.indexes = append(t.indexes, idx)
 	return idx, nil
 }
 
-// backfillIndex inserts every existing row into the index.
+// backfillIndex inserts every existing row version into the index. For a
+// unique index, duplicate keys among *live* versions fail the backfill (dead
+// versions sharing a key are the normal MVCC shape, not a violation).
 func (t *Table) backfillIndex(idx *Index) error {
+	liveKeys := make(map[string]struct{})
 	return t.heap.Scan(func(rid storage.RecordID, record []byte) error {
-		tuple, err := types.DecodeTuple(record)
+		meta, payload, err := storage.DecodeVersion(record)
 		if err != nil {
 			return err
 		}
-		if err := idx.Tree.Insert(idx.KeyFor(tuple), rid); err != nil {
-			if errors.Is(err, btree.ErrDuplicateKey) {
-				return fmt.Errorf("%w: cannot create unique index %q: %v", ErrUniqueViolation, idx.Name, err)
-			}
+		tuple, err := types.DecodeTuple(payload)
+		if err != nil {
 			return err
 		}
-		return nil
+		key := idx.KeyFor(tuple)
+		if idx.Unique && meta.Xmax == 0 {
+			if _, dup := liveKeys[string(key)]; dup {
+				return fmt.Errorf("%w: cannot create unique index %q: duplicate value for (%s)",
+					ErrUniqueViolation, idx.Name, strings.Join(idx.Columns, ", "))
+			}
+			liveKeys[string(key)] = struct{}{}
+		}
+		return idx.Tree.Insert(key, rid)
 	})
 }
 
@@ -176,9 +209,11 @@ func (t *Table) dropIndex(name string) {
 	}
 }
 
-// Insert validates the tuple against the schema, enforces unique constraints,
-// appends the row and maintains every index. It returns the new row's
-// record identifier.
+// Insert validates the tuple against the schema, enforces unique constraints
+// over live versions, appends the row as a frozen version (xmin=0, visible to
+// every snapshot) and maintains every index. It returns the new row's record
+// identifier. Transactional writers use InsertVersion instead, with unique
+// checks and key locking done in the transaction layer.
 func (t *Table) Insert(tuple Tuple) (storage.RecordID, error) {
 	validated, err := tuple.ValidateAgainst(t.schema)
 	if err != nil {
@@ -187,12 +222,29 @@ func (t *Table) Insert(tuple Tuple) (storage.RecordID, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, idx := range t.indexes {
-		if idx.Unique && idx.Tree.Contains(idx.KeyFor(validated)) {
+		if idx.Unique && t.LiveKeyExists(idx, idx.KeyFor(validated)) {
 			return storage.RecordID{}, fmt.Errorf("%w: duplicate value for %s(%s)",
 				ErrUniqueViolation, idx.Name, strings.Join(idx.Columns, ", "))
 		}
 	}
-	rid, err := t.heap.Insert(types.EncodeTuple(nil, validated))
+	return t.insertVersionLocked(validated, storage.VersionMeta{})
+}
+
+// InsertVersion appends a new row version stamped xmin=xid and maintains
+// every index. Unique constraints are NOT checked here: the transaction
+// layer probes live versions under its key locks before calling.
+func (t *Table) InsertVersion(tuple Tuple, xid uint64) (storage.RecordID, error) {
+	validated, err := tuple.ValidateAgainst(t.schema)
+	if err != nil {
+		return storage.RecordID{}, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertVersionLocked(validated, storage.VersionMeta{Xmin: xid})
+}
+
+func (t *Table) insertVersionLocked(validated Tuple, meta storage.VersionMeta) (storage.RecordID, error) {
+	rid, err := t.heap.InsertVersion(meta, types.EncodeTuple(nil, validated))
 	if err != nil {
 		return storage.RecordID{}, err
 	}
@@ -211,19 +263,128 @@ func (t *Table) Insert(tuple Tuple) (storage.RecordID, error) {
 		}
 	}
 	t.version++
+	t.live.Add(1)
 	return rid, nil
 }
 
-// Get returns the row at rid.
-func (t *Table) Get(rid storage.RecordID) (Tuple, error) {
-	record, err := t.heap.Get(rid)
+// AddVersion supersedes the version at oldRID with a new version of the row:
+// it stamps xmax=xid on the old version in place and inserts the new tuple
+// stamped xmin=xid with its version-chain link pointing at oldRID. Index
+// entries for the old version remain (snapshots may still need them); the
+// vacuum reclaims both together. Returns the new version's record id.
+func (t *Table) AddVersion(oldRID storage.RecordID, tuple Tuple, xid uint64) (storage.RecordID, error) {
+	validated, err := tuple.ValidateAgainst(t.schema)
 	if err != nil {
-		return nil, err
+		return storage.RecordID{}, err
 	}
-	return types.DecodeTuple(record)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.heap.SetXmax(oldRID, xid); err != nil {
+		return storage.RecordID{}, err
+	}
+	newRID, err := t.insertVersionLocked(validated, storage.VersionMeta{
+		Xmin: xid, Prev: oldRID, HasPrev: true,
+	})
+	if err != nil {
+		_ = t.heap.SetXmax(oldRID, 0) // restore the old version
+		return storage.RecordID{}, err
+	}
+	t.live.Add(-1) // net: old version died, new one was born
+	return newRID, nil
 }
 
-// Update replaces the row at rid with tuple, keeping every index consistent.
+// MarkDeleted stamps xmax=xid on the version at rid, hiding it from
+// snapshots that see xid as committed.
+func (t *Table) MarkDeleted(rid storage.RecordID, xid uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.heap.SetXmax(rid, xid); err != nil {
+		return err
+	}
+	t.version++
+	t.live.Add(-1)
+	return nil
+}
+
+// ClearXmax removes the delete/supersede stamp from the version at rid
+// (rollback undo for MarkDeleted and the AddVersion old-side stamp).
+func (t *Table) ClearXmax(rid storage.RecordID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.heap.SetXmax(rid, 0); err != nil {
+		return err
+	}
+	t.version++
+	t.live.Add(1)
+	return nil
+}
+
+// RemoveVersion physically deletes the version at rid and its index entries
+// (rollback undo for inserts, and the vacuum's reclaim primitive).
+func (t *Table) RemoveVersion(rid storage.RecordID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	record, err := t.heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	meta, payload, err := storage.DecodeVersion(record)
+	if err != nil {
+		return err
+	}
+	tuple, err := types.DecodeTuple(payload)
+	if err != nil {
+		return err
+	}
+	if err := t.heap.Delete(rid); err != nil {
+		return err
+	}
+	for _, idx := range t.indexes {
+		idx.Tree.Delete(idx.KeyFor(tuple), rid)
+	}
+	t.version++
+	if meta.Xmax == 0 {
+		t.live.Add(-1)
+	}
+	return nil
+}
+
+// Get returns the row payload at rid, regardless of version state.
+func (t *Table) Get(rid storage.RecordID) (Tuple, error) {
+	_, tuple, err := t.GetVersion(rid)
+	return tuple, err
+}
+
+// GetVersion returns the version header and row at rid.
+func (t *Table) GetVersion(rid storage.RecordID) (storage.VersionMeta, Tuple, error) {
+	meta, payload, err := t.heap.GetVersion(rid)
+	if err != nil {
+		return storage.VersionMeta{}, nil, err
+	}
+	tuple, err := types.DecodeTuple(payload)
+	if err != nil {
+		return storage.VersionMeta{}, nil, err
+	}
+	return meta, tuple, nil
+}
+
+// LiveKeyExists reports whether any live version (xmax==0, including
+// uncommitted inserts of in-flight transactions) is indexed under key.
+// First-writer-wins unique enforcement: callers hold the key lock, so a
+// concurrent insert of the same key cannot race past the probe.
+func (t *Table) LiveKeyExists(idx *Index, key []byte) bool {
+	for _, rid := range idx.Tree.Search(key) {
+		meta, _, err := t.heap.GetVersion(rid)
+		if err == nil && meta.Xmax == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Update replaces the row at rid with tuple in place, keeping every index
+// consistent. This is the legacy physical path (recovery, tests, baselines):
+// it preserves the existing version header rather than growing the chain.
 // It returns the row's (possibly new) record identifier.
 func (t *Table) Update(rid storage.RecordID, tuple Tuple) (storage.RecordID, error) {
 	validated, err := tuple.ValidateAgainst(t.schema)
@@ -232,11 +393,11 @@ func (t *Table) Update(rid storage.RecordID, tuple Tuple) (storage.RecordID, err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	oldRecord, err := t.heap.Get(rid)
+	meta, oldPayload, err := t.heap.GetVersion(rid)
 	if err != nil {
 		return rid, err
 	}
-	oldTuple, err := types.DecodeTuple(oldRecord)
+	oldTuple, err := types.DecodeTuple(oldPayload)
 	if err != nil {
 		return rid, err
 	}
@@ -246,12 +407,12 @@ func (t *Table) Update(rid storage.RecordID, tuple Tuple) (storage.RecordID, err
 			continue
 		}
 		oldKey, newKey := idx.KeyFor(oldTuple), idx.KeyFor(validated)
-		if string(oldKey) != string(newKey) && idx.Tree.Contains(newKey) {
+		if string(oldKey) != string(newKey) && t.LiveKeyExists(idx, newKey) {
 			return rid, fmt.Errorf("%w: duplicate value for %s(%s)",
 				ErrUniqueViolation, idx.Name, strings.Join(idx.Columns, ", "))
 		}
 	}
-	newRID, err := t.heap.Update(rid, types.EncodeTuple(nil, validated))
+	newRID, err := t.heap.Update(rid, storage.EncodeVersion(meta, types.EncodeTuple(nil, validated)))
 	if err != nil {
 		return rid, err
 	}
@@ -265,33 +426,24 @@ func (t *Table) Update(rid storage.RecordID, tuple Tuple) (storage.RecordID, err
 	return newRID, nil
 }
 
-// Delete removes the row at rid and its index entries.
+// Delete physically removes the row at rid and its index entries (legacy
+// path; transactional deletes use MarkDeleted and let the vacuum reclaim).
 func (t *Table) Delete(rid storage.RecordID) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	record, err := t.heap.Get(rid)
-	if err != nil {
-		return err
-	}
-	tuple, err := types.DecodeTuple(record)
-	if err != nil {
-		return err
-	}
-	if err := t.heap.Delete(rid); err != nil {
-		return err
-	}
-	for _, idx := range t.indexes {
-		idx.Tree.Delete(idx.KeyFor(tuple), rid)
-	}
-	t.version++
-	return nil
+	return t.RemoveVersion(rid)
 }
 
-// Scan calls fn for every row in physical order. Mutating the table from
-// inside fn is not supported.
+// Scan calls fn for every live row (xmax==0) in physical order. Mutating the
+// table from inside fn is supported only for the current row.
 func (t *Table) Scan(fn func(rid storage.RecordID, tuple Tuple) error) error {
 	return t.heap.Scan(func(rid storage.RecordID, record []byte) error {
-		tuple, err := types.DecodeTuple(record)
+		meta, payload, err := storage.DecodeVersion(record)
+		if err != nil {
+			return err
+		}
+		if meta.Xmax != 0 {
+			return nil
+		}
+		tuple, err := types.DecodeTuple(payload)
 		if err != nil {
 			return err
 		}
@@ -299,27 +451,94 @@ func (t *Table) Scan(fn func(rid storage.RecordID, tuple Tuple) error) error {
 	})
 }
 
-// Iterator returns a pull iterator over the table's rows.
+// Iterator returns a pull iterator over the table's live rows.
 func (t *Table) Iterator() *TableIterator {
 	return &TableIterator{inner: t.heap.Iterator()}
 }
 
-// TableIterator yields decoded rows one at a time.
+// TableIterator yields decoded live rows one at a time.
 type TableIterator struct {
 	inner *storage.HeapIterator
 }
 
-// Next returns the next row, or ok=false at the end.
+// Next returns the next live row, or ok=false at the end.
 func (it *TableIterator) Next() (storage.RecordID, Tuple, bool, error) {
-	rid, record, ok, err := it.inner.Next()
+	for {
+		rid, meta, tuple, ok, err := decodeNext(it.inner)
+		if err != nil || !ok {
+			return rid, nil, false, err
+		}
+		if meta.Xmax != 0 {
+			continue
+		}
+		return rid, tuple, true, nil
+	}
+}
+
+// VersionIterator returns a pull iterator over every row version, with its
+// MVCC header, for visibility-aware scans.
+func (t *Table) VersionIterator() *TableVersionIterator {
+	return &TableVersionIterator{inner: t.heap.Iterator()}
+}
+
+// TableVersionIterator yields each version with its header.
+type TableVersionIterator struct {
+	inner *storage.HeapIterator
+}
+
+// Next returns the next version, or ok=false at the end.
+func (it *TableVersionIterator) Next() (storage.RecordID, storage.VersionMeta, Tuple, bool, error) {
+	return decodeNext(it.inner)
+}
+
+func decodeNext(inner *storage.HeapIterator) (storage.RecordID, storage.VersionMeta, Tuple, bool, error) {
+	rid, record, ok, err := inner.Next()
 	if err != nil || !ok {
-		return rid, nil, false, err
+		return rid, storage.VersionMeta{}, nil, false, err
 	}
-	tuple, err := types.DecodeTuple(record)
+	meta, payload, err := storage.DecodeVersion(record)
 	if err != nil {
-		return rid, nil, false, err
+		return rid, storage.VersionMeta{}, nil, false, err
 	}
-	return rid, tuple, true, nil
+	tuple, err := types.DecodeTuple(payload)
+	if err != nil {
+		return rid, storage.VersionMeta{}, nil, false, err
+	}
+	return rid, meta, tuple, true, nil
+}
+
+// Vacuum physically reclaims dead versions whose deleting transaction id is
+// below horizon: no live snapshot can still see them, and every younger
+// reader already sees their replacement. Returns the number reclaimed.
+func (t *Table) Vacuum(horizon uint64) (int, error) {
+	var victims []storage.RecordID
+	err := t.heap.Scan(func(rid storage.RecordID, record []byte) error {
+		meta, _, err := storage.DecodeVersion(record)
+		if err != nil {
+			return err
+		}
+		if meta.Xmax != 0 && meta.Xmax < horizon {
+			victims = append(victims, rid)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, rid := range victims {
+		if err := t.RemoveVersion(rid); err != nil {
+			if errors.Is(err, storage.ErrRecordNotFound) {
+				continue // a concurrent vacuum got there first
+			}
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		t.dead.Add(int64(-removed))
+	}
+	return removed, nil
 }
 
 // LookupEqual returns the record identifiers of rows whose indexed columns

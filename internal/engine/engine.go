@@ -28,8 +28,10 @@ type Options struct {
 	WALPath string
 	// BufferPoolPages is the page cache size (default 1024 pages = 8 MiB).
 	BufferPoolPages int
-	// LockTimeout bounds how long a statement waits for a table lock before
-	// it is treated as deadlocked (default 500ms).
+	// LockTimeout is ignored: under MVCC readers never wait, writers block
+	// only on row locks, and deadlocks are detected by the waits-for graph
+	// instead of being timed out. The field remains so existing callers keep
+	// compiling.
 	LockTimeout time.Duration
 	// DisableWAL turns logging off entirely (used by benchmarks that measure
 	// pure execution cost).
@@ -82,9 +84,6 @@ func Open(opts Options) (*Database, error) {
 	if opts.BufferPoolPages <= 0 {
 		opts.BufferPoolPages = 1024
 	}
-	if opts.LockTimeout <= 0 {
-		opts.LockTimeout = 500 * time.Millisecond
-	}
 	var disk storage.DiskManager
 	var err error
 	if opts.DataPath == "" {
@@ -125,7 +124,7 @@ func Open(opts Options) (*Database, error) {
 		pool:  pool,
 		cat:   cat,
 		wal:   wal,
-		txns:  txn.NewManager(wal, opts.LockTimeout),
+		txns:  txn.NewManager(wal),
 		plans: newPlanCache(opts.PlanCacheSize),
 	}
 	if len(walRecords) > 0 {
@@ -154,13 +153,17 @@ func OpenMemory() *Database {
 	return db
 }
 
-// replay recovers committed transactions from a previous run's log.
+// replay recovers committed transactions from a previous run's log, then
+// advances the transaction-id sequence past every recovered version stamp so
+// new transactions never reuse a recovered id.
 func (db *Database) replay(records []txn.Record) error {
 	session := db.Session()
-	return txn.Recover(records, db.cat, func(ddl string) error {
+	maxID, err := txn.Recover(records, db.cat, func(ddl string) error {
 		_, err := session.Execute(ddl)
 		return err
 	})
+	db.txns.AdvanceTo(maxID)
+	return err
 }
 
 // Close flushes dirty pages and closes the underlying files.
@@ -200,13 +203,36 @@ func (db *Database) Session() *Session {
 // cache currently holds.
 func (db *Database) PlanCacheLen() int { return db.plans.len() }
 
+// Vacuum forces a version-GC pass over every table, reclaiming dead row
+// versions below the oldest live snapshot. Committing transactions vacuum
+// hot tables on their own; this is for tests, tools and quiesced databases.
+// It returns the number of versions reclaimed.
+func (db *Database) Vacuum() int {
+	total := 0
+	for _, name := range db.cat.TableNames() {
+		table, err := db.cat.GetTable(name)
+		if err != nil {
+			continue
+		}
+		total += db.txns.Vacuum(table)
+	}
+	return total
+}
+
 // Stats summarises engine-level counters for the benchmark harness.
 type Stats struct {
-	Committed  uint64
-	Aborted    uint64
-	LockWaits  uint64
-	LockAborts uint64
-	WALWrites  uint64
+	Committed uint64
+	Aborted   uint64
+	LockWaits uint64
+	WALWrites uint64
+
+	// MVCC: snapshots registered (transactional and cursor-read), writes
+	// aborted by first-updater-wins conflicts, waits-for cycles broken, and
+	// dead row versions reclaimed by the vacuum.
+	SnapshotsTaken    uint64
+	WriteConflicts    uint64
+	DeadlocksDetected uint64
+	VersionsGCed      uint64
 
 	// Prepared-statement machinery: statements prepared, plan-cache traffic
 	// (hits mean the parse/plan work was skipped), and cursor activity.
@@ -235,17 +261,22 @@ type Stats struct {
 // Stats returns a snapshot of the engine's counters.
 func (db *Database) Stats() Stats {
 	committed, aborted := db.txns.Stats()
-	waits, timeouts := db.txns.Locks().Stats()
+	waits, _ := db.txns.Locks().Stats()
+	mvcc := db.txns.MVCC()
 	var walWrites uint64
 	if db.wal != nil {
 		walWrites = db.wal.Writes()
 	}
 	return Stats{
-		Committed:  committed,
-		Aborted:    aborted,
-		LockWaits:  waits,
-		LockAborts: timeouts,
-		WALWrites:  walWrites,
+		Committed: committed,
+		Aborted:   aborted,
+		LockWaits: waits,
+		WALWrites: walWrites,
+
+		SnapshotsTaken:    mvcc.SnapshotsTaken,
+		WriteConflicts:    mvcc.WriteConflicts,
+		DeadlocksDetected: mvcc.DeadlocksDetected,
+		VersionsGCed:      mvcc.VersionsGCed,
 
 		StatementsPrepared: db.prep.prepared.Load(),
 		PlanCacheHits:      db.prep.planHits.Load(),

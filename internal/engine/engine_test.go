@@ -259,11 +259,12 @@ func TestExplicitTransactionCommitAndRollback(t *testing.T) {
 	}
 }
 
-func TestConcurrentSessionsConflict(t *testing.T) {
-	db, err := Open(Options{LockTimeout: 60 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestConcurrentSessionsWriteRows: under MVCC two sessions writing different
+// rows of the same table never wait on each other (this scenario timed out
+// under table locks), and two writers racing for the same row resolve by
+// first-updater-wins instead of a timeout.
+func TestConcurrentSessionsWriteRows(t *testing.T) {
+	db := OpenMemory()
 	s1 := db.Session()
 	if _, err := s1.ExecuteScript(seedSchema); err != nil {
 		t.Fatal(err)
@@ -276,20 +277,45 @@ func TestConcurrentSessionsConflict(t *testing.T) {
 	if _, err := s1.Execute("UPDATE customers SET credit = 1 WHERE id = 1"); err != nil {
 		t.Fatal(err)
 	}
-	// s2's write to the same table must time out while s1 holds the lock.
-	if _, err := s2.Execute("UPDATE customers SET credit = 2 WHERE id = 2"); err == nil {
-		t.Error("conflicting write should time out")
+	// s2 writes a different row of the same table while s1's transaction is
+	// still open: no table lock, no wait, no error.
+	if _, err := s2.Execute("UPDATE customers SET credit = 2 WHERE id = 2"); err != nil {
+		t.Fatalf("write to a different row must not conflict: %v", err)
 	}
 	if _, err := s1.Execute("COMMIT"); err != nil {
 		t.Fatal(err)
 	}
-	// After commit the second session proceeds.
-	if _, err := s2.Execute("UPDATE customers SET credit = 2 WHERE id = 2"); err != nil {
-		t.Errorf("write after lock release failed: %v", err)
+
+	// Same row: s2 blocks on the row lock until s1 commits, then aborts with
+	// a write conflict rather than silently overwriting.
+	if _, err := s1.Execute("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Execute("UPDATE customers SET credit = 10 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s2.Execute("UPDATE customers SET credit = 20 WHERE id = 1")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let s2 reach the row lock
+	if _, err := s1.Execute("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "write conflict") {
+		t.Errorf("racing same-row write = %v, want a write conflict", err)
 	}
 	stats := db.Stats()
-	if stats.Committed == 0 || stats.LockAborts == 0 {
-		t.Errorf("stats = %+v", stats)
+	if stats.Committed == 0 || stats.WriteConflicts == 0 {
+		t.Errorf("stats committed=%d conflicts=%d", stats.Committed, stats.WriteConflicts)
+	}
+	res, err := s2.Query("SELECT credit FROM customers WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Float() != 10 {
+		t.Errorf("credit = %v, want the first updater's 10", res.Rows[0][0])
 	}
 }
 

@@ -18,7 +18,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/exec"
@@ -46,10 +45,11 @@ type Stmt struct {
 	// Rebinding the frame and Run-ning it again re-executes the write without
 	// re-planning or re-compiling anything.
 	write exec.WriteOperator
-	// lockTables names the base tables the SELECT reads, for cursor locking.
-	lockTables []string
-	busy       bool // a Rows cursor is open on op
-	closed     bool
+	// rt is the runtime op reads through; Query points it at a fresh MVCC
+	// snapshot per execution, the way Bind repoints the parameter frame.
+	rt     *exec.Runtime
+	busy   bool // a Rows cursor is open on op
+	closed bool
 }
 
 // Prepare parses, plans and compiles a single SQL statement for repeated
@@ -80,18 +80,19 @@ func (s *Session) Prepare(text string) (*Stmt, error) {
 // a read operator tree for SELECT, a write operator for DML. EXPLAIN entries
 // keep the bare plan (it is rendered, never run).
 func (st *Stmt) buildOps(entry *cachedStatement) error {
-	st.op, st.write, st.lockTables = nil, nil, nil
+	st.op, st.write, st.rt = nil, nil, nil
 	if entry.node == nil || entry.explain {
 		return nil
 	}
 	switch entry.stmt.(type) {
 	case *sql.SelectStmt:
-		op, err := exec.BuildWithParams(entry.node, st.frame)
+		rt := exec.NewRuntime()
+		op, err := exec.BuildWithRuntime(entry.node, st.frame, rt)
 		if err != nil {
 			return err
 		}
 		st.op = op
-		st.lockTables = lockTablesOf(entry.node)
+		st.rt = rt
 	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
 		write, err := exec.BuildWrite(entry.node, st.frame)
 		if err != nil {
@@ -193,29 +194,6 @@ func statementVerb(stmt sql.Statement) string {
 	default:
 		return "transaction-control"
 	}
-}
-
-// lockTablesOf collects the distinct base tables a plan reads (views having
-// been expanded into scans already), sorted so locks are always taken in one
-// order.
-func lockTablesOf(node plan.Node) []string {
-	seen := map[string]bool{}
-	var walk func(plan.Node)
-	walk = func(n plan.Node) {
-		if scan, ok := n.(*plan.ScanNode); ok {
-			seen[scan.Table.Name()] = true
-		}
-		for _, c := range n.Children() {
-			walk(c)
-		}
-	}
-	walk(node)
-	out := make([]string, 0, len(seen))
-	for name := range seen {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
 }
 
 // inferParamKinds derives the expected kind of each parameter from where it
@@ -485,9 +463,10 @@ var errStmtClosed = fmt.Errorf("engine: statement is closed")
 
 // Query runs a prepared SELECT and returns a streaming cursor over its
 // result. Optional args are a shorthand for Bind. The cursor pins the
-// statement until Close (or exhaustion): outside an explicit transaction it
-// holds shared locks on the tables it reads, released when it closes; inside
-// one, the locks join the transaction as usual.
+// statement until Close (or exhaustion) and reads through an MVCC snapshot
+// taken here: outside an explicit transaction the snapshot lives until the
+// cursor closes; inside one, the cursor shares the transaction's snapshot.
+// No locks are taken either way — an open cursor never blocks a writer.
 func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
 	if st.closed {
 		return nil, errStmtClosed
@@ -509,10 +488,8 @@ func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
 	if err := st.ensureCurrent(); err != nil {
 		return nil, err
 	}
-	release, err := st.session.readLocks(st.lockTables)
-	if err != nil {
-		return nil, err
-	}
+	snap, release := st.session.readSnapshot()
+	st.rt.SetSnapshot(snap)
 	if err := st.op.Open(); err != nil {
 		release()
 		return nil, err
@@ -645,38 +622,16 @@ func (st *Stmt) Close() error {
 	return nil
 }
 
-// readLocks takes shared locks on the given tables for a cursor's lifetime
-// and returns the matching release function. Inside an explicit transaction
-// the locks join the transaction (two-phase locking: they release at
-// commit/rollback, and release() is a no-op); otherwise they live on a read
-// lease until release() runs.
-func (s *Session) readLocks(tables []string) (release func(), err error) {
-	if len(tables) == 0 {
-		return func() {}, nil
-	}
+// readSnapshot returns the MVCC snapshot a read runs under and the release to
+// call when the read finishes. Inside an explicit transaction the
+// transaction's own begin-timestamp snapshot is shared (release is a no-op;
+// the snapshot lives until commit or rollback). Otherwise a fresh read-only
+// snapshot is registered for the duration of the read. No locks are taken
+// either way: readers never block writers, and vice versa.
+func (s *Session) readSnapshot() (*txn.Snapshot, func()) {
 	if s.current != nil {
-		for _, table := range tables {
-			if err := s.current.LockShared(table); err != nil {
-				return nil, err
-			}
-		}
-		return func() {}, nil
+		return s.current.Snapshot(), func() {}
 	}
-	lease := s.db.txns.BeginRead()
-	for _, table := range tables {
-		if err := lease.LockShared(table); err != nil {
-			lease.Release()
-			return nil, err
-		}
-	}
-	s.noteCursors(tables, 1)
-	released := false
-	return func() {
-		if released {
-			return
-		}
-		released = true
-		s.noteCursors(tables, -1)
-		lease.Release()
-	}, nil
+	snap := s.db.txns.AcquireSnapshot()
+	return snap, snap.Release
 }

@@ -5,7 +5,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/txn"
 	"repro/internal/types"
 )
 
@@ -214,17 +213,18 @@ func TestPlanCacheEviction(t *testing.T) {
 	}
 }
 
-func TestCursorCloseMidIterationReleasesLocks(t *testing.T) {
-	db, err := Open(Options{LockTimeout: 30 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestOpenCursorDoesNotBlockWriter is the MVCC acceptance regression test:
+// a reader holding an open streaming cursor must never block a concurrent
+// committed write, and the cursor must keep reading its own snapshot — it
+// sees neither the new value (no torn read) nor a vanished row.
+func TestOpenCursorDoesNotBlockWriter(t *testing.T) {
+	db := OpenMemory()
 	s := db.Session()
 	if _, err := s.ExecuteScript(prepareSchema); err != nil {
 		t.Fatal(err)
 	}
 
-	stmt, err := s.Prepare("SELECT id FROM customers ORDER BY id")
+	stmt, err := s.Prepare("SELECT id, credit FROM customers ORDER BY id")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,24 +237,58 @@ func TestCursorCloseMidIterationReleasesLocks(t *testing.T) {
 		t.Fatal("expected a first row")
 	}
 
-	// While the cursor is open it holds a shared lock on customers: an
-	// exclusive writer from another session times out.
+	// A writer from another session commits while the cursor is open — under
+	// the old table locks this timed out; under MVCC it must succeed at once.
 	writer := db.Session()
-	if _, err := writer.Execute("UPDATE customers SET credit = 0 WHERE id = 4"); err == nil {
-		t.Fatal("update should block on the open cursor's shared lock")
-	} else if !strings.Contains(err.Error(), txn.ErrLockTimeout.Error()) {
-		t.Fatalf("want a lock timeout, got: %v", err)
+	start := time.Now()
+	if _, err := writer.Execute("UPDATE customers SET credit = 0 WHERE id = 4"); err != nil {
+		t.Fatalf("writer blocked by an open cursor: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("write took %v with a cursor open; must not wait", elapsed)
 	}
 
-	// Closing mid-iteration (three rows remain) releases the lock at once.
+	// The open cursor keeps its snapshot: id 4 still shows its original 50.
+	sawID4 := false
+	for {
+		var id int
+		var credit float64
+		if err := rows.Scan(&id, &credit); err != nil {
+			t.Fatal(err)
+		}
+		if id == 4 {
+			sawID4 = true
+			if credit != 50 {
+				t.Errorf("cursor saw credit=%v for id 4, want the snapshot's 50", credit)
+			}
+		}
+		if !rows.Next() {
+			break
+		}
+	}
+	if !sawID4 {
+		t.Error("cursor lost row id 4 mid-iteration")
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
 	rows.Close()
-	if _, err := writer.Execute("UPDATE customers SET credit = 0 WHERE id = 4"); err != nil {
-		t.Fatalf("update after cursor close: %v", err)
+
+	// A fresh read sees the committed write.
+	res, err := s.Query("SELECT credit FROM customers WHERE id = 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Float() != 0 {
+		t.Errorf("post-close read = %v, want 0", res.Rows[0][0])
 	}
 
 	stats := db.Stats()
 	if stats.CursorsOpened == 0 || stats.CursorsOpened != stats.CursorsClosed {
 		t.Fatalf("cursor counters opened=%d closed=%d", stats.CursorsOpened, stats.CursorsClosed)
+	}
+	if stats.SnapshotsTaken == 0 {
+		t.Errorf("SnapshotsTaken = 0, want > 0 (cursor reads run on snapshots)")
 	}
 }
 
@@ -430,11 +464,11 @@ func TestParamsRejectedInDDL(t *testing.T) {
 	}
 }
 
-func TestPreparedInExplicitTransactionHoldsLocksUntilCommit(t *testing.T) {
-	db, err := Open(Options{LockTimeout: 30 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestPreparedInExplicitTransactionRepeatsReads: inside BEGIN...COMMIT every
+// query runs on the transaction's begin-timestamp snapshot, so a concurrent
+// committed write neither blocks nor appears until the transaction ends.
+func TestPreparedInExplicitTransactionRepeatsReads(t *testing.T) {
+	db := OpenMemory()
 	s := db.Session()
 	if _, err := s.ExecuteScript(prepareSchema); err != nil {
 		t.Fatal(err)
@@ -442,29 +476,44 @@ func TestPreparedInExplicitTransactionHoldsLocksUntilCommit(t *testing.T) {
 	if _, err := s.Execute("BEGIN"); err != nil {
 		t.Fatal(err)
 	}
-	stmt, err := s.Prepare("SELECT id FROM customers")
+	stmt, err := s.Prepare("SELECT credit FROM customers WHERE id = 1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer stmt.Close()
-	rows, err := stmt.Query()
+	res, err := stmt.Exec()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for rows.Next() {
+	if res.Rows[0][0].Float() != 1000 {
+		t.Fatalf("first read = %v, want 1000", res.Rows[0][0])
 	}
-	rows.Close()
-	// Two-phase locking: the read lock joined the transaction, so it is still
-	// held after the cursor closed.
+
+	// Another session commits a write to the row mid-transaction, without
+	// waiting on the reader.
 	writer := db.Session()
-	if _, err := writer.Execute("UPDATE customers SET credit = 0 WHERE id = 1"); err == nil {
-		t.Fatal("writer should block until the reading transaction commits")
+	if _, err := writer.Execute("UPDATE customers SET credit = 0 WHERE id = 1"); err != nil {
+		t.Fatalf("writer blocked by a reading transaction: %v", err)
+	}
+
+	// Re-running the read inside the transaction repeats the snapshot value.
+	res, err = stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Float() != 1000 {
+		t.Errorf("repeated read = %v, want the snapshot's 1000", res.Rows[0][0])
 	}
 	if _, err := s.Execute("COMMIT"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := writer.Execute("UPDATE customers SET credit = 0 WHERE id = 1"); err != nil {
-		t.Fatalf("writer after commit: %v", err)
+	// After commit a fresh snapshot sees the writer's value.
+	res, err = stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Float() != 0 {
+		t.Errorf("post-commit read = %v, want 0", res.Rows[0][0])
 	}
 }
 
@@ -501,9 +550,12 @@ func TestNullParamOnIndexedColumnMatchesNothing(t *testing.T) {
 	}
 }
 
-func TestWriteWhileOwnCursorOpenFailsFast(t *testing.T) {
+// TestWriteWhileOwnCursorOpen: a session may write the very table its open
+// cursor is streaming — the cursor keeps reading its own snapshot. Under the
+// old table locks this was rejected outright.
+func TestWriteWhileOwnCursorOpen(t *testing.T) {
 	_, s := prepareTestDB(t)
-	stmt, err := s.Prepare("SELECT id FROM customers")
+	stmt, err := s.Prepare("SELECT id, credit FROM customers ORDER BY id")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -515,21 +567,32 @@ func TestWriteWhileOwnCursorOpenFailsFast(t *testing.T) {
 	if !rows.Next() {
 		t.Fatal("expected a row")
 	}
-	// The same session writing the table its cursor is streaming could only
-	// ever hit the lock timeout; it must fail immediately and say why.
-	start := time.Now()
-	_, err = s.Execute("UPDATE customers SET credit = 0 WHERE id = 1")
-	if err == nil || !strings.Contains(err.Error(), "open cursor") {
-		t.Fatalf("want an open-cursor error, got %v", err)
+	if _, err := s.Execute("UPDATE customers SET credit = 0 WHERE id = 2"); err != nil {
+		t.Fatalf("write to own cursor's table: %v", err)
 	}
-	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
-		t.Fatalf("error took %v; should fail fast, not wait for the lock timeout", elapsed)
+	// The cursor's snapshot predates the write: id 2 still shows 250.
+	for {
+		var id int
+		var credit float64
+		if err := rows.Scan(&id, &credit); err != nil {
+			t.Fatal(err)
+		}
+		if id == 2 && credit != 250 {
+			t.Errorf("cursor saw credit=%v for id 2, want the snapshot's 250", credit)
+		}
+		if !rows.Next() {
+			break
+		}
 	}
 	rows.Close()
-	if _, err := s.Execute("UPDATE customers SET credit = 0 WHERE id = 1"); err != nil {
-		t.Fatalf("update after close: %v", err)
+	res, err := s.Query("SELECT credit FROM customers WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Writing an unrelated table while the cursor is open stays allowed.
+	if res.Rows[0][0].Float() != 0 {
+		t.Errorf("fresh read = %v, want 0", res.Rows[0][0])
+	}
+	// DDL while a cursor is open stays allowed too.
 	rows2, err := stmt.Query()
 	if err != nil {
 		t.Fatal(err)

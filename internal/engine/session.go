@@ -28,41 +28,18 @@ type Result struct {
 // explicit transaction if one is open. It is not safe for concurrent use.
 // Prepared-statement skeletons are cached engine-wide (the sessions share one
 // plan cache); bind frames and cursors stay private to the session.
+//
+// Reads run against MVCC snapshots and take no locks: a session may freely
+// write to a table it is still streaming from (the open cursor keeps seeing
+// its own snapshot), and one session's open cursor never blocks another
+// session's writes.
 type Session struct {
 	db      *Database
 	current *txn.Txn
-	// cursorTables counts this session's open autocommit cursors per base
-	// table. A write from the same session against such a table could never
-	// acquire its exclusive lock (the cursor's read lease has its own owner
-	// id), so the write path fails fast instead of spinning to the lock
-	// timeout.
-	cursorTables map[string]int
 	// openRows tracks this session's open cursors so Close can release their
-	// read leases when a connection drops with cursors still streaming.
+	// snapshots when a connection drops with cursors still streaming.
 	openRows map[*Rows]struct{}
 	closed   bool
-}
-
-// noteCursors adjusts the open-cursor count for the given tables.
-func (s *Session) noteCursors(tables []string, delta int) {
-	if s.cursorTables == nil {
-		s.cursorTables = map[string]int{}
-	}
-	for _, table := range tables {
-		s.cursorTables[table] += delta
-		if s.cursorTables[table] <= 0 {
-			delete(s.cursorTables, table)
-		}
-	}
-}
-
-// checkNoOpenCursor rejects a write against a table this session is still
-// streaming from outside a transaction.
-func (s *Session) checkNoOpenCursor(table string) error {
-	if s.cursorTables[table] > 0 {
-		return fmt.Errorf("engine: cannot write to %q while this session has an open cursor on it; close the cursor first", table)
-	}
-	return nil
 }
 
 // PlanCacheLen returns how many statement skeletons the engine's shared plan
@@ -71,11 +48,11 @@ func (s *Session) checkNoOpenCursor(table string) error {
 func (s *Session) PlanCacheLen() int { return s.db.plans.len() }
 
 // Close releases everything the session holds: open cursors (and with them
-// their read leases on the tables they were streaming) are closed, and an
-// open explicit transaction is rolled back. The server calls this when a
+// the snapshots pinning old row versions against the vacuum) are closed, and
+// an open explicit transaction is rolled back. The server calls this when a
 // connection disconnects — cleanly or not — so an abandoned session can never
-// keep holding locks that block other sessions' writes. Closing an
-// already-closed session is a no-op.
+// keep holding row locks or pin the GC horizon. Closing an already-closed
+// session is a no-op.
 func (s *Session) Close() error {
 	if s.closed {
 		return nil
@@ -231,8 +208,9 @@ func (s *Session) writeTxn() (*txn.Txn, bool, error) {
 }
 
 // finishWrite commits or rolls back an autocommit transaction depending on
-// the statement's outcome, and converts lock-timeout aborts of an explicit
-// transaction into a rolled-back session state.
+// the statement's outcome. Inside an explicit transaction the error (e.g. a
+// write conflict or deadlock abort) is reported to the caller, who decides
+// whether to roll back.
 func (s *Session) finishWrite(t *txn.Txn, autocommit bool, execErr error) error {
 	if autocommit {
 		if execErr != nil {
@@ -342,22 +320,18 @@ func (s *Session) logDDL(text string) error {
 // --- SELECT ----------------------------------------------------------------
 
 func (s *Session) executeSelect(stmt *sql.SelectStmt) (*Result, error) {
-	// Inside an explicit transaction, reads take shared locks on the
-	// referenced base tables so the window contents cannot change under it.
-	if s.current != nil {
-		for _, ref := range stmt.From {
-			if s.db.cat.HasTable(ref.Name) {
-				if err := s.current.LockShared(strings.ToLower(ref.Name)); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
 	node, err := plan.NewBuilder(s.db.cat).Build(stmt)
 	if err != nil {
 		return nil, err
 	}
-	res, err := exec.Run(node)
+	// Inside an explicit transaction the read uses the transaction's
+	// begin-timestamp snapshot (repeatable reads without locking anything);
+	// outside, it registers a fresh snapshot for the statement's duration.
+	snap, release := s.readSnapshot()
+	defer release()
+	rt := exec.NewRuntime()
+	rt.SetSnapshot(snap)
+	res, err := exec.RunWithRuntime(node, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -413,13 +387,11 @@ func (s *Session) runWrite(stmt sql.Statement, op exec.WriteOperator) (*Result, 
 }
 
 // runWriteBody wraps a write body — one statement's operator, or a whole
-// batch — in the session's write discipline: the open-cursor check, the
-// explicit-or-autocommit transaction, and commit-or-rollback on the body's
-// outcome. The body returns how many rows it affected.
+// batch — in the session's write discipline: the explicit-or-autocommit
+// transaction, and commit-or-rollback on the body's outcome. The body
+// returns how many rows it affected.
 func (s *Session) runWriteBody(stmt sql.Statement, table string, body func(t *txn.Txn) (int, error)) (*Result, error) {
-	if err := s.checkNoOpenCursor(table); err != nil {
-		return nil, err
-	}
+	_ = table // writes no longer lock tables; kept for the call shape
 	t, autocommit, err := s.writeTxn()
 	if err != nil {
 		return nil, err

@@ -23,10 +23,10 @@ func tolerable(err error) bool {
 		"no table or view named", // the planner's phrasing of the same window
 		"no table named",         // the catalog's phrasing (query opened mid-drop)
 		"no index named",         // concurrent DROP INDEX
-		"lock wait timeout",      // contention between sessions
+		"write conflict",         // first-updater-wins abort; the loser retries
+		"deadlock detected",      // waits-for cycle broken; the victim retries
 		"unknown column",         // recreated table mid-prepare
 		"changed shape",          // re-prepare after schema change
-		"open cursor",            // own-session cursor guard
 	} {
 		if strings.Contains(msg, s) {
 			return true
@@ -37,6 +37,12 @@ func tolerable(err error) bool {
 
 // TestSharedPlanCacheConcurrentStress mixes Prepare / Query / ExecBatch / DDL
 // across many concurrent sessions sharing one plan cache, under -race.
+//
+// The snapshot oracle: transfer sessions move money between the two rows of
+// "ledger" (total 2000) inside explicit transactions while every worker
+// repeatedly reads the whole table. A snapshot read is atomic, so any sum
+// other than 2000 is a torn read, and any row count other than 2 is a
+// resurrected or vanished row.
 //
 // The staleness oracle: a coordinator repeatedly drops and recreates table
 // "swap", inserts a row carrying the new generation number, and only then
@@ -72,12 +78,66 @@ func TestSharedPlanCacheConcurrentStress(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if _, err := setup.Execute("CREATE TABLE ledger (id INT PRIMARY KEY, amount FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Execute("INSERT INTO ledger VALUES (1, 1000), (2, 1000)"); err != nil {
+		t.Fatal(err)
+	}
 
 	var gen atomic.Int64
 	var staleness atomic.Int64
 	var rowsSeen atomic.Int64
+	var ledgerReads atomic.Int64
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
+
+	// Transfer sessions: contend on the two ledger rows, retrying the aborts
+	// first-updater-wins and deadlock detection hand out. Readers below assert
+	// the invariant these writes preserve.
+	for m := 0; m < 2; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			s := db.Session()
+			defer s.Close()
+			// The two movers transfer in opposite directions so balances
+			// keep crossing and the row locks keep colliding.
+			from, to := 1, 2
+			if m == 1 {
+				from, to = 2, 1
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Execute("BEGIN"); err != nil {
+					t.Errorf("mover %d begin: %v", m, err)
+					return
+				}
+				_, err := s.Execute(fmt.Sprintf("UPDATE ledger SET amount = amount - 10 WHERE id = %d", from))
+				if err == nil {
+					_, err = s.Execute(fmt.Sprintf("UPDATE ledger SET amount = amount + 10 WHERE id = %d", to))
+				}
+				if err != nil {
+					if !tolerable(err) {
+						t.Errorf("mover %d update: %v", m, err)
+					}
+					if _, err := s.Execute("ROLLBACK"); err != nil {
+						t.Errorf("mover %d rollback: %v", m, err)
+						return
+					}
+					continue
+				}
+				if _, err := s.Execute("COMMIT"); err != nil && !tolerable(err) {
+					t.Errorf("mover %d commit: %v", m, err)
+					return
+				}
+			}
+		}(m)
+	}
 
 	// Coordinator: the schema-changing session.
 	wg.Add(1)
@@ -201,7 +261,48 @@ func TestSharedPlanCacheConcurrentStress(t *testing.T) {
 					}
 				}
 
-				// 5. Churn: a unique statement text, forcing evictions in the
+				// 5. The snapshot oracle: read the whole ledger through a
+				// streaming cursor while the movers are writing it. The
+				// cursor's snapshot must show one atomic state — exactly two
+				// rows summing to 2000 — never a half-applied transfer.
+				func() {
+					st, err := s.Prepare("SELECT id, amount FROM ledger")
+					if err != nil {
+						if !tolerable(err) {
+							t.Errorf("worker %d prepare ledger probe: %v", w, err)
+						}
+						return
+					}
+					defer st.Close()
+					rows, err := st.Query()
+					if err != nil {
+						if !tolerable(err) {
+							t.Errorf("worker %d ledger probe: %v", w, err)
+						}
+						return
+					}
+					defer rows.Close()
+					sum, count := 0.0, 0
+					for rows.Next() {
+						sum += rows.Row()[1].Float()
+						count++
+					}
+					if err := rows.Err(); err != nil {
+						if !tolerable(err) {
+							t.Errorf("worker %d ledger rows: %v", w, err)
+						}
+						return
+					}
+					ledgerReads.Add(1)
+					if count != 2 {
+						t.Errorf("worker %d: ledger snapshot has %d rows, want 2 (resurrected or vanished row)", w, count)
+					}
+					if sum != 2000 {
+						t.Errorf("worker %d: ledger snapshot sums to %v, want 2000 (torn read)", w, sum)
+					}
+				}()
+
+				// 6. Churn: a unique statement text, forcing evictions in the
 				// small shared cache while other sessions are mid-lookup.
 				if i%7 == 3 {
 					churn := fmt.Sprintf("SELECT v FROM %s WHERE id = %d", table, i)
@@ -220,6 +321,9 @@ func TestSharedPlanCacheConcurrentStress(t *testing.T) {
 	if rowsSeen.Load() == 0 {
 		t.Fatal("the probe never returned a row; the oracle did not exercise anything")
 	}
+	if ledgerReads.Load() == 0 {
+		t.Fatal("the ledger probe never completed; the snapshot oracle did not exercise anything")
+	}
 	if got, capacity := db.PlanCacheLen(), 32; got > capacity {
 		t.Fatalf("shared cache holds %d entries, capacity %d", got, capacity)
 	}
@@ -230,7 +334,7 @@ func TestSharedPlanCacheConcurrentStress(t *testing.T) {
 	if stats.PlanCacheEvictions == 0 {
 		t.Fatal("churn queries never evicted; the cache bound is not being exercised")
 	}
-	t.Logf("stress: %d probe rows, cache hits=%d misses=%d evictions=%d, committed=%d aborted=%d",
-		rowsSeen.Load(), stats.PlanCacheHits, stats.PlanCacheMisses, stats.PlanCacheEvictions,
-		stats.Committed, stats.Aborted)
+	t.Logf("stress: %d probe rows, %d ledger reads, cache hits=%d misses=%d evictions=%d, committed=%d aborted=%d, conflicts=%d deadlocks=%d gc=%d",
+		rowsSeen.Load(), ledgerReads.Load(), stats.PlanCacheHits, stats.PlanCacheMisses, stats.PlanCacheEvictions,
+		stats.Committed, stats.Aborted, stats.WriteConflicts, stats.DeadlocksDetected, stats.VersionsGCed)
 }

@@ -23,8 +23,8 @@ type aggregateOperator struct {
 	pos    int
 }
 
-func newAggregateOperator(n *plan.AggregateNode, params *expr.Params) (*aggregateOperator, error) {
-	input, err := BuildWithParams(n.Input, params)
+func newAggregateOperator(n *plan.AggregateNode, params *expr.Params, rt *Runtime) (*aggregateOperator, error) {
+	input, err := BuildWithRuntime(n.Input, params, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -248,8 +248,8 @@ type sortOperator struct {
 	pos  int
 }
 
-func newSortOperator(n *plan.SortNode, params *expr.Params) (*sortOperator, error) {
-	input, err := BuildWithParams(n.Input, params)
+func newSortOperator(n *plan.SortNode, params *expr.Params, rt *Runtime) (*sortOperator, error) {
+	input, err := BuildWithRuntime(n.Input, params, rt)
 	if err != nil {
 		return nil, err
 	}

@@ -8,8 +8,34 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/txn"
 	"repro/internal/types"
 )
+
+// Runtime carries the per-execution state an operator tree cannot bake in at
+// build time: the MVCC snapshot scans filter row versions through. A prepared
+// statement builds its operator tree once and re-points the runtime at a
+// fresh snapshot on every open, the way it rebinds its parameter frame.
+type Runtime struct {
+	snap *txn.Snapshot
+}
+
+// NewRuntime returns a runtime with no snapshot.
+func NewRuntime() *Runtime { return &Runtime{} }
+
+// SetSnapshot points the runtime at the snapshot the next execution reads
+// under. A nil snapshot reads the latest live versions (xmax==0), which is
+// what direct exec callers outside any transaction scope get.
+func (r *Runtime) SetSnapshot(s *txn.Snapshot) { r.snap = s }
+
+// visible applies the runtime's visibility policy to one version header.
+func (r *Runtime) visible(meta storage.VersionMeta) bool {
+	if r == nil || r.snap == nil {
+		return meta.Xmax == 0
+	}
+	return r.snap.Visible(meta)
+}
 
 // Operator is a pull-style iterator over tuples.
 type Operator interface {
@@ -25,41 +51,49 @@ type Operator interface {
 
 // Build compiles a plan tree into an operator tree with no bind parameters.
 func Build(node plan.Node) (Operator, error) {
-	return BuildWithParams(node, nil)
+	return BuildWithRuntime(node, nil, NewRuntime())
 }
 
 // BuildWithParams compiles a plan tree into an operator tree whose parameter
-// placeholders read from the given bind frame. The operator tree is reusable:
-// rebind the frame and Open it again to re-run the query without re-parsing,
-// re-planning or re-compiling any expression.
+// placeholders read from the given bind frame, with a fresh (snapshot-free)
+// runtime. The operator tree is reusable: rebind the frame and Open it again
+// to re-run the query without re-parsing, re-planning or re-compiling any
+// expression.
 func BuildWithParams(node plan.Node, params *expr.Params) (Operator, error) {
+	return BuildWithRuntime(node, params, NewRuntime())
+}
+
+// BuildWithRuntime compiles a plan tree into an operator tree whose scans
+// read through rt's snapshot. The caller keeps rt and re-points it at a new
+// snapshot per execution.
+func BuildWithRuntime(node plan.Node, params *expr.Params, rt *Runtime) (Operator, error) {
 	switch n := node.(type) {
 	case *plan.ScanNode:
-		return newScanOperator(n, params)
+		return newScanOperator(n, params, rt)
 	case *plan.DerivedNode:
-		input, err := BuildWithParams(n.Input, params)
+		input, err := BuildWithRuntime(n.Input, params, rt)
 		if err != nil {
 			return nil, err
 		}
 		return &derivedOperator{input: input, schema: n.Schema()}, nil
 	case *plan.FilterNode:
-		return newFilterOperator(n, params)
+		return newFilterOperator(n, params, rt)
 	case *plan.JoinNode:
-		return newJoinOperator(n, params)
+		return newJoinOperator(n, params, rt)
 	case *plan.ProjectNode:
-		return newProjectOperator(n, params)
+		return newProjectOperator(n, params, rt)
 	case *plan.AggregateNode:
-		return newAggregateOperator(n, params)
+		return newAggregateOperator(n, params, rt)
 	case *plan.SortNode:
-		return newSortOperator(n, params)
+		return newSortOperator(n, params, rt)
 	case *plan.DistinctNode:
-		input, err := BuildWithParams(n.Input, params)
+		input, err := BuildWithRuntime(n.Input, params, rt)
 		if err != nil {
 			return nil, err
 		}
 		return &distinctOperator{input: input}, nil
 	case *plan.LimitNode:
-		input, err := BuildWithParams(n.Input, params)
+		input, err := BuildWithRuntime(n.Input, params, rt)
 		if err != nil {
 			return nil, err
 		}
@@ -75,9 +109,16 @@ type Result struct {
 	Rows   []types.Tuple
 }
 
-// Run builds, opens, drains and closes the plan in one call.
-func Run(node plan.Node) (res *Result, err error) {
-	op, err := Build(node)
+// Run builds, opens, drains and closes the plan in one call, reading the
+// latest live versions (no snapshot).
+func Run(node plan.Node) (*Result, error) {
+	return RunWithRuntime(node, NewRuntime())
+}
+
+// RunWithRuntime builds, opens, drains and closes the plan in one call,
+// reading through rt's snapshot.
+func RunWithRuntime(node plan.Node, rt *Runtime) (res *Result, err error) {
+	op, err := BuildWithRuntime(node, nil, rt)
 	if err != nil {
 		return nil, err
 	}

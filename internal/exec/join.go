@@ -30,12 +30,12 @@ type joinOperator struct {
 	leftDone   bool
 }
 
-func newJoinOperator(n *plan.JoinNode, params *expr.Params) (*joinOperator, error) {
-	left, err := BuildWithParams(n.Left, params)
+func newJoinOperator(n *plan.JoinNode, params *expr.Params, rt *Runtime) (*joinOperator, error) {
+	left, err := BuildWithRuntime(n.Left, params, rt)
 	if err != nil {
 		return nil, err
 	}
-	right, err := BuildWithParams(n.Right, params)
+	right, err := BuildWithRuntime(n.Right, params, rt)
 	if err != nil {
 		return nil, err
 	}

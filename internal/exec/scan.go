@@ -13,28 +13,26 @@ import (
 )
 
 // scanOperator reads a base table sequentially or through an index,
-// applying the residual filter.
+// filtering row versions through the runtime's snapshot and applying the
+// residual filter. Indexes hold an entry per version, so both paths decide
+// visibility per record id at fetch time; a record id that no longer
+// resolves is a version some aborting transaction physically removed after
+// the index was read, and is skipped.
 type scanOperator struct {
 	node   *plan.ScanNode
 	filter *expr.Compiled
 	params *expr.Params
-
-	// strictFetch makes a failed row fetch after an index read an error
-	// instead of a skip. Read scans tolerate a missing record (the row may
-	// have been deleted between the index read and the fetch); write scans
-	// run under the table's exclusive lock, where a missing record means the
-	// index and heap disagree, and must never silently drop the row.
-	strictFetch bool
+	rt     *Runtime
 
 	// Sequential scan state.
-	iter *catalog.TableIterator
+	iter *catalog.TableVersionIterator
 	// Index scan state: the record ids to fetch, in order.
 	rids []storage.RecordID
 	pos  int
 }
 
-func newScanOperator(n *plan.ScanNode, params *expr.Params) (*scanOperator, error) {
-	op := &scanOperator{node: n, params: params}
+func newScanOperator(n *plan.ScanNode, params *expr.Params, rt *Runtime) (*scanOperator, error) {
+	op := &scanOperator{node: n, params: params, rt: rt}
 	if n.Filter != nil {
 		compiled, err := expr.CompileWithParams(n.Filter, n.Schema(), params)
 		if err != nil {
@@ -53,7 +51,7 @@ func (o *scanOperator) Open() error {
 	o.iter = nil
 	switch o.node.Access {
 	case plan.AccessSeqScan:
-		o.iter = o.node.Table.Iterator()
+		o.iter = o.node.Table.VersionIterator()
 	case plan.AccessIndexEq:
 		v, err := o.resolveKey(o.node.EqValue, o.node.EqParam)
 		if err != nil {
@@ -144,19 +142,22 @@ func (o *scanOperator) Next() (types.Tuple, bool, error) {
 	return tuple, ok, err
 }
 
-// nextRow yields the next matching row together with its record id (the write
-// operators pull target rids through it; Next discards them).
+// nextRow yields the next visible matching row together with its record id
+// (the write operators pull target rids through it; Next discards them).
 func (o *scanOperator) nextRow() (storage.RecordID, types.Tuple, bool, error) {
 	for {
 		var rid storage.RecordID
 		var tuple types.Tuple
 		if o.iter != nil {
-			r, t, ok, err := o.iter.Next()
+			r, meta, t, ok, err := o.iter.Next()
 			if err != nil {
 				return storage.RecordID{}, nil, false, err
 			}
 			if !ok {
 				return storage.RecordID{}, nil, false, nil
+			}
+			if !o.rt.visible(meta) {
+				continue
 			}
 			rid, tuple = r, t
 		} else {
@@ -165,15 +166,17 @@ func (o *scanOperator) nextRow() (storage.RecordID, types.Tuple, bool, error) {
 			}
 			rid = o.rids[o.pos]
 			o.pos++
-			t, err := o.node.Table.Get(rid)
+			meta, t, err := o.node.Table.GetVersion(rid)
 			if err != nil {
-				// The row may have been deleted between the index read and
-				// the fetch; a read scan skips it, a write scan (strictFetch)
-				// must propagate.
-				if errors.Is(err, storage.ErrRecordNotFound) && !o.strictFetch {
+				// A version an aborting transaction removed (or the vacuum
+				// reclaimed) after the index read: skip it.
+				if errors.Is(err, storage.ErrRecordNotFound) {
 					continue
 				}
 				return storage.RecordID{}, nil, false, fmt.Errorf("exec: fetching row %v of %s: %w", rid, o.node.Table.Name(), err)
+			}
+			if !o.rt.visible(meta) {
+				continue
 			}
 			tuple = t
 		}
@@ -196,8 +199,8 @@ type filterOperator struct {
 	cond  *expr.Compiled
 }
 
-func newFilterOperator(n *plan.FilterNode, params *expr.Params) (*filterOperator, error) {
-	input, err := BuildWithParams(n.Input, params)
+func newFilterOperator(n *plan.FilterNode, params *expr.Params, rt *Runtime) (*filterOperator, error) {
+	input, err := BuildWithRuntime(n.Input, params, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -235,8 +238,8 @@ type projectOperator struct {
 	schema *types.Schema
 }
 
-func newProjectOperator(n *plan.ProjectNode, params *expr.Params) (*projectOperator, error) {
-	input, err := BuildWithParams(n.Input, params)
+func newProjectOperator(n *plan.ProjectNode, params *expr.Params, rt *Runtime) (*projectOperator, error) {
+	input, err := BuildWithRuntime(n.Input, params, rt)
 	if err != nil {
 		return nil, err
 	}

@@ -23,9 +23,9 @@ type WriteOperator interface {
 	// Table returns the base table the write targets.
 	Table() *catalog.Table
 	// Run applies the write inside t and returns the affected row count.
-	// It takes the table's exclusive lock up front, so the target scan reads
-	// a stable table; any row-fetch error during that scan is propagated,
-	// never skipped.
+	// The target scan reads through t's snapshot (first-updater-wins: a
+	// visible version another transaction superseded in the meantime fails
+	// the write with txn.ErrWriteConflict when t tries to claim it).
 	Run(t *txn.Txn) (int, error)
 }
 
@@ -137,16 +137,15 @@ type target struct {
 	tuple types.Tuple
 }
 
-// collectTargets locks the table exclusively, then drains the child scan into
-// the target list. Fetch errors propagate (strictFetch): under the exclusive
-// lock a dangling index entry is corruption, not a concurrent delete.
+// collectTargets points the write's runtime at t's snapshot and drains the
+// child scan into the target list: the write touches exactly the rows its
+// transaction can see, and never observes its own writes. No table lock is
+// taken — each target is claimed row-by-row when the mutation runs.
 // withTuples retains each row's decoded tuple (updates evaluate assignments
 // against the pre-update image); deletes pass false so a wide DELETE buffers
 // only record ids, not the whole affected row set.
-func collectTargets(t *txn.Txn, table *catalog.Table, scan *scanOperator, withTuples bool) (out []target, err error) {
-	if err := t.LockExclusive(table.Name()); err != nil {
-		return nil, err
-	}
+func collectTargets(t *txn.Txn, scan *scanOperator, withTuples bool) (out []target, err error) {
+	scan.rt.SetSnapshot(t.Snapshot())
 	if err := scan.Open(); err != nil {
 		return nil, err
 	}
@@ -188,11 +187,10 @@ func newUpdateOperator(n *plan.UpdateNode, params *expr.Params) (*updateOperator
 	if !ok {
 		return nil, fmt.Errorf("exec: UPDATE expects a scan child, got %T", n.Input)
 	}
-	scan, err := newScanOperator(scanNode, params)
+	scan, err := newScanOperator(scanNode, params, NewRuntime())
 	if err != nil {
 		return nil, err
 	}
-	scan.strictFetch = true
 	op := &updateOperator{node: n, scan: scan}
 	for _, s := range n.Sets {
 		c, err := expr.CompileWithParams(s.Expr, scan.Schema(), params)
@@ -215,7 +213,7 @@ func newUpdateOperator(n *plan.UpdateNode, params *expr.Params) (*updateOperator
 func (o *updateOperator) Table() *catalog.Table { return o.node.Table }
 
 func (o *updateOperator) Run(t *txn.Txn) (int, error) {
-	targets, err := collectTargets(t, o.node.Table, o.scan, true)
+	targets, err := collectTargets(t, o.scan, true)
 	if err != nil {
 		return 0, err
 	}
@@ -251,18 +249,17 @@ func newDeleteOperator(n *plan.DeleteNode, params *expr.Params) (*deleteOperator
 	if !ok {
 		return nil, fmt.Errorf("exec: DELETE expects a scan child, got %T", n.Input)
 	}
-	scan, err := newScanOperator(scanNode, params)
+	scan, err := newScanOperator(scanNode, params, NewRuntime())
 	if err != nil {
 		return nil, err
 	}
-	scan.strictFetch = true
 	return &deleteOperator{node: n, scan: scan}, nil
 }
 
 func (o *deleteOperator) Table() *catalog.Table { return o.node.Table }
 
 func (o *deleteOperator) Run(t *txn.Txn) (int, error) {
-	targets, err := collectTargets(t, o.node.Table, o.scan, false)
+	targets, err := collectTargets(t, o.scan, false)
 	if err != nil {
 		return 0, err
 	}

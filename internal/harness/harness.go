@@ -94,8 +94,10 @@ var Quick = Config{Sizes: workload.SmallSizes, Operations: 30, Quick: true}
 // engine-wide shared plan cache; E12 measures remote bulk ingest — pooled
 // ExecBatch frames against the per-row round-trip path; E13 measures
 // windowed browsing — the keyset-paged window cursor against per-refresh
-// materialisation over the largest table, locally and over the wire.
-var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+// materialisation over the largest table, locally and over the wire; E14
+// measures mixed read/write throughput under MVCC against an emulation of
+// the replaced table-lock discipline.
+var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 
 // Run executes one experiment by id.
 func Run(id string, cfg Config) (*Table, error) {
@@ -126,6 +128,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return RunE12(cfg)
 	case "E13":
 		return RunE13(cfg)
+	case "E14":
+		return RunE14(cfg)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}

@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -179,5 +182,55 @@ func TestE13ShapePagedWindowFetchesOnePage(t *testing.T) {
 	}
 	if len(table.Notes) == 0 || !strings.Contains(table.Notes[0], "page") {
 		t.Errorf("E13 should print the page budget in its notes")
+	}
+}
+
+// TestE14ShapeMVCCBeatsTableLocks checks the MVCC acceptance claim: at 8
+// clients the mixed read/write workload must run at least 2x faster through
+// bare MVCC than through the emulated table-lock discipline, with zero
+// lock-timeout aborts on the MVCC side (there is no timeout path to abort
+// on), and the perf record must round-trip through BENCH_E14.json.
+func TestE14ShapeMVCCBeatsTableLocks(t *testing.T) {
+	table, err := RunE14(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eight []string
+	for _, row := range table.Rows {
+		if row[0] == "8" {
+			eight = row
+		}
+	}
+	if eight == nil {
+		t.Fatalf("E14 has no 8-client row: %v", table.Rows)
+	}
+	if eight[3] != "0" {
+		t.Errorf("MVCC reported %s lock-timeout aborts at 8 clients, want 0", eight[3])
+	}
+	speedup, err := strconv.ParseFloat(strings.TrimSuffix(eight[6], "x"), 64)
+	if err != nil {
+		t.Fatalf("speedup cell %q", eight[6])
+	}
+	if speedup < 2 {
+		t.Errorf("MVCC speedup %.1fx at 8 clients, want >= 2x over the table-lock baseline", speedup)
+	}
+
+	path, err := WritePerf(t.TempDir(), "quick", table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_E14.json" {
+		t.Errorf("perf record written to %s, want BENCH_E14.json", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec PerfRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("perf record is not valid JSON: %v", err)
+	}
+	if rec.ID != "E14" || len(rec.Rows) != len(table.Rows) || len(rec.Columns) != len(table.Columns) {
+		t.Errorf("perf record lost shape: %+v", rec)
 	}
 }

@@ -367,10 +367,12 @@ func waitForWrite(t *testing.T, s *engine.Session, stmt string) {
 	}
 }
 
-// TestAbruptDisconnectReleasesCursorLeases is the regression test for the
+// TestAbruptDisconnectReleasesCursorSnapshot is the regression test for the
 // disconnect cleanup path: a client that vanishes mid-stream must not keep
-// holding its cursor's read lease, or every later writer would time out.
-func TestAbruptDisconnectReleasesCursorLeases(t *testing.T) {
+// its cursor's MVCC snapshot registered, or the version GC horizon would
+// never advance past it. (Writers are never blocked either way — that is the
+// point of snapshot reads.)
+func TestAbruptDisconnectReleasesCursorSnapshot(t *testing.T) {
 	db, _, addr := startServer(t)
 	c, err := client.Dial(addr)
 	if err != nil {
@@ -387,15 +389,29 @@ func TestAbruptDisconnectReleasesCursorLeases(t *testing.T) {
 		t.Fatal("expected a first row")
 	}
 
-	// The open cursor holds a shared lock: a writer times out now.
+	// The open cursor never blocks a writer.
 	writer := db.Session()
-	if _, err := writer.Execute("UPDATE customers SET credit = 0 WHERE id = 1"); err == nil {
-		t.Fatal("update should block while the remote cursor is open")
+	if _, err := writer.Execute("UPDATE customers SET credit = 0 WHERE id = 1"); err != nil {
+		t.Fatalf("writer must not block on a remote cursor: %v", err)
+	}
+	// But its snapshot pins the superseded version: nothing to reclaim yet.
+	if n := db.Vacuum(); n != 0 {
+		t.Fatalf("vacuum reclaimed %d versions under a live remote cursor, want 0", n)
 	}
 
-	// Kill the TCP connection without closing the cursor.
+	// Kill the TCP connection without closing the cursor. The server-side
+	// cleanup must release the cursor's snapshot so the GC horizon advances.
 	c.Close()
-	waitForWrite(t, writer, "UPDATE customers SET credit = 0 WHERE id = 1")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := db.Vacuum(); n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot still pinned after disconnect: vacuum reclaimed nothing")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // TestAbruptDisconnectRollsBackTransaction: a connection that dies holding
@@ -858,6 +874,9 @@ func TestMetricsSnapshot(t *testing.T) {
 	}
 	if m.Engine.SessionsOpened == 0 {
 		t.Fatalf("session counters missing from metrics: %+v", m.Engine)
+	}
+	if m.Engine.SnapshotsTaken == 0 {
+		t.Fatalf("MVCC counters missing from metrics: %+v", m.Engine)
 	}
 	if m.PlanCacheLen == 0 {
 		t.Fatal("plan cache length missing from metrics")

@@ -179,33 +179,54 @@ func (h *HeapFile) owns(id PageID) bool {
 // Scan calls fn for every live record in the heap file, in physical order.
 // The record slice passed to fn is a copy the callback may retain. Scanning
 // stops early if fn returns an error, which Scan then returns.
+//
+// Each page is copied out under the heap latch, and fn runs with no lock
+// held: under MVCC there are no table locks, so h.mu is the only thing
+// keeping readers off pages a writer is mutating, and fn may re-enter the
+// heap (e.g. recovery deleting rows it just matched).
 func (h *HeapFile) Scan(fn func(rid RecordID, record []byte) error) error {
 	h.mu.RLock()
 	pages := make([]PageID, len(h.pages))
 	copy(pages, h.pages)
 	h.mu.RUnlock()
 	for _, id := range pages {
-		page, err := h.pool.Fetch(id)
+		rids, recs, err := h.readPage(id)
 		if err != nil {
 			return err
 		}
-		n := page.NumSlots()
-		for slot := 0; slot < n; slot++ {
-			raw, err := page.Get(slot)
-			if err != nil {
-				continue // tombstone
+		for i, rid := range rids {
+			if err := fn(rid, recs[i]); err != nil {
+				return err
 			}
-			rec := make([]byte, len(raw))
-			copy(rec, raw)
-			if err := fn(RecordID{Page: id, Slot: uint16(slot)}, rec); err != nil {
-				return errors.Join(err, h.pool.Unpin(id, false))
-			}
-		}
-		if err := h.pool.Unpin(id, false); err != nil {
-			return err
 		}
 	}
 	return nil
+}
+
+// readPage copies every live record off one page under the heap latch.
+func (h *HeapFile) readPage(id PageID) ([]RecordID, [][]byte, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	page, err := h.pool.Fetch(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		rids []RecordID
+		recs [][]byte
+	)
+	n := page.NumSlots()
+	for slot := 0; slot < n; slot++ {
+		raw, err := page.Get(slot)
+		if err != nil {
+			continue // tombstone
+		}
+		rec := make([]byte, len(raw))
+		copy(rec, raw)
+		rids = append(rids, RecordID{Page: id, Slot: uint16(slot)})
+		recs = append(recs, rec)
+	}
+	return rids, recs, h.pool.Unpin(id, false)
 }
 
 // Iterator returns a pull-style iterator over the heap file, used by the
@@ -215,45 +236,42 @@ func (h *HeapFile) Iterator() *HeapIterator {
 	pages := make([]PageID, len(h.pages))
 	copy(pages, h.pages)
 	h.mu.RUnlock()
-	return &HeapIterator{heap: h, pages: pages, slot: -1}
+	return &HeapIterator{heap: h, pages: pages}
 }
 
-// HeapIterator walks a heap file record by record.
+// HeapIterator walks a heap file record by record. Each page's live records
+// are copied out in one step under the heap latch (readers no longer hold
+// table locks, so page bytes may be mutated by concurrent writers between
+// Next calls); records written to the current page after it was copied are
+// not observed, which is fine — MVCC visibility rules decide what the caller
+// may see, the iterator only has to hand over consistent bytes.
 type HeapIterator struct {
 	heap    *HeapFile
 	pages   []PageID
 	pageIdx int
-	slot    int
+	rids    []RecordID
+	recs    [][]byte
+	pos     int
 }
 
 // Next returns the next live record, or ok=false when the scan is exhausted.
 // The returned record is a copy.
 func (it *HeapIterator) Next() (rid RecordID, record []byte, ok bool, err error) {
-	for it.pageIdx < len(it.pages) {
+	for {
+		if it.pos < len(it.rids) {
+			i := it.pos
+			it.pos++
+			return it.rids[i], it.recs[i], true, nil
+		}
+		if it.pageIdx >= len(it.pages) {
+			return RecordID{}, nil, false, nil
+		}
 		id := it.pages[it.pageIdx]
-		page, err := it.heap.pool.Fetch(id)
+		it.pageIdx++
+		it.rids, it.recs, err = it.heap.readPage(id)
 		if err != nil {
 			return RecordID{}, nil, false, err
 		}
-		n := page.NumSlots()
-		for s := it.slot + 1; s < n; s++ {
-			raw, err := page.Get(s)
-			if err != nil {
-				continue
-			}
-			rec := make([]byte, len(raw))
-			copy(rec, raw)
-			it.slot = s
-			if unpinErr := it.heap.pool.Unpin(id, false); unpinErr != nil {
-				return RecordID{}, nil, false, unpinErr
-			}
-			return RecordID{Page: id, Slot: uint16(s)}, rec, true, nil
-		}
-		if unpinErr := it.heap.pool.Unpin(id, false); unpinErr != nil {
-			return RecordID{}, nil, false, unpinErr
-		}
-		it.pageIdx++
-		it.slot = -1
+		it.pos = 0
 	}
-	return RecordID{}, nil, false, nil
 }

@@ -3,9 +3,8 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/storage"
@@ -39,29 +38,38 @@ func (s State) String() string {
 // transaction.
 var ErrNotActive = errors.New("txn: transaction is not active")
 
-// Manager creates transactions and owns the shared lock manager and log.
+// Manager creates transactions and owns the shared lock manager, the log,
+// the transaction-id sequence and the snapshot registry.
 type Manager struct {
-	locks  *LockManager
-	wal    *WAL
-	nextID atomic.Uint64
+	locks *LockManager
+	wal   *WAL
 
-	mu        sync.Mutex
-	active    map[uint64]*Txn
-	committed uint64
-	aborted   uint64
+	mu     sync.Mutex
+	lastID uint64
+	active map[uint64]*Txn
+	// snapshots registers every live snapshot (transactional or pure read)
+	// so the GC horizon can be computed; snapSeq keys the registry.
+	snapshots map[uint64]*Snapshot
+	snapSeq   uint64
+
+	committed      uint64
+	aborted        uint64
+	snapshotsTaken uint64
+	conflicts      uint64
+	versionsGCed   uint64
 }
 
 // NewManager creates a transaction manager. wal may be nil to disable logging.
-func NewManager(wal *WAL, lockTimeout time.Duration) *Manager {
+func NewManager(wal *WAL) *Manager {
 	return &Manager{
-		locks:  NewLockManager(lockTimeout),
-		wal:    wal,
-		active: make(map[uint64]*Txn),
+		locks:     NewLockManager(),
+		wal:       wal,
+		active:    make(map[uint64]*Txn),
+		snapshots: make(map[uint64]*Snapshot),
 	}
 }
 
-// Locks exposes the lock manager (the engine's SELECT path takes shared
-// locks directly).
+// Locks exposes the lock manager.
 func (m *Manager) Locks() *LockManager { return m.locks }
 
 // WAL returns the manager's log (may be nil).
@@ -74,6 +82,27 @@ func (m *Manager) Stats() (committed, aborted uint64) {
 	return m.committed, m.aborted
 }
 
+// MVCCStats are the manager's concurrency-control counters.
+type MVCCStats struct {
+	SnapshotsTaken    uint64
+	WriteConflicts    uint64
+	DeadlocksDetected uint64
+	VersionsGCed      uint64
+}
+
+// MVCC returns the manager's concurrency-control counters.
+func (m *Manager) MVCC() MVCCStats {
+	_, deadlocks := m.locks.Stats()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MVCCStats{
+		SnapshotsTaken:    m.snapshotsTaken,
+		WriteConflicts:    m.conflicts,
+		DeadlocksDetected: deadlocks,
+		VersionsGCed:      m.versionsGCed,
+	}
+}
+
 // ActiveCount returns the number of in-flight transactions.
 func (m *Manager) ActiveCount() int {
 	m.mu.Lock()
@@ -81,14 +110,32 @@ func (m *Manager) ActiveCount() int {
 	return len(m.active)
 }
 
-// Begin starts a transaction.
-func (m *Manager) Begin() (*Txn, error) {
-	id := m.nextID.Add(1)
-	t := &Txn{id: id, mgr: m, state: StateActive}
+// AdvanceTo moves the transaction-id sequence past id, so ids stamped into
+// recovered row versions are never reissued.
+func (m *Manager) AdvanceTo(id uint64) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id > m.lastID {
+		m.lastID = id
+	}
+}
+
+// Begin starts a transaction. The id is assigned, the transaction is
+// registered as active and its snapshot is taken in one critical section, so
+// no concurrent snapshot can observe the id as assigned-but-untracked.
+func (m *Manager) Begin() (*Txn, error) {
+	m.mu.Lock()
+	m.lastID++
+	id := m.lastID
+	t := &Txn{id: id, mgr: m, state: StateActive}
 	m.active[id] = t
+	t.snap = m.acquireSnapshotLocked(id)
 	m.mu.Unlock()
 	if err := m.wal.Append(Record{Kind: RecordBegin, Txn: id}); err != nil {
+		t.snap.Release()
+		m.mu.Lock()
+		delete(m.active, id)
+		m.mu.Unlock()
 		return nil, err
 	}
 	return t, nil
@@ -96,19 +143,26 @@ func (m *Manager) Begin() (*Txn, error) {
 
 // undoEntry reverses one change on rollback.
 type undoEntry struct {
-	kind  RecordKind
-	table *catalog.Table
-	rid   storage.RecordID
-	old   types.Tuple
-	new   types.Tuple
+	kind   RecordKind
+	table  *catalog.Table
+	rid    storage.RecordID // the pre-existing version (insert: the new one)
+	newRID storage.RecordID // update only: the version this txn created
+	old    types.Tuple
+	new    types.Tuple
 }
 
-// Txn is one transaction: a lock scope plus the undo records needed to roll
-// its changes back.
+// Txn is one transaction: a snapshot, a row-lock scope and the undo records
+// needed to roll its changes back.
+//
+// Writes follow first-updater-wins snapshot isolation: each write locks the
+// target row version, re-reads its header under the lock, and fails with
+// ErrWriteConflict when another transaction already deleted or superseded it
+// — even if that happened after this transaction's snapshot.
 type Txn struct {
 	id    uint64
 	mgr   *Manager
 	state State
+	snap  *Snapshot
 
 	mu   sync.Mutex
 	undo []undoEntry
@@ -117,6 +171,10 @@ type Txn struct {
 // ID returns the transaction's identifier.
 func (t *Txn) ID() uint64 { return t.id }
 
+// Snapshot returns the transaction's begin-timestamp snapshot. It is owned
+// by the transaction and released when the transaction finishes.
+func (t *Txn) Snapshot() *Snapshot { return t.snap }
+
 // State returns the transaction's lifecycle state.
 func (t *Txn) State() State {
 	t.mu.Lock()
@@ -124,73 +182,118 @@ func (t *Txn) State() State {
 	return t.state
 }
 
-// LockShared takes a shared lock on the table.
-func (t *Txn) LockShared(table string) error {
-	if t.State() != StateActive {
-		return ErrNotActive
+// lockUniqueKeys serialises the unique-constraint probes for row: it locks
+// each unique key and verifies no live version holds it. changedOnly (with
+// oldRow) restricts the check to keys the update actually changes.
+func (t *Txn) lockUniqueKeys(table *catalog.Table, row types.Tuple, oldRow types.Tuple) error {
+	for _, idx := range table.Indexes() {
+		if !idx.Unique {
+			continue
+		}
+		key := idx.KeyFor(row)
+		if oldRow != nil && string(idx.KeyFor(oldRow)) == string(key) {
+			continue // key unchanged: the only live holder is the row itself
+		}
+		if err := t.mgr.locks.LockKey(t.id, table.Name(), idx.Name, key); err != nil {
+			return err
+		}
+		if table.LiveKeyExists(idx, key) {
+			return fmt.Errorf("%w: duplicate value for %s(%s)",
+				catalog.ErrUniqueViolation, idx.Name, strings.Join(idx.Columns, ", "))
+		}
 	}
-	return t.mgr.locks.Lock(t.id, table, LockShared)
+	return nil
 }
 
-// LockExclusive takes an exclusive lock on the table.
-func (t *Txn) LockExclusive(table string) error {
-	if t.State() != StateActive {
-		return ErrNotActive
-	}
-	return t.mgr.locks.Lock(t.id, table, LockExclusive)
-}
-
-// Insert inserts a row into the table under this transaction: it takes the
-// exclusive lock, performs the insert, logs it and records undo information.
+// Insert inserts a row into the table under this transaction: it locks the
+// row's unique keys, probes for live duplicates, stamps the new version with
+// the transaction id, logs it and records undo information.
 func (t *Txn) Insert(table *catalog.Table, row types.Tuple) (storage.RecordID, error) {
-	if err := t.LockExclusive(table.Name()); err != nil {
-		return storage.RecordID{}, err
+	if t.State() != StateActive {
+		return storage.RecordID{}, ErrNotActive
 	}
-	rid, err := table.Insert(row)
+	validated, err := row.ValidateAgainst(table.Schema())
 	if err != nil {
 		return storage.RecordID{}, err
 	}
-	if err := t.mgr.wal.Append(Record{Kind: RecordInsert, Txn: t.id, Table: table.Name(), New: row}); err != nil {
+	if err := t.lockUniqueKeys(table, validated, nil); err != nil {
+		return storage.RecordID{}, err
+	}
+	rid, err := table.InsertVersion(validated, t.id)
+	if err != nil {
+		return storage.RecordID{}, err
+	}
+	if err := t.mgr.wal.Append(Record{Kind: RecordInsert, Txn: t.id, Table: table.Name(), New: validated}); err != nil {
 		return rid, err
 	}
 	t.mu.Lock()
-	t.undo = append(t.undo, undoEntry{kind: RecordInsert, table: table, rid: rid, new: row})
+	t.undo = append(t.undo, undoEntry{kind: RecordInsert, table: table, rid: rid, new: validated})
 	t.mu.Unlock()
 	return rid, nil
 }
 
-// Update updates the row at rid under this transaction.
+// claimVersion locks the version at rid and re-reads it, failing with
+// ErrWriteConflict when another transaction got there first.
+func (t *Txn) claimVersion(table *catalog.Table, rid storage.RecordID) (types.Tuple, error) {
+	if err := t.mgr.locks.LockRow(t.id, table.Name(), rid); err != nil {
+		return nil, err
+	}
+	meta, oldRow, err := table.GetVersion(rid)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Xmax != 0 {
+		t.mgr.mu.Lock()
+		t.mgr.conflicts++
+		t.mgr.mu.Unlock()
+		return nil, fmt.Errorf("%w: row %s of %s was updated by transaction %d",
+			ErrWriteConflict, rid, table.Name(), meta.Xmax)
+	}
+	return oldRow, nil
+}
+
+// Update supersedes the row version at rid with newRow under this
+// transaction: the old version is stamped deleted-by-t, the new version is
+// inserted stamped created-by-t with a chain link back to the old one.
 func (t *Txn) Update(table *catalog.Table, rid storage.RecordID, newRow types.Tuple) (storage.RecordID, error) {
-	if err := t.LockExclusive(table.Name()); err != nil {
-		return rid, err
+	if t.State() != StateActive {
+		return rid, ErrNotActive
 	}
-	oldRow, err := table.Get(rid)
+	validated, err := newRow.ValidateAgainst(table.Schema())
 	if err != nil {
 		return rid, err
 	}
-	newRID, err := table.Update(rid, newRow)
+	oldRow, err := t.claimVersion(table, rid)
 	if err != nil {
 		return rid, err
 	}
-	if err := t.mgr.wal.Append(Record{Kind: RecordUpdate, Txn: t.id, Table: table.Name(), Old: oldRow, New: newRow}); err != nil {
+	if err := t.lockUniqueKeys(table, validated, oldRow); err != nil {
+		return rid, err
+	}
+	newRID, err := table.AddVersion(rid, validated, t.id)
+	if err != nil {
+		return rid, err
+	}
+	if err := t.mgr.wal.Append(Record{Kind: RecordUpdate, Txn: t.id, Table: table.Name(), Old: oldRow, New: validated}); err != nil {
 		return newRID, err
 	}
 	t.mu.Lock()
-	t.undo = append(t.undo, undoEntry{kind: RecordUpdate, table: table, rid: newRID, old: oldRow, new: newRow})
+	t.undo = append(t.undo, undoEntry{kind: RecordUpdate, table: table, rid: rid, newRID: newRID, old: oldRow, new: validated})
 	t.mu.Unlock()
 	return newRID, nil
 }
 
-// Delete removes the row at rid under this transaction.
+// Delete marks the row version at rid deleted by this transaction. The
+// version stays in place for older snapshots until the vacuum reclaims it.
 func (t *Txn) Delete(table *catalog.Table, rid storage.RecordID) error {
-	if err := t.LockExclusive(table.Name()); err != nil {
-		return err
+	if t.State() != StateActive {
+		return ErrNotActive
 	}
-	oldRow, err := table.Get(rid)
+	oldRow, err := t.claimVersion(table, rid)
 	if err != nil {
 		return err
 	}
-	if err := table.Delete(rid); err != nil {
+	if err := table.MarkDeleted(rid, t.id); err != nil {
 		return err
 	}
 	if err := t.mgr.wal.Append(Record{Kind: RecordDelete, Txn: t.id, Table: table.Name(), Old: oldRow}); err != nil {
@@ -210,7 +313,9 @@ func (t *Txn) LogDDL(text string) error {
 	return t.mgr.wal.Append(Record{Kind: RecordDDL, Txn: t.id, DDL: text})
 }
 
-// Commit makes the transaction's changes permanent and releases its locks.
+// Commit makes the transaction's changes permanent, releases its row locks
+// and snapshot, and vacuums tables whose dead-version debt crossed the
+// threshold.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.state != StateActive {
@@ -218,6 +323,7 @@ func (t *Txn) Commit() error {
 		return ErrNotActive
 	}
 	t.state = StateCommitted
+	undo := t.undo
 	t.undo = nil
 	t.mu.Unlock()
 
@@ -228,11 +334,27 @@ func (t *Txn) Commit() error {
 		return err
 	}
 	t.finish(true)
+
+	// Each superseded or deleted version became committed-dead at this
+	// commit; note the debt and vacuum opportunistically now that the locks
+	// and snapshot are gone.
+	dead := make(map[*catalog.Table]int64)
+	for _, e := range undo {
+		if e.kind == RecordUpdate || e.kind == RecordDelete {
+			dead[e.table]++
+		}
+	}
+	for table, n := range dead {
+		table.NoteDead(n)
+		t.mgr.maybeVacuum(table)
+	}
 	return nil
 }
 
-// Rollback undoes the transaction's changes in reverse order and releases
-// its locks.
+// Rollback physically undoes the transaction's changes in reverse order,
+// then releases its row locks and snapshot. The transaction stays registered
+// as active until the undo completes, so concurrent snapshots never treat
+// its surviving stamps as committed.
 func (t *Txn) Rollback() error {
 	t.mu.Lock()
 	if t.state != StateActive {
@@ -250,11 +372,13 @@ func (t *Txn) Rollback() error {
 		var err error
 		switch e.kind {
 		case RecordInsert:
-			err = e.table.Delete(e.rid)
+			err = e.table.RemoveVersion(e.rid)
 		case RecordDelete:
-			_, err = e.table.Insert(e.old)
+			err = e.table.ClearXmax(e.rid)
 		case RecordUpdate:
-			_, err = e.table.Update(e.rid, e.old)
+			if err = e.table.RemoveVersion(e.newRID); err == nil {
+				err = e.table.ClearXmax(e.rid)
+			}
 		}
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("txn: rollback of %s on %s: %w", e.kind, e.table.Name(), err)
@@ -268,7 +392,8 @@ func (t *Txn) Rollback() error {
 }
 
 func (t *Txn) finish(committed bool) {
-	t.mgr.locks.Unlock(t.id)
+	t.mgr.locks.ReleaseAll(t.id)
+	t.snap.Release()
 	t.mgr.mu.Lock()
 	delete(t.mgr.active, t.id)
 	if committed {
@@ -281,46 +406,52 @@ func (t *Txn) finish(committed bool) {
 
 // Recover replays the committed transactions of a log into the catalog.
 // DDL records are executed through applyDDL (supplied by the engine, which
-// owns the SQL front end); DML records are applied directly to tables.
-// Records of transactions that never committed are skipped.
-func Recover(records []Record, cat *catalog.Catalog, applyDDL func(string) error) error {
+// owns the SQL front end); DML records are applied directly to tables, with
+// inserts stamped by their original transaction id so version metadata
+// survives a restart. It returns the highest transaction id seen, which the
+// caller must feed to Manager.AdvanceTo before starting new transactions.
+func Recover(records []Record, cat *catalog.Catalog, applyDDL func(string) error) (uint64, error) {
 	committed := CommittedTransactions(records)
+	var maxID uint64
 	for _, r := range records {
+		if r.Txn > maxID {
+			maxID = r.Txn
+		}
 		if !committed[r.Txn] {
 			continue
 		}
 		switch r.Kind {
 		case RecordDDL:
 			if err := applyDDL(r.DDL); err != nil {
-				return fmt.Errorf("txn: recovery DDL %q: %w", r.DDL, err)
+				return maxID, fmt.Errorf("txn: recovery DDL %q: %w", r.DDL, err)
 			}
 		case RecordInsert:
 			table, err := cat.GetTable(r.Table)
 			if err != nil {
-				return err
+				return maxID, err
 			}
-			if _, err := table.Insert(r.New); err != nil {
-				return fmt.Errorf("txn: recovery insert into %s: %w", r.Table, err)
+			if _, err := table.InsertVersion(r.New, r.Txn); err != nil {
+				return maxID, fmt.Errorf("txn: recovery insert into %s: %w", r.Table, err)
 			}
 		case RecordDelete:
 			table, err := cat.GetTable(r.Table)
 			if err != nil {
-				return err
+				return maxID, err
 			}
 			if err := deleteMatching(table, r.Old); err != nil {
-				return fmt.Errorf("txn: recovery delete from %s: %w", r.Table, err)
+				return maxID, fmt.Errorf("txn: recovery delete from %s: %w", r.Table, err)
 			}
 		case RecordUpdate:
 			table, err := cat.GetTable(r.Table)
 			if err != nil {
-				return err
+				return maxID, err
 			}
 			if err := updateMatching(table, r.Old, r.New); err != nil {
-				return fmt.Errorf("txn: recovery update of %s: %w", r.Table, err)
+				return maxID, fmt.Errorf("txn: recovery update of %s: %w", r.Table, err)
 			}
 		}
 	}
-	return nil
+	return maxID, nil
 }
 
 func deleteMatching(table *catalog.Table, image types.Tuple) error {
@@ -351,43 +482,4 @@ func findRow(table *catalog.Table, image types.Tuple) (storage.RecordID, bool, e
 		return nil
 	})
 	return rid, found, err
-}
-
-// ReadLease is a lightweight lock scope for streaming read cursors running
-// outside an explicit transaction: it takes shared table locks and releases
-// them all at once when the cursor closes. Unlike a Txn it writes nothing to
-// the WAL and never shows up in the commit/abort statistics, so pinning a
-// cursor's tables is cheap.
-type ReadLease struct {
-	id       uint64
-	mgr      *Manager
-	mu       sync.Mutex
-	released bool
-}
-
-// BeginRead starts a read lease. Lease ids are drawn from the same sequence
-// as transaction ids, so the lock manager treats them as just another owner.
-func (m *Manager) BeginRead() *ReadLease {
-	return &ReadLease{id: m.nextID.Add(1), mgr: m}
-}
-
-// LockShared takes a shared lock on the table for the lease's lifetime.
-func (l *ReadLease) LockShared(table string) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.released {
-		return ErrNotActive
-	}
-	return l.mgr.locks.Lock(l.id, table, LockShared)
-}
-
-// Release drops every lock the lease holds. Releasing twice is a no-op.
-func (l *ReadLease) Release() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.released {
-		return
-	}
-	l.released = true
-	l.mgr.locks.Unlock(l.id)
 }

@@ -27,59 +27,47 @@ func newCatalogWithAccounts(t testing.TB) (*catalog.Catalog, *catalog.Table) {
 	return cat, accounts
 }
 
-func TestLockManagerSharedCompatibility(t *testing.T) {
-	lm := NewLockManager(100 * time.Millisecond)
-	if err := lm.Lock(1, "t", LockShared); err != nil {
+func TestLockManagerRowLocksAreIndependent(t *testing.T) {
+	lm := NewLockManager()
+	r1 := storage.RecordID{Page: 1, Slot: 0}
+	r2 := storage.RecordID{Page: 1, Slot: 1}
+	if err := lm.LockRow(1, "t", r1); err != nil {
 		t.Fatal(err)
 	}
-	if err := lm.Lock(2, "t", LockShared); err != nil {
-		t.Fatalf("two shared locks must coexist: %v", err)
+	// A different row never blocks: locks are per version, not per table.
+	if err := lm.LockRow(2, "t", r2); err != nil {
+		t.Fatalf("different rows must not conflict: %v", err)
 	}
-	if err := lm.Lock(3, "t", LockExclusive); !errors.Is(err, ErrLockTimeout) {
-		t.Fatalf("exclusive over shared should time out: %v", err)
+	// Re-acquiring an already-held lock is a no-op.
+	if err := lm.LockRow(1, "t", r1); err != nil {
+		t.Fatalf("re-entrant lock: %v", err)
 	}
-	lm.Unlock(1)
-	lm.Unlock(2)
-	if err := lm.Lock(3, "t", LockExclusive); err != nil {
-		t.Fatalf("exclusive after release: %v", err)
+	if got := lm.HeldCount(1); got != 1 {
+		t.Errorf("HeldCount(1) = %d, want 1", got)
 	}
-	if held := lm.HeldBy(3); len(held) != 1 || held[0] != "t" {
-		t.Errorf("HeldBy = %v", held)
-	}
-	waits, timeouts := lm.Stats()
-	if waits == 0 || timeouts == 0 {
-		t.Errorf("stats = %d waits, %d timeouts", waits, timeouts)
-	}
-}
-
-func TestLockManagerExclusiveBlocksShared(t *testing.T) {
-	lm := NewLockManager(50 * time.Millisecond)
-	if err := lm.Lock(1, "t", LockExclusive); err != nil {
-		t.Fatal(err)
-	}
-	if err := lm.Lock(2, "t", LockShared); !errors.Is(err, ErrLockTimeout) {
-		t.Fatalf("shared under exclusive should time out: %v", err)
-	}
-	// Re-entrant and upgrade for the holder itself.
-	if err := lm.Lock(1, "t", LockShared); err != nil {
-		t.Errorf("holder re-lock: %v", err)
-	}
-	if err := lm.Lock(1, "t", LockExclusive); err != nil {
-		t.Errorf("holder upgrade: %v", err)
+	lm.ReleaseAll(1)
+	if got := lm.HeldCount(1); got != 0 {
+		t.Errorf("HeldCount(1) after release = %d, want 0", got)
 	}
 }
 
 func TestLockManagerWaitsForRelease(t *testing.T) {
-	lm := NewLockManager(2 * time.Second)
-	if err := lm.Lock(1, "t", LockExclusive); err != nil {
+	lm := NewLockManager()
+	rid := storage.RecordID{Page: 1, Slot: 0}
+	if err := lm.LockRow(1, "t", rid); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() {
-		done <- lm.Lock(2, "t", LockExclusive)
+		done <- lm.LockRow(2, "t", rid)
 	}()
 	time.Sleep(20 * time.Millisecond)
-	lm.Unlock(1)
+	select {
+	case err := <-done:
+		t.Fatalf("waiter acquired a held lock: %v", err)
+	default:
+	}
+	lm.ReleaseAll(1)
 	select {
 	case err := <-done:
 		if err != nil {
@@ -88,17 +76,72 @@ func TestLockManagerWaitsForRelease(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("waiter never woke up")
 	}
+	waits, _ := lm.Stats()
+	if waits == 0 {
+		t.Errorf("waits = %d, want > 0", waits)
+	}
 }
 
-func TestLockModeString(t *testing.T) {
-	if LockShared.String() != "shared" || LockExclusive.String() != "exclusive" {
-		t.Error("LockMode.String wrong")
+func TestLockManagerKeyLocks(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.LockKey(1, "t", "t_pk", []byte("k")); err != nil {
+		t.Fatal(err)
 	}
+	// A different key on the same index never blocks.
+	if err := lm.LockKey(2, "t", "t_pk", []byte("other")); err != nil {
+		t.Fatalf("different keys must not conflict: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- lm.LockKey(2, "t", "t_pk", []byte("k"))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	lm.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatalf("key waiter after release: %v", err)
+	}
+}
+
+// TestLockManagerDetectsDeadlock is the acceptance check for the waits-for
+// graph: a two-transaction cycle must fail one of the requests with
+// ErrDeadlock well under 100ms — there is no timeout to ride out.
+func TestLockManagerDetectsDeadlock(t *testing.T) {
+	lm := NewLockManager()
+	rA := storage.RecordID{Page: 1, Slot: 0}
+	rB := storage.RecordID{Page: 1, Slot: 1}
+	if err := lm.LockRow(1, "t", rA); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.LockRow(2, "t", rB); err != nil {
+		t.Fatal(err)
+	}
+	// Txn 2 blocks on A (held by 1). Then txn 1 requesting B closes the cycle.
+	go func() {
+		if err := lm.LockRow(2, "t", rA); err != nil {
+			t.Errorf("victim should be the cycle-closing requester, not the sleeper: %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let txn 2 publish its wait edge
+	start := time.Now()
+	err := lm.LockRow(1, "t", rB)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("cycle-closing request = %v, want ErrDeadlock", err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("deadlock detected in %v, want < 100ms", elapsed)
+	}
+	_, deadlocks := lm.Stats()
+	if deadlocks != 1 {
+		t.Errorf("deadlocks = %d, want 1", deadlocks)
+	}
+	// Unblock the sleeping waiter so the goroutine exits.
+	lm.ReleaseAll(1)
 }
 
 func TestTxnCommitAndStats(t *testing.T) {
 	_, accounts := newCatalogWithAccounts(t)
-	mgr := NewManager(nil, 100*time.Millisecond)
+	mgr := NewManager(nil)
 	tx, err := mgr.Begin()
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +175,7 @@ func TestTxnCommitAndStats(t *testing.T) {
 
 func TestTxnRollbackUndoesEverything(t *testing.T) {
 	_, accounts := newCatalogWithAccounts(t)
-	mgr := NewManager(nil, 100*time.Millisecond)
+	mgr := NewManager(nil)
 
 	// Seed one committed row.
 	seed, _ := mgr.Begin()
@@ -182,22 +225,21 @@ func TestTxnRollbackUndoesEverything(t *testing.T) {
 	}
 }
 
-func TestTxnConflictTimesOut(t *testing.T) {
+// TestConcurrentInsertsDoNotBlock: the scenario that timed out under table
+// locks. Two transactions inserting different keys into the same table
+// proceed concurrently; only a duplicate unique key would make them touch.
+func TestConcurrentInsertsDoNotBlock(t *testing.T) {
 	_, accounts := newCatalogWithAccounts(t)
-	mgr := NewManager(nil, 50*time.Millisecond)
+	mgr := NewManager(nil)
 	t1, _ := mgr.Begin()
 	t2, _ := mgr.Begin()
 	if _, err := t1.Insert(accounts, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(1)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := t2.Insert(accounts, types.Tuple{types.NewInt(2), types.NewString("b"), types.NewFloat(2)}); !errors.Is(err, ErrLockTimeout) {
-		t.Fatalf("conflicting insert should time out: %v", err)
+	if _, err := t2.Insert(accounts, types.Tuple{types.NewInt(2), types.NewString("b"), types.NewFloat(2)}); err != nil {
+		t.Fatalf("inserts of different keys must not conflict: %v", err)
 	}
 	if err := t1.Commit(); err != nil {
-		t.Fatal(err)
-	}
-	// After t1 commits, t2 can proceed.
-	if _, err := t2.Insert(accounts, types.Tuple{types.NewInt(2), types.NewString("b"), types.NewFloat(2)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := t2.Commit(); err != nil {
@@ -208,12 +250,78 @@ func TestTxnConflictTimesOut(t *testing.T) {
 	}
 }
 
+// TestTxnWriteConflict: first-updater-wins. A transaction that sets out to
+// change a version already superseded by a committed transaction fails with
+// ErrWriteConflict instead of silently losing the other update.
+func TestTxnWriteConflict(t *testing.T) {
+	_, accounts := newCatalogWithAccounts(t)
+	mgr := NewManager(nil)
+	seed, _ := mgr.Begin()
+	rid, err := seed.Insert(accounts, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	t1, _ := mgr.Begin()
+	t2, _ := mgr.Begin() // t2's snapshot still sees the seed version
+	if _, err := t1.Update(accounts, rid, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(150)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Update(accounts, rid, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(50)}); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("second updater = %v, want ErrWriteConflict", err)
+	}
+	if err := t2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.MVCC().WriteConflicts; got != 1 {
+		t.Errorf("WriteConflicts = %d, want 1", got)
+	}
+	// Deleting the superseded version conflicts the same way.
+	t3, _ := mgr.Begin()
+	if err := t3.Delete(accounts, rid); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("delete of superseded version = %v, want ErrWriteConflict", err)
+	}
+	_ = t3.Rollback()
+}
+
+// findVisible scans for the live row with the given id as seen by the
+// transaction's snapshot, returning its record id and tuple.
+func findVisible(tx *Txn, table *catalog.Table, id int64) (storage.RecordID, types.Tuple, bool, error) {
+	it := table.VersionIterator()
+	for {
+		rid, meta, tuple, ok, err := it.Next()
+		if err != nil || !ok {
+			return storage.RecordID{}, nil, false, err
+		}
+		if !tx.Snapshot().Visible(meta) {
+			continue
+		}
+		if tuple[0].Int() == id {
+			return rid, tuple, true, nil
+		}
+	}
+}
+
+// TestConcurrentTransfersPreserveTotal is the classic bank-transfer invariant
+// under MVCC: workers read their snapshot, claim the versions they change,
+// and retry on write conflicts or deadlocks. No transfer may be lost or
+// duplicated, so the total is conserved.
 func TestConcurrentTransfersPreserveTotal(t *testing.T) {
 	_, accounts := newCatalogWithAccounts(t)
-	mgr := NewManager(NewWAL(&bytes.Buffer{}), 2*time.Second)
+	mgr := NewManager(NewWAL(&bytes.Buffer{}))
 	seed, _ := mgr.Begin()
-	rid1, _ := seed.Insert(accounts, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(1000)})
-	rid2, _ := seed.Insert(accounts, types.Tuple{types.NewInt(2), types.NewString("b"), types.NewFloat(1000)})
+	if _, err := seed.Insert(accounts, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(1000)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Insert(accounts, types.Tuple{types.NewInt(2), types.NewString("b"), types.NewFloat(1000)}); err != nil {
+		t.Fatal(err)
+	}
 	if err := seed.Commit(); err != nil {
 		t.Fatal(err)
 	}
@@ -226,46 +334,163 @@ func TestConcurrentTransfersPreserveTotal(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < transfers; i++ {
-				tx, err := mgr.Begin()
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				// Two-phase locking: take the exclusive lock before reading,
-				// otherwise two transfers could read the same balance and
-				// lose an update.
-				if err := tx.LockExclusive("accounts"); err != nil {
-					_ = tx.Rollback()
-					continue
-				}
-				a, err := accounts.Get(rid1)
-				if err != nil {
-					_ = tx.Rollback()
-					continue
-				}
-				b, _ := accounts.Get(rid2)
-				// Move 10 from a to b.
-				newA := types.Tuple{a[0], a[1], types.NewFloat(a[2].Float() - 10)}
-				newB := types.Tuple{b[0], b[1], types.NewFloat(b[2].Float() + 10)}
-				if _, err := tx.Update(accounts, rid1, newA); err != nil {
-					_ = tx.Rollback()
-					continue
-				}
-				if _, err := tx.Update(accounts, rid2, newB); err != nil {
-					_ = tx.Rollback()
-					continue
-				}
-				if err := tx.Commit(); err != nil {
-					t.Error(err)
+				// Retry until the transfer commits: a conflicting writer that
+				// got to a version first aborts us, never blocks us forever.
+				for {
+					tx, err := mgr.Begin()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					ridA, a, okA, errA := findVisible(tx, accounts, 1)
+					ridB, b, okB, errB := findVisible(tx, accounts, 2)
+					if errA != nil || errB != nil || !okA || !okB {
+						_ = tx.Rollback()
+						continue
+					}
+					// Move 10 from a to b.
+					newA := types.Tuple{a[0], a[1], types.NewFloat(a[2].Float() - 10)}
+					newB := types.Tuple{b[0], b[1], types.NewFloat(b[2].Float() + 10)}
+					if _, err := tx.Update(accounts, ridA, newA); err != nil {
+						_ = tx.Rollback()
+						continue
+					}
+					if _, err := tx.Update(accounts, ridB, newB); err != nil {
+						_ = tx.Rollback()
+						continue
+					}
+					if err := tx.Commit(); err != nil {
+						t.Error(err)
+						return
+					}
+					break
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	a, _ := accounts.Get(rid1)
-	b, _ := accounts.Get(rid2)
-	if total := a[2].Float() + b[2].Float(); total != 2000 {
+	total := 0.0
+	if err := accounts.Scan(func(_ storage.RecordID, tuple catalog.Tuple) error {
+		total += tuple[2].Float()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 2000 {
 		t.Errorf("total = %v, want 2000 (money must be conserved)", total)
+	}
+	// Every transfer committed exactly once.
+	committed, _ := mgr.Stats()
+	if want := uint64(workers*transfers + 1); committed != want {
+		t.Errorf("committed = %d, want %d", committed, want)
+	}
+}
+
+// TestVacuumReclaimsDeadVersions: superseded versions stay for live snapshots
+// and are physically reclaimed once no snapshot can see them.
+func TestVacuumReclaimsDeadVersions(t *testing.T) {
+	_, accounts := newCatalogWithAccounts(t)
+	mgr := NewManager(nil)
+	seed, _ := mgr.Begin()
+	rid, err := seed.Insert(accounts, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := mgr.AcquireSnapshot() // pins the seed version
+	t1, _ := mgr.Begin()
+	if _, err := t1.Update(accounts, rid, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(200)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old version is dead but pinned by the reader's snapshot.
+	if n := mgr.Vacuum(accounts); n != 0 {
+		t.Fatalf("vacuum under a pinning snapshot reclaimed %d versions, want 0", n)
+	}
+	if _, _, err := accounts.GetVersion(rid); err != nil {
+		t.Fatalf("pinned version must survive: %v", err)
+	}
+
+	reader.Release()
+	if n := mgr.Vacuum(accounts); n != 1 {
+		t.Fatalf("vacuum after release reclaimed %d versions, want 1", n)
+	}
+	if _, _, err := accounts.GetVersion(rid); !errors.Is(err, storage.ErrRecordNotFound) {
+		t.Fatalf("reclaimed version still readable: %v", err)
+	}
+	if got := mgr.MVCC().VersionsGCed; got != 1 {
+		t.Errorf("VersionsGCed = %d, want 1", got)
+	}
+	if accounts.RowCount() != 1 {
+		t.Errorf("RowCount = %d, want 1", accounts.RowCount())
+	}
+}
+
+// TestSnapshotIsolationAcrossManagers: a snapshot taken before a concurrent
+// commit keeps seeing the old state; a snapshot taken after sees the new one.
+func TestSnapshotIsolation(t *testing.T) {
+	_, accounts := newCatalogWithAccounts(t)
+	mgr := NewManager(nil)
+	seed, _ := mgr.Begin()
+	rid, _ := seed.Insert(accounts, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(100)})
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	old := mgr.AcquireSnapshot()
+	defer old.Release()
+
+	writer, _ := mgr.Begin()
+	if _, err := writer.Update(accounts, rid, types.Tuple{types.NewInt(1), types.NewString("a"), types.NewFloat(999)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old snapshot still sees the 100 version, not the 999 one.
+	balances := map[float64]bool{}
+	it := accounts.VersionIterator()
+	for {
+		_, meta, tuple, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if old.Visible(meta) {
+			balances[tuple[2].Float()] = true
+		}
+	}
+	if !balances[100] || balances[999] || len(balances) != 1 {
+		t.Errorf("old snapshot sees balances %v, want exactly {100}", balances)
+	}
+
+	fresh := mgr.AcquireSnapshot()
+	defer fresh.Release()
+	balances = map[float64]bool{}
+	it = accounts.VersionIterator()
+	for {
+		_, meta, tuple, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if fresh.Visible(meta) {
+			balances[tuple[2].Float()] = true
+		}
+	}
+	if !balances[999] || balances[100] || len(balances) != 1 {
+		t.Errorf("fresh snapshot sees balances %v, want exactly {999}", balances)
 	}
 }
 
@@ -340,7 +565,7 @@ func TestRecoverReplaysOnlyCommitted(t *testing.T) {
 	wal := NewWAL(&buf)
 	srcCat, srcAccounts := newCatalogWithAccounts(t)
 	_ = srcCat
-	mgr := NewManager(wal, 100*time.Millisecond)
+	mgr := NewManager(wal)
 
 	// Committed transaction: two inserts and an update.
 	t1, _ := mgr.Begin()
@@ -371,8 +596,12 @@ func TestRecoverReplaysOnlyCommitted(t *testing.T) {
 		))
 		return err
 	}
-	if err := Recover(records, freshCat, applyDDL); err != nil {
+	maxID, err := Recover(records, freshCat, applyDDL)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if maxID != 2 {
+		t.Errorf("recovered maxID = %d, want 2", maxID)
 	}
 	recovered, err := freshCat.GetTable("accounts")
 	if err != nil {
@@ -411,7 +640,7 @@ func TestRecordKindString(t *testing.T) {
 
 func BenchmarkCommitSmallTransaction(b *testing.B) {
 	_, accounts := newCatalogWithAccounts(b)
-	mgr := NewManager(NewWAL(&bytes.Buffer{}), time.Second)
+	mgr := NewManager(NewWAL(&bytes.Buffer{}))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tx, err := mgr.Begin()
@@ -441,7 +670,7 @@ func BenchmarkWALAppend(b *testing.B) {
 func ExampleManager() {
 	cat := catalog.New(storage.NewBufferPool(storage.NewMemDiskManager(), 64))
 	table, _ := cat.CreateTable("t", types.NewSchema(types.Column{Name: "id", Type: types.KindInt, PrimaryKey: true}))
-	mgr := NewManager(nil, time.Second)
+	mgr := NewManager(nil)
 	tx, _ := mgr.Begin()
 	_, _ = tx.Insert(table, types.Tuple{types.NewInt(1)})
 	_ = tx.Rollback()
