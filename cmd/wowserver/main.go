@@ -8,10 +8,14 @@
 // Usage:
 //
 //	wowserver [-addr 127.0.0.1:4045] [-data file.db] [-wal file.wal] [-cache 256]
-//	          [-metrics 127.0.0.1:4046]
+//	          [-metrics 127.0.0.1:4046] [-checkpoint 30s]
 //
 // With -metrics, a side-channel HTTP listener serves the server, engine and
 // plan-cache counters as JSON under /metrics (see README for the fields).
+// With -checkpoint, a background checkpointer periodically writes a
+// snapshot-consistent image of the database into the WAL so a restart
+// replays only the log tail after it; at startup the server reports what
+// recovery did (image rows, tail records, torn bytes discarded).
 //
 // The server runs until SIGINT/SIGTERM, then disconnects every client
 // (rolling back their open transactions), flushes and exits. Clients connect
@@ -28,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/server"
@@ -40,11 +45,23 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log file (default: in-memory)")
 	cacheSize := flag.Int("cache", 0, "shared plan cache size in statements (default 256)")
 	metricsAddr := flag.String("metrics", "", "HTTP address serving /metrics as JSON (default: disabled)")
+	checkpoint := flag.Duration("checkpoint", 0, "periodic WAL checkpoint interval, e.g. 30s (default: disabled)")
 	flag.Parse()
 
-	db, err := engine.Open(engine.Options{DataPath: *dataPath, WALPath: *walPath, PlanCacheSize: *cacheSize})
+	db, err := engine.Open(engine.Options{
+		DataPath: *dataPath, WALPath: *walPath,
+		PlanCacheSize: *cacheSize, CheckpointInterval: *checkpoint,
+	})
 	if err != nil {
 		fatal(err)
+	}
+	if rec := db.Recovery(); rec.Recovered {
+		from := "log start"
+		if rec.FromCheckpoint {
+			from = fmt.Sprintf("checkpoint image (%d rows)", rec.ImageRows)
+		}
+		fmt.Printf("wowserver: recovered from %s in %s: %d tail record(s) read, %d applied, %d torn byte(s) discarded\n",
+			from, rec.Duration.Round(time.Millisecond), rec.TailRecords, rec.TailApplied, rec.BytesDiscarded)
 	}
 
 	srv := server.New(db)

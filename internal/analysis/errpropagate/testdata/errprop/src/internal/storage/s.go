@@ -37,6 +37,24 @@ func spawned(p *Pool) {
 	go p.Close() // want "`go p.Close` discards its error"
 }
 
+// WAL mirrors the log's durable-append surface: an ignored error here means
+// a commit was acknowledged without the fsync it claims to have ridden.
+type WAL struct{}
+
+// AppendDurable appends a record and blocks until it is on stable storage.
+func (w *WAL) AppendDurable(rec int) error { return nil }
+
+// Sync flushes everything appended so far.
+func (w *WAL) Sync() error { return nil }
+
+func acksWithoutDurability(w *WAL) {
+	w.AppendDurable(1) // want `error result of w\.AppendDurable is ignored`
+}
+
+func backgroundSync(w *WAL) {
+	go w.Sync() // want "`go w.Sync` discards its error"
+}
+
 // --- propagated errors: no diagnostics ---------------------------------------
 
 func returns(p *Pool) error {

@@ -39,6 +39,15 @@ type Options struct {
 	// PlanCacheSize bounds the engine-wide shared prepared-plan cache
 	// (default 256 statements).
 	PlanCacheSize int
+	// CheckpointInterval starts a background checkpointer writing a
+	// checkpoint record every interval, so recovery replays only the log
+	// tail. Zero disables it; Database.Checkpoint can still be called
+	// manually.
+	CheckpointInterval time.Duration
+	// PerCommitFsync disables group commit: every commit issues its own
+	// fsync instead of riding a shared one. Exists as the baseline the
+	// durability benchmarks compare group commit against.
+	PerCommitFsync bool
 }
 
 // Database is one open database instance.
@@ -60,6 +69,34 @@ type Database struct {
 	// reports.
 	sessionsOpened atomic.Uint64
 	sessionsClosed atomic.Uint64
+
+	// recovery describes what Open's replay did (zero value: fresh database).
+	recovery RecoveryInfo
+	// checkpointFailures counts periodic checkpoints that returned an error.
+	checkpointFailures atomic.Uint64
+	// ckptStop/ckptDone manage the background checkpointer, when enabled.
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+}
+
+// RecoveryInfo describes what the replay at Open did.
+type RecoveryInfo struct {
+	// Recovered is true when an existing log was found and replayed.
+	Recovered bool
+	// FromCheckpoint is true when replay started from a checkpoint image
+	// rather than offset zero.
+	FromCheckpoint bool
+	// ImageRows is the number of rows installed from the checkpoint image.
+	ImageRows int
+	// TailRecords / TailApplied count the log records scanned past the
+	// checkpoint and how many were applied.
+	TailRecords int
+	TailApplied int
+	// BytesDiscarded is the size of the torn tail truncated from the log
+	// (non-zero after a crash mid-append).
+	BytesDiscarded int64
+	// Duration is how long the replay took.
+	Duration time.Duration
 }
 
 // prepCounters tracks the prepared-statement machinery database-wide. The
@@ -98,18 +135,23 @@ func Open(opts Options) (*Database, error) {
 	cat := catalog.New(pool)
 
 	var wal *txn.WAL
-	var walRecords []txn.Record
+	var load *txn.LogLoad
 	if !opts.DisableWAL {
 		if opts.WALPath == "" {
 			wal = txn.NewWAL(&discardWriter{})
 		} else {
-			// Read any existing log first so committed work is replayed, then
-			// append to it.
-			if f, err := os.Open(opts.WALPath); err == nil {
-				walRecords, err = txn.ReadLog(f)
-				f.Close()
-				if err != nil {
-					return nil, fmt.Errorf("engine: reading wal: %w", err)
+			// Load any existing log first — seeking to the last checkpoint
+			// when one is reachable — then append to it. A torn final frame
+			// (crash mid-append) is truncated away before the log is reused:
+			// past the tear nothing is framed, so nothing there was ever
+			// acknowledged as committed.
+			load, err = txn.LoadLog(opts.WALPath)
+			if err != nil {
+				return nil, fmt.Errorf("engine: reading wal: %w", err)
+			}
+			if load != nil && load.Discarded > 0 {
+				if err := os.Truncate(opts.WALPath, load.End); err != nil {
+					return nil, fmt.Errorf("engine: truncating torn wal tail: %w", err)
 				}
 			}
 			wal, err = txn.OpenWALFile(opts.WALPath)
@@ -117,6 +159,9 @@ func Open(opts Options) (*Database, error) {
 				return nil, err
 			}
 		}
+	}
+	if wal != nil && opts.PerCommitFsync {
+		wal.SetSoloSync(true)
 	}
 	db := &Database{
 		opts:  opts,
@@ -127,10 +172,26 @@ func Open(opts Options) (*Database, error) {
 		txns:  txn.NewManager(wal),
 		plans: newPlanCache(opts.PlanCacheSize),
 	}
-	if len(walRecords) > 0 {
-		if err := db.replay(walRecords); err != nil {
+	if load != nil && (load.Image != nil || len(load.Tail) > 0) {
+		start := time.Now()
+		st, err := db.replay(load)
+		if err != nil {
 			return nil, err
 		}
+		db.recovery = RecoveryInfo{
+			Recovered:      true,
+			FromCheckpoint: load.FromCheckpoint,
+			ImageRows:      st.ImageRows,
+			TailRecords:    st.TailRecords,
+			TailApplied:    st.TailApplied,
+			BytesDiscarded: load.Discarded,
+			Duration:       time.Since(start),
+		}
+	}
+	if opts.CheckpointInterval > 0 && wal != nil {
+		db.ckptStop = make(chan struct{})
+		db.ckptDone = make(chan struct{})
+		go db.checkpointLoop(opts.CheckpointInterval)
 	}
 	return db, nil
 }
@@ -153,21 +214,76 @@ func OpenMemory() *Database {
 	return db
 }
 
-// replay recovers committed transactions from a previous run's log, then
-// advances the transaction-id sequence past every recovered version stamp so
-// new transactions never reuse a recovered id.
-func (db *Database) replay(records []txn.Record) error {
+// replay recovers the previous run's state: the checkpoint image (when one
+// was loaded) and then the committed transactions of the log tail. The
+// session that re-executes recovered DDL runs in recovery mode — its schema
+// statements must NOT be logged again, or every restart would append a
+// duplicate copy of the schema history to the very log being recovered.
+// Afterwards the transaction-id sequence is advanced past every recovered
+// version stamp and the schema history is seeded for the next checkpoint.
+func (db *Database) replay(load *txn.LogLoad) (txn.ReplayStats, error) {
 	session := db.Session()
-	maxID, err := txn.Recover(records, db.cat, func(ddl string) error {
+	session.recovering = true
+	defer func() {
+		// Recovery DDL opens no cursors and leaves no transaction dangling;
+		// closing just balances the session gauge.
+		_ = session.Close()
+	}()
+	st, err := txn.ReplayLog(load.Image, load.Tail, db.cat, func(ddl string) error {
 		_, err := session.Execute(ddl)
 		return err
 	})
-	db.txns.AdvanceTo(maxID)
-	return err
+	db.txns.AdvanceTo(st.MaxID)
+	db.txns.SeedDDL(st.DDL)
+	return st, err
 }
 
-// Close flushes dirty pages and closes the underlying files.
+// Recovery reports what the replay at Open did.
+func (db *Database) Recovery() RecoveryInfo { return db.recovery }
+
+// Checkpoint flushes the buffer pool's dirty pages, then writes a durable
+// checkpoint record (a snapshot-consistent image of the catalog) and
+// publishes its offset, so the next recovery starts from it instead of
+// replaying the whole log. Safe to call while transactions are running.
+func (db *Database) Checkpoint() (txn.CheckpointStats, error) {
+	pages, err := db.pool.FlushDirty()
+	if err != nil {
+		return txn.CheckpointStats{}, err
+	}
+	st, err := db.txns.Checkpoint(db.cat)
+	st.PagesFlushed = pages
+	return st, err
+}
+
+// checkpointLoop is the background checkpointer started by Open when
+// Options.CheckpointInterval is set.
+func (db *Database) checkpointLoop(interval time.Duration) {
+	defer close(db.ckptDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.ckptStop:
+			return
+		case <-ticker.C:
+			if _, err := db.Checkpoint(); err != nil {
+				// A failed checkpoint costs recovery time, not correctness:
+				// the previous pointer (or a full replay) still recovers
+				// everything. Count it so operators can see it happening.
+				db.checkpointFailures.Add(1)
+			}
+		}
+	}
+}
+
+// Close stops the checkpointer, flushes dirty pages and closes the
+// underlying files.
 func (db *Database) Close() error {
+	if db.ckptStop != nil {
+		close(db.ckptStop)
+		<-db.ckptDone
+		db.ckptStop = nil
+	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -226,6 +342,17 @@ type Stats struct {
 	LockWaits uint64
 	WALWrites uint64
 
+	// Durability: fsyncs issued on behalf of commits (each one retired a
+	// whole convoy), commits that rode another committer's fsync instead of
+	// issuing their own, checkpoints written (and periodic ones that
+	// failed), and the number of log records the last restart had to apply
+	// — small when recovery started from a checkpoint.
+	GroupCommitBatches      uint64
+	FsyncsSaved             uint64
+	CheckpointsTaken        uint64
+	CheckpointFailures      uint64
+	RecoveryRecordsReplayed uint64
+
 	// MVCC: snapshots registered (transactional and cursor-read), writes
 	// aborted by first-updater-wins conflicts, waits-for cycles broken, and
 	// dead row versions reclaimed by the vacuum.
@@ -263,15 +390,18 @@ func (db *Database) Stats() Stats {
 	committed, aborted := db.txns.Stats()
 	waits, _ := db.txns.Locks().Stats()
 	mvcc := db.txns.MVCC()
-	var walWrites uint64
-	if db.wal != nil {
-		walWrites = db.wal.Writes()
-	}
+	walStats := db.wal.Stats()
 	return Stats{
 		Committed: committed,
 		Aborted:   aborted,
 		LockWaits: waits,
-		WALWrites: walWrites,
+		WALWrites: walStats.Writes,
+
+		GroupCommitBatches:      walStats.GroupCommitBatches,
+		FsyncsSaved:             walStats.FsyncsSaved,
+		CheckpointsTaken:        db.txns.Checkpoints(),
+		CheckpointFailures:      db.checkpointFailures.Load(),
+		RecoveryRecordsReplayed: uint64(db.recovery.TailApplied),
 
 		SnapshotsTaken:    mvcc.SnapshotsTaken,
 		WriteConflicts:    mvcc.WriteConflicts,

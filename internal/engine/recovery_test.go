@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func intv(i int) types.Value    { return types.NewInt(int64(i)) }
+func strv(s string) types.Value { return types.NewString(s) }
+
+func countCustomers(t *testing.T, db *Database) int64 {
+	t.Helper()
+	s := db.Session()
+	defer s.Close()
+	res, err := s.Query("SELECT COUNT(*) FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows[0][0].Int()
+}
+
+// TestRestartTwiceIdempotent is the replay-re-logging satellite: the seed's
+// recovery replayed DDL through the normal Execute path, appending a second
+// copy of every schema statement to the log being recovered — so the SECOND
+// restart found duplicate CREATEs and refused to start. Recovery must leave
+// the log byte-identical and survive any number of restarts.
+func TestRestartTwiceIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wow.wal")
+
+	db, err := Open(Options{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	if _, err := s.ExecuteScript(seedSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute("INSERT INTO customers (id, name) VALUES (100, 'Restart')"); err != nil {
+		t.Fatal(err)
+	}
+	want := countCustomers(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	size1, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		db, err = Open(Options{WALPath: walPath})
+		if err != nil {
+			t.Fatalf("restart %d: %v", i+1, err)
+		}
+		if got := countCustomers(t, db); got != want {
+			t.Fatalf("restart %d: %d customers, want %d", i+1, got, want)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		size, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size.Size() != size1.Size() {
+			t.Fatalf("restart %d grew the log %d -> %d bytes: recovery is re-logging",
+				i+1, size1.Size(), size.Size())
+		}
+	}
+}
+
+// TestCheckpointFastRestart: after a checkpoint, a restart must load the
+// image and replay only the records written after it.
+func TestCheckpointFastRestart(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wow.wal")
+
+	db, err := Open(Options{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	if _, err := s.ExecuteScript(seedSchema); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := s.Prepare("INSERT INTO customers (id, name) VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := ins.Exec(intv(1000+i), strv("pre")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckpt, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Rows < 50 || ckpt.Tables == 0 {
+		t.Fatalf("checkpoint captured %d rows / %d tables", ckpt.Rows, ckpt.Tables)
+	}
+	if _, err := os.Stat(walPath + ".ckpt"); err != nil {
+		t.Fatalf("checkpoint pointer not written: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := ins.Exec(intv(2000+i), strv("post")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := countCustomers(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rec := db2.Recovery()
+	if !rec.Recovered || !rec.FromCheckpoint {
+		t.Fatalf("recovery = %+v, want FromCheckpoint", rec)
+	}
+	if rec.ImageRows < 50 {
+		t.Errorf("image rows = %d, want >= 50", rec.ImageRows)
+	}
+	// Only the 5 post-checkpoint inserts are applied from the tail.
+	if rec.TailApplied != 5 {
+		t.Errorf("tail applied = %d, want 5", rec.TailApplied)
+	}
+	if got := db2.Stats().RecoveryRecordsReplayed; got != uint64(rec.TailApplied) {
+		t.Errorf("Stats.RecoveryRecordsReplayed = %d, want %d", got, rec.TailApplied)
+	}
+	if got := countCustomers(t, db2); got != want {
+		t.Errorf("recovered %d customers, want %d", got, want)
+	}
+	// Indexes were rebuilt through the recovered DDL history: a point query
+	// planned through the primary index must find image-installed rows.
+	s2 := db2.Session()
+	defer s2.Close()
+	res, err := s2.Query("SELECT name FROM customers WHERE id = 1025")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].String() != "pre" {
+		t.Errorf("index lookup of image row = %v, %v", res, err)
+	}
+}
+
+// TestTornWALTailTruncatedOnOpen: garbage after the last complete record —
+// a crash mid-append — must not block startup; the tail is truncated and
+// later appends produce a clean log.
+func TestTornWALTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wow.wal")
+
+	db, err := Open(Options{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	if _, err := s.ExecuteScript(seedSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute("INSERT INTO customers (id, name) VALUES (7, 'Torn')"); err != nil {
+		t.Fatal(err)
+	}
+	want := countCustomers(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: half a frame of garbage on the tail.
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := []byte{0x19, 0xde, 0xad, 0xbe, 0xef, 0x01}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{WALPath: walPath})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if got := db2.Recovery().BytesDiscarded; got != int64(len(garbage)) {
+		t.Errorf("BytesDiscarded = %d, want %d", got, len(garbage))
+	}
+	if got := countCustomers(t, db2); got != want {
+		t.Errorf("recovered %d customers, want %d", got, want)
+	}
+	after, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() < clean.Size() {
+		t.Errorf("log shrank past the valid prefix: %d < %d", after.Size(), clean.Size())
+	}
+	// Write through the truncated log, restart again: still clean.
+	s2 := db2.Session()
+	if _, err := s2.Execute("INSERT INTO customers (id, name) VALUES (8, 'After')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := Open(Options{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if got := countCustomers(t, db3); got != want+1 {
+		t.Errorf("after truncate+append: %d customers, want %d", got, want+1)
+	}
+	if db3.Recovery().BytesDiscarded != 0 {
+		t.Errorf("second recovery discarded %d bytes from a clean log", db3.Recovery().BytesDiscarded)
+	}
+}
+
+// TestPeriodicCheckpointer: Open with an interval must checkpoint on its own
+// and recover from the checkpoint after Close.
+func TestPeriodicCheckpointer(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wow.wal")
+
+	db, err := Open(Options{WALPath: walPath, CheckpointInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	if _, err := s.ExecuteScript(seedSchema); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Stats().CheckpointsTaken == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint taken within 5s at a 5ms interval")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if db.Stats().CheckpointFailures != 0 {
+		t.Errorf("checkpoint failures = %d", db.Stats().CheckpointFailures)
+	}
+	want := countCustomers(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !db2.Recovery().FromCheckpoint {
+		t.Error("restart did not recover from the periodic checkpoint")
+	}
+	if got := countCustomers(t, db2); got != want {
+		t.Errorf("recovered %d customers, want %d", got, want)
+	}
+}

@@ -40,6 +40,10 @@ type Session struct {
 	// snapshots when a connection drops with cursors still streaming.
 	openRows map[*Rows]struct{}
 	closed   bool
+	// recovering marks the session Open's replay uses to re-execute logged
+	// DDL. Schema statements it runs must not be appended to the log again —
+	// they are already in it (or in the checkpoint image being applied).
+	recovering bool
 }
 
 // PlanCacheLen returns how many statement skeletons the engine's shared plan
@@ -307,8 +311,12 @@ func (s *Session) executeDrop(stmt *sql.DropStmt) (*Result, error) {
 }
 
 // logDDL records a schema change in the WAL so that recovery rebuilds the
-// catalog. DDL is autocommitted in its own transaction.
+// catalog. DDL is autocommitted in its own transaction. During recovery the
+// statement being executed came FROM the log, so it is not logged again.
 func (s *Session) logDDL(text string) error {
+	if s.recovering {
+		return nil
+	}
 	t, autocommit, err := s.writeTxn()
 	if err != nil {
 		return err

@@ -96,8 +96,11 @@ var Quick = Config{Sizes: workload.SmallSizes, Operations: 30, Quick: true}
 // windowed browsing — the keyset-paged window cursor against per-refresh
 // materialisation over the largest table, locally and over the wire; E14
 // measures mixed read/write throughput under MVCC against an emulation of
-// the replaced table-lock discipline.
-var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+// the replaced table-lock discipline; E15 measures durable commit throughput
+// under leader/follower group commit against the per-commit-fsync discipline,
+// then SIGKILLs a real server mid-ingest and verifies checkpointed recovery
+// loses no acknowledged commit.
+var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 
 // Run executes one experiment by id.
 func Run(id string, cfg Config) (*Table, error) {
@@ -130,6 +133,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return RunE13(cfg)
 	case "E14":
 		return RunE14(cfg)
+	case "E15":
+		return RunE15(cfg)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}

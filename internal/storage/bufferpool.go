@@ -31,6 +31,10 @@ type BufferPoolStats struct {
 	Misses    uint64
 	Evictions uint64
 	Writes    uint64
+	// Flushes counts whole-pool flush passes (checkpoints and shutdown);
+	// FlushedPages is how many dirty pages those passes wrote back.
+	Flushes      uint64
+	FlushedPages uint64
 }
 
 type frame struct {
@@ -148,21 +152,33 @@ func (bp *BufferPool) ensureRoom() error {
 	return nil
 }
 
-// FlushAll writes every dirty cached page back to disk.
-func (bp *BufferPool) FlushAll() error {
+// FlushDirty writes every dirty cached page back to disk and syncs the
+// medium, returning how many pages were written. Checkpoints call it to
+// bound the dirty-page debt a restart would rebuild.
+func (bp *BufferPool) FlushDirty() (int, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	flushed := 0
 	for id, f := range bp.frames {
 		if !f.dirty {
 			continue
 		}
 		if err := bp.disk.WritePage(id, f.page.Bytes()); err != nil {
-			return err
+			return flushed, err
 		}
 		f.dirty = false
+		flushed++
 		bp.stats.Writes++
 	}
-	return bp.disk.Sync()
+	bp.stats.Flushes++
+	bp.stats.FlushedPages += uint64(flushed)
+	return flushed, bp.disk.Sync()
+}
+
+// FlushAll writes every dirty cached page back to disk.
+func (bp *BufferPool) FlushAll() error {
+	_, err := bp.FlushDirty()
+	return err
 }
 
 // Capacity returns the pool's page capacity.

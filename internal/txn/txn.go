@@ -17,6 +17,10 @@ type State int
 // Transaction states.
 const (
 	StateActive State = iota
+	// StateCommitting is the window between the decision to commit and the
+	// commit record reaching stable storage. The transaction accepts no more
+	// work and is not yet visible to anyone else.
+	StateCommitting
 	StateCommitted
 	StateAborted
 )
@@ -25,6 +29,8 @@ func (s State) String() string {
 	switch s {
 	case StateActive:
 		return "active"
+	case StateCommitting:
+		return "committing"
 	case StateCommitted:
 		return "committed"
 	case StateAborted:
@@ -37,6 +43,13 @@ func (s State) String() string {
 // ErrNotActive is returned when an operation is attempted on a finished
 // transaction.
 var ErrNotActive = errors.New("txn: transaction is not active")
+
+// ErrCommitNotDurable is returned by Commit when the commit record could not
+// be made durable (the log append or fsync failed). The transaction's
+// changes have been physically undone and its locks and snapshot released —
+// the commit did not happen, and the caller may safely retry the work in a
+// new transaction against a healthy log.
+var ErrCommitNotDurable = errors.New("txn: commit not durable")
 
 // Manager creates transactions and owns the shared lock manager, the log,
 // the transaction-id sequence and the snapshot registry.
@@ -57,6 +70,14 @@ type Manager struct {
 	snapshotsTaken uint64
 	conflicts      uint64
 	versionsGCed   uint64
+	checkpoints    uint64
+
+	// ddlHistory is the committed schema history in execution order. A
+	// transaction's DDL joins it inside finish(true)'s critical section —
+	// atomically with the transaction leaving the active set — so a
+	// checkpoint observes "in history" and "visible to my snapshot" as the
+	// same fact.
+	ddlHistory []string
 }
 
 // NewManager creates a transaction manager. wal may be nil to disable logging.
@@ -127,16 +148,25 @@ func (m *Manager) Begin() (*Txn, error) {
 	m.mu.Lock()
 	m.lastID++
 	id := m.lastID
-	t := &Txn{id: id, mgr: m, state: StateActive}
+	t := &Txn{id: id, mgr: m, state: StateActive, beginOff: -1}
 	m.active[id] = t
 	t.snap = m.acquireSnapshotLocked(id)
 	m.mu.Unlock()
-	if err := m.wal.Append(Record{Kind: RecordBegin, Txn: id}); err != nil {
-		t.snap.Release()
+	if m.wal != nil {
+		_, off, err := m.wal.append(Record{Kind: RecordBegin, Txn: id})
+		if err != nil {
+			t.snap.Release()
+			m.mu.Lock()
+			delete(m.active, id)
+			m.mu.Unlock()
+			return nil, err
+		}
+		// A checkpoint takes this offset as a lower bound for tail replay
+		// while the transaction is in flight, so every record the
+		// transaction will ever write stays reachable from the checkpoint.
 		m.mu.Lock()
-		delete(m.active, id)
+		t.beginOff = off
 		m.mu.Unlock()
-		return nil, err
 	}
 	return t, nil
 }
@@ -163,9 +193,14 @@ type Txn struct {
 	mgr   *Manager
 	state State
 	snap  *Snapshot
+	// beginOff is the log offset of this transaction's Begin record (-1 when
+	// logging is disabled or not yet recorded). Guarded by mgr.mu — the
+	// checkpointer reads it while computing its tail-replay start.
+	beginOff int64
 
-	mu   sync.Mutex
-	undo []undoEntry
+	mu         sync.Mutex
+	undo       []undoEntry
+	pendingDDL []string // DDL run under this txn, joins ddlHistory on commit
 }
 
 // ID returns the transaction's identifier.
@@ -223,12 +258,14 @@ func (t *Txn) Insert(table *catalog.Table, row types.Tuple) (storage.RecordID, e
 	if err != nil {
 		return storage.RecordID{}, err
 	}
-	if err := t.mgr.wal.Append(Record{Kind: RecordInsert, Txn: t.id, Table: table.Name(), New: validated}); err != nil {
-		return rid, err
-	}
+	// Undo is recorded before the log append: if the append fails, rollback
+	// must still be able to remove the version that already exists.
 	t.mu.Lock()
 	t.undo = append(t.undo, undoEntry{kind: RecordInsert, table: table, rid: rid, new: validated})
 	t.mu.Unlock()
+	if err := t.mgr.wal.Append(Record{Kind: RecordInsert, Txn: t.id, Table: table.Name(), New: validated}); err != nil {
+		return rid, err
+	}
 	return rid, nil
 }
 
@@ -274,12 +311,12 @@ func (t *Txn) Update(table *catalog.Table, rid storage.RecordID, newRow types.Tu
 	if err != nil {
 		return rid, err
 	}
-	if err := t.mgr.wal.Append(Record{Kind: RecordUpdate, Txn: t.id, Table: table.Name(), Old: oldRow, New: validated}); err != nil {
-		return newRID, err
-	}
 	t.mu.Lock()
 	t.undo = append(t.undo, undoEntry{kind: RecordUpdate, table: table, rid: rid, newRID: newRID, old: oldRow, new: validated})
 	t.mu.Unlock()
+	if err := t.mgr.wal.Append(Record{Kind: RecordUpdate, Txn: t.id, Table: table.Name(), Old: oldRow, New: validated}); err != nil {
+		return newRID, err
+	}
 	return newRID, nil
 }
 
@@ -296,43 +333,75 @@ func (t *Txn) Delete(table *catalog.Table, rid storage.RecordID) error {
 	if err := table.MarkDeleted(rid, t.id); err != nil {
 		return err
 	}
-	if err := t.mgr.wal.Append(Record{Kind: RecordDelete, Txn: t.id, Table: table.Name(), Old: oldRow}); err != nil {
-		return err
-	}
 	t.mu.Lock()
 	t.undo = append(t.undo, undoEntry{kind: RecordDelete, table: table, rid: rid, old: oldRow})
 	t.mu.Unlock()
+	if err := t.mgr.wal.Append(Record{Kind: RecordDelete, Txn: t.id, Table: table.Name(), Old: oldRow}); err != nil {
+		return err
+	}
 	return nil
 }
 
 // LogDDL records a schema statement so recovery can rebuild the catalog.
+// The statement joins the manager's committed DDL history when this
+// transaction commits, which is how checkpoint images carry the schema.
 func (t *Txn) LogDDL(text string) error {
 	if t.State() != StateActive {
 		return ErrNotActive
 	}
-	return t.mgr.wal.Append(Record{Kind: RecordDDL, Txn: t.id, DDL: text})
+	if err := t.mgr.wal.Append(Record{Kind: RecordDDL, Txn: t.id, DDL: text}); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.pendingDDL = append(t.pendingDDL, text)
+	t.mu.Unlock()
+	return nil
 }
 
 // Commit makes the transaction's changes permanent, releases its row locks
 // and snapshot, and vacuums tables whose dead-version debt crossed the
 // threshold.
+//
+// Durable, then visible: the commit record must be on stable storage before
+// anything marks the transaction committed, so no reader can observe state a
+// crash could still erase. The durable append rides the group-commit fsync
+// with every other concurrent committer.
+//
+// If durability fails, the commit did not happen: the transaction's changes
+// are physically undone, its locks and snapshot are released (so the GC
+// horizon advances and later writers are not wedged), and the caller gets
+// ErrCommitNotDurable wrapping the cause.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.state != StateActive {
 		t.mu.Unlock()
 		return ErrNotActive
 	}
-	t.state = StateCommitted
+	t.state = StateCommitting
 	undo := t.undo
-	t.undo = nil
 	t.mu.Unlock()
 
-	if err := t.mgr.wal.Append(Record{Kind: RecordCommit, Txn: t.id}); err != nil {
-		return err
+	if err := t.mgr.wal.AppendDurable(Record{Kind: RecordCommit, Txn: t.id}); err != nil {
+		// The log is poisoned past this point (sticky failure), so no abort
+		// record can be written either; recovery treats a transaction with
+		// no durable commit record as aborted, which is now the truth.
+		undoErr := applyUndo(undo)
+		t.mu.Lock()
+		t.state = StateAborted
+		t.undo = nil
+		t.mu.Unlock()
+		t.finish(false)
+		failure := fmt.Errorf("%w: %w", ErrCommitNotDurable, err)
+		if undoErr != nil {
+			return errors.Join(failure, undoErr)
+		}
+		return failure
 	}
-	if err := t.mgr.wal.Sync(); err != nil {
-		return err
-	}
+
+	t.mu.Lock()
+	t.state = StateCommitted
+	t.undo = nil
+	t.mu.Unlock()
 	t.finish(true)
 
 	// Each superseded or deleted version became committed-dead at this
@@ -366,6 +435,17 @@ func (t *Txn) Rollback() error {
 	t.undo = nil
 	t.mu.Unlock()
 
+	firstErr := applyUndo(undo)
+	if err := t.mgr.wal.Append(Record{Kind: RecordAbort, Txn: t.id}); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	t.finish(false)
+	return firstErr
+}
+
+// applyUndo physically reverses the entries in reverse order, returning the
+// first error while still attempting every entry.
+func applyUndo(undo []undoEntry) error {
 	var firstErr error
 	for i := len(undo) - 1; i >= 0; i-- {
 		e := undo[i]
@@ -384,10 +464,6 @@ func (t *Txn) Rollback() error {
 			firstErr = fmt.Errorf("txn: rollback of %s on %s: %w", e.kind, e.table.Name(), err)
 		}
 	}
-	if err := t.mgr.wal.Append(Record{Kind: RecordAbort, Txn: t.id}); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	t.finish(false)
 	return firstErr
 }
 
@@ -398,6 +474,10 @@ func (t *Txn) finish(committed bool) {
 	delete(t.mgr.active, t.id)
 	if committed {
 		t.mgr.committed++
+		// Atomic with leaving the active set: a checkpoint under this mutex
+		// sees the transaction's DDL in the history exactly when its effects
+		// are visible to the checkpoint's snapshot.
+		t.mgr.ddlHistory = append(t.mgr.ddlHistory, t.pendingDDL...)
 	} else {
 		t.mgr.aborted++
 	}
@@ -410,48 +490,10 @@ func (t *Txn) finish(committed bool) {
 // inserts stamped by their original transaction id so version metadata
 // survives a restart. It returns the highest transaction id seen, which the
 // caller must feed to Manager.AdvanceTo before starting new transactions.
+// Checkpoint-aware recovery goes through LoadLog + ReplayLog instead.
 func Recover(records []Record, cat *catalog.Catalog, applyDDL func(string) error) (uint64, error) {
-	committed := CommittedTransactions(records)
-	var maxID uint64
-	for _, r := range records {
-		if r.Txn > maxID {
-			maxID = r.Txn
-		}
-		if !committed[r.Txn] {
-			continue
-		}
-		switch r.Kind {
-		case RecordDDL:
-			if err := applyDDL(r.DDL); err != nil {
-				return maxID, fmt.Errorf("txn: recovery DDL %q: %w", r.DDL, err)
-			}
-		case RecordInsert:
-			table, err := cat.GetTable(r.Table)
-			if err != nil {
-				return maxID, err
-			}
-			if _, err := table.InsertVersion(r.New, r.Txn); err != nil {
-				return maxID, fmt.Errorf("txn: recovery insert into %s: %w", r.Table, err)
-			}
-		case RecordDelete:
-			table, err := cat.GetTable(r.Table)
-			if err != nil {
-				return maxID, err
-			}
-			if err := deleteMatching(table, r.Old); err != nil {
-				return maxID, fmt.Errorf("txn: recovery delete from %s: %w", r.Table, err)
-			}
-		case RecordUpdate:
-			table, err := cat.GetTable(r.Table)
-			if err != nil {
-				return maxID, err
-			}
-			if err := updateMatching(table, r.Old, r.New); err != nil {
-				return maxID, fmt.Errorf("txn: recovery update of %s: %w", r.Table, err)
-			}
-		}
-	}
-	return maxID, nil
+	st, err := ReplayLog(nil, records, cat, applyDDL)
+	return st.MaxID, err
 }
 
 func deleteMatching(table *catalog.Table, image types.Tuple) error {

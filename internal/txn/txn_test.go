@@ -550,13 +550,56 @@ func TestWALNilIsSafe(t *testing.T) {
 	}
 }
 
-func TestReadLogCorrupt(t *testing.T) {
+// TestReadLogTornTail: a crash mid-append leaves an incomplete final frame.
+// ReadLog must return every record before the tear and no error — refusing
+// to start on a torn tail was the old behaviour, and it turned every unclean
+// shutdown into a database that would not open.
+func TestReadLogTornTail(t *testing.T) {
 	var buf bytes.Buffer
 	wal := NewWAL(&buf)
 	_ = wal.Append(Record{Kind: RecordBegin, Txn: 1})
-	data := buf.Bytes()
-	if _, err := ReadLog(bytes.NewReader(data[:len(data)-1])); err == nil {
-		t.Error("truncated log should fail")
+	_ = wal.Append(Record{Kind: RecordInsert, Txn: 1, Table: "t", New: types.Tuple{types.NewInt(1)}})
+	_ = wal.Append(Record{Kind: RecordCommit, Txn: 1})
+	whole := append([]byte(nil), buf.Bytes()...)
+
+	// Chop the log at every prefix length: the scan must never error, never
+	// return more records than were fully written, and the final byte counts
+	// (End + Discarded) must account for the whole prefix.
+	for cut := 0; cut <= len(whole); cut++ {
+		scan, err := scanLog(bytes.NewReader(whole[:cut]), 0)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(scan.Records) > 3 {
+			t.Fatalf("cut %d: %d records from a 3-record log", cut, len(scan.Records))
+		}
+		if scan.End+scan.Discarded != int64(cut) {
+			t.Fatalf("cut %d: End %d + Discarded %d != %d", cut, scan.End, scan.Discarded, cut)
+		}
+		// Re-reading the valid prefix must be clean and identical.
+		again, err := scanLog(bytes.NewReader(whole[:scan.End]), 0)
+		if err != nil || again.Discarded != 0 || len(again.Records) != len(scan.Records) {
+			t.Fatalf("cut %d: re-scan of valid prefix: %d records, discarded %d, err %v",
+				cut, len(again.Records), again.Discarded, err)
+		}
+	}
+
+	// A complete log reads back whole.
+	records, err := ReadLog(bytes.NewReader(whole))
+	if err != nil || len(records) != 3 {
+		t.Fatalf("full read: %d records, err %v", len(records), err)
+	}
+
+	// A bit flip in a record body fails that record's CRC; the log is cut
+	// there, not rejected.
+	flipped := append([]byte(nil), whole...)
+	flipped[len(flipped)-1] ^= 0x40
+	records, err = ReadLog(bytes.NewReader(flipped))
+	if err != nil {
+		t.Fatalf("bit-flipped tail: %v", err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("bit-flipped tail: %d records, want 2 (corrupt commit dropped)", len(records))
 	}
 }
 
@@ -627,13 +670,15 @@ func TestRecoverReplaysOnlyCommitted(t *testing.T) {
 func TestRecordKindString(t *testing.T) {
 	for kind, want := range map[RecordKind]string{
 		RecordBegin: "BEGIN", RecordCommit: "COMMIT", RecordAbort: "ABORT",
-		RecordInsert: "INSERT", RecordDelete: "DELETE", RecordUpdate: "UPDATE", RecordDDL: "DDL",
+		RecordInsert: "INSERT", RecordDelete: "DELETE", RecordUpdate: "UPDATE",
+		RecordDDL: "DDL", RecordCheckpoint: "CHECKPOINT",
 	} {
 		if kind.String() != want {
 			t.Errorf("RecordKind(%d).String() = %q", kind, kind.String())
 		}
 	}
-	if StateActive.String() != "active" || StateCommitted.String() != "committed" || StateAborted.String() != "aborted" {
+	if StateActive.String() != "active" || StateCommitted.String() != "committed" ||
+		StateAborted.String() != "aborted" || StateCommitting.String() != "committing" {
 		t.Error("State.String wrong")
 	}
 }

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -23,6 +25,11 @@ const (
 	RecordDelete
 	RecordUpdate
 	RecordDDL
+	// RecordCheckpoint carries a CheckpointImage: a snapshot-consistent copy
+	// of the database (DDL history + visible row versions) plus the replay
+	// start offset. Recovery that finds a durable checkpoint applies the
+	// image and replays only the log tail after its start offset.
+	RecordCheckpoint
 )
 
 func (k RecordKind) String() string {
@@ -41,13 +48,16 @@ func (k RecordKind) String() string {
 		return "UPDATE"
 	case RecordDDL:
 		return "DDL"
+	case RecordCheckpoint:
+		return "CHECKPOINT"
 	default:
 		return fmt.Sprintf("RecordKind(%d)", uint8(k))
 	}
 }
 
 // Record is one logical log entry. DML records carry the affected table and
-// the before/after images of the row; DDL records carry the statement text.
+// the before/after images of the row; DDL records carry the statement text;
+// checkpoint records carry an encoded CheckpointImage.
 type Record struct {
 	Kind  RecordKind
 	Txn   uint64
@@ -58,26 +68,77 @@ type Record struct {
 	New types.Tuple
 	// DDL is the statement text for RecordDDL.
 	DDL string
+	// Image is the encoded CheckpointImage for RecordCheckpoint.
+	Image []byte
 }
+
+// maxRecordBody bounds a decoded record frame. A length prefix larger than
+// this is treated as corruption (a torn or bit-flipped tail), not as a real
+// record — it keeps a flipped length byte from demanding a giant allocation.
+const maxRecordBody = 1 << 28 // 256 MiB
 
 // WAL is an append-only logical log. Writes are serialised; Append is safe
 // for concurrent use.
 //
 // Record wire format:
 //
-//	record := kind:byte txn:uvarint tableLen:uvarint table
+//	frame  := bodyLen:uvarint crc32:4 body
+//	body   := kind:byte txn:uvarint tableLen:uvarint table
 //	          oldLen:uvarint old newLen:uvarint new ddlLen:uvarint ddl
+//	          [imageLen:uvarint image]
 //
-// where old/new are types.EncodeTuple images (length 0 means absent).
+// where old/new are types.EncodeTuple images (length 0 means absent), the
+// CRC is IEEE CRC-32 over body, and the trailing image field is present only
+// on checkpoint records. The CRC is what lets recovery distinguish "the log
+// ends in a torn frame from a crash mid-append" (truncate and continue) from
+// a complete record.
+//
+// Durability is leader/follower group commit: AppendDurable enqueues the
+// record and rides a shared fsync — the first blocked committer becomes the
+// leader, flushes everything appended up to that point with one Sync, and
+// wakes the cohort (see groupcommit.go). A failed write or fsync poisons the
+// log permanently: after a failure nothing later can claim durability, so
+// every subsequent append or commit fails fast with the original error.
 type WAL struct {
 	mu     sync.Mutex
 	w      io.Writer
-	file   *os.File // non-nil when backed by a file (enables Sync)
+	file   *os.File // non-nil when backed by a file (enables Sync, Truncate)
+	path   string   // file path when file-backed (for the checkpoint pointer)
+	syncer interface{ Sync() error }
+	failed error // sticky: a torn write or failed fsync poisons the log
 	writes uint64
+	off    int64 // byte offset the next frame lands at
+
+	// seq numbers appended records; group commit tracks durability in seq
+	// space. Atomic so the sync leader can read it without taking mu.
+	seq atomic.Uint64
+
+	// pending counts appends in flight: committers that have entered
+	// AppendDurable but whose record is not yet in the log (so not yet
+	// covered by w.seq). A sync leader that sees pending > 0 holds the
+	// barrier open for up to groupCommitWindow so those records land under
+	// its fsync. Committers already parked at the barrier are not counted —
+	// their records are in w.seq and waiting on them would waste the window.
+	pending atomic.Int64
+
+	// solo disables group commit: every AppendDurable issues its own fsync.
+	// Benchmarks use it as the per-commit-fsync baseline.
+	solo atomic.Bool
+
+	gc groupCommit
 }
 
-// NewWAL creates a log writing to w.
-func NewWAL(w io.Writer) *WAL { return &WAL{w: w} }
+// NewWAL creates a log writing to w. If w implements `Sync() error` it is
+// used as the durability barrier (tests inject failing or gated media this
+// way); otherwise Sync is a no-op and the log is only as durable as w.
+func NewWAL(w io.Writer) *WAL {
+	wal := &WAL{w: w}
+	if s, ok := w.(interface{ Sync() error }); ok {
+		wal.syncer = s
+	}
+	wal.gc.init()
+	return wal
+}
 
 // OpenWALFile opens (creating or appending to) a log file at path.
 func OpenWALFile(path string) (*WAL, error) {
@@ -85,7 +146,17 @@ func OpenWALFile(path string) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("txn: open wal %s: %w", path, err)
 	}
-	return &WAL{w: f, file: f}, nil
+	info, err := f.Stat()
+	if err != nil {
+		err = fmt.Errorf("txn: stat wal %s: %w", path, err)
+		if cerr := f.Close(); cerr != nil {
+			err = fmt.Errorf("%w (and close failed: %v)", err, cerr)
+		}
+		return nil, err
+	}
+	w := &WAL{w: f, file: f, path: path, syncer: f, off: info.Size()}
+	w.gc.init()
+	return w, nil
 }
 
 // Writes returns the number of records appended so far.
@@ -95,13 +166,50 @@ func (w *WAL) Writes() uint64 {
 	return w.writes
 }
 
-// Append writes one record.
-func (w *WAL) Append(r Record) error {
+// Size returns the byte offset the next record will be appended at.
+func (w *WAL) Size() int64 {
 	if w == nil {
-		return nil // logging disabled
+		return 0
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.off
+}
+
+// SetSoloSync disables (true) or enables (false) group commit. With solo
+// sync every durable append issues its own fsync — the per-commit-fsync
+// discipline the benchmarks compare group commit against.
+func (w *WAL) SetSoloSync(solo bool) {
+	if w != nil {
+		w.solo.Store(solo)
+	}
+}
+
+// WALStats counts log traffic and the group-commit economy.
+type WALStats struct {
+	// Writes is the number of records appended.
+	Writes uint64
+	// GroupCommitBatches is the number of fsyncs issued by durable appends;
+	// each batch made every record appended up to that point durable.
+	GroupCommitBatches uint64
+	// FsyncsSaved is the number of durable appends that rode another
+	// committer's fsync instead of issuing their own.
+	FsyncsSaved uint64
+}
+
+// Stats returns the log's counters.
+func (w *WAL) Stats() WALStats {
+	if w == nil {
+		return WALStats{}
+	}
+	batches, saved := w.gc.stats()
+	w.mu.Lock()
+	writes := w.writes
+	w.mu.Unlock()
+	return WALStats{Writes: writes, GroupCommitBatches: batches, FsyncsSaved: saved}
+}
+
+func encodeRecord(r Record) []byte {
 	buf := make([]byte, 0, 64)
 	buf = append(buf, byte(r.Kind))
 	buf = binary.AppendUvarint(buf, r.Txn)
@@ -121,23 +229,106 @@ func (w *WAL) Append(r Record) error {
 	buf = append(buf, newImage...)
 	buf = binary.AppendUvarint(buf, uint64(len(r.DDL)))
 	buf = append(buf, r.DDL...)
-
-	// Length-prefix the whole record so the reader can frame it.
-	frame := binary.AppendUvarint(nil, uint64(len(buf)))
-	frame = append(frame, buf...)
-	if _, err := w.w.Write(frame); err != nil {
-		return fmt.Errorf("txn: wal append: %w", err)
+	if len(r.Image) > 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(r.Image)))
+		buf = append(buf, r.Image...)
 	}
+	return buf
+}
+
+// append writes one framed record and returns its sequence number and the
+// byte offset its frame starts at. The caller must not hold w.mu.
+func (w *WAL) append(r Record) (seq uint64, off int64, err error) {
+	body := encodeRecord(r)
+	frame := binary.AppendUvarint(nil, uint64(len(body)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(body))
+	frame = append(frame, body...)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return 0, 0, w.failed
+	}
+	off = w.off
+	if _, err := w.w.Write(frame); err != nil {
+		// The frame may be half on disk: everything after it would be
+		// unreadable, so nothing later may claim durability either.
+		w.failed = fmt.Errorf("txn: wal append: %w", err)
+		return 0, 0, w.failed
+	}
+	w.off += int64(len(frame))
 	w.writes++
+	return w.seq.Add(1), off, nil
+}
+
+// Append writes one record without forcing it to stable storage. It becomes
+// durable when a later durable append's fsync covers it.
+func (w *WAL) Append(r Record) error {
+	if w == nil {
+		return nil // logging disabled
+	}
+	_, _, err := w.append(r)
+	return err
+}
+
+// AppendDurable appends r and blocks until it is on stable storage. Under
+// group commit the caller rides a shared fsync with every other concurrent
+// durable append; with solo sync it issues its own.
+func (w *WAL) AppendDurable(r Record) error {
+	if w == nil {
+		return nil
+	}
+	w.pending.Add(1)
+	seq, _, err := w.append(r)
+	w.pending.Add(-1)
+	if err != nil {
+		return err
+	}
+	if w.solo.Load() {
+		return w.soloSync(seq)
+	}
+	return w.gc.syncTo(w, seq)
+}
+
+// soloSync is the per-commit-fsync baseline: every durable append issues its
+// own fsync, unconditionally — the discipline group commit replaced, kept
+// faithful (no riding, no dedup) so benchmarks measure against the real
+// thing. It shares the sticky-failure contract with group commit.
+func (w *WAL) soloSync(seq uint64) error {
+	g := &w.gc
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err != nil {
+		return g.err
+	}
+	if err := w.syncMedium(); err != nil {
+		g.err = err
+		return err
+	}
+	g.batches++
+	if seq > g.durable {
+		g.durable = seq
+	}
 	return nil
 }
 
-// Sync flushes the log to stable storage when file-backed.
-func (w *WAL) Sync() error {
-	if w == nil || w.file == nil {
+// syncMedium flushes the underlying medium, if it has a durability barrier.
+func (w *WAL) syncMedium() error {
+	if w.syncer == nil {
 		return nil
 	}
-	return w.file.Sync()
+	if err := w.syncer.Sync(); err != nil {
+		return fmt.Errorf("txn: wal fsync: %w", err)
+	}
+	return nil
+}
+
+// Sync makes everything appended so far durable.
+func (w *WAL) Sync() error {
+	if w == nil {
+		return nil
+	}
+	return w.gc.syncTo(w, w.seq.Load())
 }
 
 // Close closes the underlying file when file-backed.
@@ -148,28 +339,128 @@ func (w *WAL) Close() error {
 	return w.file.Close()
 }
 
-// ReadLog decodes every record from r (for recovery and for tests).
-func ReadLog(r io.Reader) ([]Record, error) {
+// --- reading ----------------------------------------------------------------
+
+// LogScan is the result of scanning a log stream: the complete, CRC-valid
+// records found, the byte offset at which each record's frame starts, the
+// offset where valid data ends, and how many bytes after that point were
+// discarded as a torn tail.
+type LogScan struct {
+	Records []Record
+	Offsets []int64
+	// End is the offset one past the last complete valid record. A crash
+	// mid-append leaves a torn final frame; recovery truncates the file here.
+	End int64
+	// Discarded is how many bytes past End were dropped (0 for a clean log).
+	Discarded int64
+}
+
+// scanLog reads framed records from r, whose first byte sits at byte offset
+// base of the log file. It stops at the first torn or corrupt frame: a crash
+// mid-append tears exactly the tail, and once framing is lost nothing later
+// can be trusted, so everything from the first bad frame on is discarded.
+func scanLog(r io.Reader, base int64) (*LogScan, error) {
 	br := bufio.NewReader(r)
-	var out []Record
+	scan := &LogScan{End: base}
+	off := base
 	for {
-		length, err := binary.ReadUvarint(br)
+		body, n, err := readFrame(br)
 		if err == io.EOF {
-			return out, nil
+			break
 		}
 		if err != nil {
-			return out, fmt.Errorf("txn: wal frame: %w", err)
+			return scan, err
 		}
-		body := make([]byte, length)
-		if _, err := io.ReadFull(br, body); err != nil {
-			return out, fmt.Errorf("txn: wal body: %w", err)
+		if body == nil {
+			// Torn or corrupt: count the rest of the stream as discarded.
+			rest, err := io.Copy(io.Discard, br)
+			if err != nil {
+				return scan, fmt.Errorf("txn: wal scan: %w", err)
+			}
+			scan.Discarded = int64(n) + rest
+			return scan, nil
 		}
-		rec, err := decodeRecord(body)
-		if err != nil {
-			return out, err
+		rec, derr := decodeRecord(body)
+		if derr != nil {
+			rest, err := io.Copy(io.Discard, br)
+			if err != nil {
+				return scan, fmt.Errorf("txn: wal scan: %w", err)
+			}
+			scan.Discarded = int64(n) + rest
+			return scan, nil
 		}
-		out = append(out, rec)
+		scan.Records = append(scan.Records, rec)
+		scan.Offsets = append(scan.Offsets, off)
+		off += int64(n)
+		scan.End = off
 	}
+	return scan, nil
+}
+
+// readFrame reads one frame. It returns body == nil (with the bytes it
+// consumed) when the frame is torn or fails its CRC, and io.EOF only at a
+// clean record boundary.
+func readFrame(br *bufio.Reader) (body []byte, consumed int, err error) {
+	var length uint64
+	first := true
+	n := 0
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			if first {
+				return nil, 0, io.EOF
+			}
+			return nil, n, nil // torn mid-varint
+		}
+		if err != nil {
+			return nil, n, err
+		}
+		n++
+		length |= uint64(b&0x7f) << (7 * (n - 1))
+		first = false
+		if b < 0x80 {
+			break
+		}
+		if n >= binary.MaxVarintLen64 {
+			return nil, n, nil // malformed varint: corrupt
+		}
+	}
+	if length > maxRecordBody {
+		return nil, n, nil // implausible length: corrupt
+	}
+	var crcBuf [4]byte
+	m, err := io.ReadFull(br, crcBuf[:])
+	n += m
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return nil, n, nil // torn mid-CRC
+	}
+	if err != nil {
+		return nil, n, err
+	}
+	body = make([]byte, length)
+	m, err = io.ReadFull(br, body)
+	n += m
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return nil, n, nil // torn mid-body
+	}
+	if err != nil {
+		return nil, n, err
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return nil, n, nil // bit-flipped
+	}
+	return body, n, nil
+}
+
+// ReadLog decodes records from r, tolerating a torn tail: a log that ends in
+// an incomplete or corrupt frame yields the records before the tear and no
+// error. I/O errors other than EOF are still reported.
+func ReadLog(r io.Reader) ([]Record, error) {
+	scan, err := scanLog(r, 0)
+	if err != nil {
+		return scan.Records, err
+	}
+	return scan.Records, nil
 }
 
 func decodeRecord(body []byte) (Record, error) {
@@ -195,8 +486,15 @@ func decodeRecord(body []byte) (Record, error) {
 	if newImage, body, err = readBytes(body); err != nil {
 		return rec, err
 	}
-	if ddl, _, err = readBytes(body); err != nil {
+	if ddl, body, err = readBytes(body); err != nil {
 		return rec, err
+	}
+	if len(body) > 0 {
+		var image []byte
+		if image, _, err = readBytes(body); err != nil {
+			return rec, err
+		}
+		rec.Image = image
 	}
 	if len(oldImage) > 0 {
 		if rec.Old, err = types.DecodeTuple(oldImage); err != nil {
