@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"strings"
-
 	"repro/internal/engine"
 	"repro/internal/server/client"
 	"repro/internal/types"
@@ -49,6 +46,26 @@ type RowStream interface {
 // ExecSummary is the outcome of a write through a Statement.
 type ExecSummary struct {
 	RowsAffected int
+}
+
+// NamedArgs is one execution's named parameter set — the single bind currency
+// of the layers above the statement APIs. The forms runtime, the sqlair typed
+// API and ad-hoc callers all express parameters as a NamedArgs and apply it
+// with Bind; each Statement implementation maps the names onto its own
+// mechanism (the engine binds by name directly; the remote client accumulates
+// named values and ships them as one positional Bind frame).
+type NamedArgs map[string]types.Value
+
+// Bind applies every argument to the statement through BindNamed. Order is
+// irrelevant: names address parameters, and a name occurring several times in
+// the SQL binds everywhere. A name the statement does not know is an error.
+func (a NamedArgs) Bind(st Statement) error {
+	for name, v := range a {
+		if err := st.BindNamed(name, v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // fetchSizer is implemented by statements that can bound how many rows one
@@ -130,62 +147,60 @@ func (r remoteSource) Prepare(text string) (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	names := st.ParamNames()
-	return &remoteStatement{
-		st:     st,
-		names:  names,
-		values: make([]types.Value, len(names)),
-		bound:  make([]bool, len(names)),
-	}, nil
+	return &remoteStatement{st: st}, nil
 }
 
 func (r remoteSource) NewSource() Source { return r }
 
-// remoteStatement adds named binding on top of the remote statement's
-// positional Bind: values accumulate by name and ship with the next Query or
-// Exec round trip (the wire Bind message is positional).
+// pooledSource adapts a checked-out pool connection to the Source interface.
+// Prepare goes through the connection's statement cache, so a shape the
+// connection has already seen costs no wire round trip — the property the
+// typed sqlair layer leans on to keep per-operation checkout cheap.
+type pooledSource struct {
+	h *client.PooledConn
+}
+
+// NewPooledSource wraps a checked-out pooled connection as a Source. The
+// source is only valid until the handle is released; statements it returns
+// are owned by the pool, so their Close is a no-op.
+func NewPooledSource(h *client.PooledConn) Source {
+	return pooledSource{h: h}
+}
+
+func (p pooledSource) Prepare(text string) (Statement, error) {
+	st, err := p.h.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return &pooledStatement{remoteStatement{st: st}}, nil
+}
+
+func (p pooledSource) NewSource() Source { return p }
+
+// pooledStatement is a remoteStatement whose lifetime belongs to the pool's
+// per-connection cache: Close keeps the statement alive for the next worker.
+type pooledStatement struct {
+	remoteStatement
+}
+
+func (s *pooledStatement) Close() error { return nil }
+
+// remoteStatement narrows a *client.Stmt to the Statement interface.
+//
+// Deprecated: this wrapper used to re-implement named binding over the wire's
+// positional Bind; that accumulation now lives on client.Stmt.BindNamed
+// itself, shared by every consumer (forms runtime, sqlair, ad-hoc callers).
+// What remains is a pure interface adapter and it will fold into remoteSource
+// once the window code takes client.Stmt directly.
 type remoteStatement struct {
-	st     *client.Stmt
-	names  []string
-	values []types.Value
-	bound  []bool
+	st *client.Stmt
 }
 
 func (s *remoteStatement) BindNamed(name string, value types.Value) error {
-	name = strings.ToLower(strings.TrimPrefix(name, "@"))
-	found := false
-	for i, n := range s.names {
-		if n == name {
-			s.values[i] = value
-			s.bound[i] = true
-			found = true
-		}
-	}
-	if !found {
-		return fmt.Errorf("core: remote statement has no parameter named @%s", name)
-	}
-	return nil
-}
-
-func (s *remoteStatement) args() ([]types.Value, error) {
-	for i, ok := range s.bound {
-		if !ok {
-			return nil, fmt.Errorf("core: remote statement parameter @%s is not bound", s.names[i])
-		}
-	}
-	return s.values, nil
+	return s.st.BindNamed(name, value)
 }
 
 func (s *remoteStatement) Query() (RowStream, error) {
-	if len(s.names) > 0 {
-		args, err := s.args()
-		if err != nil {
-			return nil, err
-		}
-		if err := s.st.Bind(args...); err != nil {
-			return nil, err
-		}
-	}
 	rows, err := s.st.Query()
 	if err != nil {
 		return nil, err
@@ -194,15 +209,6 @@ func (s *remoteStatement) Query() (RowStream, error) {
 }
 
 func (s *remoteStatement) Exec() (ExecSummary, error) {
-	if len(s.names) > 0 {
-		args, err := s.args()
-		if err != nil {
-			return ExecSummary{}, err
-		}
-		if err := s.st.Bind(args...); err != nil {
-			return ExecSummary{}, err
-		}
-	}
 	res, err := s.st.Exec()
 	if err != nil {
 		return ExecSummary{}, err

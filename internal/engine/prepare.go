@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -156,6 +157,11 @@ func (s *Session) buildSkeleton(text, key string) (*cachedStatement, error) {
 			return nil, err
 		}
 		entry.node = node
+		// A RETURNING clause gives the write a result shape; node.Schema() is
+		// empty without one, leaving columns nil like any other write.
+		for _, col := range node.Schema().Columns {
+			entry.columns = append(entry.columns, col.Name)
+		}
 		s.db.prep.writePlans.Add(1)
 	case *sql.ExplainStmt:
 		node, err := plan.NewBuilder(s.db.cat).BuildStatement(stmt.Stmt)
@@ -242,6 +248,11 @@ func inferParamKinds(s *Session, stmt sql.Statement, n int) []types.Kind {
 				}
 			}
 		}
+		if stmt.Select != nil {
+			kindOf := columnKindResolver(s, stmt.Select.From)
+			sql.WalkStatementExprs(stmt.Select, inferVisitor(kindOf, set))
+		}
+		inferReturning(stmt.Returning, schema, set)
 	case *sql.UpdateStmt:
 		table, err := s.db.cat.GetTable(stmt.Table)
 		if err != nil {
@@ -257,6 +268,7 @@ func inferParamKinds(s *Session, stmt sql.Statement, n int) []types.Kind {
 		}
 		kindOf := tableKindResolver(schema)
 		sql.WalkExpr(stmt.Where, inferVisitor(kindOf, set))
+		inferReturning(stmt.Returning, schema, set)
 	case *sql.DeleteStmt:
 		table, err := s.db.cat.GetTable(stmt.Table)
 		if err != nil {
@@ -264,8 +276,18 @@ func inferParamKinds(s *Session, stmt sql.Statement, n int) []types.Kind {
 		}
 		kindOf := tableKindResolver(table.Schema())
 		sql.WalkExpr(stmt.Where, inferVisitor(kindOf, set))
+		inferReturning(stmt.Returning, table.Schema(), set)
 	}
 	return kinds
+}
+
+// inferReturning pairs parameters inside RETURNING expressions with the target
+// table's columns, the same way WHERE parameters pair with theirs.
+func inferReturning(items []sql.SelectItem, schema *types.Schema, set func(*sql.Param, types.Kind)) {
+	visit := inferVisitor(tableKindResolver(schema), set)
+	for _, item := range items {
+		sql.WalkExpr(item.Expr, visit)
+	}
 }
 
 // columnKindResolver resolves column references against the base tables of a
@@ -374,6 +396,14 @@ func (st *Stmt) Text() string { return st.key }
 // runs through Exec. The wire-protocol server routes Execute messages on it.
 func (st *Stmt) IsQuery() bool { return st.op != nil }
 
+// ReturnsRows reports whether running the statement yields rows: a SELECT, or
+// a DML statement with a RETURNING clause. Both kinds may go through Query
+// for a cursor; for RETURNING writes Exec materialises the same rows into the
+// Result instead.
+func (st *Stmt) ReturnsRows() bool {
+	return st.op != nil || (st.write != nil && st.write.Returning() != nil)
+}
+
 // ExplainPlan renders the prepared plan tree for EXPLAIN-style tooling —
 // SELECT and DML statements alike (empty for DDL and transaction control).
 // The plan is refreshed first if the schema changed since it was prepared.
@@ -459,6 +489,13 @@ func (st *Stmt) checkBound() error {
 
 var errStmtClosed = fmt.Errorf("engine: statement is closed")
 
+// ErrBatchReturning rejects ExecBatch on a statement with a RETURNING clause:
+// a batch reports one affected count for the whole batch and has no cursor to
+// stream per-row projections through. Run such statements one at a time with
+// Query (or Exec) instead. Callers — including the wire server — match this
+// error with errors.Is.
+var ErrBatchReturning = errors.New("engine: ExecBatch does not support statements with RETURNING; execute them one at a time with Query")
+
 // --- execution ---------------------------------------------------------------
 
 // Query runs a prepared SELECT and returns a streaming cursor over its
@@ -471,7 +508,7 @@ func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
 	if st.closed {
 		return nil, errStmtClosed
 	}
-	if st.op == nil {
+	if st.op == nil && !st.ReturnsRows() {
 		return nil, fmt.Errorf("engine: cannot Query a %s statement; use Exec", statementVerb(st.entry.stmt))
 	}
 	if st.busy {
@@ -488,6 +525,9 @@ func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
 	if err := st.ensureCurrent(); err != nil {
 		return nil, err
 	}
+	if st.op == nil {
+		return st.queryWrite()
+	}
 	snap, release := st.session.readSnapshot()
 	st.rt.SetSnapshot(snap)
 	if err := st.op.Open(); err != nil {
@@ -497,6 +537,27 @@ func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
 	st.busy = true
 	st.session.db.prep.cursorsOpened.Add(1)
 	rows := &Rows{stmt: st, op: st.op, columns: st.entry.columns, release: release}
+	if st.session.openRows == nil {
+		st.session.openRows = make(map[*Rows]struct{})
+	}
+	st.session.openRows[rows] = struct{}{}
+	return rows, nil
+}
+
+// queryWrite runs a RETURNING write and serves its projected rows through the
+// ordinary cursor interface. Unlike a SELECT cursor, the write has fully
+// executed — and, outside an explicit transaction, committed — before the
+// first Next: the rows are the write's materialised output, not a live scan,
+// so the cursor pins no snapshot.
+func (st *Stmt) queryWrite() (*Rows, error) {
+	res, err := st.session.runWrite(st.entry.stmt, st.write)
+	if err != nil {
+		return nil, err
+	}
+	st.busy = true
+	st.session.db.prep.cursorsOpened.Add(1)
+	op := &bufferedOp{schema: st.write.Returning(), rows: res.Rows}
+	rows := &Rows{stmt: st, op: op, columns: st.entry.columns}
 	if st.session.openRows == nil {
 		st.session.openRows = make(map[*Rows]struct{})
 	}
@@ -558,19 +619,22 @@ func (st *Stmt) ExecBatch(rows [][]types.Value) (*Result, error) {
 	if err := st.ensureCurrent(); err != nil {
 		return nil, err
 	}
-	res, err := st.session.runWriteBody(st.entry.stmt, st.write.Table().Name(), func(t *txn.Txn) (int, error) {
+	if st.write.Returning() != nil {
+		return nil, ErrBatchReturning
+	}
+	res, err := st.session.runWriteBody(st.entry.stmt, st.write.Table().Name(), func(t *txn.Txn) (int, []types.Tuple, error) {
 		affected := 0
 		for _, row := range rows {
 			if err := st.Bind(row...); err != nil {
-				return affected, err
+				return affected, nil, err
 			}
-			n, err := st.write.Run(t)
+			n, _, err := st.write.Run(t)
 			if err != nil {
-				return affected, err
+				return affected, nil, err
 			}
 			affected += n
 		}
-		return affected, nil
+		return affected, nil, nil
 	})
 	if err != nil {
 		return nil, err

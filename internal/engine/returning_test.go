@@ -1,0 +1,304 @@
+// Tests for DML RETURNING clauses and INSERT ... SELECT: result shape on the
+// materialised Exec path, cursor behavior on the Query path, MVCC semantics
+// (returned rows show the write's own post-images), transactional visibility
+// after ROLLBACK, and the ExecBatch rejection.
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestInsertReturningRows(t *testing.T) {
+	_, s := dmlTestDB(t)
+	res, err := s.Execute("INSERT INTO items (id, label) VALUES (10, 'cog'), (11, 'axle') RETURNING id, label, qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Fatalf("affected = %d, want 2", res.RowsAffected)
+	}
+	wantCols := []string{"id", "label", "qty"}
+	if len(res.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v, want %v", res.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if res.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", res.Columns, wantCols)
+		}
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	// qty was not supplied: RETURNING must see the applied DEFAULT, not NULL.
+	if got := res.Rows[0][2].Int(); got != 1 {
+		t.Fatalf("returned qty = %d, want default 1", got)
+	}
+	if got := res.Rows[1][1].String(); got != "axle" {
+		t.Fatalf("returned label = %q, want axle", got)
+	}
+}
+
+func TestInsertReturningStarExpandsSchema(t *testing.T) {
+	_, s := dmlTestDB(t)
+	res, err := s.Execute("INSERT INTO items (id, label, qty, price) VALUES (20, 'bolt', 4, 0.10) RETURNING *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 4 || len(res.Rows) != 1 || len(res.Rows[0]) != 4 {
+		t.Fatalf("star RETURNING shape: cols=%v rows=%v", res.Columns, res.Rows)
+	}
+	if res.Rows[0][0].Int() != 20 || res.Rows[0][1].String() != "bolt" {
+		t.Fatalf("star RETURNING row = %v", res.Rows[0])
+	}
+}
+
+// TestUpdateReturningMultiRowMVCC checks that a multi-row UPDATE ... RETURNING
+// projects the post-update images (the new MVCC versions the statement wrote),
+// while a snapshot taken before the update keeps seeing the old versions.
+func TestUpdateReturningMultiRowMVCC(t *testing.T) {
+	db, s := dmlTestDB(t)
+
+	// A second session with an open explicit transaction pins a pre-update
+	// snapshot.
+	reader := db.Session()
+	defer reader.Close()
+	if _, err := reader.Execute("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := reader.Query("SELECT qty FROM items WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.Prepare("UPDATE items SET qty = qty * 2 WHERE qty >= @min RETURNING id, qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.BindNamed("min", types.NewInt(5)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]int64{}
+	for rows.Next() {
+		var id, qty int64
+		if err := rows.Scan(&id, &qty); err != nil {
+			t.Fatal(err)
+		}
+		got[id] = qty
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Seed rows with qty >= 5: id 1 (5→10), id 3 (7→14), id 5 (9→18).
+	want := map[int64]int64{1: 10, 3: 14, 5: 18}
+	if len(got) != len(want) {
+		t.Fatalf("returned rows = %v, want %v", got, want)
+	}
+	for id, qty := range want {
+		if got[id] != qty {
+			t.Fatalf("returned qty for id %d = %d, want %d (post-update image)", id, got[id], qty)
+		}
+	}
+
+	// The reader's pinned snapshot still sees the pre-update version.
+	if len(before.Rows) != 1 || before.Rows[0][0].Int() != 5 {
+		t.Fatalf("pre-update snapshot qty = %v, want 5", before.Rows)
+	}
+	after, err := reader.Query("SELECT qty FROM items WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Rows[0][0].Int() != 5 {
+		t.Fatalf("repeatable read qty = %d, want 5", after.Rows[0][0].Int())
+	}
+	if _, err := reader.Execute("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteReturningProjectsLastVersion(t *testing.T) {
+	_, s := dmlTestDB(t)
+	res, err := s.Execute("DELETE FROM items WHERE qty < 4 RETURNING label, price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed rows with qty < 4: gadget (3) and flange (2).
+	if res.RowsAffected != 2 || len(res.Rows) != 2 {
+		t.Fatalf("affected=%d rows=%v", res.RowsAffected, res.Rows)
+	}
+	labels := map[string]bool{}
+	for _, row := range res.Rows {
+		labels[row[0].String()] = true
+	}
+	if !labels["gadget"] || !labels["flange"] {
+		t.Fatalf("deleted labels = %v, want gadget and flange", labels)
+	}
+	left, err := s.Query("SELECT COUNT(*) FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.Rows[0][0].Int() != 3 {
+		t.Fatalf("remaining rows = %d, want 3", left.Rows[0][0].Int())
+	}
+}
+
+// TestReturningInRolledBackTxn checks that RETURNING rows handed to the caller
+// inside an explicit transaction do not outlive a ROLLBACK: the projection was
+// real at execution time, but the write itself is undone.
+func TestReturningInRolledBackTxn(t *testing.T) {
+	_, s := dmlTestDB(t)
+	if _, err := s.Execute("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Execute("INSERT INTO items (id, label) VALUES (30, 'ghost') RETURNING id, label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].String() != "ghost" {
+		t.Fatalf("in-txn RETURNING rows = %v", res.Rows)
+	}
+	if _, err := s.Execute("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	check, err := s.Query("SELECT COUNT(*) FROM items WHERE id = 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Rows[0][0].Int() != 0 {
+		t.Fatalf("rolled-back row still visible")
+	}
+}
+
+func TestExecBatchRejectsReturning(t *testing.T) {
+	_, s := dmlTestDB(t)
+	st, err := s.Prepare("INSERT INTO items (id, label) VALUES (?, ?) RETURNING id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, err = st.ExecBatch([][]types.Value{
+		{types.NewInt(40), types.NewString("a")},
+		{types.NewInt(41), types.NewString("b")},
+	})
+	if !errors.Is(err, ErrBatchReturning) {
+		t.Fatalf("ExecBatch on RETURNING: err = %v, want ErrBatchReturning", err)
+	}
+	// The rejection must happen before any row is written.
+	check, err := s.Query("SELECT COUNT(*) FROM items WHERE id >= 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Rows[0][0].Int() != 0 {
+		t.Fatalf("rejected batch wrote rows")
+	}
+}
+
+func TestInsertSelectCopiesRows(t *testing.T) {
+	_, s := dmlTestDB(t)
+	if _, err := s.Execute("CREATE TABLE archive (id INT PRIMARY KEY, label TEXT, qty INT)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Prepare("INSERT INTO archive (id, label, qty) SELECT id, label, qty FROM items WHERE qty > @min RETURNING id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.BindNamed("min", types.NewInt(4)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed rows with qty > 4: ids 1 (5), 3 (7), 5 (9).
+	if res.RowsAffected != 3 || len(res.Rows) != 3 {
+		t.Fatalf("INSERT..SELECT affected=%d rows=%v", res.RowsAffected, res.Rows)
+	}
+	check, err := s.Query("SELECT COUNT(*) FROM archive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Rows[0][0].Int() != 3 {
+		t.Fatalf("archive rows = %d, want 3", check.Rows[0][0].Int())
+	}
+}
+
+// TestInsertSelectDoesNotSeeOwnRows guards the halting property: a
+// self-referencing INSERT ... SELECT drains its source through the statement's
+// snapshot before inserting, so it copies the pre-statement rows exactly once.
+func TestInsertSelectDoesNotSeeOwnRows(t *testing.T) {
+	_, s := dmlTestDB(t)
+	res, err := s.Execute("INSERT INTO items (id, label, qty, price) SELECT id + 100, label, qty, price FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 5 {
+		t.Fatalf("self-referencing INSERT..SELECT affected = %d, want 5", res.RowsAffected)
+	}
+	check, err := s.Query("SELECT COUNT(*) FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Rows[0][0].Int() != 10 {
+		t.Fatalf("items rows = %d, want 10", check.Rows[0][0].Int())
+	}
+}
+
+func TestInsertSelectArityMismatch(t *testing.T) {
+	_, s := dmlTestDB(t)
+	_, err := s.Execute("INSERT INTO items (id, label) SELECT id, label, qty FROM items")
+	if err == nil {
+		t.Fatal("arity mismatch should fail at plan time")
+	}
+}
+
+func TestReturningCursorColumns(t *testing.T) {
+	_, s := dmlTestDB(t)
+	st, err := s.Prepare("DELETE FROM items WHERE id = ? RETURNING label AS gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.ReturnsRows() {
+		t.Fatal("RETURNING statement should report ReturnsRows")
+	}
+	if st.IsQuery() {
+		t.Fatal("RETURNING write is not a SELECT")
+	}
+	cols := st.Columns()
+	if len(cols) != 1 || cols[0] != "gone" {
+		t.Fatalf("columns = %v, want [gone]", cols)
+	}
+	rows, err := st.Query(types.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+		if got := rows.Row()[0].String(); got != "gadget" {
+			t.Fatalf("returned label = %q, want gadget", got)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("cursor yielded %d rows, want 1", n)
+	}
+	// The statement is reusable after the cursor closes.
+	res, err := st.Exec(types.NewInt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 1 || len(res.Rows) != 1 {
+		t.Fatalf("re-exec affected=%d rows=%v", res.RowsAffected, res.Rows)
+	}
+}

@@ -152,6 +152,28 @@ func assignValue(v types.Value, dest any) error {
 // Err returns the error that stopped iteration, if any.
 func (r *Rows) Err() error { return r.err }
 
+// bufferedOp serves pre-materialised rows — a RETURNING clause's output —
+// through the ordinary operator interface, so a write's cursor behaves exactly
+// like a SELECT's.
+type bufferedOp struct {
+	schema *types.Schema
+	rows   []types.Tuple
+	pos    int
+}
+
+func (o *bufferedOp) Schema() *types.Schema { return o.schema }
+func (o *bufferedOp) Open() error           { o.pos = 0; return nil }
+func (o *bufferedOp) Close() error          { return nil }
+
+func (o *bufferedOp) Next() (types.Tuple, bool, error) {
+	if o.pos >= len(o.rows) {
+		return nil, false, nil
+	}
+	row := o.rows[o.pos]
+	o.pos++
+	return row, true, nil
+}
+
 // Close releases the cursor: the operator tree shuts down, any cursor-held
 // read locks release, and the statement becomes runnable again. Closing an
 // already-closed cursor is a no-op.

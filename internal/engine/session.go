@@ -14,9 +14,11 @@ import (
 
 // Result is the outcome of one statement.
 type Result struct {
-	// Columns names the result columns of a SELECT (nil for other statements).
+	// Columns names the result columns of a SELECT, or of a DML statement's
+	// RETURNING clause (nil for other statements).
 	Columns []string
-	// Rows holds the result rows of a SELECT.
+	// Rows holds the result rows of a SELECT, or the rows a RETURNING clause
+	// projected from the affected rows.
 	Rows []types.Tuple
 	// RowsAffected counts the rows written by INSERT, UPDATE or DELETE.
 	RowsAffected int
@@ -389,26 +391,40 @@ func (s *Session) execDML(stmt sql.Statement, params *expr.Params) (*Result, err
 
 // runWrite executes a compiled write operator with the session's transaction
 // discipline: the open explicit transaction if there is one, otherwise one
-// autocommit transaction around the statement.
+// autocommit transaction around the statement. A RETURNING clause's rows and
+// column names land in the result alongside the affected count.
 func (s *Session) runWrite(stmt sql.Statement, op exec.WriteOperator) (*Result, error) {
-	return s.runWriteBody(stmt, op.Table().Name(), op.Run)
+	res, err := s.runWriteBody(stmt, op.Table().Name(), op.Run)
+	if err != nil {
+		return nil, err
+	}
+	if ret := op.Returning(); ret != nil {
+		for _, col := range ret.Columns {
+			res.Columns = append(res.Columns, col.Name)
+		}
+	}
+	return res, nil
 }
 
 // runWriteBody wraps a write body — one statement's operator, or a whole
 // batch — in the session's write discipline: the explicit-or-autocommit
 // transaction, and commit-or-rollback on the body's outcome. The body
-// returns how many rows it affected.
-func (s *Session) runWriteBody(stmt sql.Statement, table string, body func(t *txn.Txn) (int, error)) (*Result, error) {
+// returns how many rows it affected plus any RETURNING projection of them.
+func (s *Session) runWriteBody(stmt sql.Statement, table string, body func(t *txn.Txn) (int, []types.Tuple, error)) (*Result, error) {
 	_ = table // writes no longer lock tables; kept for the call shape
 	t, autocommit, err := s.writeTxn()
 	if err != nil {
 		return nil, err
 	}
-	affected, execErr := body(t)
+	affected, returned, execErr := body(t)
 	if err := s.finishWrite(t, autocommit, execErr); err != nil {
 		return nil, err
 	}
-	return &Result{RowsAffected: affected, Message: fmt.Sprintf("%d row(s) %s", affected, writeVerb(stmt))}, nil
+	return &Result{
+		RowsAffected: affected,
+		Rows:         returned,
+		Message:      fmt.Sprintf("%d row(s) %s", affected, writeVerb(stmt)),
+	}, nil
 }
 
 // writeVerb names a DML statement's effect for result messages.

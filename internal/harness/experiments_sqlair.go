@@ -1,0 +1,248 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/sqlair"
+	"repro/internal/types"
+)
+
+// BenchOrder is the struct the typed modes of E16 map rows through.
+type BenchOrder struct {
+	ID       int     `db:"id"`
+	Customer string  `db:"customer"`
+	Total    float64 `db:"total"`
+	Shipped  bool    `db:"shipped"`
+}
+
+// RunE16 — the typed-client economy: a write that needs its stored row back
+// is one statement under RETURNING (the sqlair typed path) against the raw
+// INSERT-then-SELECT pair, and typed point reads against hand-scanned raw
+// reads — all over the wire through the same connection pool, with server
+// message counts showing what each mode pays per operation.
+func RunE16(cfg Config) (*Table, error) {
+	ops := cfg.Operations * 2
+	if ops < 20 {
+		ops = 20
+	}
+
+	db := engine.OpenMemory()
+	defer db.Close()
+	srv := server.New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	pool := client.NewPool(ln.Addr().String(), client.PoolConfig{Size: 2, HealthCheckAfter: time.Second})
+	defer func() {
+		pool.Close()
+		srv.Close()
+		<-serveDone
+	}()
+
+	if _, err := db.Session().Execute(
+		"CREATE TABLE bench_orders (id INT PRIMARY KEY, customer TEXT, total FLOAT, shipped BOOL DEFAULT FALSE)"); err != nil {
+		return nil, err
+	}
+
+	table := &Table{
+		ID:    "E16",
+		Title: "Typed client economy: RETURNING write+read vs raw statement pairs, typed vs raw point reads",
+		Columns: []string{
+			"mode", "ops", "server msgs", "msgs/op", "elapsed ms", "ops/s", "relative",
+		},
+		Notes: []string{
+			"write+read: store a row and observe the stored values (defaults included); raw pays an INSERT and a SELECT, typed pays one INSERT .. RETURNING",
+			"point read: fetch one row into a struct; raw scans columns by hand, typed maps them through db tags",
+			fmt.Sprintf("all modes share one pool (%d conns) against a fresh wowserver over TCP loopback; per-connection statement caches are warm after the first op", pool.Size()),
+		},
+	}
+
+	type result struct {
+		name    string
+		ops     int
+		msgs    uint64
+		elapsed time.Duration
+	}
+	var results []result
+	measure := func(name string, n int, body func() error) error {
+		before := srv.Stats().MessagesServed
+		start := time.Now()
+		if err := body(); err != nil {
+			return fmt.Errorf("E16 %s: %w", name, err)
+		}
+		results = append(results, result{
+			name:    name,
+			ops:     n,
+			msgs:    srv.Stats().MessagesServed - before,
+			elapsed: time.Since(start),
+		})
+		return nil
+	}
+
+	ctx := context.Background()
+	tdb := sqlair.NewPoolDB(pool)
+	nextID := 0
+
+	// --- write-then-read -----------------------------------------------------
+	// Raw: the two-statement shape the typed API replaces. One connection is
+	// held across the loop so both statements are prepared exactly once.
+	err = measure("raw INSERT + SELECT", ops, func() error {
+		h, err := pool.Get()
+		if err != nil {
+			return err
+		}
+		defer h.Release()
+		for i := 0; i < ops; i++ {
+			nextID++
+			if _, err := h.Exec(
+				"INSERT INTO bench_orders (id, customer, total) VALUES (?, ?, ?)",
+				types.NewInt(int64(nextID)), types.NewString("acme"), types.NewFloat(float64(i))); err != nil {
+				return err
+			}
+			rows, err := h.Query(
+				"SELECT id, customer, total, shipped FROM bench_orders WHERE id = ?",
+				types.NewInt(int64(nextID)))
+			if err != nil {
+				return err
+			}
+			if !rows.Next() {
+				rows.Close()
+				return fmt.Errorf("row %d not found after insert", nextID)
+			}
+			var o BenchOrder
+			r := rows.Row()
+			o.ID, o.Customer, o.Total, o.Shipped = int(r[0].Int()), r[1].Str(), r[2].Float(), r[3].Bool()
+			if err := rows.Close(); err != nil {
+				return err
+			}
+			if o.ID != nextID {
+				return fmt.Errorf("read back id %d, want %d", o.ID, nextID)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	insertTyped, err := tdb.Prepare(
+		"INSERT INTO bench_orders (id, customer, total) VALUES ($BenchOrder.id, $BenchOrder.customer, $BenchOrder.total) RETURNING &BenchOrder.*",
+		BenchOrder{})
+	if err != nil {
+		return nil, err
+	}
+	err = measure("typed INSERT..RETURNING", ops, func() error {
+		for i := 0; i < ops; i++ {
+			nextID++
+			var stored BenchOrder
+			in := BenchOrder{ID: nextID, Customer: "acme", Total: float64(i)}
+			if err := tdb.Query(ctx, insertTyped, in).Get(&stored); err != nil {
+				return err
+			}
+			if stored.ID != nextID || stored.Shipped {
+				return fmt.Errorf("RETURNING gave %+v, want id %d with default shipped", stored, nextID)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// --- point reads ---------------------------------------------------------
+	err = measure("raw point read", ops, func() error {
+		h, err := pool.Get()
+		if err != nil {
+			return err
+		}
+		defer h.Release()
+		for i := 0; i < ops; i++ {
+			id := i%nextID + 1
+			rows, err := h.Query(
+				"SELECT id, customer, total, shipped FROM bench_orders WHERE id = ?",
+				types.NewInt(int64(id)))
+			if err != nil {
+				return err
+			}
+			if !rows.Next() {
+				rows.Close()
+				return fmt.Errorf("row %d not found", id)
+			}
+			var o BenchOrder
+			r := rows.Row()
+			o.ID, o.Customer, o.Total, o.Shipped = int(r[0].Int()), r[1].Str(), r[2].Float(), r[3].Bool()
+			if err := rows.Close(); err != nil {
+				return err
+			}
+			_ = o
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	err = measure("typed point read", ops, func() error {
+		for i := 0; i < ops; i++ {
+			// Prepare inside the loop, as application code naturally does:
+			// after the first op it is a statement-cache hit.
+			readTyped, err := tdb.Prepare(
+				"SELECT &BenchOrder.* FROM bench_orders WHERE id = $BenchOrder.id", BenchOrder{})
+			if err != nil {
+				return err
+			}
+			var o BenchOrder
+			if err := tdb.Query(ctx, readTyped, BenchOrder{ID: i%nextID + 1}).Get(&o); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var writeBase, readBase time.Duration
+	for i, r := range results {
+		var relative string
+		switch {
+		case i == 0:
+			writeBase = r.elapsed
+			relative = "1.00x"
+		case i == 1:
+			relative = fmt.Sprintf("%.2fx", float64(writeBase)/float64(r.elapsed))
+		case i == 2:
+			readBase = r.elapsed
+			relative = "1.00x"
+		default:
+			relative = fmt.Sprintf("%.2fx", float64(readBase)/float64(r.elapsed))
+		}
+		table.Rows = append(table.Rows, []string{
+			r.name,
+			fmt.Sprintf("%d", r.ops),
+			fmt.Sprintf("%d", r.msgs),
+			fmt.Sprintf("%.1f", float64(r.msgs)/float64(r.ops)),
+			fmt.Sprintf("%.2f", float64(r.elapsed.Microseconds())/1000),
+			fmt.Sprintf("%.0f", float64(r.ops)/r.elapsed.Seconds()),
+			relative,
+		})
+	}
+
+	stats := tdb.Stats()
+	typeHits, typeMisses := sqlair.TypeCacheStats()
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("sqlair caches after the run: %d statement hit(s) / %d miss(es), %d type-reflection hit(s) / %d miss(es)",
+			stats.StmtHits, stats.StmtMisses, typeHits, typeMisses),
+		fmt.Sprintf("pooled statement-cache hits across all modes: %d", pool.Stats().StmtCacheHits),
+	)
+	return table, nil
+}

@@ -99,8 +99,11 @@ var Quick = Config{Sizes: workload.SmallSizes, Operations: 30, Quick: true}
 // the replaced table-lock discipline; E15 measures durable commit throughput
 // under leader/follower group commit against the per-commit-fsync discipline,
 // then SIGKILLs a real server mid-ingest and verifies checkpointed recovery
-// loses no acknowledged commit.
-var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+// loses no acknowledged commit; E16 measures the typed-client economy —
+// a RETURNING write-plus-read in one statement against the raw
+// INSERT-then-SELECT pair, and struct-mapped point reads against hand-scanned
+// ones, over the wire.
+var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 
 // Run executes one experiment by id.
 func Run(id string, cfg Config) (*Table, error) {
@@ -135,6 +138,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return RunE14(cfg)
 	case "E15":
 		return RunE15(cfg)
+	case "E16":
+		return RunE16(cfg)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}

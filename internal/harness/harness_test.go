@@ -280,3 +280,31 @@ func TestE14ShapeMVCCBeatsTableLocks(t *testing.T) {
 		t.Errorf("perf record lost shape: %+v", rec)
 	}
 }
+
+// TestE16ShapeTypedWriteReadCostsFewerMessages checks the typed-client
+// claims: the RETURNING write+read must cost fewer server messages per
+// operation than the raw INSERT-then-SELECT pair, and the reflection caches
+// must be warm (hits recorded) by the end of the run.
+func TestE16ShapeTypedWriteReadCostsFewerMessages(t *testing.T) {
+	table, err := RunE16(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("E16 has %d rows, want 4", len(table.Rows))
+	}
+	rawMsgs, _ := strconv.ParseFloat(table.Rows[0][3], 64)
+	typedMsgs, _ := strconv.ParseFloat(table.Rows[1][3], 64)
+	if typedMsgs >= rawMsgs {
+		t.Errorf("typed write+read costs %.1f msgs/op vs raw %.1f: RETURNING saved nothing", typedMsgs, rawMsgs)
+	}
+	found := false
+	for _, note := range table.Notes {
+		if strings.Contains(note, "type-reflection hit(s)") && !strings.Contains(note, " 0 type-reflection hit(s)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("E16 notes do not report warm reflection caches: %q", table.Notes)
+	}
+}

@@ -31,6 +31,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -89,6 +90,10 @@ type Conn struct {
 	// self-identification from HelloOK.
 	version wire.Version
 	banner  string
+	// ctx, when set, governs every round trip: cancellation (or deadline
+	// expiry) mid-round-trip closes the socket to unblock the read, breaking
+	// the connection by design. Nil means no cancellation.
+	ctx context.Context
 }
 
 // DialOptions tunes Dial.
@@ -181,6 +186,22 @@ func (c *Conn) handshake(addr string, offered wire.Version) error {
 	}
 }
 
+// SetContext sets the context subsequent round trips run under. Cancellation
+// or deadline expiry mid-round-trip closes the socket — the only way to
+// unblock a read the server may never answer — so a cancelled connection is
+// broken by design: it reports the context's error and will be discarded by
+// the pool, never reused with a desynced stream. A nil context (the default)
+// means round trips block until the server answers or the transport fails.
+//
+// Like every other Conn method this is single-goroutine: set it between round
+// trips, not concurrently with one.
+func (c *Conn) SetContext(ctx context.Context) {
+	if ctx == context.Background() {
+		ctx = nil
+	}
+	c.ctx = ctx
+}
+
 // ProtocolVersion returns the version the handshake negotiated.
 func (c *Conn) ProtocolVersion() wire.Version { return c.version }
 
@@ -226,18 +247,27 @@ func (c *Conn) roundTrip(msgType byte, payload []byte) (byte, *wire.Cursor, erro
 		// connection itself stays usable (split the batch and retry).
 		return 0, nil, fmt.Errorf("client: message of %d bytes exceeds the %d-byte frame limit", len(payload)+1, wire.MaxFrame)
 	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		// Cancellation mid-round-trip closes the socket, which unblocks the
+		// read below; the transport error is then re-typed as the context's.
+		stop := context.AfterFunc(c.ctx, func() { c.nc.Close() })
+		defer stop()
+	}
 	if err := wire.WriteFrame(c.w, msgType, payload); err != nil {
 		c.broken = true
-		return 0, nil, err
+		return 0, nil, c.ctxError(err)
 	}
 	if err := c.w.Flush(); err != nil {
 		c.broken = true
-		return 0, nil, err
+		return 0, nil, c.ctxError(err)
 	}
 	respType, resp, err := wire.ReadFrame(c.r)
 	if err != nil {
 		c.broken = true
-		return 0, nil, err
+		return 0, nil, c.ctxError(err)
 	}
 	cur := wire.NewCursor(resp)
 	if respType == wire.MsgErr {
@@ -248,6 +278,18 @@ func (c *Conn) roundTrip(msgType byte, payload []byte) (byte, *wire.Cursor, erro
 		return 0, nil, &Error{Msg: msg}
 	}
 	return respType, cur, nil
+}
+
+// ctxError substitutes the context's error for a transport error the
+// cancellation itself caused (closing the socket surfaces as "use of closed
+// network connection" otherwise). The connection stays marked broken.
+func (c *Conn) ctxError(err error) error {
+	if c.ctx != nil {
+		if cerr := c.ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	return err
 }
 
 // expect runs a round trip and checks the response type.
@@ -276,6 +318,11 @@ func (c *Conn) Prepare(text string) (*Stmt, error) {
 	st.id = cur.Uint32()
 	st.paramNames = cur.Strings()
 	st.columns = cur.Strings()
+	// v2.1 servers append whether Execute yields rows (SELECT or a RETURNING
+	// write); older servers stop here and the flag stays false.
+	if cur.Remaining() > 0 {
+		st.returnsRows = cur.Bool()
+	}
 	if err := cur.Err(); err != nil {
 		return nil, err
 	}
@@ -349,6 +396,14 @@ type Stmt struct {
 	id         uint32
 	paramNames []string
 	columns    []string
+	// returnsRows records the server's v2.1 flag: Execute on this statement
+	// yields rows (a SELECT, or DML with a RETURNING clause).
+	returnsRows bool
+	// named accumulates BindNamed values (by ordinal); namedSet marks which
+	// ordinals were bound. The wire Bind is positional, so named values are
+	// flushed as one positional Bind round trip before each Execute.
+	named    []types.Value
+	namedSet []bool
 	// fetchSize overrides the connection's Fetch batch size for cursors
 	// opened from this statement (0 = use the connection default).
 	fetchSize uint32
@@ -378,23 +433,75 @@ func (st *Stmt) ParamNames() []string {
 	return out
 }
 
-// Columns returns the output column names (empty for non-SELECT statements).
+// Columns returns the output column names (empty for statements that yield no
+// rows).
 func (st *Stmt) Columns() []string {
 	out := make([]string, len(st.columns))
 	copy(out, st.columns)
 	return out
 }
 
-// Bind sets every parameter positionally on the server-side statement.
+// ReturnsRows reports whether Execute on this statement yields rows — a
+// SELECT, or DML with a RETURNING clause. Servers older than protocol v2.1
+// never set it, so it may under-report against them.
+func (st *Stmt) ReturnsRows() bool { return st.returnsRows }
+
+// Bind sets every parameter positionally on the server-side statement. A
+// positional Bind supersedes any values accumulated through BindNamed.
 func (st *Stmt) Bind(args ...types.Value) error {
 	if st.closed {
 		return fmt.Errorf("client: statement is closed")
 	}
+	st.named, st.namedSet = nil, nil
+	return st.bindWire(args)
+}
+
+func (st *Stmt) bindWire(args []types.Value) error {
 	var b wire.Buffer
 	b.Uint32(st.id)
 	b.Tuple(types.Tuple(args))
 	_, err := st.conn.expect(wire.MsgBind, b.B, wire.MsgOK)
 	return err
+}
+
+// BindNamed sets every occurrence of the named parameter ("@name" or "name"),
+// mirroring the engine API. The wire protocol binds positionally, so named
+// values accumulate client-side and flush as one positional Bind round trip
+// when the statement executes; every named parameter must be bound by then.
+func (st *Stmt) BindNamed(name string, v types.Value) error {
+	if st.closed {
+		return fmt.Errorf("client: statement is closed")
+	}
+	name = strings.ToLower(strings.TrimPrefix(name, "@"))
+	if st.named == nil {
+		st.named = make([]types.Value, len(st.paramNames))
+		st.namedSet = make([]bool, len(st.paramNames))
+	}
+	found := false
+	for i, n := range st.paramNames {
+		if n == name {
+			st.named[i], st.namedSet[i] = v, true
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("client: statement has no parameter named @%s", name)
+	}
+	return nil
+}
+
+// flushNamed ships accumulated BindNamed values as one positional Bind. A
+// no-op when the statement binds positionally (or takes no parameters).
+func (st *Stmt) flushNamed() error {
+	if st.named == nil {
+		return nil
+	}
+	for i, ok := range st.namedSet {
+		if !ok {
+			return fmt.Errorf("client: parameter @%s is not bound", st.paramNames[i])
+		}
+	}
+	return st.bindWire(st.named)
 }
 
 // Exec runs the statement and materialises its outcome. Optional args are a
@@ -424,6 +531,11 @@ func (st *Stmt) Exec(args ...types.Value) (*Result, error) {
 	}
 	if err := rows.Err(); err != nil {
 		return nil, err
+	}
+	if st.returnsRows {
+		// A RETURNING write projects one row per affected row, so the drained
+		// cursor is also the affected count.
+		res.RowsAffected = int64(len(res.Rows))
 	}
 	return res, nil
 }
@@ -464,6 +576,16 @@ func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
 		return nil, err
 	}
 	if respType != wire.MsgCursor {
+		if st.returnsRows {
+			// A pre-v2.1 negotiation answers a RETURNING write with the rows
+			// materialised in the Result frame; serve them through the same
+			// cursor interface from a local buffer.
+			res, err := readResult(cur)
+			if err != nil {
+				return nil, err
+			}
+			return st.rowsFromResult(res), nil
+		}
 		return nil, fmt.Errorf("client: statement is not a query; use Exec")
 	}
 	return st.rowsFromCursor(cur)
@@ -472,6 +594,9 @@ func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
 func (st *Stmt) execute() (byte, *wire.Cursor, error) {
 	if st.closed {
 		return 0, nil, fmt.Errorf("client: statement is closed")
+	}
+	if err := st.flushNamed(); err != nil {
+		return 0, nil, err
 	}
 	var b wire.Buffer
 	b.Uint32(st.id)
@@ -493,6 +618,12 @@ func (st *Stmt) rowsFromCursor(cur *wire.Cursor) (*Rows, error) {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// rowsFromResult wraps an already-materialised result as a cursor: the server
+// holds nothing, so exhaustion and Close skip the wire entirely.
+func (st *Stmt) rowsFromResult(res *Result) *Rows {
+	return &Rows{conn: st.conn, columns: res.Columns, buf: res.Rows, done: true, local: true}
 }
 
 // Close releases the server-side statement.
@@ -521,8 +652,12 @@ type Rows struct {
 	buf       []types.Tuple
 	pos       int
 	done      bool
-	closed    bool
-	err       error
+	// local marks a cursor served from an already-materialised result (a
+	// RETURNING write answered with a Result frame): the server holds no
+	// cursor, so Close never round-trips.
+	local  bool
+	closed bool
+	err    error
 	// ownStmt is the one-off statement Conn.Query created, closed with the
 	// cursor.
 	ownStmt *Stmt
@@ -629,7 +764,7 @@ func (r *Rows) Close() error {
 	if r.closed {
 		return nil
 	}
-	wasDone := r.done && r.pos >= len(r.buf)
+	wasDone := r.local || (r.done && r.pos >= len(r.buf))
 	r.closed = true
 	var err error
 	if !wasDone {

@@ -1,9 +1,11 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/types"
 )
@@ -22,6 +24,15 @@ type PoolConfig struct {
 	Size int
 	// FetchSize is the cursor fetch batch size for the pool's connections.
 	FetchSize int
+	// HealthCheckAfter skips the checkout ping for connections that were
+	// released less than this long ago: a connection in steady rotation is
+	// vouched for by its own recent traffic, so high-frequency checkout
+	// patterns (one checkout per operation, as the typed sqlair layer does)
+	// do not pay a ping round trip per operation. Zero pings every checkout.
+	// A connection that died inside the window is still caught — the first
+	// operation on it fails, the handle is discarded at Release, and the
+	// caller retries on a fresh connection.
+	HealthCheckAfter time.Duration
 	// dial stands in for DialWith so tests can inject failures.
 	dial func(addr string) (*Conn, error)
 }
@@ -82,6 +93,9 @@ type poolConn struct {
 	conn  *Conn
 	stmts map[string]*Stmt
 	inTxn bool
+	// lastUsed is when the connection was last released; HealthCheckAfter
+	// measures idleness against it.
+	lastUsed time.Time
 }
 
 // NewPool creates a pool over the server address. No connection is dialed
@@ -127,13 +141,27 @@ func (p *Pool) Stats() PoolStats {
 // use. Idle connections are health-checked (one Ping round trip) before they
 // are handed out; a dead one is discarded and a fresh connection dialed in
 // its place. Release the result with PooledConn.Release.
-func (p *Pool) Get() (*PooledConn, error) {
+func (p *Pool) Get() (*PooledConn, error) { return p.GetContext(context.Background()) }
+
+// GetContext is Get bounded by a context: a cancellation (or deadline) while
+// waiting for a free slot stops the wait, and the checkout health check runs
+// under the context too, so a deadline covers the whole acquisition — wait,
+// ping and dial alike. The context governs only the checkout; the returned
+// connection is not bound to it (use Conn().SetContext for per-operation
+// cancellation after checkout).
+func (p *Pool) GetContext(ctx context.Context) (*PooledConn, error) {
 	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-p.done:
 		return nil, ErrPoolClosed
 	case p.tokens <- struct{}{}:
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			<-p.tokens
+			return nil, err
+		}
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
@@ -156,7 +184,7 @@ func (p *Pool) Get() (*PooledConn, error) {
 			p.checkouts.Add(1)
 			return &PooledConn{pool: p, pc: &poolConn{conn: conn, stmts: make(map[string]*Stmt)}}, nil
 		}
-		if !pc.conn.Healthy() || pc.conn.Ping() != nil {
+		if !pc.conn.Healthy() || (p.needsPing(pc) && p.ping(ctx, pc) != nil) {
 			p.healthFails.Add(1)
 			p.discard(pc)
 			continue // try the next idle connection, or dial
@@ -167,14 +195,43 @@ func (p *Pool) Get() (*PooledConn, error) {
 	}
 }
 
+// needsPing reports whether an idle connection has been out of rotation long
+// enough that checkout should probe it before handing it out.
+func (p *Pool) needsPing(pc *poolConn) bool {
+	if p.cfg.HealthCheckAfter <= 0 {
+		return true
+	}
+	return time.Since(pc.lastUsed) >= p.cfg.HealthCheckAfter
+}
+
+// ping health-checks an idle connection under the checkout's context, so a
+// deadline bounds the probe of a half-dead socket instead of hanging the Get.
+func (p *Pool) ping(ctx context.Context, pc *poolConn) error {
+	pc.conn.SetContext(ctx)
+	err := pc.conn.Ping()
+	pc.conn.SetContext(nil)
+	return err
+}
+
 // With checks a connection out, runs fn and releases it — the convenience
 // shape for workers whose whole unit of work fits one function.
 func (p *Pool) With(fn func(*PooledConn) error) error {
-	h, err := p.Get()
+	return p.WithContext(context.Background(), fn)
+}
+
+// WithContext is With over GetContext: the context bounds the checkout and is
+// bound to the connection for fn's duration, so cancellation interrupts
+// round trips fn makes.
+func (p *Pool) WithContext(ctx context.Context, fn func(*PooledConn) error) error {
+	h, err := p.GetContext(ctx)
 	if err != nil {
 		return err
 	}
 	defer h.Release()
+	if ctx.Done() != nil {
+		h.pc.conn.SetContext(ctx)
+		defer h.pc.conn.SetContext(nil)
+	}
 	return fn(h)
 }
 
@@ -359,6 +416,7 @@ func (h *PooledConn) Release() {
 		}
 		pc.inTxn = false
 	}
+	pc.lastUsed = time.Now()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()

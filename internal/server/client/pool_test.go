@@ -313,3 +313,42 @@ func TestPooledConnStmtCacheBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPoolHealthCheckAfterSkipsPingForFreshConnections: with HealthCheckAfter
+// set, a connection re-checked-out promptly after Release must not pay a ping
+// round trip, while one idle past the window is probed again.
+func TestPoolHealthCheckAfterSkipsPingForFreshConnections(t *testing.T) {
+	_, srv, addr := startServer(t)
+	pool := client.NewPool(addr, client.PoolConfig{Size: 1, HealthCheckAfter: 50 * time.Millisecond})
+	defer pool.Close()
+
+	h, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Conn().Ping(); err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+
+	before := srv.Stats().MessagesServed
+	h, err = pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if got := srv.Stats().MessagesServed - before; got != 0 {
+		t.Fatalf("prompt re-checkout cost %d server messages, want 0 (no ping)", got)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	before = srv.Stats().MessagesServed
+	h, err = pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if got := srv.Stats().MessagesServed - before; got == 0 {
+		t.Fatal("checkout after the idle window sent no ping")
+	}
+}

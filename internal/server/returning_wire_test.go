@@ -1,0 +1,211 @@
+// Wire-level tests for protocol v2.1: RETURNING writes streamed as cursors,
+// the Stmt frame's returns-rows tail, the v2.0 interop fallback (rows
+// materialised in the Result frame), and context cancellation on client round
+// trips.
+package server_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server/client"
+	"repro/internal/server/wire"
+	"repro/internal/types"
+)
+
+func TestReturningOverWireStreamsCursor(t *testing.T) {
+	_, srv, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedCustomers(t, c, 5)
+
+	st, err := c.Prepare("UPDATE customers SET credit = credit + 100 WHERE id <= ? RETURNING id, credit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.ReturnsRows() {
+		t.Fatal("v2.1 Prepare should flag a RETURNING write as returning rows")
+	}
+
+	before := srv.Stats().MessagesServed
+	rows, err := st.Query(types.NewInt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+		if rows.Row()[1].Float() <= 100 {
+			t.Fatalf("returned credit %v does not reflect the update", rows.Row()[1])
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("streamed %d RETURNING rows, want 3", n)
+	}
+	// Bind + Execute + one Fetch: the write and its projected rows cost round
+	// trips like a SELECT, not a write-then-read pair.
+	if trips := srv.Stats().MessagesServed - before; trips > 3 {
+		t.Fatalf("RETURNING write cost %d round trips, want <= 3", trips)
+	}
+}
+
+// TestReturningMinor0GetsResultFrame pins the interop contract: a peer that
+// negotiated minor 0 gets the RETURNING rows materialised inside the Result
+// frame (a payload shape 2.0 already decodes) instead of a cursor.
+func TestReturningMinor0GetsResultFrame(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := client.DialWith(addr, client.DialOptions{Version: wire.Version{Major: 2, Minor: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.ProtocolVersion(); got.Minor != 0 {
+		t.Fatalf("negotiated %s, want minor 0", got)
+	}
+	seedCustomers(t, c, 2)
+
+	res, err := c.Exec("DELETE FROM customers WHERE id = 1 RETURNING name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 1 || len(res.Rows) != 1 {
+		t.Fatalf("minor-0 RETURNING: affected=%d rows=%v", res.RowsAffected, res.Rows)
+	}
+
+	// Query on the same shape still works: the client serves the Result
+	// frame's rows through a local buffer.
+	st, err := c.Prepare("DELETE FROM customers WHERE id = 2 RETURNING name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rows, err := st.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() || rows.Row()[0].IsNull() {
+		t.Fatalf("minor-0 Query fallback yielded no row (err=%v)", rows.Err())
+	}
+	if rows.Next() {
+		t.Fatal("expected exactly one row")
+	}
+}
+
+func TestExecBatchReturningRejectedOverWire(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedCustomers(t, c, 1)
+
+	st, err := c.Prepare("INSERT INTO customers (id, name) VALUES (?, ?) RETURNING id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, err = st.ExecBatch([][]types.Value{{types.NewInt(10), types.NewString("x")}})
+	var serverErr *client.Error
+	if !errors.As(err, &serverErr) {
+		t.Fatalf("ExecBatch+RETURNING: err = %v, want server-reported *client.Error", err)
+	}
+	if !strings.Contains(serverErr.Msg, "RETURNING") {
+		t.Fatalf("error %q does not name RETURNING", serverErr.Msg)
+	}
+}
+
+func TestClientNamedBind(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedCustomers(t, c, 3)
+
+	st, err := c.Prepare("SELECT name FROM customers WHERE id = @id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.BindNamed("id", types.NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("named bind yielded no row (err=%v)", rows.Err())
+	}
+	if err := st.BindNamed("nope", types.NewInt(1)); err == nil {
+		t.Fatal("binding an unknown name should fail")
+	}
+}
+
+func TestContextCancelUnblocksRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedCustomers(t, c, 1)
+
+	// An already-expired deadline fails before any bytes move.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	c.SetContext(ctx)
+	if _, err := c.Exec("SELECT 1"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want DeadlineExceeded", err)
+	}
+	// The connection never sent the frame, so it is still healthy and usable
+	// once the context clears.
+	c.SetContext(context.Background())
+	if !c.Healthy() {
+		t.Fatal("pre-send cancellation must not break the connection")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unusable after cleared context: %v", err)
+	}
+}
+
+func TestPoolGetContextCancelled(t *testing.T) {
+	_, _, addr := startServer(t)
+	p := client.NewPool(addr, client.PoolConfig{Size: 1})
+	defer p.Close()
+
+	// Occupy the only slot, then a cancelled Get must not block.
+	h, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := p.GetContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked GetContext: err = %v, want DeadlineExceeded", err)
+	}
+	h.Release()
+
+	// With the slot free again, WithContext runs the body under the context.
+	err = p.WithContext(context.Background(), func(h *client.PooledConn) error {
+		_, err := h.Exec("CREATE TABLE t (id INT PRIMARY KEY)")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

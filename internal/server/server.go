@@ -182,6 +182,9 @@ type conn struct {
 	stmts   map[uint32]*engine.Stmt
 	cursors map[uint32]*engine.Rows
 	nextID  uint32
+	// version is the handshake-negotiated protocol version; minor-gated
+	// behavior (cursor responses for RETURNING writes) keys off it.
+	version wire.Version
 }
 
 // serveConn runs one connection's message loop and always — clean EOF, read
@@ -281,6 +284,7 @@ func (c *conn) handshake() bool {
 	if hello.Version.Minor < negotiated.Minor {
 		negotiated.Minor = hello.Version.Minor
 	}
+	c.version = negotiated
 	var b wire.Buffer
 	wire.HelloOK{Version: negotiated, Banner: Banner}.Encode(&b)
 	if err := wire.WriteFrame(c.w, wire.MsgHelloOK, b.B); err != nil {
@@ -388,6 +392,9 @@ func (c *conn) handlePrepare(cur *wire.Cursor) (byte, []byte) {
 	b.Uint32(id)
 	b.Strings(st.ParamNames())
 	b.Strings(st.Columns())
+	// v2.1 append-only tail: whether Execute will produce rows (SELECT or a
+	// RETURNING write). 2.0 decoders stop before it.
+	b.Bool(st.ReturnsRows())
 	return wire.MsgStmt, b.B
 }
 
@@ -416,7 +423,12 @@ func (c *conn) handleExecute(cur *wire.Cursor) (byte, []byte) {
 	if !ok {
 		return errFrame(fmt.Errorf("server: no statement %d", id))
 	}
-	if st.IsQuery() {
+	// SELECTs always answer with a cursor. RETURNING writes do too on a v2.1
+	// connection, streaming the projected rows in fetch batches; a v2.0 peer
+	// instead gets a Result frame with the rows materialised inline — that
+	// payload has carried columns + rows since 2.0 (EXPLAIN uses them), so no
+	// new decoding is asked of the old client.
+	if st.IsQuery() || (st.ReturnsRows() && c.version.Minor >= 1) {
 		rows, err := st.Query()
 		if err != nil {
 			return errFrame(err)

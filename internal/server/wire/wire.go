@@ -85,7 +85,18 @@ type Version struct {
 }
 
 // Current is the protocol version this tree speaks.
-var Current = Version{Major: 2, Minor: 0}
+//
+// v2.1 appends two things to v2.0 payloads, both behind the append-only minor
+// rule so 2.0 peers interoperate untouched:
+//   - Stmt frames carry a trailing returns-rows flag, telling the client up
+//     front that a DML statement has a RETURNING clause (2.0 decoders never
+//     read the tail).
+//   - Execute on a RETURNING statement answers with a Cursor frame so the
+//     projected rows stream in fetch batches, exactly like a SELECT. To a 2.0
+//     peer the server answers with a Result frame instead, the rows
+//     materialised inline (the Result payload has carried columns + rows
+//     since 2.0).
+var Current = Version{Major: 2, Minor: 1}
 
 // String renders the version as "2.0".
 func (v Version) String() string { return fmt.Sprintf("%d.%d", v.Major, v.Minor) }

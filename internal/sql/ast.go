@@ -52,11 +52,19 @@ type DropStmt struct {
 	Name   string
 }
 
-// InsertStmt is INSERT INTO table [(columns)] VALUES (...), (...).
+// InsertStmt is INSERT INTO table [(columns)] VALUES (...), (...) or
+// INSERT INTO table [(columns)] SELECT ..., with an optional RETURNING tail.
+// Exactly one of Rows and Select is set.
 type InsertStmt struct {
 	Table   string
 	Columns []string
 	Rows    [][]Expr
+	// Select is the query feeding the insert (INSERT ... SELECT); nil for the
+	// VALUES form.
+	Select *SelectStmt
+	// Returning projects the inserted rows back to the caller (nil when the
+	// statement has no RETURNING clause).
+	Returning []SelectItem
 }
 
 // Assignment is one "column = expr" in UPDATE ... SET.
@@ -65,17 +73,22 @@ type Assignment struct {
 	Value  Expr
 }
 
-// UpdateStmt is UPDATE table SET assignments [WHERE cond].
+// UpdateStmt is UPDATE table SET assignments [WHERE cond] [RETURNING ...].
 type UpdateStmt struct {
 	Table       string
 	Assignments []Assignment
 	Where       Expr
+	// Returning projects the post-update rows back to the caller.
+	Returning []SelectItem
 }
 
-// DeleteStmt is DELETE FROM table [WHERE cond].
+// DeleteStmt is DELETE FROM table [WHERE cond] [RETURNING ...].
 type DeleteStmt struct {
 	Table string
 	Where Expr
+	// Returning projects the deleted rows (their last visible version) back
+	// to the caller.
+	Returning []SelectItem
 }
 
 // SelectItem is one projection in the SELECT list: either a star ("*" or
@@ -228,11 +241,41 @@ func (s *CreateViewStmt) String() string {
 // String implements Statement.
 func (s *DropStmt) String() string { return fmt.Sprintf("DROP %s %s", s.Object, QuoteIdent(s.Name)) }
 
+// renderSelectItems renders a projection list (SELECT items or a RETURNING
+// tail) back to SQL.
+func renderSelectItems(items []SelectItem) string {
+	var out []string
+	for _, it := range items {
+		switch {
+		case it.Star && it.StarTable != "":
+			out = append(out, QuoteIdent(it.StarTable)+".*")
+		case it.Star:
+			out = append(out, "*")
+		case it.Alias != "":
+			out = append(out, it.Expr.String()+" AS "+QuoteIdent(it.Alias))
+		default:
+			out = append(out, it.Expr.String())
+		}
+	}
+	return strings.Join(out, ", ")
+}
+
+// renderReturning renders a RETURNING tail (empty string when absent).
+func renderReturning(items []SelectItem) string {
+	if len(items) == 0 {
+		return ""
+	}
+	return " RETURNING " + renderSelectItems(items)
+}
+
 // String implements Statement.
 func (s *InsertStmt) String() string {
 	cols := ""
 	if len(s.Columns) > 0 {
 		cols = " (" + strings.Join(quoteAll(s.Columns), ", ") + ")"
+	}
+	if s.Select != nil {
+		return fmt.Sprintf("INSERT INTO %s%s %s%s", QuoteIdent(s.Table), cols, s.Select.String(), renderReturning(s.Returning))
 	}
 	var rows []string
 	for _, row := range s.Rows {
@@ -242,7 +285,7 @@ func (s *InsertStmt) String() string {
 		}
 		rows = append(rows, "("+strings.Join(vals, ", ")+")")
 	}
-	return fmt.Sprintf("INSERT INTO %s%s VALUES %s", QuoteIdent(s.Table), cols, strings.Join(rows, ", "))
+	return fmt.Sprintf("INSERT INTO %s%s VALUES %s%s", QuoteIdent(s.Table), cols, strings.Join(rows, ", "), renderReturning(s.Returning))
 }
 
 // String implements Statement.
@@ -255,7 +298,7 @@ func (s *UpdateStmt) String() string {
 	if s.Where != nil {
 		out += " WHERE " + s.Where.String()
 	}
-	return out
+	return out + renderReturning(s.Returning)
 }
 
 // String implements Statement.
@@ -264,7 +307,7 @@ func (s *DeleteStmt) String() string {
 	if s.Where != nil {
 		out += " WHERE " + s.Where.String()
 	}
-	return out
+	return out + renderReturning(s.Returning)
 }
 
 // String implements Statement.
@@ -274,20 +317,7 @@ func (s *SelectStmt) String() string {
 	if s.Distinct {
 		b.WriteString("DISTINCT ")
 	}
-	var items []string
-	for _, it := range s.Items {
-		switch {
-		case it.Star && it.StarTable != "":
-			items = append(items, QuoteIdent(it.StarTable)+".*")
-		case it.Star:
-			items = append(items, "*")
-		case it.Alias != "":
-			items = append(items, it.Expr.String()+" AS "+QuoteIdent(it.Alias))
-		default:
-			items = append(items, it.Expr.String())
-		}
-	}
-	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(renderSelectItems(s.Items))
 	for i, tr := range s.From {
 		switch {
 		case i == 0:
@@ -649,15 +679,19 @@ func HasAggregate(e Expr) bool {
 
 // WalkStatementExprs calls fn on every expression the statement contains
 // (select items, FROM conditions, WHERE, GROUP BY, HAVING, ORDER BY, VALUES
-// rows, SET assignments, DEFAULT clauses, and view definitions), recursing
-// into sub-expressions exactly like WalkExpr.
+// rows, an INSERT's feeding SELECT, SET assignments, RETURNING tails, DEFAULT
+// clauses, and view definitions), recursing into sub-expressions exactly like
+// WalkExpr.
 func WalkStatementExprs(stmt Statement, fn func(Expr) bool) {
 	walk := func(e Expr) { WalkExpr(e, fn) }
+	walkItems := func(items []SelectItem) {
+		for _, it := range items {
+			walk(it.Expr)
+		}
+	}
 	switch stmt := stmt.(type) {
 	case *SelectStmt:
-		for _, item := range stmt.Items {
-			walk(item.Expr)
-		}
+		walkItems(stmt.Items)
 		for _, ref := range stmt.From {
 			walk(ref.On)
 		}
@@ -675,13 +709,19 @@ func WalkStatementExprs(stmt Statement, fn func(Expr) bool) {
 				walk(e)
 			}
 		}
+		if stmt.Select != nil {
+			WalkStatementExprs(stmt.Select, fn)
+		}
+		walkItems(stmt.Returning)
 	case *UpdateStmt:
 		for _, a := range stmt.Assignments {
 			walk(a.Value)
 		}
 		walk(stmt.Where)
+		walkItems(stmt.Returning)
 	case *DeleteStmt:
 		walk(stmt.Where)
+		walkItems(stmt.Returning)
 	case *CreateTableStmt:
 		for _, col := range stmt.Columns {
 			walk(col.Default)

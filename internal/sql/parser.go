@@ -414,6 +414,18 @@ func (p *Parser) parseInsert() (Statement, error) {
 			return nil, err
 		}
 	}
+	if p.peek().Kind == TokenKeyword && p.peek().Text == "SELECT" {
+		// INSERT ... SELECT: the query's rows feed the insert.
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = sel.(*SelectStmt)
+		if stmt.Returning, err = p.parseReturning(); err != nil {
+			return nil, err
+		}
+		return stmt, nil
+	}
 	if err := p.expectKeyword("VALUES"); err != nil {
 		return nil, err
 	}
@@ -440,7 +452,31 @@ func (p *Parser) parseInsert() (Statement, error) {
 			break
 		}
 	}
+	if stmt.Returning, err = p.parseReturning(); err != nil {
+		return nil, err
+	}
 	return stmt, nil
+}
+
+// parseReturning parses an optional RETURNING tail on a DML statement. The
+// items are ordinary projection items ("*", expressions, aliases), so the
+// grammar of a RETURNING list is exactly that of a SELECT list.
+func (p *Parser) parseReturning() ([]SelectItem, error) {
+	if !p.acceptKeyword("RETURNING") {
+		return nil, nil
+	}
+	var items []SelectItem
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return items, nil
 }
 
 func (p *Parser) parseUpdate() (Statement, error) {
@@ -479,6 +515,9 @@ func (p *Parser) parseUpdate() (Statement, error) {
 		}
 		stmt.Where = where
 	}
+	if stmt.Returning, err = p.parseReturning(); err != nil {
+		return nil, err
+	}
 	return stmt, nil
 }
 
@@ -500,6 +539,9 @@ func (p *Parser) parseDelete() (Statement, error) {
 			return nil, err
 		}
 		stmt.Where = where
+	}
+	if stmt.Returning, err = p.parseReturning(); err != nil {
+		return nil, err
 	}
 	return stmt, nil
 }

@@ -83,7 +83,7 @@ var keywords = map[string]bool{
 	"LEFT": true, "OUTER": true, "ON": true, "AND": true, "OR": true,
 	"NOT": true, "NULL": true, "IS": true, "IN": true, "BETWEEN": true,
 	"LIKE": true, "TRUE": true, "FALSE": true,
-	"INSERT": true, "INTO": true, "VALUES": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "RETURNING": true,
 	"UPDATE": true, "SET": true, "DELETE": true,
 	"CREATE": true, "TABLE": true, "INDEX": true, "VIEW": true, "UNIQUE": true,
 	"PRIMARY": true, "KEY": true, "DEFAULT": true, "DROP": true,

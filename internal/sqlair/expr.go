@@ -1,0 +1,177 @@
+// Package sqlair is the typed struct-mapping client API: SQL with type
+// expressions in it — `&Type.col` / `&Type.*` marking output columns and
+// `$Type.field` marking inputs — preprocessed into plain engine SQL with
+// `@name` placeholders plus a mapping plan that moves values between Go
+// structs (via `db:"column"` tags) and the engine's tuples. One Statement
+// runs unchanged over a local engine session or a remote connection pool,
+// because execution goes through core.Source.
+package sqlair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// inputRef is one `$Type.col` occurrence: the named placeholder it became
+// and the struct field (by column tag) whose value binds it.
+type inputRef struct {
+	typeName string
+	col      string
+	param    string
+}
+
+// outputRef is one output column produced by a `&Type.col` or `&Type.*`
+// expression, in result-column order.
+type outputRef struct {
+	typeName string
+	col      string
+}
+
+// parseQuery rewrites typed query text into engine SQL. Output expressions
+// expand to their column lists in place; input expressions become `@name`
+// placeholders (the same Type.col always maps to the same name, so a value
+// repeated in the text binds once). The rewrite skips string literals and
+// `--` comments, so a literal "$5" or "&c" in quotes is left alone.
+func parseQuery(query string, typesByName map[string]*typeInfo) (string, []inputRef, []outputRef, error) {
+	var out strings.Builder
+	var inputs []inputRef
+	var outputs []outputRef
+	seenParam := make(map[string]bool)
+
+	i := 0
+	for i < len(query) {
+		c := query[i]
+		switch {
+		case c == '\'':
+			// String literal: copy through '' escapes to the closing quote.
+			j := i + 1
+			for j < len(query) {
+				if query[j] == '\'' {
+					if j+1 < len(query) && query[j+1] == '\'' {
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				j++
+			}
+			out.WriteString(query[i:j])
+			i = j
+		case c == '-' && i+1 < len(query) && query[i+1] == '-':
+			// Line comment: copy to end of line.
+			j := i
+			for j < len(query) && query[j] != '\n' {
+				j++
+			}
+			out.WriteString(query[i:j])
+			i = j
+		case c == '$' && i+1 < len(query) && isIdentStart(query[i+1]):
+			typeName, col, end, err := parseAccessor(query, i+1, false)
+			if err != nil {
+				return "", nil, nil, err
+			}
+			ti, err := lookupType(typesByName, typeName, query[i:end])
+			if err != nil {
+				return "", nil, nil, err
+			}
+			if _, ok := ti.byCol[col]; !ok {
+				return "", nil, nil, fmt.Errorf("sqlair: %s has no field tagged db:%q (have %s)",
+					typeName, col, strings.Join(ti.sortedColumns(), ", "))
+			}
+			param := strings.ToLower(typeName + "_" + col)
+			if !seenParam[param] {
+				seenParam[param] = true
+				inputs = append(inputs, inputRef{typeName: typeName, col: col, param: param})
+			}
+			out.WriteByte('@')
+			out.WriteString(param)
+			i = end
+		case c == '&' && i+1 < len(query) && isIdentStart(query[i+1]):
+			typeName, col, end, err := parseAccessor(query, i+1, true)
+			if err != nil {
+				return "", nil, nil, err
+			}
+			ti, err := lookupType(typesByName, typeName, query[i:end])
+			if err != nil {
+				return "", nil, nil, err
+			}
+			var cols []string
+			if col == "*" {
+				cols = ti.columns()
+			} else {
+				if _, ok := ti.byCol[col]; !ok {
+					return "", nil, nil, fmt.Errorf("sqlair: %s has no field tagged db:%q (have %s)",
+						typeName, col, strings.Join(ti.sortedColumns(), ", "))
+				}
+				cols = []string{col}
+			}
+			for k, c := range cols {
+				if k > 0 {
+					out.WriteString(", ")
+				}
+				out.WriteString(c)
+				outputs = append(outputs, outputRef{typeName: typeName, col: c})
+			}
+			i = end
+		default:
+			out.WriteByte(c)
+			i++
+		}
+	}
+	return out.String(), inputs, outputs, nil
+}
+
+// parseAccessor reads `Type.member` starting at the type name. The member is
+// a column name, or `*` when star is allowed (output expressions only).
+func parseAccessor(query string, start int, starOK bool) (typeName, member string, end int, err error) {
+	i := start
+	for i < len(query) && isIdentChar(query[i]) {
+		i++
+	}
+	typeName = query[start:i]
+	if i >= len(query) || query[i] != '.' {
+		return "", "", 0, fmt.Errorf("sqlair: type expression %q must be Type.column or Type.*", query[start-1:i])
+	}
+	i++
+	if i < len(query) && query[i] == '*' {
+		if !starOK {
+			return "", "", 0, fmt.Errorf("sqlair: $%s.* is not a valid input expression (inputs name one field)", typeName)
+		}
+		return typeName, "*", i + 1, nil
+	}
+	memberStart := i
+	for i < len(query) && isIdentChar(query[i]) {
+		i++
+	}
+	if i == memberStart {
+		return "", "", 0, fmt.Errorf("sqlair: type expression %q must be Type.column or Type.*", query[start-1:i])
+	}
+	return typeName, query[memberStart:i], i, nil
+}
+
+func lookupType(typesByName map[string]*typeInfo, name, expr string) (*typeInfo, error) {
+	ti, ok := typesByName[name]
+	if !ok {
+		known := make([]string, 0, len(typesByName))
+		for n := range typesByName {
+			known = append(known, n)
+		}
+		if len(known) == 0 {
+			return nil, fmt.Errorf("sqlair: query uses %q but Prepare was given no sample types", expr)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("sqlair: query uses %q but Prepare was given only: %s",
+			expr, strings.Join(known, ", "))
+	}
+	return ti, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
