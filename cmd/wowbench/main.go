@@ -36,7 +36,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (E1..E16) or 'all'")
+	experiment := flag.String("experiment", "all", "experiment id (E1..E17) or 'all'")
 	scale := flag.String("scale", "full", "workload scale: 'full' or 'quick'")
 	remote := flag.String("remote", "", "wowserver address; benchmark it over the wire instead of running local experiments")
 	clients := flag.Int("clients", 4, "concurrent query workers for -remote")

@@ -8,7 +8,15 @@
 // Usage:
 //
 //	wowserver [-addr 127.0.0.1:4045] [-data file.db] [-wal file.wal] [-cache 256]
-//	          [-metrics 127.0.0.1:4046] [-checkpoint 30s]
+//	          [-metrics 127.0.0.1:4046] [-checkpoint 30s] [-replica-of addr]
+//
+// With -replica-of, the server runs as a read-only physical replica: it
+// subscribes to the primary at addr, streams the primary's WAL from the
+// beginning into a fresh in-memory engine, and serves SELECTs against its
+// own MVCC snapshots while refusing writes and explicit transactions.
+// Replicas take no -data/-wal of their own; a restarted replica simply
+// re-streams the full history (checkpoints never truncate the primary's
+// log, so LSN 0 is always available).
 //
 // With -metrics, a side-channel HTTP listener serves the server, engine and
 // plan-cache counters as JSON under /metrics (see README for the fields).
@@ -46,7 +54,12 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "shared plan cache size in statements (default 256)")
 	metricsAddr := flag.String("metrics", "", "HTTP address serving /metrics as JSON (default: disabled)")
 	checkpoint := flag.Duration("checkpoint", 0, "periodic WAL checkpoint interval, e.g. 30s (default: disabled)")
+	replicaOf := flag.String("replica-of", "", "run as a read-only replica streaming from the primary at this address")
 	flag.Parse()
+
+	if *replicaOf != "" && (*dataPath != "" || *walPath != "" || *checkpoint != 0) {
+		fatal(fmt.Errorf("-replica-of keeps all state in memory; it cannot be combined with -data, -wal or -checkpoint"))
+	}
 
 	db, err := engine.Open(engine.Options{
 		DataPath: *dataPath, WALPath: *walPath,
@@ -65,11 +78,22 @@ func main() {
 	}
 
 	srv := server.New(db)
+	var replica *server.Replica
+	if *replicaOf != "" {
+		replica = server.NewReplica(db, *replicaOf)
+		srv.SetReadOnly(true)
+		srv.SetLSNSource(replica.AppliedLSN)
+		replica.Start()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s listening on %s (protocol v%s)\n", server.Banner, ln.Addr(), wire.Current)
+	if replica != nil {
+		fmt.Printf("%s listening on %s (protocol v%s), read-only replica of %s\n", server.Banner, ln.Addr(), wire.Current, *replicaOf)
+	} else {
+		fmt.Printf("%s listening on %s (protocol v%s)\n", server.Banner, ln.Addr(), wire.Current)
+	}
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
@@ -105,6 +129,11 @@ func main() {
 	}
 	if metricsSrv != nil {
 		metricsSrv.Close()
+	}
+	if replica != nil {
+		replica.Stop()
+		rst := replica.Stats()
+		fmt.Printf("wowserver: replica applied %d transaction(s) through LSN %d\n", rst.TxnsApplied, rst.AppliedLSN)
 	}
 	stats := srv.Stats()
 	fmt.Printf("wowserver: served %d connection(s), %d message(s), %d row(s) sent, %d batch row(s) received, %d handshake(s) rejected\n",

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/txn"
+)
+
+// ApplyReplicated applies one committed transaction's worth of replicated
+// WAL records to this database atomically: the rows land under a single
+// local transaction, so concurrent readers' MVCC snapshots see all of the
+// primary transaction's effects or none of them — never a torn prefix.
+//
+// The replica applier (internal/server/replica.go) is the caller. Records
+// must be one primary transaction's, in log order, Begin/Commit stripped.
+// DDL replays through a recovery session, so it reaches the catalog without
+// being re-logged (the replica's own WAL, when it has one, stays clean —
+// the same invariant crash recovery relies on). Like on the primary, a DDL
+// statement's catalog change is visible the moment it applies rather than
+// at commit.
+//
+// UPDATE and DELETE locate their target row by before-image, exactly as
+// crash recovery does; a missing target means the replica has diverged from
+// the primary and the error is not recoverable by retrying.
+func (db *Database) ApplyReplicated(recs []txn.Record) error {
+	t, err := db.txns.Begin()
+	if err != nil {
+		return err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			_ = t.Rollback()
+		}
+	}()
+	var sess *Session
+	for _, rec := range recs {
+		switch rec.Kind {
+		case txn.RecordDDL:
+			if sess == nil {
+				sess = db.RecoverySession()
+				defer sess.Close()
+			}
+			if _, err := sess.Execute(rec.DDL); err != nil {
+				return fmt.Errorf("engine: replicated DDL %q: %w", rec.DDL, err)
+			}
+		case txn.RecordInsert:
+			table, err := db.cat.GetTable(rec.Table)
+			if err != nil {
+				return fmt.Errorf("engine: replicated insert: %w", err)
+			}
+			if _, err := t.Insert(table, rec.New); err != nil {
+				return fmt.Errorf("engine: replicated insert into %s: %w", rec.Table, err)
+			}
+		case txn.RecordDelete:
+			table, err := db.cat.GetTable(rec.Table)
+			if err != nil {
+				return fmt.Errorf("engine: replicated delete: %w", err)
+			}
+			rid, ok, err := t.FindRow(table, rec.Old)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("engine: replicated delete from %s: no row matches the before-image (replica diverged)", rec.Table)
+			}
+			if err := t.Delete(table, rid); err != nil {
+				return fmt.Errorf("engine: replicated delete from %s: %w", rec.Table, err)
+			}
+		case txn.RecordUpdate:
+			table, err := db.cat.GetTable(rec.Table)
+			if err != nil {
+				return fmt.Errorf("engine: replicated update: %w", err)
+			}
+			rid, ok, err := t.FindRow(table, rec.Old)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("engine: replicated update of %s: no row matches the before-image (replica diverged)", rec.Table)
+			}
+			if _, err := t.Update(table, rid, rec.New); err != nil {
+				return fmt.Errorf("engine: replicated update of %s: %w", rec.Table, err)
+			}
+		default:
+			return fmt.Errorf("engine: cannot replicate %s record", rec.Kind)
+		}
+	}
+	if err := t.Commit(); err != nil {
+		return err
+	}
+	committed = true
+	return nil
+}

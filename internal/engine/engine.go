@@ -315,6 +315,17 @@ func (db *Database) Session() *Session {
 	return &Session{db: db}
 }
 
+// RecoverySession creates a session in the mode crash-recovery replay runs
+// in: DDL executes against the catalog without being re-logged, since the
+// statements it applies already live in some log. Replication appliers use
+// it to execute a primary's DDL records on a replica without growing a
+// second history.
+func (db *Database) RecoverySession() *Session {
+	s := db.Session()
+	s.recovering = true
+	return s
+}
+
 // PlanCacheLen returns how many statement skeletons the engine's shared plan
 // cache currently holds.
 func (db *Database) PlanCacheLen() int { return db.plans.len() }

@@ -102,8 +102,10 @@ var Quick = Config{Sizes: workload.SmallSizes, Operations: 30, Quick: true}
 // loses no acknowledged commit; E16 measures the typed-client economy —
 // a RETURNING write-plus-read in one statement against the raw
 // INSERT-then-SELECT pair, and struct-mapped point reads against hand-scanned
-// ones, over the wire.
-var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+// ones, over the wire; E17 measures WAL-streaming replication — fleet-routed
+// read throughput at 0, 1 and 2 replicas under a concurrent primary write
+// stream, auditing the staleness bound on every routed read.
+var Experiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
 
 // Run executes one experiment by id.
 func Run(id string, cfg Config) (*Table, error) {
@@ -140,6 +142,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return RunE15(cfg)
 	case "E16":
 		return RunE16(cfg)
+	case "E17":
+		return RunE17(cfg)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}

@@ -87,9 +87,16 @@ type Conn struct {
 	// pool must not hand it out again.
 	broken bool
 	// version is what the handshake negotiated; banner is the server's
-	// self-identification from HelloOK.
+	// self-identification from HelloOK; role says whether the server is a
+	// primary or a read-only replica (v2.2 servers; RolePrimary otherwise).
 	version wire.Version
 	banner  string
+	role    byte
+	// lsn is the highest durable LSN the server has piggybacked on a
+	// response (v2.2): the freshness signal fleet routing steers by.
+	lsn uint64
+	// pipelined counts Bind+Execute pairs that shared one round trip.
+	pipelined uint64
 	// ctx, when set, governs every round trip: cancellation (or deadline
 	// expiry) mid-round-trip closes the socket to unblock the read, breaking
 	// the connection by design. Nil means no cancellation.
@@ -160,6 +167,7 @@ func (c *Conn) handshake(addr string, offered wire.Version) error {
 		}
 		c.version = ok.Version
 		c.banner = ok.Banner
+		c.role = ok.Role
 		return nil
 	case wire.MsgErr:
 		msg := cur.String()
@@ -208,11 +216,43 @@ func (c *Conn) ProtocolVersion() wire.Version { return c.version }
 // ServerBanner returns the server's self-identification from HelloOK.
 func (c *Conn) ServerBanner() string { return c.banner }
 
+// IsReplica reports whether the server identified itself as a read-only
+// replica in the handshake (always false against pre-v2.2 servers).
+func (c *Conn) IsReplica() bool { return c.role == wire.RoleReplica }
+
+// LastLSN returns the highest durable LSN the server has reported on this
+// connection's responses — 0 against pre-v2.2 servers. On a primary it is
+// the WAL durable frontier; on a replica, the applied frontier. Comparing
+// the two is how the fleet router bounds read staleness.
+func (c *Conn) LastLSN() uint64 { return c.lsn }
+
+// Pipelined returns how many Bind+Execute pairs this connection has merged
+// into single round trips.
+func (c *Conn) Pipelined() uint64 { return c.pipelined }
+
+// noteLSNTail records the v2.2 durable-LSN tail, called with the cursor
+// positioned after a response's last v2.1 field.
+func (c *Conn) noteLSNTail(cur *wire.Cursor) {
+	if c.version.Minor < 2 || cur == nil || cur.Err() != nil {
+		return
+	}
+	if cur.Remaining() >= 8 {
+		if lsn := cur.Uint64(); lsn > c.lsn {
+			c.lsn = lsn
+		}
+	}
+}
+
 // Ping round-trips a liveness probe. Pool checkout uses it to validate idle
-// connections before handing them out.
+// connections before handing them out; against a v2.2 server it doubles as
+// a freshness probe, refreshing LastLSN.
 func (c *Conn) Ping() error {
-	_, err := c.expect(wire.MsgPing, nil, wire.MsgOK)
-	return err
+	cur, err := c.expect(wire.MsgPing, nil, wire.MsgOK)
+	if err != nil {
+		return err
+	}
+	c.noteLSNTail(cur)
+	return nil
 }
 
 // Healthy reports whether the connection is open and has not hit a transport
@@ -271,13 +311,18 @@ func (c *Conn) roundTrip(msgType byte, payload []byte) (byte, *wire.Cursor, erro
 	}
 	cur := wire.NewCursor(resp)
 	if respType == wire.MsgErr {
-		msg := cur.String()
-		if err := cur.Err(); err != nil {
-			return 0, nil, err
-		}
-		return 0, nil, &Error{Msg: msg}
+		return 0, nil, errFromCursor(cur)
 	}
 	return respType, cur, nil
+}
+
+// errFromCursor decodes a MsgErr payload into an *Error value.
+func errFromCursor(cur *wire.Cursor) error {
+	msg := cur.String()
+	if err := cur.Err(); err != nil {
+		return err
+	}
+	return &Error{Msg: msg}
 }
 
 // ctxError substitutes the context's error for a transport error the
@@ -319,9 +364,13 @@ func (c *Conn) Prepare(text string) (*Stmt, error) {
 	st.paramNames = cur.Strings()
 	st.columns = cur.Strings()
 	// v2.1 servers append whether Execute yields rows (SELECT or a RETURNING
-	// write); older servers stop here and the flag stays false.
+	// write); older servers stop here and the flag stays false. v2.2 servers
+	// append whether the statement is a pure SELECT — the pipelining gate.
 	if cur.Remaining() > 0 {
 		st.returnsRows = cur.Bool()
+	}
+	if cur.Remaining() > 0 {
+		st.isQuery = cur.Bool()
 	}
 	if err := cur.Err(); err != nil {
 		return nil, err
@@ -371,6 +420,7 @@ func (c *Conn) txnControl(msgType byte) error {
 		return err
 	}
 	_, err = readResult(cur)
+	c.noteLSNTail(cur)
 	return err
 }
 
@@ -397,8 +447,11 @@ type Stmt struct {
 	paramNames []string
 	columns    []string
 	// returnsRows records the server's v2.1 flag: Execute on this statement
-	// yields rows (a SELECT, or DML with a RETURNING clause).
+	// yields rows (a SELECT, or DML with a RETURNING clause). isQuery is the
+	// v2.2 flag marking a pure SELECT, the only statement kind Query may
+	// pipeline Bind+Execute for (see pipeline.go).
 	returnsRows bool
+	isQuery     bool
 	// named accumulates BindNamed values (by ordinal); namedSet marks which
 	// ordinals were bound. The wire Bind is positional, so named values are
 	// flushed as one positional Bind round trip before each Execute.
@@ -460,8 +513,12 @@ func (st *Stmt) bindWire(args []types.Value) error {
 	var b wire.Buffer
 	b.Uint32(st.id)
 	b.Tuple(types.Tuple(args))
-	_, err := st.conn.expect(wire.MsgBind, b.B, wire.MsgOK)
-	return err
+	cur, err := st.conn.expect(wire.MsgBind, b.B, wire.MsgOK)
+	if err != nil {
+		return err
+	}
+	st.conn.noteLSNTail(cur)
+	return nil
 }
 
 // BindNamed sets every occurrence of the named parameter ("@name" or "name"),
@@ -517,7 +574,9 @@ func (st *Stmt) Exec(args ...types.Value) (*Result, error) {
 		return nil, err
 	}
 	if respType == wire.MsgResult {
-		return readResult(cur)
+		res, err := readResult(cur)
+		st.conn.noteLSNTail(cur)
+		return res, err
 	}
 	// A SELECT came back as a cursor: drain it.
 	rows, err := st.rowsFromCursor(cur)
@@ -560,13 +619,19 @@ func (st *Stmt) ExecBatch(rows [][]types.Value) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return readResult(cur)
+	res, rerr := readResult(cur)
+	st.conn.noteLSNTail(cur)
+	return res, rerr
 }
 
 // Query runs the statement and returns a streaming cursor over its result.
-// Optional args are a shorthand for Bind.
+// Optional args are a shorthand for Bind. On a v2.2 connection a SELECT's
+// Bind and Execute share one round trip (see pipeline.go).
 func (st *Stmt) Query(args ...types.Value) (*Rows, error) {
 	if len(args) > 0 {
+		if st.isQuery && st.conn.version.Minor >= 2 {
+			return st.queryPipelined(args)
+		}
 		if err := st.Bind(args...); err != nil {
 			return nil, err
 		}
@@ -617,6 +682,7 @@ func (st *Stmt) rowsFromCursor(cur *wire.Cursor) (*Rows, error) {
 	if err := cur.Err(); err != nil {
 		return nil, err
 	}
+	st.conn.noteLSNTail(cur)
 	return rows, nil
 }
 
@@ -731,6 +797,7 @@ func (r *Rows) fetch() bool {
 		r.finish()
 		return false
 	}
+	r.conn.noteLSNTail(cur)
 	return true
 }
 

@@ -1,0 +1,130 @@
+// Pipelined Bind+Execute. A SELECT with arguments normally costs two round
+// trips: MsgBind, wait for MsgOK, MsgExecute, wait for the cursor. The
+// server processes frames strictly in order, so a client that already knows
+// both messages can write them back to back, flush once, and read the two
+// responses — halving per-query latency, which is what fleet routing's many
+// small point reads are made of.
+//
+// Only pure SELECTs pipeline (the v2.2 isQuery flag from Prepare). If Bind
+// fails, the queued Execute still runs with the statement's previous
+// bindings; that is harmless for a side-effect-free read — the client
+// discards its cursor and surfaces the bind error — but would be a silent
+// wrong-write for DML, so everything else keeps the two-step protocol.
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/server/wire"
+	"repro/internal/types"
+)
+
+// queryPipelined is Query's fast path: Bind and Execute in one round trip.
+func (st *Stmt) queryPipelined(args []types.Value) (*Rows, error) {
+	if st.closed {
+		return nil, fmt.Errorf("client: statement is closed")
+	}
+	c := st.conn
+	// Positional args override any accumulated named bindings.
+	st.named = nil
+	st.namedSet = nil
+	var bind wire.Buffer
+	bind.Uint32(st.id)
+	bind.Tuple(types.Tuple(args))
+	var exec wire.Buffer
+	exec.Uint32(st.id)
+
+	bindType, bindCur, execType, execCur, err := c.pipeline(
+		wire.MsgBind, bind.B, wire.MsgExecute, exec.B)
+	if err != nil {
+		return nil, err
+	}
+
+	var bindErr error
+	switch bindType {
+	case wire.MsgOK:
+		c.noteLSNTail(bindCur)
+	case wire.MsgErr:
+		bindErr = errFromCursor(bindCur)
+	default:
+		c.broken = true
+		return nil, fmt.Errorf("client: expected 0x%02x response to Bind, got 0x%02x", wire.MsgOK, bindType)
+	}
+
+	switch execType {
+	case wire.MsgErr:
+		if bindErr != nil {
+			return nil, bindErr
+		}
+		return nil, errFromCursor(execCur)
+	case wire.MsgCursor:
+		rows, rerr := st.rowsFromCursor(execCur)
+		if bindErr != nil {
+			// The Execute ran against stale bindings; drop its cursor and
+			// report the failure that made it meaningless.
+			if rerr == nil {
+				rows.Close()
+			}
+			return nil, bindErr
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		c.pipelined++
+		return rows, nil
+	case wire.MsgResult:
+		// A pure SELECT always opens a cursor; Result here means the server
+		// and client disagree about what this statement is.
+		if bindErr != nil {
+			return nil, bindErr
+		}
+		return nil, fmt.Errorf("client: statement did not return rows")
+	default:
+		c.broken = true
+		return nil, fmt.Errorf("client: unexpected 0x%02x response to Execute", execType)
+	}
+}
+
+// pipeline writes two frames with a single flush and reads both responses in
+// order. MsgErr responses are returned as-is (not converted to errors): with
+// two requests in flight the caller must see both outcomes to keep the
+// stream in sync.
+func (c *Conn) pipeline(t1 byte, p1 []byte, t2 byte, p2 []byte) (r1 byte, cur1 *wire.Cursor, r2 byte, cur2 *wire.Cursor, err error) {
+	if c.closed {
+		return 0, nil, 0, nil, fmt.Errorf("client: connection is closed")
+	}
+	if len(p1)+1 > wire.MaxFrame || len(p2)+1 > wire.MaxFrame {
+		return 0, nil, 0, nil, fmt.Errorf("client: message exceeds the %d-byte frame limit", wire.MaxFrame)
+	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return 0, nil, 0, nil, err
+		}
+		stop := context.AfterFunc(c.ctx, func() { c.nc.Close() })
+		defer stop()
+	}
+	if err := wire.WriteFrame(c.w, t1, p1); err != nil {
+		c.broken = true
+		return 0, nil, 0, nil, c.ctxError(err)
+	}
+	if err := wire.WriteFrame(c.w, t2, p2); err != nil {
+		c.broken = true
+		return 0, nil, 0, nil, c.ctxError(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		c.broken = true
+		return 0, nil, 0, nil, c.ctxError(err)
+	}
+	r1, resp1, err := wire.ReadFrame(c.r)
+	if err != nil {
+		c.broken = true
+		return 0, nil, 0, nil, c.ctxError(err)
+	}
+	r2, resp2, err := wire.ReadFrame(c.r)
+	if err != nil {
+		c.broken = true
+		return 0, nil, 0, nil, c.ctxError(err)
+	}
+	return r1, wire.NewCursor(resp1), r2, wire.NewCursor(resp2), nil
+}

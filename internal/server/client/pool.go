@@ -66,6 +66,12 @@ type Pool struct {
 	stmtHits    atomic.Uint64
 	healthFails atomic.Uint64
 	discards    atomic.Uint64
+
+	// lsnHW is the highest durable LSN any of the pool's connections has
+	// seen the server report (v2.2). For a pool pointed at a replica it is
+	// the pool's best knowledge of that replica's applied position — the
+	// number fleet routing compares against the primary's frontier.
+	lsnHW atomic.Uint64
 }
 
 // PoolStats summarises the pool's counters.
@@ -86,6 +92,9 @@ type PoolStats struct {
 	Discards            uint64
 	// Idle is the current idle-connection count.
 	Idle int
+	// LSNHighWater is the highest durable LSN the pool's connections have
+	// seen the server report (0 against pre-v2.2 servers).
+	LSNHighWater uint64
 }
 
 // poolConn is one pooled connection plus its prepared-statement cache.
@@ -134,6 +143,25 @@ func (p *Pool) Stats() PoolStats {
 		HealthCheckFailures: p.healthFails.Load(),
 		Discards:            p.discards.Load(),
 		Idle:                idle,
+		LSNHighWater:        p.lsnHW.Load(),
+	}
+}
+
+// LSNHighWater returns the highest durable LSN any of the pool's
+// connections has seen the server report. It only advances when traffic
+// (or a Ping) touches the server, so an idle pool's view goes stale — the
+// Fleet's background prober exists to keep it moving.
+func (p *Pool) LSNHighWater() uint64 { return p.lsnHW.Load() }
+
+// noteLSN folds a connection's latest observed LSN into the pool's
+// high-water mark.
+func (p *Pool) noteLSN(c *Conn) {
+	lsn := c.LastLSN()
+	for {
+		prev := p.lsnHW.Load()
+		if lsn <= prev || p.lsnHW.CompareAndSwap(prev, lsn) {
+			return
+		}
 	}
 }
 
@@ -405,6 +433,7 @@ func (h *PooledConn) Release() {
 	p := h.pool
 	pc := h.pc
 	defer func() { <-p.tokens }()
+	p.noteLSN(pc.conn)
 	if !pc.conn.Healthy() {
 		p.discard(pc)
 		return

@@ -22,6 +22,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -35,6 +36,14 @@ import (
 // Server accepts connections and serves the wire protocol over a database.
 type Server struct {
 	db *engine.Database
+
+	// lsn reports the durable LSN the server appends to v2.2 response frames:
+	// on a primary the WAL's durable frontier, on a replica the applier's
+	// applied LSN. Set before Serve (SetLSNSource), read by every connection.
+	lsn func() uint64
+	// readOnly marks a replica server: writes, DDL and explicit transactions
+	// are refused so the only mutations come from the replication applier.
+	readOnly atomic.Bool
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -51,6 +60,12 @@ type Server struct {
 	rejected    atomic.Uint64
 	batchRowsIn atomic.Uint64
 	batchFrames atomic.Uint64
+
+	subscribers    atomic.Int64
+	walSegments    atomic.Uint64
+	walBytes       atomic.Uint64
+	replicaAckLSN  atomic.Uint64
+	readOnlyDenied atomic.Uint64
 }
 
 // Stats summarises the server's counters.
@@ -69,14 +84,42 @@ type Stats struct {
 	// parameter rows they carried.
 	BatchFrames       uint64
 	BatchRowsReceived uint64
+	// ReadOnly reports replica mode; ReadOnlyDenied counts the writes,
+	// DDL and transaction-control messages it refused.
+	ReadOnly       bool
+	ReadOnlyDenied uint64
+	// DurableLSN is the value the server currently piggybacks on v2.2
+	// responses: the WAL durable frontier (primary) or applied LSN (replica).
+	DurableLSN uint64
+	// WALSubscribers counts live replication streams; WALSegmentsSent and
+	// WALBytesSent their pushed traffic; ReplicaAckLSN the highest applied
+	// LSN any subscriber has acknowledged.
+	WALSubscribers  int64
+	WALSegmentsSent uint64
+	WALBytesSent    uint64
+	ReplicaAckLSN   uint64
 }
 
 // New creates a server over the database. The database stays owned by the
 // caller (Close does not close it): embedding processes can keep serving
 // local sessions next to remote ones.
 func New(db *engine.Database) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+	s := &Server{db: db, conns: make(map[net.Conn]struct{})}
+	// Default LSN source: the engine's WAL durable frontier (0 when logging
+	// is disabled). Replica servers override it with the applier's frontier.
+	s.lsn = func() uint64 { return uint64(db.Transactions().WAL().DurableLSN()) }
+	return s
 }
+
+// SetLSNSource overrides where the server reads the durable LSN it appends
+// to v2.2 responses. Must be called before Serve.
+func (s *Server) SetLSNSource(fn func() uint64) { s.lsn = fn }
+
+// SetReadOnly switches the server into replica mode: every write, DDL and
+// explicit-transaction message is refused with a statement-level error, so
+// the replication applier stays the only writer and reads see nothing but
+// clean snapshots of applied commits.
+func (s *Server) SetReadOnly(on bool) { s.readOnly.Store(on) }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
@@ -90,6 +133,13 @@ func (s *Server) Stats() Stats {
 		HandshakesRejected:  s.rejected.Load(),
 		BatchFrames:         s.batchFrames.Load(),
 		BatchRowsReceived:   s.batchRowsIn.Load(),
+		ReadOnly:            s.readOnly.Load(),
+		ReadOnlyDenied:      s.readOnlyDenied.Load(),
+		DurableLSN:          s.lsn(),
+		WALSubscribers:      s.subscribers.Load(),
+		WALSegmentsSent:     s.walSegments.Load(),
+		WALBytesSent:        s.walBytes.Load(),
+		ReplicaAckLSN:       s.replicaAckLSN.Load(),
 	}
 }
 
@@ -233,7 +283,26 @@ func (s *Server) serveConn(nc net.Conn) {
 			return // EOF or a broken connection: cleanup runs in the defer
 		}
 		s.statements.Add(1)
+		switch msgType {
+		case wire.MsgSubscribe:
+			// A successful Subscribe ends request/response for good: the
+			// connection becomes a push stream and, when the stream ends,
+			// closes. A refused Subscribe keeps the connection usable.
+			if c.handleSubscribe(payload) {
+				return
+			}
+			continue
+		}
 		respType, resp := c.dispatch(msgType, payload)
+		// v2.2 append-only tail: the server's durable LSN rides on every
+		// success response, so clients track each node's frontier for free
+		// and fleet routing can bound read staleness without extra probes.
+		if c.version.Minor >= 2 {
+			switch respType {
+			case wire.MsgResult, wire.MsgCursor, wire.MsgRows, wire.MsgOK:
+				resp = binary.BigEndian.AppendUint64(resp, s.lsn())
+			}
+		}
 		if err := wire.WriteFrame(c.w, respType, resp); err != nil {
 			return
 		}
@@ -285,8 +354,12 @@ func (c *conn) handshake() bool {
 		negotiated.Minor = hello.Version.Minor
 	}
 	c.version = negotiated
+	role := wire.RolePrimary
+	if c.srv.readOnly.Load() {
+		role = wire.RoleReplica
+	}
 	var b wire.Buffer
-	wire.HelloOK{Version: negotiated, Banner: Banner}.Encode(&b)
+	wire.HelloOK{Version: negotiated, Banner: Banner, Role: role}.Encode(&b)
 	if err := wire.WriteFrame(c.w, wire.MsgHelloOK, b.B); err != nil {
 		return false
 	}
@@ -366,10 +439,21 @@ func (c *conn) dispatch(msgType byte, payload []byte) (byte, []byte) {
 		// not one worth dropping the connection for.
 		return errFrame(fmt.Errorf("server: duplicate Hello (handshake already negotiated v%s)", wire.Current))
 	case wire.MsgBegin:
+		// Explicit transactions exist to write; a replica pins them to the
+		// primary rather than hand out a transaction that must fail later.
+		if c.srv.readOnly.Load() {
+			return c.refuseReadOnly("BEGIN")
+		}
 		return c.execText("BEGIN")
 	case wire.MsgCommit:
+		if c.srv.readOnly.Load() {
+			return c.refuseReadOnly("COMMIT")
+		}
 		return c.execText("COMMIT")
 	case wire.MsgRollback:
+		if c.srv.readOnly.Load() {
+			return c.refuseReadOnly("ROLLBACK")
+		}
 		return c.execText("ROLLBACK")
 	default:
 		return errFrame(fmt.Errorf("server: unknown message type 0x%02x", msgType))
@@ -395,7 +479,18 @@ func (c *conn) handlePrepare(cur *wire.Cursor) (byte, []byte) {
 	// v2.1 append-only tail: whether Execute will produce rows (SELECT or a
 	// RETURNING write). 2.0 decoders stop before it.
 	b.Bool(st.ReturnsRows())
+	// v2.2 tail: whether the statement is a pure SELECT — the only kind a
+	// client may pipeline Bind+Execute for, since a failed Bind would let the
+	// Execute run with stale parameters and a SELECT is the only statement
+	// where that has no side effects.
+	b.Bool(st.IsQuery())
 	return wire.MsgStmt, b.B
+}
+
+// refuseReadOnly answers a mutating message on a replica server.
+func (c *conn) refuseReadOnly(what string) (byte, []byte) {
+	c.srv.readOnlyDenied.Add(1)
+	return errFrame(fmt.Errorf("server: read-only replica: cannot run %q here; writes and transactions go to the primary", what))
 }
 
 func (c *conn) handleBind(cur *wire.Cursor) (byte, []byte) {
@@ -422,6 +517,11 @@ func (c *conn) handleExecute(cur *wire.Cursor) (byte, []byte) {
 	st, ok := c.stmts[id]
 	if !ok {
 		return errFrame(fmt.Errorf("server: no statement %d", id))
+	}
+	// A replica serves nothing but pure SELECTs: DML, DDL, EXPLAIN and
+	// transaction control all belong on the primary.
+	if !st.IsQuery() && c.srv.readOnly.Load() {
+		return c.refuseReadOnly(st.Text())
 	}
 	// SELECTs always answer with a cursor. RETURNING writes do too on a v2.1
 	// connection, streaming the projected rows in fetch batches; a v2.0 peer
@@ -462,6 +562,9 @@ func (c *conn) handleExecBatch(cur *wire.Cursor) (byte, []byte) {
 	st, ok := c.stmts[id]
 	if !ok {
 		return errFrame(fmt.Errorf("server: no statement %d", id))
+	}
+	if c.srv.readOnly.Load() {
+		return c.refuseReadOnly(st.Text())
 	}
 	// The row count is bounded by what the frame can physically hold (a row
 	// is at least its own 4-byte count), so a hostile count fails decoding

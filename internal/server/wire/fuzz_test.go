@@ -39,6 +39,40 @@ func FuzzFrame(f *testing.F) {
 	}
 	f.Add(frame.Bytes())
 
+	// Replication frames (v2.2). A Subscribe at the hostile maximum LSN, a
+	// WALSegment whose declared body runs past the frame, a duplicate pair
+	// of Subscribe frames back to back, and a well-formed ReplicaStatus.
+	var sub Buffer
+	Subscribe{StartLSN: ^uint64(0)}.Encode(&sub)
+	var subFrame bytes.Buffer
+	if err := WriteFrame(&subFrame, MsgSubscribe, sub.B); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(subFrame.Bytes())
+	f.Add(append(subFrame.Bytes(), subFrame.Bytes()...))
+	var seg Buffer
+	seg.Uint64(4096)
+	seg.Uint32(100) // declares 100 body bytes...
+	var segFrame bytes.Buffer
+	if err := WriteFrame(&segFrame, MsgWALSegment, append(seg.B, "short"...)); err != nil { // ...carries 5
+		f.Fatal(err)
+	}
+	f.Add(segFrame.Bytes())
+	var okSeg Buffer
+	WALSegment{StartLSN: 8, Data: []byte("\x03\x00\x00\x00\x00rec")}.Encode(&okSeg)
+	var okSegFrame bytes.Buffer
+	if err := WriteFrame(&okSegFrame, MsgWALSegment, okSeg.B); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(okSegFrame.Bytes())
+	var status Buffer
+	ReplicaStatus{AppliedLSN: 1 << 40}.Encode(&status)
+	var statusFrame bytes.Buffer
+	if err := WriteFrame(&statusFrame, MsgReplicaStatus, status.B); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(statusFrame.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msgType, payload, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
@@ -57,6 +91,46 @@ func FuzzFrame(f *testing.F) {
 		}
 		if msgType2 != msgType || !bytes.Equal(payload2, payload) {
 			t.Fatalf("frame round trip changed the message: type 0x%02x->0x%02x", msgType, msgType2)
+		}
+
+		// Replication messages must decode without panicking on any payload,
+		// and a payload that decodes cleanly must re-encode canonically —
+		// the replica applier trusts these structs to carry exactly what the
+		// wire said.
+		switch msgType {
+		case MsgSubscribe:
+			c := NewCursor(payload)
+			sub := DecodeSubscribe(c)
+			if c.Err() == nil && c.Remaining() == 0 {
+				var re Buffer
+				sub.Encode(&re)
+				if !bytes.Equal(re.B, payload) {
+					t.Fatalf("Subscribe re-encode differs:\n got %x\nwant %x", re.B, payload)
+				}
+			}
+		case MsgReplicaStatus:
+			c := NewCursor(payload)
+			st := DecodeReplicaStatus(c)
+			if c.Err() == nil && c.Remaining() == 0 {
+				var re Buffer
+				st.Encode(&re)
+				if !bytes.Equal(re.B, payload) {
+					t.Fatalf("ReplicaStatus re-encode differs:\n got %x\nwant %x", re.B, payload)
+				}
+			}
+		case MsgWALSegment:
+			c := NewCursor(payload)
+			seg := DecodeWALSegment(c)
+			if c.Err() == nil && c.Remaining() == 0 {
+				var re Buffer
+				seg.Encode(&re)
+				if !bytes.Equal(re.B, payload) {
+					t.Fatalf("WALSegment re-encode differs:\n got %x\nwant %x", re.B, payload)
+				}
+				if len(seg.Data) > len(payload) {
+					t.Fatalf("WALSegment decoded %d body bytes out of a %d-byte payload", len(seg.Data), len(payload))
+				}
+			}
 		}
 
 		// Value-codec fixed point: if the payload parses as a tuple, one

@@ -17,6 +17,13 @@
 //	ExecBatch   -> Stmt.ExecBatch         -> Result  (array-bind in one round trip)
 //	Ping        -> liveness check         -> OK      (pool health checks)
 //
+// Since v2.2 a connection can instead become a replication stream: Subscribe
+// carries a start LSN, the server pushes WALSegment frames (raw bytes of the
+// primary's CRC-framed log) from there on, and the replica acknowledges
+// progress with ReplicaStatus frames. v2.2 also appends the server's durable
+// LSN to Result, Cursor, Rows and OK frames — the lag signal fleet routing
+// steers by — and a role byte to HelloOK.
+//
 // Framing: every message is one frame — a 4-byte big-endian payload length,
 // then the payload, whose first byte is the message type. Integers are
 // big-endian and fixed width; strings are a uint32 length followed by UTF-8
@@ -57,17 +64,25 @@ const (
 	MsgHello       byte = 0x0a // magic, client version — must be the first frame (v2)
 	MsgExecBatch   byte = 0x0b // stmt id, row count, parameter rows (v2)
 	MsgPing        byte = 0x0c // liveness probe, answered with OK (v2)
+
+	// Replication family (v2.2). Subscribe turns the connection into a WAL
+	// stream: the server pushes WALSegment frames and the request/response
+	// discipline ends; the only frame the subscriber may send from then on is
+	// ReplicaStatus.
+	MsgSubscribe     byte = 0x0d // start LSN (v2.2)
+	MsgReplicaStatus byte = 0x0e // applied LSN, acknowledging stream progress (v2.2)
 )
 
 // Message types, server to client.
 const (
-	MsgErr     byte = 0x20 // error text (+ server version tail on handshake refusal)
-	MsgStmt    byte = 0x21 // stmt id, param names, columns
-	MsgResult  byte = 0x22 // rows affected, message, columns, rows
-	MsgCursor  byte = 0x23 // cursor id, columns
-	MsgRows    byte = 0x24 // done flag, row batch
-	MsgOK      byte = 0x25
-	MsgHelloOK byte = 0x26 // negotiated version, server banner (v2)
+	MsgErr        byte = 0x20 // error text (+ server version tail on handshake refusal)
+	MsgStmt       byte = 0x21 // stmt id, param names, columns
+	MsgResult     byte = 0x22 // rows affected, message, columns, rows
+	MsgCursor     byte = 0x23 // cursor id, columns
+	MsgRows       byte = 0x24 // done flag, row batch
+	MsgOK         byte = 0x25
+	MsgHelloOK    byte = 0x26 // negotiated version, server banner (v2)
+	MsgWALSegment byte = 0x27 // start LSN, raw log bytes — pushed after Subscribe (v2.2)
 )
 
 // --- protocol version ---------------------------------------------------------
@@ -96,7 +111,16 @@ type Version struct {
 //     peer the server answers with a Result frame instead, the rows
 //     materialised inline (the Result payload has carried columns + rows
 //     since 2.0).
-var Current = Version{Major: 2, Minor: 1}
+//
+// v2.2 adds the replication family and the lag signal, again append-only:
+//   - Subscribe / WALSegment / ReplicaStatus stream the primary's log to
+//     replicas (a subscribed connection leaves request/response entirely).
+//   - Result, Cursor, Rows and OK frames carry a trailing uint64: the
+//     server's durable LSN, which fleet routing compares across nodes to
+//     bound staleness. HelloOK carries a trailing role byte (0 = primary,
+//     1 = read-only replica), and Stmt a trailing is-query flag that tells
+//     the client which statements are safe to pipeline.
+var Current = Version{Major: 2, Minor: 2}
 
 // String renders the version as "2.0".
 func (v Version) String() string { return fmt.Sprintf("%d.%d", v.Major, v.Minor) }
@@ -146,10 +170,17 @@ func DecodeHello(c *Cursor) Hello {
 	}
 }
 
+// Server roles carried in the HelloOK role byte (v2.2).
+const (
+	RolePrimary byte = 0 // accepts writes and replication subscribers
+	RoleReplica byte = 1 // read-only: refuses writes and explicit transactions
+)
+
 // HelloOK is the server's handshake acceptance.
 type HelloOK struct {
 	Version Version // the negotiated version the connection will speak
 	Banner  string  // a human-readable server identification
+	Role    byte    // RolePrimary or RoleReplica, appended at minor 2
 }
 
 // Encode appends the HelloOK payload.
@@ -157,14 +188,71 @@ func (h HelloOK) Encode(b *Buffer) {
 	b.Uint32(h.Version.Major)
 	b.Uint32(h.Version.Minor)
 	b.String(h.Banner)
+	b.Byte(h.Role)
 }
 
 // DecodeHelloOK reads a HelloOK payload.
 func DecodeHelloOK(c *Cursor) HelloOK {
-	return HelloOK{
+	h := HelloOK{
 		Version: Version{Major: c.Uint32(), Minor: c.Uint32()},
 		Banner:  c.String(),
 	}
+	if c.Err() == nil && c.Remaining() > 0 {
+		h.Role = c.Byte()
+	}
+	return h
+}
+
+// Subscribe asks the server to stream its WAL from StartLSN (a byte offset
+// into the log; 0 streams the full history). The server refuses an LSN past
+// its durable frontier, a log it cannot re-read, or a subscriber on a
+// connection that negotiated a minor below 2.
+type Subscribe struct {
+	StartLSN uint64
+}
+
+// Encode appends the Subscribe payload.
+func (s Subscribe) Encode(b *Buffer) { b.Uint64(s.StartLSN) }
+
+// DecodeSubscribe reads a Subscribe payload.
+func DecodeSubscribe(c *Cursor) Subscribe {
+	return Subscribe{StartLSN: c.Uint64()}
+}
+
+// WALSegment is one pushed chunk of the primary's log: the raw CRC-framed
+// bytes beginning at StartLSN. Segments are contiguous but need not align
+// with record frames — the subscriber reassembles the byte stream and
+// decodes records out of it, so a log record larger than the wire frame cap
+// simply spans segments.
+type WALSegment struct {
+	StartLSN uint64
+	Data     []byte
+}
+
+// Encode appends the WALSegment payload.
+func (s WALSegment) Encode(b *Buffer) {
+	b.Uint64(s.StartLSN)
+	b.Bytes(s.Data)
+}
+
+// DecodeWALSegment reads a WALSegment payload.
+func DecodeWALSegment(c *Cursor) WALSegment {
+	return WALSegment{StartLSN: c.Uint64(), Data: c.Bytes()}
+}
+
+// ReplicaStatus is the subscriber's progress acknowledgement: every commit
+// whose record ends at or below AppliedLSN is applied and visible to the
+// replica's readers.
+type ReplicaStatus struct {
+	AppliedLSN uint64
+}
+
+// Encode appends the ReplicaStatus payload.
+func (s ReplicaStatus) Encode(b *Buffer) { b.Uint64(s.AppliedLSN) }
+
+// DecodeReplicaStatus reads a ReplicaStatus payload.
+func DecodeReplicaStatus(c *Cursor) ReplicaStatus {
+	return ReplicaStatus{AppliedLSN: c.Uint64()}
 }
 
 // EncodeVersionError renders a handshake refusal as a MsgErr payload: the
@@ -266,6 +354,12 @@ func (b *Buffer) Bool(v bool) {
 func (b *Buffer) String(s string) {
 	b.Uint32(uint32(len(s)))
 	b.B = append(b.B, s...)
+}
+
+// Bytes appends a length-prefixed byte blob.
+func (b *Buffer) Bytes(p []byte) {
+	b.Uint32(uint32(len(p)))
+	b.B = append(b.B, p...)
 }
 
 // Strings appends a counted list of strings.
@@ -383,6 +477,16 @@ func (c *Cursor) String() string {
 		return ""
 	}
 	return string(b)
+}
+
+// Bytes reads a length-prefixed byte blob. The returned slice aliases the
+// payload; callers that outlive the frame must copy it.
+func (c *Cursor) Bytes() []byte {
+	n := c.Uint32()
+	if c.err != nil {
+		return nil
+	}
+	return c.take(int(n))
 }
 
 // Strings reads a counted list of strings.

@@ -99,6 +99,10 @@ func (g *groupCommit) syncTo(w *WAL, seq uint64) error {
 			}
 		}
 		target := w.seq.Load()
+		// The durable byte frontier is captured at the same instant as the
+		// sequence target: any record counted by target was fully appended
+		// under WAL.mu before either load, so offTarget covers its bytes.
+		offTarget := w.appendedOff.Load()
 		err := w.syncMedium()
 		g.mu.Lock()
 		g.syncing = false
@@ -108,6 +112,9 @@ func (g *groupCommit) syncTo(w *WAL, seq uint64) error {
 			g.err = err
 		} else if target > g.durable {
 			g.durable = target
+		}
+		if err == nil {
+			w.publishDurable(offTarget)
 		}
 		g.cond.Broadcast()
 	}

@@ -342,6 +342,31 @@ func (t *Txn) Delete(table *catalog.Table, rid storage.RecordID) error {
 	return nil
 }
 
+// FindRow returns the id of the version visible to this transaction's
+// snapshot whose tuple equals image. It is the lookup a replication applier
+// uses to resolve a primary's before-image to a local row: unlike recovery's
+// physical scan, it respects MVCC visibility — including this transaction's
+// own uncommitted writes — so it stays correct while concurrent readers hold
+// older snapshots open.
+func (t *Txn) FindRow(table *catalog.Table, image types.Tuple) (storage.RecordID, bool, error) {
+	if t.State() != StateActive {
+		return storage.RecordID{}, false, ErrNotActive
+	}
+	it := table.VersionIterator()
+	for {
+		rid, meta, tuple, ok, err := it.Next()
+		if err != nil {
+			return storage.RecordID{}, false, err
+		}
+		if !ok {
+			return storage.RecordID{}, false, nil
+		}
+		if t.snap.Visible(meta) && tuple.Equal(image) {
+			return rid, true, nil
+		}
+	}
+}
+
 // LogDDL records a schema statement so recovery can rebuild the catalog.
 // The statement joins the manager's committed DDL history when this
 // transaction commits, which is how checkpoint images carry the schema.

@@ -125,6 +125,20 @@ type WAL struct {
 	// Benchmarks use it as the per-commit-fsync baseline.
 	solo atomic.Bool
 
+	// Replication frontiers, in byte offsets of the log (the LSN space the
+	// streaming protocol speaks). appendedOff mirrors off: it is stored under
+	// w.mu so the sync leader can load it lock-free together with w.seq.
+	// durableOff is published only after the fsync covering those bytes
+	// succeeded — a replica may be streamed anything below it and nothing
+	// above it (see walstream.go).
+	appendedOff atomic.Int64
+	durableOff  atomic.Int64
+
+	// notify is closed and replaced each time durableOff advances, waking
+	// WAL streamers blocked waiting for new durable bytes.
+	notifyMu sync.Mutex
+	notify   chan struct{}
+
 	gc groupCommit
 }
 
@@ -155,6 +169,11 @@ func OpenWALFile(path string) (*WAL, error) {
 		return nil, err
 	}
 	w := &WAL{w: f, file: f, path: path, syncer: f, off: info.Size()}
+	// engine.Open truncates a torn tail before reopening the log, so the
+	// file size is the end of valid, fsynced history: the durable frontier
+	// starts there.
+	w.appendedOff.Store(info.Size())
+	w.durableOff.Store(info.Size())
 	w.gc.init()
 	return w, nil
 }
@@ -258,6 +277,7 @@ func (w *WAL) append(r Record) (seq uint64, off int64, err error) {
 	}
 	w.off += int64(len(frame))
 	w.writes++
+	w.appendedOff.Store(w.off)
 	return w.seq.Add(1), off, nil
 }
 
@@ -301,6 +321,7 @@ func (w *WAL) soloSync(seq uint64) error {
 	if g.err != nil {
 		return g.err
 	}
+	offTarget := w.appendedOff.Load()
 	if err := w.syncMedium(); err != nil {
 		g.err = err
 		return err
@@ -309,6 +330,7 @@ func (w *WAL) soloSync(seq uint64) error {
 	if seq > g.durable {
 		g.durable = seq
 	}
+	w.publishDurable(offTarget)
 	return nil
 }
 
